@@ -1,0 +1,111 @@
+// Command benchtab regenerates the paper's tables and figures on the
+// simulated substrate.
+//
+// Usage:
+//
+//	benchtab -list
+//	benchtab -id fig7 [-scale quick|full]
+//	benchtab -all [-scale quick|full] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"fedrlnas/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
+	var (
+		list     = fs.Bool("list", false, "list experiment ids and exit")
+		id       = fs.String("id", "", "experiment id to run (fig3..fig12, table2..table8)")
+		all      = fs.Bool("all", false, "run every experiment")
+		scaleArg = fs.String("scale", "quick", "experiment scale: quick or full")
+		csv      = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		outDir   = fs.String("out", "", "also write each experiment's artifacts (txt + csv) into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return nil
+	}
+	var scale experiments.Scale
+	switch *scaleArg {
+	case "quick":
+		scale = experiments.Quick
+	case "full":
+		scale = experiments.Full
+	default:
+		return fmt.Errorf("unknown scale %q (quick|full)", *scaleArg)
+	}
+
+	ids := fs.Args()
+	if *id != "" {
+		ids = append(ids, *id)
+	}
+	if *all {
+		ids = experiments.IDs()
+	}
+	if len(ids) == 0 {
+		return fmt.Errorf("nothing to run: pass -id, -all, or positional ids (see -list)")
+	}
+	for _, exp := range ids {
+		start := time.Now()
+		out, err := experiments.Run(exp, scale)
+		if err != nil {
+			return fmt.Errorf("%s: %w", exp, err)
+		}
+		switch {
+		case *csv && out.Table != nil:
+			fmt.Printf("# %s: %s\n%s", out.ID, out.Title, out.Table.CSV())
+		case *csv && len(out.Curves) > 0:
+			fmt.Printf("# %s: %s\n%s", out.ID, out.Title, out.CurvesCSV())
+		default:
+			fmt.Print(out.Render())
+		}
+		if *outDir != "" {
+			if err := writeArtifacts(*outDir, out); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("(%s finished in %v at scale %s)\n\n", exp, time.Since(start).Round(time.Millisecond), scale)
+	}
+	return nil
+}
+
+// writeArtifacts persists an experiment's rendered text plus CSVs for its
+// table and curves under dir.
+func writeArtifacts(dir string, out experiments.Output) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("out dir: %w", err)
+	}
+	base := filepath.Join(dir, out.ID)
+	if err := os.WriteFile(base+".txt", []byte(out.Render()), 0o644); err != nil {
+		return err
+	}
+	if out.Table != nil {
+		if err := os.WriteFile(base+".csv", []byte(out.Table.CSV()), 0o644); err != nil {
+			return err
+		}
+	}
+	if curves := out.CurvesCSV(); curves != "" {
+		if err := os.WriteFile(base+"_curves.csv", []byte(curves), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

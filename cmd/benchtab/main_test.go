@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-scale", "galactic", "-id", "fig7"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown scale") {
+		t.Errorf("bad scale not rejected: %v", err)
+	}
+	if err := run([]string{}); err == nil || !strings.Contains(err.Error(), "nothing to run") {
+		t.Errorf("empty invocation not rejected: %v", err)
+	}
+	if err := run([]string{"-id", "fig99"}); err == nil {
+		t.Error("unknown experiment id not rejected")
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list failed: %v", err)
+	}
+}
+
+func TestRunFastExperiment(t *testing.T) {
+	if err := run([]string{"-id", "fig7"}); err != nil {
+		t.Fatalf("fig7 failed: %v", err)
+	}
+	if err := run([]string{"-id", "fig7", "-csv"}); err != nil {
+		t.Fatalf("fig7 csv failed: %v", err)
+	}
+}
+
+func TestRunWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-id", "fig7", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig7.txt", "fig7.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing artifact %s: %v", name, err)
+		}
+	}
+}

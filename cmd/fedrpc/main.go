@@ -1,0 +1,160 @@
+// Command fedrpc deploys the federated model search across OS processes
+// over TCP, the shape of the paper's Distributed-RPC deployment.
+//
+// Start K workers (each owns one shard of the deterministic dataset):
+//
+//	fedrpc worker -index 0 -k 4 -listen 127.0.0.1:7001
+//	fedrpc worker -index 1 -k 4 -listen 127.0.0.1:7002
+//	…
+//
+// Then run the search server against them:
+//
+//	fedrpc server -addrs 127.0.0.1:7001,127.0.0.1:7002,… -rounds 60
+//
+// Both sides regenerate the same dataset and Dirichlet partition from the
+// shared -seed, so no data ever crosses the wire — only sub-models,
+// gradients, and rewards (the paper's privacy model).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"fedrlnas/internal/data"
+	"fedrlnas/internal/rpcfed"
+	"fedrlnas/internal/search"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fedrpc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: fedrpc worker|server [flags]")
+	}
+	switch args[0] {
+	case "worker":
+		return runWorker(args[1:])
+	case "server":
+		return runServer(args[1:])
+	default:
+		return fmt.Errorf("unknown mode %q (worker|server)", args[0])
+	}
+}
+
+// shardFor deterministically regenerates the dataset and this worker's
+// shard from the shared seed.
+func shardFor(datasetName string, k, index int, seed int64) (*data.Dataset, []int, error) {
+	var spec data.Spec
+	switch datasetName {
+	case "cifar10s":
+		spec = data.CIFAR10S()
+	case "svhns":
+		spec = data.SVHNS()
+	case "cifar100s":
+		spec = data.CIFAR100S()
+	default:
+		return nil, nil, fmt.Errorf("unknown dataset %q", datasetName)
+	}
+	ds, err := data.Generate(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	part, err := data.DirichletPartition(ds.TrainLabels, k, 0.5, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, nil, err
+	}
+	if index < 0 || index >= k {
+		return nil, nil, fmt.Errorf("index %d outside [0,%d)", index, k)
+	}
+	return ds, part.Indices[index], nil
+}
+
+func netConfig(classes, channels int) search.Config {
+	cfg := search.DefaultConfig()
+	cfg.Net.NumClasses = classes
+	cfg.Net.InChannels = channels
+	return cfg
+}
+
+func runWorker(args []string) error {
+	fs := flag.NewFlagSet("fedrpc worker", flag.ContinueOnError)
+	var (
+		index   = fs.Int("index", 0, "worker index in [0,k)")
+		k       = fs.Int("k", 4, "total number of workers")
+		listen  = fs.String("listen", "127.0.0.1:0", "TCP listen address")
+		dataset = fs.String("dataset", "cifar10s", "dataset name")
+		seed    = fs.Int64("seed", 1, "shared deployment seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, shard, err := shardFor(*dataset, *k, *index, *seed)
+	if err != nil {
+		return err
+	}
+	cfg := netConfig(ds.Spec.NumClasses, ds.Spec.Channels)
+	svc, err := rpcfed.NewParticipantService(*index, ds, shard, cfg.Net, *seed+int64(*index)*31)
+	if err != nil {
+		return err
+	}
+	ln, done, err := svc.Serve(*listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("worker %d/%d serving %s shard (%d samples) on %s\n",
+		*index, *k, *dataset, len(shard), ln.Addr())
+	<-done // run until the listener is closed (Ctrl-C kills the process)
+	return nil
+}
+
+func runServer(args []string) error {
+	fs := flag.NewFlagSet("fedrpc server", flag.ContinueOnError)
+	var (
+		addrList = fs.String("addrs", "", "comma-separated worker addresses")
+		dataset  = fs.String("dataset", "cifar10s", "dataset name")
+		rounds   = fs.Int("rounds", 40, "search rounds")
+		batch    = fs.Int("batch", 16, "participant batch size")
+		quorum   = fs.Float64("quorum", 0.8, "fraction of replies that closes a round")
+		seed     = fs.Int64("seed", 1, "shared deployment seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	addrs := strings.Split(*addrList, ",")
+	if *addrList == "" || len(addrs) == 0 {
+		return fmt.Errorf("need -addrs")
+	}
+	ds, _, err := shardFor(*dataset, len(addrs), 0, *seed)
+	if err != nil {
+		return err
+	}
+	cfg := netConfig(ds.Spec.NumClasses, ds.Spec.Channels)
+	scfg := rpcfed.DefaultServerConfig(cfg.Net)
+	scfg.Rounds = *rounds
+	scfg.BatchSize = *batch
+	scfg.Quorum = *quorum
+	scfg.Seed = *seed
+	srv, err := rpcfed.NewServer(scfg, addrs)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("searching over %d workers for %d rounds (quorum %.0f%%)…\n",
+		len(addrs), *rounds, *quorum*100)
+	res, err := srv.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Println("genotype:", res.Genotype)
+	fmt.Printf("accuracy tail: %.3f | replies: %d fresh, %d late, %d dropped\n",
+		res.Curve.TailMean(10), res.FreshReplies, res.LateReplies, res.DroppedReplies)
+	return nil
+}

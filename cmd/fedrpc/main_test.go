@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunModeValidation(t *testing.T) {
+	if err := run(nil); err == nil || !strings.Contains(err.Error(), "usage") {
+		t.Errorf("empty args not rejected: %v", err)
+	}
+	if err := run([]string{"conductor"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown mode") {
+		t.Errorf("bad mode not rejected: %v", err)
+	}
+}
+
+func TestShardForValidation(t *testing.T) {
+	if _, _, err := shardFor("imagenet", 4, 0, 1); err == nil {
+		t.Error("unknown dataset not rejected")
+	}
+	if _, _, err := shardFor("cifar10s", 4, 9, 1); err == nil {
+		t.Error("out-of-range index not rejected")
+	}
+	ds, shard, err := shardFor("cifar10s", 4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds == nil || len(shard) == 0 {
+		t.Error("valid shard empty")
+	}
+	// Determinism across "processes": same seed, same shard.
+	_, shard2, err := shardFor("cifar10s", 4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shard) != len(shard2) {
+		t.Fatal("shard sizes differ across regenerations")
+	}
+	for i := range shard {
+		if shard[i] != shard2[i] {
+			t.Fatal("shards differ across regenerations — workers would train on wrong data")
+		}
+	}
+}
+
+func TestServerModeNeedsAddrs(t *testing.T) {
+	if err := runServer([]string{}); err == nil || !strings.Contains(err.Error(), "need -addrs") {
+		t.Errorf("missing addrs not rejected: %v", err)
+	}
+}

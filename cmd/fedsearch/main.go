@@ -1,0 +1,176 @@
+// Command fedsearch runs the full four-phase federated model search
+// pipeline (warm-up, RL search, retraining, evaluation) with configurable
+// knobs, printing the searched genotype and final accuracies.
+//
+// Example:
+//
+//	fedsearch -dataset cifar10s -k 10 -partition dirichlet -warmup 60 -search 200
+//	fedsearch -staleness severe -strategy dc -lambda 1.0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fedrlnas/internal/data"
+	"fedrlnas/internal/fed"
+	"fedrlnas/internal/nas"
+	"fedrlnas/internal/search"
+	"fedrlnas/internal/staleness"
+	"fedrlnas/internal/transmission"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fedsearch:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fedsearch", flag.ContinueOnError)
+	var (
+		dataset   = fs.String("dataset", "cifar10s", "dataset: cifar10s, svhns, cifar100s")
+		k         = fs.Int("k", 10, "number of participants")
+		partition = fs.String("partition", "iid", "data split: iid or dirichlet")
+		dirAlpha  = fs.Float64("dirichlet-alpha", 0.5, "Dirichlet concentration for non-iid splits")
+		warmup    = fs.Int("warmup", 30, "warm-up rounds (P1)")
+		searchN   = fs.Int("search", 60, "search rounds (P2)")
+		retrain   = fs.Int("retrain", 120, "centralized retrain steps (P3)")
+		fedRounds = fs.Int("fed-rounds", 0, "federated retrain rounds (0 skips federated P3)")
+		batch     = fs.Int("batch", 16, "participant batch size")
+		stale     = fs.String("staleness", "none", "staleness schedule: none, severe, slight")
+		strategy  = fs.String("strategy", "hard", "stale-update strategy: hard, use, throw, dc")
+		lambda    = fs.Float64("lambda", 1.0, "delay-compensation strength")
+		transPol  = fs.String("transmission", "adaptive", "sub-model assignment: adaptive, random, uniform")
+		seed      = fs.Int64("seed", 1, "random seed")
+		alphaOnly = fs.Bool("alpha-only", false, "freeze theta during search (Fig. 5 ablation)")
+		genoOut   = fs.String("genotype-out", "", "write the searched genotype to this JSON file")
+		ckptOut   = fs.String("checkpoint-out", "", "write a search checkpoint (theta+alpha) to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := search.DefaultConfig()
+	switch *dataset {
+	case "cifar10s":
+		cfg.Dataset = data.CIFAR10S()
+	case "svhns":
+		cfg.Dataset = data.SVHNS()
+	case "cifar100s":
+		cfg.Dataset = data.CIFAR100S()
+	default:
+		return fmt.Errorf("unknown dataset %q", *dataset)
+	}
+	cfg.Net.NumClasses = cfg.Dataset.NumClasses
+	cfg.Net.InChannels = cfg.Dataset.Channels
+	cfg.K = *k
+	switch *partition {
+	case "iid":
+		cfg.Partition = search.IID
+	case "dirichlet":
+		cfg.Partition = search.Dirichlet
+	default:
+		return fmt.Errorf("unknown partition %q", *partition)
+	}
+	cfg.DirichletAlpha = *dirAlpha
+	cfg.WarmupSteps = *warmup
+	cfg.SearchSteps = *searchN
+	cfg.BatchSize = *batch
+	cfg.Seed = *seed
+	cfg.AlphaOnly = *alphaOnly
+	cfg.Lambda = *lambda
+
+	switch *stale {
+	case "none":
+		cfg.Staleness = staleness.NoStaleness()
+	case "severe":
+		cfg.Staleness = staleness.Severe()
+	case "slight":
+		cfg.Staleness = staleness.Slight()
+	default:
+		return fmt.Errorf("unknown staleness %q", *stale)
+	}
+	switch *strategy {
+	case "hard":
+		cfg.Strategy = staleness.Hard
+	case "use":
+		cfg.Strategy = staleness.Use
+	case "throw":
+		cfg.Strategy = staleness.Throw
+	case "dc":
+		cfg.Strategy = staleness.DC
+	default:
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+	switch *transPol {
+	case "adaptive":
+		cfg.Transmission = transmission.Adaptive
+	case "random":
+		cfg.Transmission = transmission.Random
+	case "uniform":
+		cfg.Transmission = transmission.Uniform
+	default:
+		return fmt.Errorf("unknown transmission policy %q", *transPol)
+	}
+
+	rcfg := search.DefaultRetrainConfig()
+	rcfg.Steps = *retrain
+	opts := search.PipelineOptions{Centralized: &rcfg}
+	if *fedRounds > 0 {
+		fcfg := fed.DefaultFedAvgConfig()
+		fcfg.Rounds = *fedRounds
+		opts.Federated = &fcfg
+	}
+
+	fmt.Printf("P1 warm-up (%d rounds) + P2 search (%d rounds), K=%d, %s/%s…\n",
+		cfg.WarmupSteps, cfg.SearchSteps, cfg.K, cfg.Dataset.Name, *partition)
+	if *ckptOut != "" {
+		// Run the phases explicitly so the live state can be checkpointed.
+		s, err := search.New(cfg)
+		if err != nil {
+			return err
+		}
+		if err := s.Warmup(); err != nil {
+			return err
+		}
+		if err := s.Run(); err != nil {
+			return err
+		}
+		if err := s.SaveCheckpoint(*ckptOut); err != nil {
+			return err
+		}
+		fmt.Printf("checkpoint written to %s (round %d)\n", *ckptOut, s.Round())
+	}
+	res, err := search.RunPipeline(cfg, opts)
+	if err != nil {
+		return err
+	}
+	if *genoOut != "" {
+		if err := nas.SaveGenotype(*genoOut, res.Genotype); err != nil {
+			return err
+		}
+		fmt.Printf("genotype written to %s\n", *genoOut)
+	}
+	fmt.Printf("searched genotype: %v\n", res.Genotype)
+	fmt.Printf("search curve: start %.3f -> tail %.3f (entropy %.4f)\n",
+		firstVal(res.SearchCurve.Values()), res.SearchCurve.TailMean(10), res.EntropyCurve.Last())
+	fmt.Printf("virtual search time: %.2f h | sub-model %.3f MB vs supernet %.3f MB\n",
+		res.SearchSeconds/3600, res.MeanSubModelMB, res.SupernetMB)
+	fmt.Printf("P4 centralized: error %.2f%% (%d params)\n",
+		res.Centralized.TestErr*100, res.Centralized.ParamCount)
+	if opts.Federated != nil {
+		fmt.Printf("P4 federated:   error %.2f%% (%d params)\n",
+			res.Federated.TestErr*100, res.Federated.ParamCount)
+	}
+	return nil
+}
+
+func firstVal(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	return vals[0]
+}

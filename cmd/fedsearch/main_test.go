@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"bad dataset", []string{"-dataset", "mnist"}, "unknown dataset"},
+		{"bad partition", []string{"-partition", "zipf"}, "unknown partition"},
+		{"bad staleness", []string{"-staleness", "extreme"}, "unknown staleness"},
+		{"bad strategy", []string{"-strategy", "vote"}, "unknown strategy"},
+		{"bad transmission", []string{"-transmission", "greedy"}, "unknown transmission"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("run(%v) = %v, want error containing %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRunTinyPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	args := []string{
+		"-k", "3", "-warmup", "2", "-search", "3", "-retrain", "5", "-batch", "8",
+		"-genotype-out", dir + "/g.json",
+	}
+	if err := run(args); err != nil {
+		t.Fatalf("tiny pipeline failed: %v", err)
+	}
+}
+
+func TestFirstVal(t *testing.T) {
+	if firstVal(nil) != 0 {
+		t.Error("empty firstVal should be 0")
+	}
+	if firstVal([]float64{3, 4}) != 3 {
+		t.Error("firstVal should return the first element")
+	}
+}

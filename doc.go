@@ -1,0 +1,13 @@
+// Package fedrlnas is a from-scratch Go reproduction of "Federated Model
+// Search via Reinforcement Learning" (ICDCS 2021): RL-based neural
+// architecture search inside a federated learning loop, with adaptive
+// sub-model transmission and delay-compensated soft synchronization.
+//
+// The public surface lives under internal/ packages orchestrated by
+// internal/search (the paper's algorithm) and internal/experiments (one
+// runner per paper table/figure); cmd/fedsearch, cmd/benchtab and
+// cmd/fedrpc are the entry points. See README.md for a tour, DESIGN.md for
+// the system inventory and substitutions, and EXPERIMENTS.md for
+// paper-vs-measured results. The top-level bench_test.go regenerates every
+// evaluation artifact via `go test -bench=.`.
+package fedrlnas

@@ -1,0 +1,70 @@
+// Non-i.i.d. search: the paper's motivating workload. Data is split across
+// participants with a Dirichlet(0.5) distribution (as in FedNAS), the model
+// is searched federatedly, then retrained with FedAvg on the same skewed
+// shards — and compared against a fixed hand-designed model trained the
+// same way.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fedrlnas/internal/baselines"
+	"fedrlnas/internal/data"
+	"fedrlnas/internal/fed"
+	"fedrlnas/internal/search"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cfg := search.DefaultConfig()
+	cfg.Partition = search.Dirichlet
+	cfg.DirichletAlpha = 0.5
+	cfg.WarmupSteps = 20
+	cfg.SearchSteps = 40
+
+	fcfg := fed.DefaultFedAvgConfig()
+	fcfg.Rounds = 15
+
+	fmt.Println("searching on non-i.i.d. shards (Dirichlet 0.5)…")
+	res, err := search.RunPipeline(cfg, search.PipelineOptions{Federated: &fcfg})
+	if err != nil {
+		return err
+	}
+	fmt.Println("genotype:", res.Genotype)
+	fmt.Printf("ours (searched, FedAvg-retrained): error %.2f%%, %d params\n",
+		res.Federated.TestErr*100, res.Federated.ParamCount)
+
+	// How heterogeneous was the split?
+	ds, err := data.Generate(cfg.Dataset)
+	if err != nil {
+		return err
+	}
+	part, err := data.DirichletPartition(ds.TrainLabels, cfg.K, cfg.DirichletAlpha,
+		rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("partition heterogeneity (mean TV distance): %.3f (0 = i.i.d.)\n",
+		data.Heterogeneity(part, ds.TrainLabels, ds.Spec.NumClasses))
+
+	// Compare with a fixed pre-defined model trained by FedAvg.
+	parts, err := fed.BuildParticipants(ds, part, cfg.Seed+9)
+	if err != nil {
+		return err
+	}
+	fixed := baselines.NewResNetLike(rand.New(rand.NewSource(7)), ds.Spec.Channels, ds.Spec.NumClasses)
+	fixedRes, err := fed.FedAvg(fixed, ds, parts, fcfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pre-defined ResNet152-like:        error %.2f%% (much larger model)\n",
+		(1-fixedRes.FinalAcc)*100)
+	return nil
+}

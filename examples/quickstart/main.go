@@ -1,0 +1,34 @@
+// Quickstart: run a small end-to-end federated model search on the i.i.d.
+// CIFAR10 stand-in — warm-up, RL search, centralized retraining, and test
+// evaluation — in under a minute.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fedrlnas/internal/search"
+)
+
+func main() {
+	cfg := search.DefaultConfig()
+	cfg.WarmupSteps = 20
+	cfg.SearchSteps = 40
+
+	rcfg := search.DefaultRetrainConfig()
+	rcfg.Steps = 80
+
+	fmt.Println("searching a model over", cfg.K, "federated participants…")
+	res, err := search.RunPipeline(cfg, search.PipelineOptions{Centralized: &rcfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("genotype:", res.Genotype)
+	fmt.Printf("search accuracy: %.3f -> %.3f (policy entropy %.4f)\n",
+		res.WarmupCurve.TailMean(5), res.SearchCurve.TailMean(5), res.EntropyCurve.Last())
+	fmt.Printf("sub-model payload %.3f MB vs supernet %.3f MB (the paper's ~1/N saving)\n",
+		res.MeanSubModelMB, res.SupernetMB)
+	fmt.Printf("retrained test error: %.2f%% with %d parameters\n",
+		res.Centralized.TestErr*100, res.Centralized.ParamCount)
+}

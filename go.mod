@@ -1,0 +1,3 @@
+module fedrlnas
+
+go 1.22

@@ -1,0 +1,298 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fedrlnas/internal/controller"
+	"fedrlnas/internal/data"
+	"fedrlnas/internal/metrics"
+	"fedrlnas/internal/nas"
+	"fedrlnas/internal/nn"
+)
+
+// NASResult is the common outcome of a search baseline.
+type NASResult struct {
+	Method   string
+	Genotype nas.Genotype
+	// Curve is the training-accuracy series over search steps/rounds.
+	Curve metrics.Curve
+	// SearchSeconds is the virtual time of the whole search.
+	SearchSeconds float64
+	// PayloadBytesPerRound is the per-participant communication payload
+	// (0 for centralized methods).
+	PayloadBytesPerRound int64
+}
+
+// DARTSConfig configures the centralized DARTS baseline.
+type DARTSConfig struct {
+	Net       nas.Config
+	Steps     int
+	BatchSize int
+
+	ThetaLR       float64
+	ThetaMomentum float64
+	ThetaWD       float64
+	ThetaClip     float64
+
+	AlphaLR float64
+	AlphaWD float64
+
+	// SecondOrder enables the unrolled (2nd-order) architecture gradient.
+	SecondOrder bool
+	// Xi is the virtual step size of the unrolled gradient (defaults to
+	// ThetaLR, as in the DARTS paper).
+	Xi float64
+
+	Seed int64
+}
+
+// DefaultDARTSConfig mirrors the paper's Table I centralized settings at
+// substrate scale.
+func DefaultDARTSConfig(net nas.Config) DARTSConfig {
+	return DARTSConfig{
+		Net: net, Steps: 60, BatchSize: 16,
+		ThetaLR: 0.025, ThetaMomentum: 0.9, ThetaWD: 3e-4, ThetaClip: 5,
+		AlphaLR: 0.3, AlphaWD: 1e-4,
+		Seed: 1,
+	}
+}
+
+// DARTS runs centralized differentiable architecture search: the supernet's
+// mixed (softmax-blended) forward is differentiated w.r.t. both θ (on the
+// training half) and α (on the validation half).
+func DARTS(ds *data.Dataset, cfg DARTSConfig) (NASResult, error) {
+	if cfg.Steps <= 0 || cfg.BatchSize <= 0 {
+		return NASResult{}, fmt.Errorf("baselines: invalid DARTS config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	net, err := nas.NewSupernet(rand.New(rand.NewSource(cfg.Seed+1)), cfg.Net)
+	if err != nil {
+		return NASResult{}, err
+	}
+	net.SetTraining(true)
+	nE, rE := net.ArchSpace()
+	numCand := net.NumCandidates()
+	alphaN := zeroRows(nE, numCand)
+	alphaR := zeroRows(rE, numCand)
+
+	trainB, validB, err := splitBatchers(ds, rng)
+	if err != nil {
+		return NASResult{}, err
+	}
+	opt := nn.NewSGD(cfg.ThetaLR, cfg.ThetaMomentum, cfg.ThetaWD, cfg.ThetaClip)
+	params := net.Params()
+	xi := cfg.Xi
+	if xi == 0 {
+		xi = cfg.ThetaLR
+	}
+	method := "darts-1st"
+	if cfg.SecondOrder {
+		method = "darts-2nd"
+	}
+	res := NASResult{Method: method}
+	paramCount := nn.ParamCount(params)
+
+	mixedLoss := func(batcher *data.Batcher) (nn.LossResult, error) {
+		batch := batcher.Next(cfg.BatchSize)
+		x, y := ds.Gather(batch)
+		pn := controller.SoftmaxRows(alphaN)
+		pr := controller.SoftmaxRows(alphaR)
+		logits := net.ForwardMixed(x, pn, pr)
+		return nn.CrossEntropy(logits, y)
+	}
+	// alphaGradOn computes dL/dα on one batch at the current θ, returning
+	// the chained softmax gradient rows. θ gradients are accumulated as a
+	// side effect (callers zero/ignore as needed).
+	alphaGradOn := func(batcher *data.Batcher) ([][]float64, [][]float64, error) {
+		nn.ZeroGrads(params)
+		lossRes, err := mixedLoss(batcher)
+		if err != nil {
+			return nil, nil, err
+		}
+		mg := net.BackwardMixed(lossRes.GradLogits)
+		pn := controller.SoftmaxRows(alphaN)
+		pr := controller.SoftmaxRows(alphaR)
+		return controller.ChainSoftmax(mg.Normal, pn), controller.ChainSoftmax(mg.Reduce, pr), nil
+	}
+
+	for step := 0; step < cfg.Steps; step++ {
+		// --- α update ---
+		var gN, gR [][]float64
+		if !cfg.SecondOrder {
+			gN, gR, err = alphaGradOn(validB)
+			if err != nil {
+				return res, err
+			}
+		} else {
+			gN, gR, err = secondOrderAlphaGrad(net, ds, alphaN, alphaR, trainB, validB, cfg, xi)
+			if err != nil {
+				return res, err
+			}
+		}
+		applyAlphaStep(alphaN, gN, cfg.AlphaLR, cfg.AlphaWD)
+		applyAlphaStep(alphaR, gR, cfg.AlphaLR, cfg.AlphaWD)
+
+		// --- θ update on the training half ---
+		nn.ZeroGrads(params)
+		lossRes, err := mixedLoss(trainB)
+		if err != nil {
+			return res, err
+		}
+		net.BackwardMixed(lossRes.GradLogits)
+		opt.Step(params)
+		res.Curve.Add(step, lossRes.Accuracy)
+		// Centralized virtual time: the whole supernet runs every step.
+		res.SearchSeconds += 1e-5 * float64(paramCount) * float64(cfg.BatchSize)
+	}
+	res.Genotype = nas.DeriveGenotype(
+		controller.SoftmaxRows(alphaN), controller.SoftmaxRows(alphaR),
+		cfg.Net.Candidates, cfg.Net.Nodes)
+	return res, nil
+}
+
+// secondOrderAlphaGrad implements DARTS' unrolled gradient with the
+// finite-difference Hessian-vector approximation:
+//
+//	∇α ≈ ∇α L_val(w′) − (ξ/2ε)·(∇α L_train(w⁺) − ∇α L_train(w⁻))
+//
+// where w′ = w − ξ∇w L_train(w) and w± = w ± ε∇w′ L_val(w′).
+func secondOrderAlphaGrad(net *nas.Supernet, ds *data.Dataset,
+	alphaN, alphaR [][]float64, trainB, validB *data.Batcher,
+	cfg DARTSConfig, xi float64) ([][]float64, [][]float64, error) {
+
+	params := net.Params()
+	snapshot := nn.CloneParamValues(params)
+	pn := controller.SoftmaxRows(alphaN)
+	pr := controller.SoftmaxRows(alphaR)
+
+	run := func(batcher *data.Batcher) (nas.MixedGrads, error) {
+		batch := batcher.Next(cfg.BatchSize)
+		x, y := ds.Gather(batch)
+		nn.ZeroGrads(params)
+		lossRes, err := nn.CrossEntropy(net.ForwardMixed(x, pn, pr), y)
+		if err != nil {
+			return nas.MixedGrads{}, err
+		}
+		return net.BackwardMixed(lossRes.GradLogits), nil
+	}
+
+	// Step 1: ∇w L_train at w, build w′.
+	if _, err := run(trainB); err != nil {
+		return nil, nil, err
+	}
+	trainGrads := nn.CloneParamGrads(params)
+	for i, p := range params {
+		p.Value.AXPY(-xi, trainGrads[i])
+	}
+
+	// Step 2: at w′, get ∇α L_val and v = ∇w′ L_val.
+	mgVal, err := run(validB)
+	if err != nil {
+		return nil, nil, err
+	}
+	v := nn.CloneParamGrads(params)
+	gN := controller.ChainSoftmax(mgVal.Normal, pn)
+	gR := controller.ChainSoftmax(mgVal.Reduce, pr)
+
+	// Step 3: finite-difference Hessian-vector term at w ± εv.
+	vNorm := 0.0
+	for _, g := range v {
+		n := g.L2Norm()
+		vNorm += n * n
+	}
+	vNorm = math.Sqrt(vNorm)
+	if err := nn.RestoreParamValues(params, snapshot); err != nil {
+		return nil, nil, err
+	}
+	if vNorm > 1e-12 {
+		eps := 0.01 / vNorm
+		shift := func(sign float64) error {
+			if err := nn.RestoreParamValues(params, snapshot); err != nil {
+				return err
+			}
+			for i, p := range params {
+				p.Value.AXPY(sign*eps, v[i])
+			}
+			return nil
+		}
+		if err := shift(+1); err != nil {
+			return nil, nil, err
+		}
+		mgPlus, err := run(trainB)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := shift(-1); err != nil {
+			return nil, nil, err
+		}
+		mgMinus, err := run(trainB)
+		if err != nil {
+			return nil, nil, err
+		}
+		gNPlus := controller.ChainSoftmax(mgPlus.Normal, pn)
+		gRPlus := controller.ChainSoftmax(mgPlus.Reduce, pr)
+		gNMinus := controller.ChainSoftmax(mgMinus.Normal, pn)
+		gRMinus := controller.ChainSoftmax(mgMinus.Reduce, pr)
+		scale := xi / (2 * eps)
+		axpyRows(gN, -scale, subRowsNew(gNPlus, gNMinus))
+		axpyRows(gR, -scale, subRowsNew(gRPlus, gRMinus))
+		if err := nn.RestoreParamValues(params, snapshot); err != nil {
+			return nil, nil, err
+		}
+	}
+	return gN, gR, nil
+}
+
+// splitBatchers divides the training set into DARTS' train/valid halves.
+func splitBatchers(ds *data.Dataset, rng *rand.Rand) (trainB, validB *data.Batcher, err error) {
+	n := ds.NumTrain()
+	perm := rng.Perm(n)
+	half := n / 2
+	trainB, err = data.NewBatcher(perm[:half], rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	validB, err = data.NewBatcher(perm[half:], rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	return trainB, validB, nil
+}
+
+// applyAlphaStep performs gradient DEscent on the loss with weight decay.
+func applyAlphaStep(alpha, grad [][]float64, lr, wd float64) {
+	for e := range alpha {
+		for j := range alpha[e] {
+			alpha[e][j] -= lr * (grad[e][j] + wd*alpha[e][j])
+		}
+	}
+}
+
+func zeroRows(rows, cols int) [][]float64 {
+	out := make([][]float64, rows)
+	for i := range out {
+		out[i] = make([]float64, cols)
+	}
+	return out
+}
+
+func axpyRows(dst [][]float64, a float64, src [][]float64) {
+	for i := range dst {
+		for j := range dst[i] {
+			dst[i][j] += a * src[i][j]
+		}
+	}
+}
+
+func subRowsNew(a, b [][]float64) [][]float64 {
+	out := make([][]float64, len(a))
+	for i := range a {
+		out[i] = make([]float64, len(a[i]))
+		for j := range a[i] {
+			out[i][j] = a[i][j] - b[i][j]
+		}
+	}
+	return out
+}

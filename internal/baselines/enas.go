@@ -1,0 +1,98 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedrlnas/internal/controller"
+	"fedrlnas/internal/data"
+	"fedrlnas/internal/nas"
+	"fedrlnas/internal/nn"
+)
+
+// ENASConfig configures the centralized RL search baseline (ENAS-style:
+// parameter-shared supernet, REINFORCE controller, validation reward).
+type ENASConfig struct {
+	Net       nas.Config
+	Steps     int
+	BatchSize int
+
+	ThetaLR       float64
+	ThetaMomentum float64
+	ThetaWD       float64
+	ThetaClip     float64
+
+	Alpha controller.Config
+
+	Seed int64
+}
+
+// DefaultENASConfig returns substrate-scale ENAS settings.
+func DefaultENASConfig(net nas.Config) ENASConfig {
+	alpha := controller.DefaultConfig()
+	alpha.LR = 0.3
+	return ENASConfig{
+		Net: net, Steps: 60, BatchSize: 16,
+		ThetaLR: 0.025, ThetaMomentum: 0.9, ThetaWD: 3e-4, ThetaClip: 5,
+		Alpha: alpha,
+		Seed:  1,
+	}
+}
+
+// ENAS runs the centralized RL search: each step samples one sub-model,
+// trains its shared weights on a training batch, measures reward on a
+// validation batch, and updates the policy with baselined REINFORCE.
+func ENAS(ds *data.Dataset, cfg ENASConfig) (NASResult, error) {
+	if cfg.Steps <= 0 || cfg.BatchSize <= 0 {
+		return NASResult{}, fmt.Errorf("baselines: invalid ENAS config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	net, err := nas.NewSupernet(rand.New(rand.NewSource(cfg.Seed+1)), cfg.Net)
+	if err != nil {
+		return NASResult{}, err
+	}
+	net.SetTraining(true)
+	nE, rE := net.ArchSpace()
+	ctrl, err := controller.New(nE, rE, net.NumCandidates(), cfg.Alpha)
+	if err != nil {
+		return NASResult{}, err
+	}
+	trainB, validB, err := splitBatchers(ds, rng)
+	if err != nil {
+		return NASResult{}, err
+	}
+	opt := nn.NewSGD(cfg.ThetaLR, cfg.ThetaMomentum, cfg.ThetaWD, cfg.ThetaClip)
+	params := net.Params()
+	res := NASResult{Method: "enas"}
+
+	for step := 0; step < cfg.Steps; step++ {
+		g := ctrl.SampleGates(rng)
+
+		// Shared-weight training step on the sampled sub-model.
+		batch := trainB.Next(cfg.BatchSize)
+		x, y := ds.Gather(batch)
+		nn.ZeroGrads(params)
+		lossRes, err := nn.CrossEntropy(net.ForwardSampled(x, g), y)
+		if err != nil {
+			return res, err
+		}
+		net.BackwardSampled(lossRes.GradLogits)
+		sub := net.SampledParams(g)
+		opt.Step(sub)
+
+		// Reward on a validation batch.
+		vb := validB.Next(cfg.BatchSize)
+		vx, vy := ds.Gather(vb)
+		valAcc := nn.Accuracy(net.ForwardSampled(vx, g), vy)
+
+		grad := ctrl.LogProbGrad(g)
+		grad.Scale(ctrl.Reward(valAcc))
+		ctrl.Apply(grad)
+		ctrl.UpdateBaseline(valAcc)
+
+		res.Curve.Add(step, lossRes.Accuracy)
+		res.SearchSeconds += 1e-5 * float64(nn.ParamCount(sub)) * float64(cfg.BatchSize)
+	}
+	res.Genotype = ctrl.Derive(cfg.Net.Candidates, cfg.Net.Nodes)
+	return res, nil
+}

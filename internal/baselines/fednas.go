@@ -1,0 +1,133 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedrlnas/internal/controller"
+	"fedrlnas/internal/data"
+	"fedrlnas/internal/fed"
+	"fedrlnas/internal/nas"
+	"fedrlnas/internal/nettrace"
+	"fedrlnas/internal/nn"
+)
+
+// FedNASConfig configures the FedNAS baseline (He et al.): federated
+// gradient-based NAS where every round each participant downloads the
+// ENTIRE supernet, computes first-order DARTS gradients for θ and α on its
+// local batch, and the server averages both.
+type FedNASConfig struct {
+	Net       nas.Config
+	K         int
+	Rounds    int
+	BatchSize int
+
+	ThetaLR       float64
+	ThetaMomentum float64
+	ThetaWD       float64
+	ThetaClip     float64
+
+	AlphaLR float64
+	AlphaWD float64
+
+	Seed int64
+}
+
+// DefaultFedNASConfig returns substrate-scale FedNAS settings.
+func DefaultFedNASConfig(net nas.Config, k int) FedNASConfig {
+	return FedNASConfig{
+		Net: net, K: k, Rounds: 60, BatchSize: 16,
+		ThetaLR: 0.025, ThetaMomentum: 0.9, ThetaWD: 3e-4, ThetaClip: 5,
+		AlphaLR: 0.3, AlphaWD: 1e-4,
+		Seed: 1,
+	}
+}
+
+// FedNAS runs the federated gradient-NAS baseline over participants built
+// from the given partition of ds. The returned NASResult's
+// PayloadBytesPerRound is the full supernet size — the communication cost
+// the paper's efficiency comparison targets (Table V).
+func FedNAS(ds *data.Dataset, part data.Partition, cfg FedNASConfig) (NASResult, error) {
+	if cfg.Rounds <= 0 || cfg.BatchSize <= 0 || cfg.K <= 0 {
+		return NASResult{}, fmt.Errorf("baselines: invalid FedNAS config %+v", cfg)
+	}
+	parts, err := fed.BuildParticipants(ds, part, cfg.Seed+11)
+	if err != nil {
+		return NASResult{}, err
+	}
+	net, err := nas.NewSupernet(rand.New(rand.NewSource(cfg.Seed+1)), cfg.Net)
+	if err != nil {
+		return NASResult{}, err
+	}
+	net.SetTraining(true)
+	nE, rE := net.ArchSpace()
+	numCand := net.NumCandidates()
+	alphaN := zeroRows(nE, numCand)
+	alphaR := zeroRows(rE, numCand)
+	opt := nn.NewSGD(cfg.ThetaLR, cfg.ThetaMomentum, cfg.ThetaWD, cfg.ThetaClip)
+	params := net.Params()
+	paramCount := nn.ParamCount(params)
+	payload := net.SupernetBytes()
+	res := NASResult{Method: "fednas", PayloadBytesPerRound: payload}
+
+	for round := 0; round < cfg.Rounds; round++ {
+		nn.ZeroGrads(params)
+		aggTheta := nn.CloneParamGrads(params) // zero-valued accumulators
+		aggN := zeroRows(nE, numCand)
+		aggR := zeroRows(rE, numCand)
+		roundAcc := 0.0
+		roundSeconds := 0.0
+
+		pn := controller.SoftmaxRows(alphaN)
+		pr := controller.SoftmaxRows(alphaR)
+		for _, part := range parts {
+			batch := part.Batcher.Next(cfg.BatchSize)
+			x, y := ds.Gather(batch)
+			nn.ZeroGrads(params)
+			lossRes, err := nn.CrossEntropy(net.ForwardMixed(x, pn, pr), y)
+			if err != nil {
+				return res, err
+			}
+			mg := net.BackwardMixed(lossRes.GradLogits)
+			for i, p := range params {
+				aggTheta[i].AddInPlace(p.Grad)
+			}
+			axpyRows(aggN, 1, controller.ChainSoftmax(mg.Normal, pn))
+			axpyRows(aggR, 1, controller.ChainSoftmax(mg.Reduce, pr))
+			roundAcc += lossRes.Accuracy
+
+			// Every participant pays for the whole supernet: download +
+			// full mixed-compute + upload.
+			comm := 2 * nettrace.TransferSeconds(payload, 100)
+			comp := part.ComputeSeconds(paramCount, cfg.BatchSize)
+			if t := comm + comp; t > roundSeconds {
+				roundSeconds = t
+			}
+		}
+		inv := 1.0 / float64(len(parts))
+		for i, p := range params {
+			p.Grad.Zero()
+			p.Grad.AXPY(inv, aggTheta[i])
+		}
+		opt.Step(params)
+		scaleRows(aggN, inv)
+		scaleRows(aggR, inv)
+		applyAlphaStep(alphaN, aggN, cfg.AlphaLR, cfg.AlphaWD)
+		applyAlphaStep(alphaR, aggR, cfg.AlphaLR, cfg.AlphaWD)
+
+		res.Curve.Add(round, roundAcc*inv)
+		res.SearchSeconds += roundSeconds
+	}
+	res.Genotype = nas.DeriveGenotype(
+		controller.SoftmaxRows(alphaN), controller.SoftmaxRows(alphaR),
+		cfg.Net.Candidates, cfg.Net.Nodes)
+	return res, nil
+}
+
+func scaleRows(rows [][]float64, a float64) {
+	for i := range rows {
+		for j := range rows[i] {
+			rows[i][j] *= a
+		}
+	}
+}

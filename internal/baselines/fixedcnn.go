@@ -1,0 +1,71 @@
+// Package baselines implements every comparator the paper evaluates
+// against, on the same substrate as the main method so the comparisons are
+// fair (DESIGN.md §2–3):
+//
+//   - fixed hand-designed models trained with FedAvg (Tables III–IV's
+//     "FedAvg", including the ResNet152-like big CNN)
+//   - DARTS, first and second order (Table II, centralized gradient NAS)
+//   - an ENAS-style centralized RL search (Table II)
+//   - FedNAS: federated gradient NAS shipping the whole supernet (Tables
+//     IV–V, Figs. 9–11)
+//   - EvoFedNAS: federated evolutionary NAS, big and small variants
+//     (Tables III–V)
+package baselines
+
+import (
+	"math/rand"
+
+	"fedrlnas/internal/fed"
+	"fedrlnas/internal/nn"
+)
+
+// NewResNetLike builds the hand-designed "pre-defined model" stand-in for
+// ResNet152 (Table IV's FedAvg* row): a deep residual CNN whose parameter
+// count dwarfs the searched architectures by roughly the paper's ratio
+// (58.2 M vs ~4 M there; proportionally scaled here).
+func NewResNetLike(rng *rand.Rand, inC, classes int) *fed.SequentialModel {
+	const c = 12
+	mods := []nn.Module{
+		nn.NewConv2D("stem.conv", rng, inC, c, 3, nn.ConvOpts{Pad: 1}),
+		nn.NewBatchNorm2D("stem.bn", c),
+		nn.NewReLU(),
+	}
+	for i := 0; i < 4; i++ {
+		mods = append(mods, nn.NewBasicBlock("block"+itoa(i), rng, c), nn.NewReLU())
+	}
+	mods = append(mods,
+		nn.NewGlobalAvgPool(),
+		nn.NewLinear("head", rng, c, classes),
+	)
+	return &fed.SequentialModel{Net: nn.NewSequential(mods...)}
+}
+
+// NewSmallCNN builds a modest hand-designed CNN (the "pre-defined model"
+// row of Table III, where a reasonable fixed model still loses to search).
+func NewSmallCNN(rng *rand.Rand, inC, classes int) *fed.SequentialModel {
+	const c = 8
+	return &fed.SequentialModel{Net: nn.NewSequential(
+		nn.NewConv2D("c1", rng, inC, c, 3, nn.ConvOpts{Pad: 1}),
+		nn.NewBatchNorm2D("bn1", c),
+		nn.NewReLU(),
+		nn.NewConv2D("c2", rng, c, c, 3, nn.ConvOpts{Pad: 1, Stride: 2}),
+		nn.NewBatchNorm2D("bn2", c),
+		nn.NewReLU(),
+		nn.NewGlobalAvgPool(),
+		nn.NewLinear("head", rng, c, classes),
+	)}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,72 @@
+package controller
+
+// AlphaGrad is a gradient (or gradient-like correction) over both α
+// matrices. The zero value is unusable; construct via NewAlphaGrad or
+// Controller.LogProbGrad.
+type AlphaGrad struct {
+	Normal [][]float64
+	Reduce [][]float64
+}
+
+// NewAlphaGrad allocates a zero gradient with the given edge counts and
+// candidate count.
+func NewAlphaGrad(normalEdges, reduceEdges, numCandidates int) AlphaGrad {
+	return AlphaGrad{
+		Normal: zeroRows(normalEdges, numCandidates),
+		Reduce: zeroRows(reduceEdges, numCandidates),
+	}
+}
+
+// Clone deep-copies g.
+func (g AlphaGrad) Clone() AlphaGrad {
+	return AlphaGrad{Normal: copyRows(g.Normal), Reduce: copyRows(g.Reduce)}
+}
+
+// AXPY performs g += a·x elementwise.
+func (g AlphaGrad) AXPY(a float64, x AlphaGrad) {
+	axpyRows(g.Normal, a, x.Normal)
+	axpyRows(g.Reduce, a, x.Reduce)
+}
+
+// Scale multiplies g by a elementwise.
+func (g AlphaGrad) Scale(a float64) {
+	scaleRows(g.Normal, a)
+	scaleRows(g.Reduce, a)
+}
+
+// MulAdd3 performs g += a · (x ⊙ x ⊙ d): the second-order Taylor
+// delay-compensation correction term of Eq. 15, where x is the stale
+// gradient and d the parameter drift.
+func (g AlphaGrad) MulAdd3(a float64, x, d AlphaGrad) {
+	mulAdd3Rows(g.Normal, a, x.Normal, d.Normal)
+	mulAdd3Rows(g.Reduce, a, x.Reduce, d.Reduce)
+}
+
+// L2Norm returns the joint Euclidean norm of both matrices.
+func (g AlphaGrad) L2Norm() float64 {
+	return clipRows(0, g.Normal, g.Reduce) // maxNorm<=0 means measure only
+}
+
+func axpyRows(dst [][]float64, a float64, src [][]float64) {
+	for i := range dst {
+		for j := range dst[i] {
+			dst[i][j] += a * src[i][j]
+		}
+	}
+}
+
+func scaleRows(rows [][]float64, a float64) {
+	for i := range rows {
+		for j := range rows[i] {
+			rows[i][j] *= a
+		}
+	}
+}
+
+func mulAdd3Rows(dst [][]float64, a float64, x, d [][]float64) {
+	for i := range dst {
+		for j := range dst[i] {
+			dst[i][j] += a * x[i][j] * x[i][j] * d[i][j]
+		}
+	}
+}

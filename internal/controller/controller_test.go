@@ -1,0 +1,381 @@
+package controller
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fedrlnas/internal/nas"
+)
+
+func newTestController(t *testing.T) *Controller {
+	t.Helper()
+	c, err := New(5, 5, nas.NumOps, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 5, 8, DefaultConfig()); err == nil {
+		t.Error("expected error for zero normal edges")
+	}
+	if _, err := New(5, 5, 1, DefaultConfig()); err == nil {
+		t.Error("expected error for single candidate")
+	}
+}
+
+func TestInitialPolicyUniform(t *testing.T) {
+	c := newTestController(t)
+	pn, pr := c.Probs()
+	want := 1.0 / nas.NumOps
+	for _, rows := range [][][]float64{pn, pr} {
+		for e, row := range rows {
+			for j, p := range row {
+				if math.Abs(p-want) > 1e-12 {
+					t.Fatalf("edge %d cand %d prob %v, want %v", e, j, p, want)
+				}
+			}
+		}
+	}
+	if got := c.Entropy(); math.Abs(got-math.Log(nas.NumOps)) > 1e-9 {
+		t.Errorf("initial entropy %v, want ln %d", got, nas.NumOps)
+	}
+}
+
+func TestSampleGatesDeterministic(t *testing.T) {
+	c := newTestController(t)
+	g1 := c.SampleGates(rand.New(rand.NewSource(3)))
+	g2 := c.SampleGates(rand.New(rand.NewSource(3)))
+	for i := range g1.Normal {
+		if g1.Normal[i] != g2.Normal[i] {
+			t.Fatal("sampling not deterministic for equal seeds")
+		}
+	}
+	if len(g1.Normal) != 5 || len(g1.Reduce) != 5 {
+		t.Fatalf("gate lengths %d/%d, want 5/5", len(g1.Normal), len(g1.Reduce))
+	}
+}
+
+func TestSampleGatesInRange(t *testing.T) {
+	c := newTestController(t)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		g := c.SampleGates(rng)
+		for _, k := range append(g.Normal, g.Reduce...) {
+			if k < 0 || k >= nas.NumOps {
+				t.Fatalf("sampled candidate %d out of range", k)
+			}
+		}
+	}
+}
+
+// Property (Eq. 12): each gradient row sums to zero and equals δ − p.
+func TestLogProbGradRowsSumToZero(t *testing.T) {
+	c := newTestController(t)
+	// Make the policy non-uniform first.
+	rng := rand.New(rand.NewSource(5))
+	for step := 0; step < 10; step++ {
+		g := c.SampleGates(rng)
+		grad := c.LogProbGrad(g)
+		grad.Scale(0.5)
+		c.Apply(grad)
+	}
+	g := c.SampleGates(rng)
+	grad := c.LogProbGrad(g)
+	pn, _ := c.Probs()
+	for e, row := range grad.Normal {
+		sum := 0.0
+		for j, v := range row {
+			sum += v
+			want := -pn[e][j]
+			if j == g.Normal[e] {
+				want += 1
+			}
+			if math.Abs(v-want) > 1e-12 {
+				t.Fatalf("edge %d cand %d grad %v, want %v", e, j, v, want)
+			}
+		}
+		if math.Abs(sum) > 1e-9 {
+			t.Fatalf("edge %d grad row sums to %v, want 0", e, sum)
+		}
+	}
+}
+
+// The analytic gradient must match finite differences of log p(g).
+func TestLogProbGradNumeric(t *testing.T) {
+	c := newTestController(t)
+	rng := rand.New(rand.NewSource(6))
+	// random-ish alpha
+	for e := range c.alphaNormal {
+		for j := range c.alphaNormal[e] {
+			c.alphaNormal[e][j] = rng.NormFloat64()
+			c.alphaReduce[e][j] = rng.NormFloat64()
+		}
+	}
+	g := c.SampleGates(rng)
+	grad := c.LogProbGrad(g)
+	const eps = 1e-6
+	for e := 0; e < 2; e++ { // a couple of edges suffices
+		for j := 0; j < nas.NumOps; j++ {
+			orig := c.alphaNormal[e][j]
+			c.alphaNormal[e][j] = orig + eps
+			up := c.LogProb(g)
+			c.alphaNormal[e][j] = orig - eps
+			down := c.LogProb(g)
+			c.alphaNormal[e][j] = orig
+			num := (up - down) / (2 * eps)
+			if math.Abs(num-grad.Normal[e][j]) > 1e-6 {
+				t.Fatalf("edge %d cand %d: analytic %v numeric %v", e, j, grad.Normal[e][j], num)
+			}
+		}
+	}
+}
+
+// REINFORCE sanity: rewarding one candidate must raise its probability.
+func TestReinforceShiftsPolicyTowardReward(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LR = 0.05
+	c, err := New(5, 5, nas.NumOps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	target := 3
+	for step := 0; step < 800; step++ {
+		g := c.SampleGates(rng)
+		reward := 0.0
+		for _, k := range g.Normal {
+			if k == target {
+				reward += 1
+			}
+		}
+		reward /= float64(len(g.Normal))
+		grad := c.LogProbGrad(g)
+		grad.Scale(reward - 1.0/nas.NumOps) // center on the mean reward
+		c.Apply(grad)
+	}
+	pn, _ := c.Probs()
+	for e, row := range pn {
+		if row[target] < 1.4/nas.NumOps {
+			t.Errorf("edge %d: target prob %v did not grow", e, row[target])
+		}
+	}
+	if c.Entropy() >= math.Log(nas.NumOps) {
+		t.Error("entropy did not shrink during training")
+	}
+}
+
+func TestBaselineMovingAverage(t *testing.T) {
+	c := newTestController(t)
+	b1 := c.UpdateBaseline(0.4)
+	if b1 != 0.4 {
+		t.Errorf("first baseline %v, want 0.4 (bootstrap)", b1)
+	}
+	b2 := c.UpdateBaseline(0.8)
+	want := 0.99*0.8 + 0.01*0.4
+	if math.Abs(b2-want) > 1e-12 {
+		t.Errorf("second baseline %v, want %v", b2, want)
+	}
+	if got := c.Reward(0.9); math.Abs(got-(0.9-want)) > 1e-12 {
+		t.Errorf("reward %v, want %v", got, 0.9-want)
+	}
+}
+
+func TestRewardBeforeBaselineIsZero(t *testing.T) {
+	c := newTestController(t)
+	if got := c.Reward(0.7); got != 0 {
+		t.Errorf("reward before any baseline %v, want 0", got)
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	c := newTestController(t)
+	rng := rand.New(rand.NewSource(8))
+	snap := c.Snapshot()
+	for step := 0; step < 5; step++ {
+		g := c.SampleGates(rng)
+		c.Apply(c.LogProbGrad(g))
+	}
+	moved := c.Snapshot()
+	if snap.Diff(moved).L2Norm() == 0 {
+		t.Fatal("alpha did not move")
+	}
+	if err := c.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if c.Snapshot().Diff(snap).L2Norm() != 0 {
+		t.Error("restore did not recover snapshot")
+	}
+	// Snapshot isolation: mutating the controller must not change snap.
+	c.Apply(c.LogProbGrad(c.SampleGates(rng)))
+	if snap.Normal[0][0] != 0 {
+		t.Error("snapshot aliased controller state")
+	}
+}
+
+func TestRestoreRejectsWrongShape(t *testing.T) {
+	c := newTestController(t)
+	bad := AlphaSnapshot{Normal: zeroRows(2, nas.NumOps), Reduce: zeroRows(5, nas.NumOps)}
+	if err := c.Restore(bad); err == nil {
+		t.Error("expected shape mismatch error")
+	}
+}
+
+func TestApplyClipsLargeGradients(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LR = 1
+	cfg.WeightDecay = 0
+	c, err := New(2, 2, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewAlphaGrad(2, 2, 4)
+	for i := range g.Normal {
+		for j := range g.Normal[i] {
+			g.Normal[i][j] = 100
+		}
+	}
+	c.Apply(g)
+	// Post-clip joint norm is 5, so no single entry may exceed 5.
+	for _, row := range c.alphaNormal {
+		for _, v := range row {
+			if v > 5 {
+				t.Fatalf("alpha entry %v exceeds clip", v)
+			}
+		}
+	}
+}
+
+func TestChainSoftmaxNumeric(t *testing.T) {
+	// d/dα of L(p(α)) where L = Σ c_i p_i must match ChainSoftmax.
+	alpha := [][]float64{{0.3, -0.2, 0.9}}
+	coef := []float64{1.5, -0.7, 0.2}
+	lossAt := func() float64 {
+		p := SoftmaxRows(alpha)[0]
+		s := 0.0
+		for i := range p {
+			s += coef[i] * p[i]
+		}
+		return s
+	}
+	probs := SoftmaxRows(alpha)
+	got := ChainSoftmax([][]float64{coef}, probs)[0]
+	const eps = 1e-7
+	for j := range alpha[0] {
+		orig := alpha[0][j]
+		alpha[0][j] = orig + eps
+		up := lossAt()
+		alpha[0][j] = orig - eps
+		down := lossAt()
+		alpha[0][j] = orig
+		num := (up - down) / (2 * eps)
+		if math.Abs(num-got[j]) > 1e-6 {
+			t.Fatalf("dα[%d]: analytic %v numeric %v", j, got[j], num)
+		}
+	}
+}
+
+func TestDeriveUsesArgmax(t *testing.T) {
+	c, err := New(2, 2, len(nas.AllOps), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.alphaNormal[0][4] = 3 // sep_conv_3x3
+	c.alphaNormal[1][1] = 3 // skip_connect
+	c.alphaReduce[0][2] = 3 // max_pool_3x3
+	c.alphaReduce[1][7] = 3 // dil_conv_5x5
+	g := c.Derive(nas.AllOps, 1)
+	if g.Normal[0] != nas.OpSepConv3 || g.Normal[1] != nas.OpIdentity {
+		t.Errorf("derived normal %v", g.Normal)
+	}
+	if g.Reduce[0] != nas.OpMaxPool3 || g.Reduce[1] != nas.OpDilConv5 {
+		t.Errorf("derived reduce %v", g.Reduce)
+	}
+}
+
+func TestAlphaGradOps(t *testing.T) {
+	a := NewAlphaGrad(1, 1, 3)
+	b := NewAlphaGrad(1, 1, 3)
+	b.Normal[0][1] = 2
+	a.AXPY(0.5, b)
+	if a.Normal[0][1] != 1 {
+		t.Errorf("AXPY result %v", a.Normal[0][1])
+	}
+	a.Scale(3)
+	if a.Normal[0][1] != 3 {
+		t.Errorf("Scale result %v", a.Normal[0][1])
+	}
+	// MulAdd3: dst += a*(x⊙x⊙d)
+	x := NewAlphaGrad(1, 1, 3)
+	d := NewAlphaGrad(1, 1, 3)
+	x.Normal[0][0] = 2
+	d.Normal[0][0] = 5
+	a.MulAdd3(0.5, x, d)
+	if a.Normal[0][0] != 0.5*4*5 {
+		t.Errorf("MulAdd3 result %v, want 10", a.Normal[0][0])
+	}
+	if got := b.L2Norm(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("L2Norm %v, want 2", got)
+	}
+}
+
+// Property: sampled gate frequencies converge to the softmax policy.
+func TestSamplingMatchesPolicy(t *testing.T) {
+	c, err := New(1, 1, 3, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.alphaNormal[0] = []float64{1, 0, -1}
+	pn, _ := c.Probs()
+	rng := rand.New(rand.NewSource(9))
+	counts := make([]int, 3)
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		counts[c.SampleGates(rng).Normal[0]]++
+	}
+	for j := range counts {
+		freq := float64(counts[j]) / trials
+		if math.Abs(freq-pn[0][j]) > 0.02 {
+			t.Errorf("candidate %d freq %v vs prob %v", j, freq, pn[0][j])
+		}
+	}
+}
+
+// Property: probabilities remain a valid distribution after arbitrary updates.
+func TestProbsRemainDistribution(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		c, err := New(3, 3, 4, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for s := 0; s < int(steps%32); s++ {
+			g := c.SampleGates(rng)
+			grad := c.LogProbGrad(g)
+			grad.Scale(rng.NormFloat64())
+			c.Apply(grad)
+		}
+		pn, pr := c.Probs()
+		for _, rows := range [][][]float64{pn, pr} {
+			for _, row := range rows {
+				sum := 0.0
+				for _, p := range row {
+					if p < 0 || math.IsNaN(p) {
+						return false
+					}
+					sum += p
+				}
+				if math.Abs(sum-1) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,50 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Batcher draws mini-batches without replacement from a fixed index pool,
+// reshuffling at each epoch boundary (the participant-side "split local
+// dataset into batches" of Alg. 1 line 38).
+type Batcher struct {
+	pool []int
+	pos  int
+	rng  *rand.Rand
+}
+
+// NewBatcher builds a batcher over a participant's index pool. The pool is
+// copied.
+func NewBatcher(pool []int, rng *rand.Rand) (*Batcher, error) {
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("data: empty batch pool")
+	}
+	b := &Batcher{pool: append([]int(nil), pool...), rng: rng}
+	b.shuffle()
+	return b, nil
+}
+
+// Next returns the next batch of up to size indices; it wraps to a new
+// shuffled epoch when the pool is exhausted. Batches never exceed the pool.
+func (b *Batcher) Next(size int) []int {
+	if size > len(b.pool) {
+		size = len(b.pool)
+	}
+	if b.pos+size > len(b.pool) {
+		b.shuffle()
+		b.pos = 0
+	}
+	out := append([]int(nil), b.pool[b.pos:b.pos+size]...)
+	b.pos += size
+	return out
+}
+
+// PoolSize returns the number of indices the batcher cycles through.
+func (b *Batcher) PoolSize() int { return len(b.pool) }
+
+func (b *Batcher) shuffle() {
+	b.rng.Shuffle(len(b.pool), func(i, j int) {
+		b.pool[i], b.pool[j] = b.pool[j], b.pool[i]
+	})
+}

@@ -1,0 +1,411 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fedrlnas/internal/tensor"
+)
+
+func smallSpec() Spec {
+	return Spec{
+		Name: "tiny", NumClasses: 4, Channels: 2, Height: 6, Width: 6,
+		TrainPerClass: 20, TestPerClass: 5, Noise: 1.2, Confusion: 0.3, Seed: 42,
+	}
+}
+
+func TestGenerateShapesAndLabels(t *testing.T) {
+	d, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumTrain() != 80 || d.NumTest() != 20 {
+		t.Fatalf("sizes %d/%d, want 80/20", d.NumTrain(), d.NumTest())
+	}
+	if d.TrainImages.Dim(0) != 80 || d.TrainImages.Dim(1) != 2 {
+		t.Fatalf("train image shape %v", d.TrainImages.Shape())
+	}
+	counts := make([]int, 4)
+	for _, y := range d.TrainLabels {
+		if y < 0 || y >= 4 {
+			t.Fatalf("label %d out of range", y)
+		}
+		counts[y]++
+	}
+	for c, n := range counts {
+		if n != 20 {
+			t.Errorf("class %d has %d train samples, want 20", c, n)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.TrainImages.AllClose(b.TrainImages, 0) {
+		t.Error("same seed must produce identical data")
+	}
+	spec := smallSpec()
+	spec.Seed = 43
+	c, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TrainImages.AllClose(c.TrainImages, 1e-9) {
+		t.Error("different seeds must differ")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := smallSpec()
+	bad.NumClasses = 1
+	if _, err := Generate(bad); err == nil {
+		t.Error("expected error for one class")
+	}
+	bad = smallSpec()
+	bad.Confusion = 1.5
+	if _, err := Generate(bad); err == nil {
+		t.Error("expected error for confusion >= 1")
+	}
+}
+
+// Classes must be statistically distinguishable: a nearest-prototype
+// classifier on the noisy samples should beat chance by a wide margin.
+func TestClassesAreLearnable(t *testing.T) {
+	d, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	size := 2 * 6 * 6
+	for i := 0; i < d.NumTrain(); i++ {
+		img := d.TrainImages.Data()[i*size : (i+1)*size]
+		best, bestC := math.Inf(1), -1
+		for c, proto := range d.prototypes {
+			pd := proto.Data()
+			dist := 0.0
+			for j := range pd {
+				diff := img[j] - pd[j]
+				dist += diff * diff
+			}
+			if dist < best {
+				best, bestC = dist, c
+			}
+		}
+		if bestC == d.TrainLabels[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(d.NumTrain())
+	if acc < 0.5 {
+		t.Errorf("nearest-prototype accuracy %.2f; classes not learnable", acc)
+	}
+	if acc > 0.999 {
+		t.Errorf("nearest-prototype accuracy %.3f; task trivially easy", acc)
+	}
+}
+
+func TestGatherAlignment(t *testing.T) {
+	d, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := d.Gather([]int{3, 7})
+	if x.Dim(0) != 2 || len(y) != 2 {
+		t.Fatalf("gather shapes %v / %d", x.Shape(), len(y))
+	}
+	if y[0] != d.TrainLabels[3] || y[1] != d.TrainLabels[7] {
+		t.Error("gather labels misaligned")
+	}
+	img := d.Image(3)
+	size := 2 * 6 * 6
+	for j := 0; j < size; j++ {
+		if x.Data()[j] != img.Data()[j] {
+			t.Fatal("gather images misaligned")
+		}
+	}
+}
+
+func TestIIDPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p, err := IIDPartition(100, 7, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	total := 0
+	for _, idx := range p.Indices {
+		if len(idx) < 100/7 {
+			t.Errorf("shard too small: %d", len(idx))
+		}
+		for _, i := range idx {
+			if seen[i] {
+				t.Fatalf("index %d assigned twice", i)
+			}
+			seen[i] = true
+			total++
+		}
+	}
+	if total != 100 {
+		t.Errorf("assigned %d indices, want 100", total)
+	}
+	if _, err := IIDPartition(3, 5, rng); err == nil {
+		t.Error("expected error when n < k")
+	}
+}
+
+func TestDirichletPartitionCoversAllSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	labels := make([]int, 200)
+	for i := range labels {
+		labels[i] = i % 5
+	}
+	p, err := DirichletPartition(labels, 8, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for k, idx := range p.Indices {
+		if len(idx) == 0 {
+			t.Errorf("participant %d empty", k)
+		}
+		for _, i := range idx {
+			if seen[i] {
+				t.Fatalf("index %d assigned twice", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != 200 {
+		t.Errorf("covered %d samples, want 200", len(seen))
+	}
+}
+
+func TestDirichletMoreSkewedThanIID(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	labels := make([]int, 400)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	iid, err := IIDPartition(len(labels), 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := DirichletPartition(labels, 10, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hIID := Heterogeneity(iid, labels, 10)
+	hDir := Heterogeneity(dir, labels, 10)
+	if hDir <= hIID {
+		t.Errorf("Dirichlet heterogeneity %.3f <= IID %.3f", hDir, hIID)
+	}
+	// Lower alpha must be more skewed (statistically; fixed seed).
+	dirLow, err := DirichletPartition(labels, 10, 0.05, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := Heterogeneity(dirLow, labels, 10); h <= hDir {
+		t.Errorf("alpha=0.05 heterogeneity %.3f <= alpha=0.5 %.3f", h, hDir)
+	}
+}
+
+func TestDirichletValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if _, err := DirichletPartition([]int{0, 1}, 5, 0.5, rng); err == nil {
+		t.Error("expected error when samples < participants")
+	}
+	if _, err := DirichletPartition([]int{0, 1, 2}, 2, -1, rng); err == nil {
+		t.Error("expected error for non-positive alpha")
+	}
+}
+
+func TestLabelDistributionRowsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	labels := make([]int, 60)
+	for i := range labels {
+		labels[i] = i % 3
+	}
+	p, err := DirichletPartition(labels, 4, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, row := range LabelDistribution(p, labels, 3) {
+		sum := 0.0
+		for _, v := range row {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("participant %d distribution sums to %v", k, sum)
+		}
+	}
+}
+
+// Property: Dirichlet proportions are a valid distribution for any alpha>0.
+func TestDirichletSamplerProperty(t *testing.T) {
+	f := func(seed int64, rawAlpha float64) bool {
+		alpha := math.Abs(math.Mod(rawAlpha, 5)) + 0.01
+		rng := rand.New(rand.NewSource(seed))
+		p := dirichlet(rng, alpha, 6)
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 || math.IsNaN(v) {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGammaSampleMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, shape := range []float64{0.5, 1, 2.5} {
+		sum := 0.0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			sum += gammaSample(rng, shape)
+		}
+		mean := sum / n
+		if math.Abs(mean-shape) > 0.1*shape+0.05 {
+			t.Errorf("Gamma(%v) sample mean %.3f, want ~%v", shape, mean, shape)
+		}
+	}
+}
+
+func TestProportionsToCutsExact(t *testing.T) {
+	cases := []struct {
+		props []float64
+		n     int
+	}{
+		{[]float64{0.5, 0.5}, 7},
+		{[]float64{0.333, 0.333, 0.334}, 10},
+		{[]float64{1, 0, 0}, 5},
+		{[]float64{0.1, 0.2, 0.3, 0.4}, 1},
+	}
+	for _, tc := range cases {
+		cuts := proportionsToCuts(tc.props, tc.n)
+		total := 0
+		for _, c := range cuts {
+			if c < 0 {
+				t.Fatalf("negative cut in %v", cuts)
+			}
+			total += c
+		}
+		if total != tc.n {
+			t.Errorf("cuts %v sum to %d, want %d", cuts, total, tc.n)
+		}
+	}
+}
+
+func TestBatcherEpochs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b, err := NewBatcher([]int{10, 11, 12, 13, 14}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]int)
+	// Two epochs' worth of batches of 2 (batch never exceeds pool).
+	for i := 0; i < 5; i++ {
+		for _, idx := range b.Next(2) {
+			seen[idx]++
+		}
+	}
+	for idx, count := range seen {
+		if idx < 10 || idx > 14 {
+			t.Fatalf("unknown index %d", idx)
+		}
+		if count == 0 {
+			t.Errorf("index %d never drawn", idx)
+		}
+	}
+	// Oversized requests are clamped to the pool.
+	if got := len(b.Next(100)); got != 5 {
+		t.Errorf("oversized batch len %d, want 5", got)
+	}
+	if _, err := NewBatcher(nil, rng); err == nil {
+		t.Error("expected error for empty pool")
+	}
+}
+
+func TestAugmentPreservesShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	batch := tensor.Randn(rng, 1, 4, 3, 8, 8)
+	out := DefaultAugment().Apply(batch, rng)
+	if !out.SameShape(batch) {
+		t.Fatalf("augment changed shape %v -> %v", batch.Shape(), out.Shape())
+	}
+	// Input must be untouched.
+	batch2 := batch.Clone()
+	DefaultAugment().Apply(batch, rng)
+	if !batch.AllClose(batch2, 0) {
+		t.Error("augment mutated its input")
+	}
+}
+
+func TestAugmentZeroConfigIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	batch := tensor.Randn(rng, 1, 2, 3, 6, 6)
+	out := AugmentConfig{}.Apply(batch, rng)
+	if !out.AllClose(batch, 0) {
+		t.Error("zero config must be identity")
+	}
+}
+
+func TestFlipIsInvolution(t *testing.T) {
+	img := []float64{1, 2, 3, 4, 5, 6}
+	orig := append([]float64(nil), img...)
+	flipH(img, 1, 2, 3)
+	if img[0] != 3 || img[2] != 1 {
+		t.Errorf("flip result %v", img)
+	}
+	flipH(img, 1, 2, 3)
+	for i := range img {
+		if img[i] != orig[i] {
+			t.Fatal("double flip must restore")
+		}
+	}
+}
+
+func TestShiftZeroFills(t *testing.T) {
+	img := []float64{1, 2, 3, 4}
+	shift(img, 1, 2, 2, 1, 0) // shift down by 1
+	if img[0] != 0 || img[1] != 0 || img[2] != 1 || img[3] != 2 {
+		t.Errorf("shift result %v", img)
+	}
+}
+
+func TestCutoutZeroesSquare(t *testing.T) {
+	img := []float64{1, 1, 1, 1, 1, 1, 1, 1, 1}
+	cutout(img, 1, 3, 3, 1, 1, 3)
+	for i, v := range img {
+		if v != 0 {
+			t.Fatalf("pixel %d = %v after full cutout", i, v)
+		}
+	}
+}
+
+func TestStandardSpecsValid(t *testing.T) {
+	for _, spec := range []Spec{CIFAR10S(), SVHNS(), CIFAR100S()} {
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+		}
+	}
+	if CIFAR100S().NumClasses <= CIFAR10S().NumClasses {
+		t.Error("CIFAR100S must have more classes than CIFAR10S")
+	}
+	if SVHNS().Confusion >= CIFAR10S().Confusion {
+		t.Error("SVHNS should be easier than CIFAR10S")
+	}
+}

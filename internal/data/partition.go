@@ -1,0 +1,220 @@
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Partition assigns training-sample indices to participants.
+type Partition struct {
+	// Indices[k] lists the training indices owned by participant k.
+	Indices [][]int
+}
+
+// NumParticipants returns the participant count.
+func (p Partition) NumParticipants() int { return len(p.Indices) }
+
+// Sizes returns the per-participant sample counts.
+func (p Partition) Sizes() []int {
+	out := make([]int, len(p.Indices))
+	for i, idx := range p.Indices {
+		out[i] = len(idx)
+	}
+	return out
+}
+
+// IIDPartition shuffles n indices and deals them evenly to k participants.
+func IIDPartition(n, k int, rng *rand.Rand) (Partition, error) {
+	if k <= 0 || n < k {
+		return Partition{}, fmt.Errorf("data: cannot split %d samples across %d participants", n, k)
+	}
+	perm := rng.Perm(n)
+	out := make([][]int, k)
+	for i, idx := range perm {
+		out[i%k] = append(out[i%k], idx)
+	}
+	return Partition{Indices: out}, nil
+}
+
+// DirichletPartition splits samples across k participants with per-class
+// proportions drawn from Dir(alpha), the non-i.i.d. construction of FedNAS
+// that the paper adopts (alpha = 0.5). Smaller alpha means more skew.
+// Every participant is guaranteed at least one sample.
+func DirichletPartition(labels []int, k int, alpha float64, rng *rand.Rand) (Partition, error) {
+	if k <= 0 || len(labels) < k {
+		return Partition{}, fmt.Errorf("data: cannot split %d samples across %d participants", len(labels), k)
+	}
+	if alpha <= 0 {
+		return Partition{}, fmt.Errorf("data: Dirichlet alpha %v must be positive", alpha)
+	}
+	byClass := make(map[int][]int)
+	for i, y := range labels {
+		byClass[y] = append(byClass[y], i)
+	}
+	classes := make([]int, 0, len(byClass))
+	for y := range byClass {
+		classes = append(classes, y)
+	}
+	sort.Ints(classes) // deterministic iteration: map order would leak into shards
+	out := make([][]int, k)
+	for _, y := range classes {
+		indices := byClass[y]
+		// Shuffle within the class, then carve by Dirichlet proportions.
+		rng.Shuffle(len(indices), func(i, j int) {
+			indices[i], indices[j] = indices[j], indices[i]
+		})
+		props := dirichlet(rng, alpha, k)
+		cuts := proportionsToCuts(props, len(indices))
+		start := 0
+		for p := 0; p < k; p++ {
+			end := start + cuts[p]
+			out[p] = append(out[p], indices[start:end]...)
+			start = end
+		}
+	}
+	// Guarantee non-empty shards: steal from the largest.
+	for p := 0; p < k; p++ {
+		if len(out[p]) > 0 {
+			continue
+		}
+		biggest := 0
+		for q := range out {
+			if len(out[q]) > len(out[biggest]) {
+				biggest = q
+			}
+		}
+		if len(out[biggest]) < 2 {
+			return Partition{}, fmt.Errorf("data: not enough samples to cover %d participants", k)
+		}
+		last := len(out[biggest]) - 1
+		out[p] = append(out[p], out[biggest][last])
+		out[biggest] = out[biggest][:last]
+	}
+	return Partition{Indices: out}, nil
+}
+
+// LabelDistribution returns, per participant, the fraction of its samples in
+// each class — the heterogeneity fingerprint of a partition.
+func LabelDistribution(p Partition, labels []int, numClasses int) [][]float64 {
+	out := make([][]float64, len(p.Indices))
+	for k, idx := range p.Indices {
+		row := make([]float64, numClasses)
+		for _, i := range idx {
+			row[labels[i]]++
+		}
+		if len(idx) > 0 {
+			for c := range row {
+				row[c] /= float64(len(idx))
+			}
+		}
+		out[k] = row
+	}
+	return out
+}
+
+// Heterogeneity quantifies non-i.i.d.-ness as the mean total-variation
+// distance between each participant's label distribution and the global
+// one. 0 means perfectly i.i.d.; it approaches 1 under extreme skew.
+func Heterogeneity(p Partition, labels []int, numClasses int) float64 {
+	global := make([]float64, numClasses)
+	for _, y := range labels {
+		global[y]++
+	}
+	for c := range global {
+		global[c] /= float64(len(labels))
+	}
+	dists := LabelDistribution(p, labels, numClasses)
+	total := 0.0
+	for _, row := range dists {
+		tv := 0.0
+		for c := range row {
+			tv += math.Abs(row[c] - global[c])
+		}
+		total += tv / 2
+	}
+	return total / float64(len(dists))
+}
+
+// dirichlet samples a probability vector from Dir(alpha, …, alpha) via
+// normalized Gamma draws.
+func dirichlet(rng *rand.Rand, alpha float64, k int) []float64 {
+	out := make([]float64, k)
+	sum := 0.0
+	for i := range out {
+		out[i] = gammaSample(rng, alpha)
+		sum += out[i]
+	}
+	if sum == 0 {
+		// Degenerate draw; fall back to uniform.
+		for i := range out {
+			out[i] = 1.0 / float64(k)
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// gammaSample draws from Gamma(shape, 1) using Marsaglia–Tsang, with the
+// standard boost for shape < 1.
+func gammaSample(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gammaSample(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// proportionsToCuts converts fractional proportions into integer counts that
+// sum exactly to n (largest-remainder rounding).
+func proportionsToCuts(props []float64, n int) []int {
+	cuts := make([]int, len(props))
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, len(props))
+	total := 0
+	for i, p := range props {
+		exact := p * float64(n)
+		cuts[i] = int(exact)
+		rems[i] = rem{idx: i, frac: exact - float64(cuts[i])}
+		total += cuts[i]
+	}
+	// Distribute the remainder to the largest fractional parts.
+	for total < n {
+		best := 0
+		for i := 1; i < len(rems); i++ {
+			if rems[i].frac > rems[best].frac {
+				best = i
+			}
+		}
+		cuts[rems[best].idx]++
+		rems[best].frac = -1
+		total++
+	}
+	return cuts
+}

@@ -1,0 +1,192 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section on this substrate (the per-experiment index lives in
+// DESIGN.md §4; paper-vs-measured notes in EXPERIMENTS.md). Both the
+// benchmark harness (bench_test.go) and the benchtab CLI call into it.
+package experiments
+
+import (
+	"fmt"
+
+	"fedrlnas/internal/data"
+	"fedrlnas/internal/fed"
+	"fedrlnas/internal/metrics"
+	"fedrlnas/internal/nas"
+	"fedrlnas/internal/search"
+)
+
+// Scale selects experiment duration: Quick for CI-sized smoke runs, Full
+// for the EXPERIMENTS.md numbers.
+type Scale int
+
+// Scales.
+const (
+	Quick Scale = iota + 1
+	Full
+)
+
+// String implements fmt.Stringer.
+func (s Scale) String() string {
+	switch s {
+	case Quick:
+		return "quick"
+	case Full:
+		return "full"
+	default:
+		return fmt.Sprintf("scale(%d)", int(s))
+	}
+}
+
+// sizes returns the phase lengths per scale.
+func (s Scale) sizes() (warmup, searchSteps, retrainSteps, fedRounds int) {
+	if s == Full {
+		return 60, 200, 400, 40
+	}
+	return 25, 50, 120, 12
+}
+
+// Output is one regenerated experiment artifact.
+type Output struct {
+	ID    string
+	Title string
+	// Table is set for table experiments.
+	Table *metrics.Table
+	// Curves is set for figure experiments (one per plotted series).
+	Curves []metrics.Curve
+	// Notes carries qualitative checks (who wins, orderings).
+	Notes []string
+}
+
+// Render pretty-prints the output for terminals and logs.
+func (o Output) Render() string {
+	s := fmt.Sprintf("== %s: %s ==\n", o.ID, o.Title)
+	if o.Table != nil {
+		s += o.Table.String()
+	}
+	for _, c := range o.Curves {
+		s += renderCurve(c)
+	}
+	for _, n := range o.Notes {
+		s += "note: " + n + "\n"
+	}
+	return s
+}
+
+// CurvesCSV renders the output's curves as one CSV table (step column plus
+// one column per curve), for plotting the figures externally.
+func (o Output) CurvesCSV() string {
+	if len(o.Curves) == 0 {
+		return ""
+	}
+	t := metrics.Table{Headers: []string{"step"}}
+	maxLen := 0
+	for _, c := range o.Curves {
+		t.Headers = append(t.Headers, c.Name)
+		if c.Len() > maxLen {
+			maxLen = c.Len()
+		}
+	}
+	for i := 0; i < maxLen; i++ {
+		row := make([]string, 0, len(o.Curves)+1)
+		step := ""
+		for _, c := range o.Curves {
+			if i < c.Len() {
+				step = fmt.Sprintf("%d", c.Points[i].Step)
+				break
+			}
+		}
+		row = append(row, step)
+		for _, c := range o.Curves {
+			if i < c.Len() {
+				row = append(row, metrics.F4(c.Points[i].Value))
+			} else {
+				row = append(row, "")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t.CSV()
+}
+
+// renderCurve prints a compact sparkline-style summary of a curve.
+func renderCurve(c metrics.Curve) string {
+	if c.Len() == 0 {
+		return fmt.Sprintf("%s: (empty)\n", c.Name)
+	}
+	vals := c.Values()
+	step := len(vals) / 8
+	if step < 1 {
+		step = 1
+	}
+	s := fmt.Sprintf("%s [%d pts]:", c.Name, c.Len())
+	for i := 0; i < len(vals); i += step {
+		s += fmt.Sprintf(" %.3f", vals[i])
+	}
+	return s + fmt.Sprintf(" | last %.3f\n", c.Last())
+}
+
+// baseSearchConfig is the shared experiment configuration (CIFAR10S,
+// K = 10, Table I hyperparameters at substrate scale).
+func baseSearchConfig(scale Scale) search.Config {
+	cfg := search.DefaultConfig()
+	w, s, _, _ := scale.sizes()
+	cfg.WarmupSteps = w
+	cfg.SearchSteps = s
+	return cfg
+}
+
+func retrainConfig(scale Scale) search.RetrainConfig {
+	cfg := search.DefaultRetrainConfig()
+	_, _, r, _ := scale.sizes()
+	cfg.Steps = r
+	// A hotter cosine-annealed schedule than Table I's 0.025: at this
+	// substrate's short horizons it is what separates good genotypes from
+	// bad ones (validated in EXPERIMENTS.md).
+	cfg.LR = 0.1
+	cfg.CosineAnneal = true
+	cfg.MinLR = 0.002
+	return cfg
+}
+
+func fedConfig(scale Scale) fed.FedAvgConfig {
+	cfg := fed.DefaultFedAvgConfig()
+	_, _, _, r := scale.sizes()
+	cfg.Rounds = r
+	return cfg
+}
+
+// svhnConfig adapts the base config to the SVHN stand-in (the paper uses
+// fewer search steps there: 4000 vs 10000).
+func svhnConfig(scale Scale) search.Config {
+	cfg := baseSearchConfig(scale)
+	cfg.Dataset = data.SVHNS()
+	cfg.SearchSteps = cfg.SearchSteps * 2 / 5
+	return cfg
+}
+
+// runSearchOnly runs P1+P2 and returns the live Search.
+func runSearchOnly(cfg search.Config) (*search.Search, error) {
+	s, err := search.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Warmup(); err != nil {
+		return nil, err
+	}
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// fallbackGenotype is used when a quick-scale search has not separated ops
+// yet; it keeps table rows comparable.
+func fallbackGenotype(nodes int) nas.Genotype {
+	edges := nas.NumEdges(nodes)
+	normal := make([]nas.OpKind, edges)
+	reduce := make([]nas.OpKind, edges)
+	for i := range normal {
+		normal[i] = nas.OpSepConv3
+		reduce[i] = nas.OpMaxPool3
+	}
+	return nas.Genotype{Normal: normal, Reduce: reduce, Nodes: nodes}
+}

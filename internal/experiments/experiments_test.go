@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fedrlnas/internal/metrics"
+	"fedrlnas/internal/nas"
+)
+
+func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
+	want := []string{
+		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"fig11", "fig12",
+		"table2", "table3", "table4", "table5", "table6", "table7", "table8",
+	}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
+	}
+	for _, id := range want {
+		if reg[id] == nil {
+			t.Errorf("missing experiment %q", id)
+		}
+	}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Errorf("IDs() returned %d entries", len(ids))
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("fig99", Quick); err == nil {
+		t.Error("expected error for unknown id")
+	}
+}
+
+func TestFig7QuickShape(t *testing.T) {
+	out, err := Run("fig7", Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Table == nil {
+		t.Fatal("fig7 must produce a table")
+	}
+	// One row per standard environment (6 regimes + 2 mixes).
+	if len(out.Table.Rows) != 8 {
+		t.Fatalf("fig7 has %d rows, want 8", len(out.Table.Rows))
+	}
+	// Adaptive column must never exceed uniform by more than noise.
+	for _, row := range out.Table.Rows {
+		if len(row) != 4 {
+			t.Fatalf("malformed row %v", row)
+		}
+	}
+	if len(out.Notes) == 0 || !strings.Contains(out.Notes[0], "adaptive") {
+		t.Errorf("missing adaptive note: %v", out.Notes)
+	}
+}
+
+func TestFig3QuickShape(t *testing.T) {
+	out, err := Run("fig3", Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Curves) != 2 {
+		t.Fatalf("fig3 has %d curves, want raw+ma", len(out.Curves))
+	}
+	if out.Curves[0].Len() == 0 {
+		t.Error("empty warmup curve")
+	}
+	rendered := out.Render()
+	if !strings.Contains(rendered, "fig3") || !strings.Contains(rendered, "warmup-acc") {
+		t.Errorf("render missing content:\n%s", rendered)
+	}
+}
+
+func TestRenderCurveHandlesEmpty(t *testing.T) {
+	var c metrics.Curve
+	c.Name = "x"
+	if !strings.Contains(renderCurve(c), "empty") {
+		t.Error("empty curve render missing marker")
+	}
+	c.Add(0, 1)
+	if !strings.Contains(renderCurve(c), "last 1.000") {
+		t.Errorf("curve render: %s", renderCurve(c))
+	}
+}
+
+func TestScaleSizes(t *testing.T) {
+	qw, qs, qr, qf := Quick.sizes()
+	fw, fs, fr, ff := Full.sizes()
+	if !(fw > qw && fs > qs && fr > qr && ff > qf) {
+		t.Error("Full must be strictly larger than Quick in every phase")
+	}
+	if Quick.String() != "quick" || Full.String() != "full" {
+		t.Error("scale strings wrong")
+	}
+}
+
+func TestFallbackGenotypeValid(t *testing.T) {
+	g := fallbackGenotype(2)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.GatesFor(nas.AllOps); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomGenotypeValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := nas.Config{
+		InChannels: 3, NumClasses: 10, C: 4, Layers: 3, Nodes: 2,
+		Candidates: nas.AllOps,
+	}
+	for i := 0; i < 10; i++ {
+		g := randomGenotype(rng, net)
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestHelpersFormatters(t *testing.T) {
+	if hours(3600) != "1.000" {
+		t.Errorf("hours = %s", hours(3600))
+	}
+	if kb(2048) != "2.0" {
+		t.Errorf("kb = %s", kb(2048))
+	}
+	if maWindow(1000) != 50 {
+		t.Errorf("maWindow(1000) = %d", maWindow(1000))
+	}
+	if maWindow(5) != 2 {
+		t.Errorf("maWindow(5) = %d", maWindow(5))
+	}
+}
+
+func TestCurvesCSV(t *testing.T) {
+	var a, b metrics.Curve
+	a.Name = "x"
+	b.Name = "y"
+	a.Add(0, 0.5)
+	a.Add(1, 0.6)
+	b.Add(0, 0.1)
+	out := Output{Curves: []metrics.Curve{a, b}}
+	csv := out.CurvesCSV()
+	if !strings.Contains(csv, "step,x,y") {
+		t.Errorf("missing header: %s", csv)
+	}
+	if !strings.Contains(csv, "0,0.5000,0.1000") {
+		t.Errorf("missing row: %s", csv)
+	}
+	if !strings.Contains(csv, "1,0.6000,") {
+		t.Errorf("ragged row not padded: %s", csv)
+	}
+	if (Output{}).CurvesCSV() != "" {
+		t.Error("empty output should render empty CSV")
+	}
+}

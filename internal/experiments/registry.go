@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner regenerates one experiment at a scale.
+type Runner func(Scale) (Output, error)
+
+// Registry maps experiment IDs ("fig3" … "table8") to their runners.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"fig3":   Fig3Warmup,
+		"fig4":   Fig4Search,
+		"fig5":   Fig5AlphaOnly,
+		"fig6":   Fig6NonIID,
+		"fig7":   Fig7AdaptiveLatency,
+		"fig8":   Fig8Staleness,
+		"fig9":   Fig9Convergence,
+		"fig10":  Fig10ConvergenceSVHN,
+		"fig11":  Fig11TransferCurves,
+		"fig12":  Fig12ParticipantCount,
+		"table2": Table2Centralized,
+		"table3": Table3Federated,
+		"table4": Table4NonIID,
+		"table5": Table5SearchTime,
+		"table6": Table6Participants,
+		"table7": Table7Transfer,
+		"table8": Table8TransferNonIID,
+	}
+}
+
+// IDs returns the registered experiment IDs in a stable order.
+func IDs() []string {
+	reg := Registry()
+	out := make([]string, 0, len(reg))
+	for id := range reg {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, scale Scale) (Output, error) {
+	r, ok := Registry()[id]
+	if !ok {
+		return Output{}, fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs())
+	}
+	return r(scale)
+}

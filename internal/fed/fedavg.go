@@ -1,0 +1,189 @@
+package fed
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedrlnas/internal/data"
+	"fedrlnas/internal/metrics"
+	"fedrlnas/internal/nettrace"
+	"fedrlnas/internal/nn"
+	"fedrlnas/internal/tensor"
+)
+
+// FedAvgConfig configures the FedAvg trainer.
+type FedAvgConfig struct {
+	Rounds     int
+	LocalSteps int
+	BatchSize  int
+
+	// Optimizer hyperparameters per participant (paper Table I, "P3, FL":
+	// lr 0.1, momentum 0.5, weight decay 0.005).
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	GradClip    float64
+
+	// EvalEvery controls how often (in rounds) test accuracy is measured;
+	// 0 means only at the end.
+	EvalEvery int
+
+	// ClientFraction is the share of participants selected each round
+	// (McMahan et al.'s C parameter; the paper's "select n participants
+	// out of K according to a pre-defined proportion"). 0 or 1 selects
+	// everyone.
+	ClientFraction float64
+
+	Augment data.AugmentConfig
+}
+
+// Validate checks the configuration.
+func (c FedAvgConfig) Validate() error {
+	switch {
+	case c.Rounds <= 0:
+		return fmt.Errorf("fed: Rounds %d must be positive", c.Rounds)
+	case c.LocalSteps <= 0:
+		return fmt.Errorf("fed: LocalSteps %d must be positive", c.LocalSteps)
+	case c.BatchSize <= 0:
+		return fmt.Errorf("fed: BatchSize %d must be positive", c.BatchSize)
+	case c.LR <= 0:
+		return fmt.Errorf("fed: LR %v must be positive", c.LR)
+	case c.ClientFraction < 0 || c.ClientFraction > 1:
+		return fmt.Errorf("fed: ClientFraction %v outside [0,1]", c.ClientFraction)
+	}
+	return nil
+}
+
+// DefaultFedAvgConfig returns the paper's federated P3 settings scaled to
+// this substrate.
+func DefaultFedAvgConfig() FedAvgConfig {
+	return FedAvgConfig{
+		Rounds: 30, LocalSteps: 2, BatchSize: 16,
+		LR: 0.1, Momentum: 0.5, WeightDecay: 0.005, GradClip: 5,
+		EvalEvery: 1,
+	}
+}
+
+// FedAvgResult records a training run.
+type FedAvgResult struct {
+	// TrainAcc is the participant-averaged local training accuracy per
+	// round (the paper's Fig. 9–11 "training accuracy").
+	TrainAcc metrics.Curve
+	// ValAcc is the global test accuracy per evaluated round.
+	ValAcc metrics.Curve
+	// FinalAcc is the test accuracy after the last round.
+	FinalAcc float64
+	// RoundSeconds is the virtual wall-clock of each round (max over
+	// participants of compute + communication time).
+	RoundSeconds []float64
+	// TotalSeconds sums RoundSeconds.
+	TotalSeconds float64
+}
+
+// FedAvg trains model with federated averaging (model averaging variant):
+// each round every participant starts from the global weights, takes
+// LocalSteps SGD steps on its shard, and the server averages the resulting
+// weight deltas weighted by shard size.
+func FedAvg(model Model, ds *data.Dataset, parts []*Participant, cfg FedAvgConfig) (FedAvgResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return FedAvgResult{}, err
+	}
+	if len(parts) == 0 {
+		return FedAvgResult{}, fmt.Errorf("fed: no participants")
+	}
+	res := FedAvgResult{}
+	params := model.Params()
+	paramCount := nn.ParamCount(params)
+	payloadBytes := nn.ParamBytes(params)
+	model.SetTraining(true)
+	selRNG := rand.New(rand.NewSource(int64(len(parts))*7907 + 13))
+
+	for round := 0; round < cfg.Rounds; round++ {
+		selected := selectClients(parts, cfg.ClientFraction, selRNG)
+		totalSamples := 0
+		for _, p := range selected {
+			totalSamples += p.NumSamples
+		}
+		global := nn.CloneParamValues(params)
+		weightedDelta := make([]*tensor.Tensor, len(params))
+		for i, p := range params {
+			weightedDelta[i] = tensor.New(p.Value.Shape()...)
+		}
+		roundTrainAcc := 0.0
+		roundSeconds := 0.0
+
+		for _, part := range selected {
+			if err := nn.RestoreParamValues(params, global); err != nil {
+				return res, fmt.Errorf("round %d participant %d: %w", round, part.ID, err)
+			}
+			opt := nn.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay, cfg.GradClip)
+			lastAcc := 0.0
+			for step := 0; step < cfg.LocalSteps; step++ {
+				batch := part.Batcher.Next(cfg.BatchSize)
+				x, y := ds.Gather(batch)
+				x = cfg.Augment.Apply(x, part.RNG)
+				nn.ZeroGrads(params)
+				lossRes, err := nn.CrossEntropy(model.Forward(x), y)
+				if err != nil {
+					return res, fmt.Errorf("round %d participant %d: %w", round, part.ID, err)
+				}
+				model.Backward(lossRes.GradLogits)
+				opt.Step(params)
+				lastAcc = lossRes.Accuracy
+			}
+			roundTrainAcc += lastAcc
+			for i, p := range params {
+				delta := p.Value.Sub(global[i])
+				weightedDelta[i].AXPY(float64(part.NumSamples)/float64(totalSamples), delta)
+			}
+			// Virtual time: download + local compute + upload.
+			comm := 2 * nettrace.TransferSeconds(payloadBytes, bwAt(part, round))
+			comp := float64(cfg.LocalSteps) * part.ComputeSeconds(paramCount, cfg.BatchSize)
+			if t := comm + comp; t > roundSeconds {
+				roundSeconds = t
+			}
+		}
+
+		if err := nn.RestoreParamValues(params, global); err != nil {
+			return res, fmt.Errorf("round %d: %w", round, err)
+		}
+		for i, p := range params {
+			p.Value.AddInPlace(weightedDelta[i])
+		}
+		res.TrainAcc.Add(round, roundTrainAcc/float64(len(selected)))
+		res.RoundSeconds = append(res.RoundSeconds, roundSeconds)
+		res.TotalSeconds += roundSeconds
+		if cfg.EvalEvery > 0 && (round%cfg.EvalEvery == 0 || round == cfg.Rounds-1) {
+			res.ValAcc.Add(round, Evaluate(model, ds, 32))
+		}
+	}
+	res.FinalAcc = Evaluate(model, ds, 32)
+	return res, nil
+}
+
+// bwAt returns the participant's bandwidth at a round, defaulting to a fast
+// stable link when no trace is attached (latency not under study).
+func bwAt(p *Participant, round int) float64 {
+	if len(p.Trace.Mbps) == 0 {
+		return 100
+	}
+	return p.Trace.At(round)
+}
+
+// selectClients returns the round's participant subset: everyone when the
+// fraction is 0 or 1, otherwise a uniform sample of max(1, C·K) clients.
+func selectClients(parts []*Participant, fraction float64, rng *rand.Rand) []*Participant {
+	if fraction <= 0 || fraction >= 1 {
+		return parts
+	}
+	n := int(fraction*float64(len(parts)) + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	perm := rng.Perm(len(parts))
+	out := make([]*Participant, 0, n)
+	for _, i := range perm[:n] {
+		out = append(out, parts[i])
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package fed
+
+import (
+	"fmt"
+
+	"fedrlnas/internal/data"
+	"fedrlnas/internal/metrics"
+	"fedrlnas/internal/nn"
+	"fedrlnas/internal/tensor"
+)
+
+// FedSGD is the paper's second FedAvg variant (Sec. III-A): each round every
+// participant computes ONE gradient on its local batch at the current global
+// weights and uploads it; the server averages the gradients and takes a
+// single SGD step: θ ← θ − η·(1/n)Σ g_k. This is the update rule the search
+// phase applies to supernet weights; here it is exposed for fixed models.
+type FedSGDConfig struct {
+	Rounds    int
+	BatchSize int
+
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	GradClip    float64
+
+	Augment data.AugmentConfig
+}
+
+// DefaultFedSGDConfig returns substrate-scale defaults.
+func DefaultFedSGDConfig() FedSGDConfig {
+	return FedSGDConfig{
+		Rounds: 60, BatchSize: 16,
+		LR: 0.2, Momentum: 0.9, WeightDecay: 3e-4, GradClip: 5,
+	}
+}
+
+// Validate checks the configuration.
+func (c FedSGDConfig) Validate() error {
+	if c.Rounds <= 0 || c.BatchSize <= 0 || c.LR <= 0 {
+		return fmt.Errorf("fed: invalid FedSGD config %+v", c)
+	}
+	return nil
+}
+
+// FedSGD trains model with gradient averaging and returns the per-round
+// mean local training accuracy.
+func FedSGD(model Model, ds *data.Dataset, parts []*Participant, cfg FedSGDConfig) (metrics.Curve, error) {
+	var curve metrics.Curve
+	if err := cfg.Validate(); err != nil {
+		return curve, err
+	}
+	if len(parts) == 0 {
+		return curve, fmt.Errorf("fed: no participants")
+	}
+	params := model.Params()
+	opt := nn.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay, cfg.GradClip)
+	model.SetTraining(true)
+
+	for round := 0; round < cfg.Rounds; round++ {
+		agg := make([]*tensor.Tensor, len(params))
+		for i, p := range params {
+			agg[i] = tensor.New(p.Value.Shape()...)
+		}
+		acc := 0.0
+		for _, part := range parts {
+			batch := part.Batcher.Next(cfg.BatchSize)
+			x, y := ds.Gather(batch)
+			x = cfg.Augment.Apply(x, part.RNG)
+			nn.ZeroGrads(params)
+			lossRes, err := nn.CrossEntropy(model.Forward(x), y)
+			if err != nil {
+				return curve, fmt.Errorf("round %d participant %d: %w", round, part.ID, err)
+			}
+			model.Backward(lossRes.GradLogits)
+			for i, p := range params {
+				agg[i].AddInPlace(p.Grad)
+			}
+			acc += lossRes.Accuracy
+		}
+		inv := 1.0 / float64(len(parts))
+		for i, p := range params {
+			p.Grad.Zero()
+			p.Grad.AXPY(inv, agg[i])
+		}
+		opt.Step(params)
+		curve.Add(round, acc*inv)
+	}
+	return curve, nil
+}

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram with percentile readout, used for
+// latency-tail analysis of the transmission policies.
+type Histogram struct {
+	values []float64
+	sorted bool
+}
+
+// Observe records a value.
+func (h *Histogram) Observe(v float64) {
+	h.values = append(h.values, v)
+	h.sorted = false
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int { return len(h.values) }
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) by nearest-rank.
+func (h *Histogram) Percentile(p float64) float64 {
+	if len(h.values) == 0 {
+		return math.NaN()
+	}
+	h.ensureSorted()
+	if p <= 0 {
+		return h.values[0]
+	}
+	if p >= 100 {
+		return h.values[len(h.values)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(h.values)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return h.values[rank]
+}
+
+// Mean returns the average of the observations.
+func (h *Histogram) Mean() float64 {
+	if len(h.values) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, v := range h.values {
+		s += v
+	}
+	return s / float64(len(h.values))
+}
+
+// String renders a compact ASCII histogram with `bins` equal-width bins.
+func (h *Histogram) String() string {
+	return h.Render(8, 30)
+}
+
+// Render draws the histogram with the given bin count and bar width.
+func (h *Histogram) Render(bins, width int) string {
+	if len(h.values) == 0 {
+		return "(empty histogram)\n"
+	}
+	if bins < 1 {
+		bins = 1
+	}
+	h.ensureSorted()
+	lo, hi := h.values[0], h.values[len(h.values)-1]
+	if hi == lo {
+		hi = lo + 1
+	}
+	counts := make([]int, bins)
+	for _, v := range h.values {
+		b := int(float64(bins) * (v - lo) / (hi - lo))
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var sb strings.Builder
+	for b, c := range counts {
+		binLo := lo + float64(b)*(hi-lo)/float64(bins)
+		bar := 0
+		if maxCount > 0 {
+			bar = c * width / maxCount
+		}
+		sb.WriteString(fmt.Sprintf("%10.4f | %-*s %d\n", binLo, width, strings.Repeat("#", bar), c))
+	}
+	return sb.String()
+}
+
+func (h *Histogram) ensureSorted() {
+	if !h.sorted {
+		sort.Float64s(h.values)
+		h.sorted = true
+	}
+}

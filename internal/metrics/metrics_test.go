@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCurveBasics(t *testing.T) {
+	var c Curve
+	if c.Last() != 0 {
+		t.Error("empty curve Last should be 0")
+	}
+	c.Add(1, 0.5)
+	c.Add(2, 0.8)
+	c.Add(3, 0.7)
+	if c.Len() != 3 || c.Last() != 0.7 || c.Max() != 0.8 {
+		t.Errorf("Len/Last/Max = %d/%v/%v", c.Len(), c.Last(), c.Max())
+	}
+	vals := c.Values()
+	if len(vals) != 3 || vals[1] != 0.8 {
+		t.Errorf("Values = %v", vals)
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	var c Curve
+	for i, v := range []float64{1, 2, 3, 4} {
+		c.Add(i, v)
+	}
+	ma := c.MovingAverage(2)
+	want := []float64{1, 1.5, 2.5, 3.5}
+	for i, p := range ma.Points {
+		if math.Abs(p.Value-want[i]) > 1e-12 {
+			t.Errorf("ma[%d] = %v, want %v", i, p.Value, want[i])
+		}
+	}
+	// window 1 is identity
+	id := c.MovingAverage(1)
+	for i, p := range id.Points {
+		if p.Value != c.Points[i].Value {
+			t.Error("window-1 moving average must be identity")
+		}
+	}
+}
+
+func TestTailMeanAndStepsToReach(t *testing.T) {
+	var c Curve
+	for i, v := range []float64{0.1, 0.2, 0.9, 0.8} {
+		c.Add(i*10, v)
+	}
+	if got := c.TailMean(2); math.Abs(got-0.85) > 1e-12 {
+		t.Errorf("TailMean(2) = %v", got)
+	}
+	if got := c.TailMean(100); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("TailMean(all) = %v", got)
+	}
+	if got := c.StepsToReach(0.85); got != 20 {
+		t.Errorf("StepsToReach = %d, want 20", got)
+	}
+	if got := c.StepsToReach(2); got != -1 {
+		t.Errorf("unreachable threshold = %d, want -1", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || math.Abs(s.Mean-5) > 1e-12 {
+		t.Errorf("N/Mean = %d/%v", s.N, s.Mean)
+	}
+	if math.Abs(s.Std-2) > 1e-12 {
+		t.Errorf("Std = %v, want 2", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Error("empty summary should be zero")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Title: "T", Headers: []string{"Method", "Err"}}
+	tb.AddRow("ours", "2.62")
+	tb.AddRow("darts-long-name", "3.00")
+	s := tb.String()
+	if !strings.Contains(s, "Method") || !strings.Contains(s, "darts-long-name") {
+		t.Errorf("table render missing content:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4+0 { // title + header + sep + 2 rows = 5? title separate
+		// title, header, separator, two rows
+		if len(lines) != 5 {
+			t.Errorf("table has %d lines:\n%s", len(lines), s)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := Table{Headers: []string{"a", "b"}}
+	tb.AddRow("x,y", `q"u`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"x,y"`) {
+		t.Errorf("comma cell not quoted: %s", csv)
+	}
+	if !strings.Contains(csv, `"q""u"`) {
+		t.Errorf("quote cell not escaped: %s", csv)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.234) != "1.23" {
+		t.Errorf("F = %s", F(1.234))
+	}
+	if F4(1.23456) != "1.2346" {
+		t.Errorf("F4 = %s", F4(1.23456))
+	}
+	if Pct(0.0262) != "2.62" {
+		t.Errorf("Pct = %s", Pct(0.0262))
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	if !math.IsNaN(h.Percentile(50)) || !math.IsNaN(h.Mean()) {
+		t.Error("empty histogram should yield NaN")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if got := h.Percentile(50); got != 50 {
+		t.Errorf("p50 = %v, want 50", got)
+	}
+	if got := h.Percentile(95); got != 95 {
+		t.Errorf("p95 = %v, want 95", got)
+	}
+	if got := h.Percentile(0); got != 1 {
+		t.Errorf("p0 = %v, want 1", got)
+	}
+	if got := h.Percentile(100); got != 100 {
+		t.Errorf("p100 = %v, want 100", got)
+	}
+	if got := h.Mean(); math.Abs(got-50.5) > 1e-12 {
+		t.Errorf("mean = %v, want 50.5", got)
+	}
+	if h.N() != 100 {
+		t.Errorf("N = %d", h.N())
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	var h Histogram
+	if !strings.Contains(h.String(), "empty") {
+		t.Error("empty histogram render missing marker")
+	}
+	for i := 0; i < 50; i++ {
+		h.Observe(float64(i % 10))
+	}
+	out := h.Render(5, 10)
+	if !strings.Contains(out, "#") {
+		t.Errorf("render has no bars:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 5 {
+		t.Errorf("render has %d lines, want 5", lines)
+	}
+	// Constant-value histogram must not divide by zero.
+	var c Histogram
+	c.Observe(3)
+	c.Observe(3)
+	if out := c.String(); !strings.Contains(out, "#") {
+		t.Errorf("constant histogram render:\n%s", out)
+	}
+}

@@ -1,0 +1,334 @@
+package nas
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedrlnas/internal/nn"
+	"fedrlnas/internal/tensor"
+)
+
+// NumEdges returns the number of edges in a cell with b intermediate nodes:
+// node i receives an edge from the 2 cell inputs and all earlier
+// intermediates, so the total is 2b + b(b-1)/2.
+func NumEdges(b int) int { return 2*b + b*(b-1)/2 }
+
+// MixedOp is one cell edge holding every candidate operation. In sampled
+// mode exactly one candidate runs (the paper's binary gate, Eq. 5–6); in
+// mixed mode all candidates run and are blended by a probability vector
+// (the DARTS relaxation, Eq. 3 — used by the DARTS/FedNAS baselines).
+type MixedOp struct {
+	Candidates []OpKind
+	ops        []nn.Module
+
+	lastSampled int              // candidate index used in sampled mode
+	lastOutputs []*tensor.Tensor // per-candidate outputs in mixed mode
+	lastProbs   []float64        // blend weights in mixed mode
+}
+
+// newMixedOp materializes the candidates for an edge.
+func newMixedOp(name string, rng *rand.Rand, candidates []OpKind, c, stride int) *MixedOp {
+	m := &MixedOp{
+		Candidates: append([]OpKind(nil), candidates...),
+		ops:        make([]nn.Module, len(candidates)),
+	}
+	for i, k := range candidates {
+		m.ops[i] = NewOp(k, fmt.Sprintf("%s.%s", name, k), rng, c, stride)
+	}
+	return m
+}
+
+// Op returns the materialized module for candidate i.
+func (m *MixedOp) Op(i int) nn.Module { return m.ops[i] }
+
+// Params returns the parameters of every candidate.
+func (m *MixedOp) Params() []*nn.Param {
+	var ps []*nn.Param
+	for _, op := range m.ops {
+		ps = append(ps, op.Params()...)
+	}
+	return ps
+}
+
+// ForwardSampled runs only candidate k.
+func (m *MixedOp) ForwardSampled(x *tensor.Tensor, k int) *tensor.Tensor {
+	m.lastSampled = k
+	return m.ops[k].Forward(x)
+}
+
+// BackwardSampled back-propagates through the candidate used by the last
+// ForwardSampled.
+func (m *MixedOp) BackwardSampled(grad *tensor.Tensor) *tensor.Tensor {
+	return m.ops[m.lastSampled].Backward(grad)
+}
+
+// ForwardMixed runs every candidate and blends with probs (Eq. 3).
+func (m *MixedOp) ForwardMixed(x *tensor.Tensor, probs []float64) *tensor.Tensor {
+	if len(probs) != len(m.ops) {
+		panic(fmt.Sprintf("nas: %d probs for %d candidates", len(probs), len(m.ops)))
+	}
+	m.lastOutputs = make([]*tensor.Tensor, len(m.ops))
+	m.lastProbs = append([]float64(nil), probs...)
+	var out *tensor.Tensor
+	for i, op := range m.ops {
+		o := op.Forward(x)
+		m.lastOutputs[i] = o
+		if out == nil {
+			out = o.Scale(probs[i])
+		} else {
+			out.AXPY(probs[i], o)
+		}
+	}
+	return out
+}
+
+// BackwardMixed back-propagates a mixed forward. It returns dL/d(input) and
+// dL/d(probs), the per-candidate sensitivity Σ grad⊙opOutput that baselines
+// chain through the softmax to get architecture gradients.
+func (m *MixedOp) BackwardMixed(grad *tensor.Tensor) (*tensor.Tensor, []float64) {
+	dProbs := make([]float64, len(m.ops))
+	var gradX *tensor.Tensor
+	for i, op := range m.ops {
+		dProbs[i] = grad.Dot(m.lastOutputs[i])
+		gx := op.Backward(grad.Scale(m.lastProbs[i]))
+		if gradX == nil {
+			gradX = gx
+		} else {
+			gradX.AddInPlace(gx)
+		}
+	}
+	return gradX, dProbs
+}
+
+// CellSpec describes a cell's position-dependent wiring.
+type CellSpec struct {
+	Nodes         int  // intermediate nodes (b)
+	C             int  // channels per node
+	CPrevPrev     int  // channels of input s0
+	CPrev         int  // channels of input s1
+	Reduction     bool // this cell halves spatial resolution
+	PrevReduction bool // the previous cell was a reduction cell
+}
+
+// Cell is one DARTS cell: two preprocessed inputs, b intermediate nodes
+// connected by MixedOp edges, output = channel-concat of the intermediates.
+type Cell struct {
+	Spec  CellSpec
+	pre0  *nn.Sequential
+	pre1  *nn.Sequential
+	Edges []*MixedOp // ordered: node0's edges (from s0, s1), node1's (s0, s1, n0), …
+
+	// forward caches
+	lastStates    []*tensor.Tensor
+	lastGates     []int
+	lastMixed     bool
+	lastEdgeProbs [][]float64
+}
+
+// NewCell materializes a cell. candidates is the per-edge candidate set
+// (identical for all edges); pass a single-op set to build a derived
+// (post-search) cell.
+func NewCell(name string, rng *rand.Rand, spec CellSpec, candidates []OpKind) *Cell {
+	if spec.Nodes < 1 {
+		panic("nas: cell needs at least one intermediate node")
+	}
+	pre0Stride := 1
+	if spec.PrevReduction {
+		pre0Stride = 2 // s0 comes from two cells back; match s1's resolution
+	}
+	c := &Cell{
+		Spec: spec,
+		pre0: nn.NewReLUConvBN(name+".pre0", rng, spec.CPrevPrev, spec.C, 1, pre0Stride),
+		pre1: nn.NewReLUConvBN(name+".pre1", rng, spec.CPrev, spec.C, 1, 1),
+	}
+	edge := 0
+	for i := 0; i < spec.Nodes; i++ {
+		for j := 0; j < 2+i; j++ {
+			stride := 1
+			if spec.Reduction && j < 2 {
+				stride = 2 // only edges from the cell inputs reduce
+			}
+			c.Edges = append(c.Edges,
+				newMixedOp(fmt.Sprintf("%s.e%d", name, edge), rng, candidates, spec.C, stride))
+			edge++
+		}
+	}
+	return c
+}
+
+// OutChannels returns the channel count of the cell output.
+func (c *Cell) OutChannels() int { return c.Spec.Nodes * c.Spec.C }
+
+// Params returns every parameter in the cell (all candidates).
+func (c *Cell) Params() []*nn.Param {
+	ps := append([]*nn.Param(nil), c.pre0.Params()...)
+	ps = append(ps, c.pre1.Params()...)
+	for _, e := range c.Edges {
+		ps = append(ps, e.Params()...)
+	}
+	return ps
+}
+
+// SampledParams returns the preprocessing parameters plus only the
+// parameters of the gated candidate on each edge — the sub-model payload.
+func (c *Cell) SampledParams(gates []int) []*nn.Param {
+	ps := append([]*nn.Param(nil), c.pre0.Params()...)
+	ps = append(ps, c.pre1.Params()...)
+	for e, g := range gates {
+		ps = append(ps, c.Edges[e].Op(g).Params()...)
+	}
+	return ps
+}
+
+// SetTraining toggles train/eval mode on every contained module.
+func (c *Cell) SetTraining(training bool) {
+	c.pre0.SetTraining(training)
+	c.pre1.SetTraining(training)
+	for _, e := range c.Edges {
+		nn.SetTraining(training, e.ops...)
+	}
+}
+
+// ForwardSampled runs the cell with one-hot gates (one op per edge).
+func (c *Cell) ForwardSampled(s0, s1 *tensor.Tensor, gates []int) *tensor.Tensor {
+	if len(gates) != len(c.Edges) {
+		panic(fmt.Sprintf("nas: %d gates for %d edges", len(gates), len(c.Edges)))
+	}
+	c.lastMixed = false
+	c.lastGates = append(c.lastGates[:0], gates...)
+	states := []*tensor.Tensor{c.pre0.Forward(s0), c.pre1.Forward(s1)}
+	edge := 0
+	for i := 0; i < c.Spec.Nodes; i++ {
+		var node *tensor.Tensor
+		for j := 0; j < 2+i; j++ {
+			out := c.Edges[edge].ForwardSampled(states[j], gates[edge])
+			if node == nil {
+				node = out
+			} else {
+				node.AddInPlace(out)
+			}
+			edge++
+		}
+		states = append(states, node)
+	}
+	c.lastStates = states
+	return concatChannels(states[2:])
+}
+
+// ForwardMixed runs the cell with all candidates blended by edgeProbs
+// (per-edge probability vectors).
+func (c *Cell) ForwardMixed(s0, s1 *tensor.Tensor, edgeProbs [][]float64) *tensor.Tensor {
+	if len(edgeProbs) != len(c.Edges) {
+		panic(fmt.Sprintf("nas: %d prob rows for %d edges", len(edgeProbs), len(c.Edges)))
+	}
+	c.lastMixed = true
+	c.lastEdgeProbs = edgeProbs
+	states := []*tensor.Tensor{c.pre0.Forward(s0), c.pre1.Forward(s1)}
+	edge := 0
+	for i := 0; i < c.Spec.Nodes; i++ {
+		var node *tensor.Tensor
+		for j := 0; j < 2+i; j++ {
+			out := c.Edges[edge].ForwardMixed(states[j], edgeProbs[edge])
+			if node == nil {
+				node = out
+			} else {
+				node.AddInPlace(out)
+			}
+			edge++
+		}
+		states = append(states, node)
+	}
+	c.lastStates = states
+	return concatChannels(states[2:])
+}
+
+// Backward back-propagates the cell. It returns gradients for (s0, s1) and,
+// after a mixed forward, the per-edge dL/d(probs) rows (nil after sampled).
+func (c *Cell) Backward(grad *tensor.Tensor) (gs0, gs1 *tensor.Tensor, dProbs [][]float64) {
+	nodeGrads := splitChannels(grad, c.Spec.Nodes, c.Spec.C)
+	// stateGrads[j] accumulates dL/d(states[j]).
+	stateGrads := make([]*tensor.Tensor, 2+c.Spec.Nodes)
+	for i := 0; i < c.Spec.Nodes; i++ {
+		stateGrads[2+i] = nodeGrads[i]
+	}
+	if c.lastMixed {
+		dProbs = make([][]float64, len(c.Edges))
+	}
+	// Walk nodes in reverse; edge indices for node i are contiguous.
+	edgeEnd := len(c.Edges)
+	for i := c.Spec.Nodes - 1; i >= 0; i-- {
+		edgeStart := edgeEnd - (2 + i)
+		ng := stateGrads[2+i]
+		for j := 2 + i - 1; j >= 0; j-- {
+			e := edgeStart + j
+			var gin *tensor.Tensor
+			if c.lastMixed {
+				var dp []float64
+				gin, dp = c.Edges[e].BackwardMixed(ng)
+				dProbs[e] = dp
+			} else {
+				gin = c.Edges[e].BackwardSampled(ng)
+			}
+			if stateGrads[j] == nil {
+				stateGrads[j] = gin
+			} else {
+				stateGrads[j].AddInPlace(gin)
+			}
+		}
+		edgeEnd = edgeStart
+	}
+	if stateGrads[0] == nil {
+		stateGrads[0] = tensor.New(c.lastStates[0].Shape()...)
+	}
+	if stateGrads[1] == nil {
+		stateGrads[1] = tensor.New(c.lastStates[1].Shape()...)
+	}
+	gs0 = c.pre0.Backward(stateGrads[0])
+	gs1 = c.pre1.Backward(stateGrads[1])
+	return gs0, gs1, dProbs
+}
+
+// concatChannels concatenates [N,C,H,W] tensors along the channel axis.
+func concatChannels(ts []*tensor.Tensor) *tensor.Tensor {
+	n, h, w := ts[0].Dim(0), ts[0].Dim(2), ts[0].Dim(3)
+	totalC := 0
+	for _, t := range ts {
+		totalC += t.Dim(1)
+	}
+	out := tensor.New(n, totalC, h, w)
+	od := out.Data()
+	cOff := 0
+	for _, t := range ts {
+		c := t.Dim(1)
+		td := t.Data()
+		for b := 0; b < n; b++ {
+			srcBase := b * c * h * w
+			dstBase := (b*totalC + cOff) * h * w
+			copy(od[dstBase:dstBase+c*h*w], td[srcBase:srcBase+c*h*w])
+		}
+		cOff += c
+	}
+	return out
+}
+
+// splitChannels splits an [N, parts*c, H, W] tensor into parts tensors of c
+// channels each (inverse of concatChannels).
+func splitChannels(t *tensor.Tensor, parts, c int) []*tensor.Tensor {
+	n, totalC, h, w := t.Dim(0), t.Dim(1), t.Dim(2), t.Dim(3)
+	if totalC != parts*c {
+		panic(fmt.Sprintf("nas: cannot split %d channels into %d x %d", totalC, parts, c))
+	}
+	out := make([]*tensor.Tensor, parts)
+	td := t.Data()
+	for p := 0; p < parts; p++ {
+		s := tensor.New(n, c, h, w)
+		sd := s.Data()
+		for b := 0; b < n; b++ {
+			srcBase := (b*totalC + p*c) * h * w
+			dstBase := b * c * h * w
+			copy(sd[dstBase:dstBase+c*h*w], td[srcBase:srcBase+c*h*w])
+		}
+		out[p] = s
+	}
+	return out
+}

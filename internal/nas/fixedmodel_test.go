@@ -1,0 +1,134 @@
+package nas
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedrlnas/internal/nn"
+	"fedrlnas/internal/tensor"
+)
+
+func TestNewFixedModelShapesAndParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := testConfig()
+	geno := Genotype{
+		Normal: []OpKind{OpSepConv3, OpIdentity, OpMaxPool3, OpDilConv3, OpAvgPool3},
+		Reduce: []OpKind{OpMaxPool3, OpSepConv5, OpIdentity, OpZero, OpSepConv3},
+		Nodes:  2,
+	}
+	m, err := NewFixedModel(rng, cfg, geno)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Randn(rng, 1, 2, 3, 8, 8)
+	out := m.Forward(x)
+	if out.Dim(0) != 2 || out.Dim(1) != cfg.NumClasses {
+		t.Fatalf("logits shape %v", out.Shape())
+	}
+	m.Backward(tensor.New(2, cfg.NumClasses))
+	want, err := DerivedParamCount(cfg, geno)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ParamCount(); got != want {
+		t.Errorf("ParamCount %d != DerivedParamCount %d", got, want)
+	}
+}
+
+func TestNewFixedModelRejectsInvalidGenotype(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	bad := Genotype{Normal: []OpKind{OpZero}, Reduce: []OpKind{OpZero}, Nodes: 2}
+	if _, err := NewFixedModel(rng, testConfig(), bad); err == nil {
+		t.Error("expected error for invalid genotype")
+	}
+}
+
+// The FixedModel parameter order must match the supernet's SampledParams
+// order shape-for-shape: the RPC transport ships weights/gradients by
+// position between the two.
+func TestFixedModelParamOrderMatchesSampledParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := testConfig()
+	geno := Genotype{
+		Normal: []OpKind{OpSepConv3, OpDilConv5, OpMaxPool3, OpIdentity, OpSepConv5},
+		Reduce: []OpKind{OpAvgPool3, OpSepConv3, OpZero, OpDilConv3, OpIdentity},
+		Nodes:  2,
+	}
+	m, err := NewFixedModel(rng, cfg, geno)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSupernet(rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gates, err := geno.GatesFor(cfg.Candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := s.SampledParams(gates)
+	fixed := m.Params()
+	if len(sub) != len(fixed) {
+		t.Fatalf("param counts differ: %d vs %d", len(sub), len(fixed))
+	}
+	for i := range sub {
+		if !sub[i].Value.SameShape(fixed[i].Value) {
+			t.Fatalf("param %d shape mismatch: %v (%s) vs %v (%s)",
+				i, sub[i].Value.Shape(), sub[i].Name, fixed[i].Value.Shape(), fixed[i].Name)
+		}
+	}
+}
+
+func TestFixedModelTrainToggle(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cfg := testConfig()
+	m, err := NewFixedModel(rng, cfg, Genotype{
+		Normal: []OpKind{OpSepConv3, OpSepConv3, OpSepConv3, OpSepConv3, OpSepConv3},
+		Reduce: []OpKind{OpSepConv3, OpSepConv3, OpSepConv3, OpSepConv3, OpSepConv3},
+		Nodes:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Train-mode forwards differ from eval-mode forwards (batch-stat BN).
+	x := tensor.Randn(rng, 1, 4, 3, 8, 8)
+	m.SetTraining(true)
+	a := m.Forward(x)
+	m.SetTraining(false)
+	b := m.Forward(x)
+	if a.AllClose(b, 1e-9) {
+		t.Error("train/eval forwards identical — SetTraining not propagating")
+	}
+}
+
+func TestSupernetSharedParamsSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s, err := NewSupernet(rng, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make(map[*nn.Param]bool)
+	for _, p := range s.Params() {
+		all[p] = true
+	}
+	shared := s.SharedParams()
+	if len(shared) == 0 {
+		t.Fatal("no shared params")
+	}
+	for _, p := range shared {
+		if !all[p] {
+			t.Fatalf("shared param %s not in supernet", p.Name)
+		}
+	}
+	// Shared params must be included in every sampled sub-model.
+	g := uniformGates(s, 0) // all "none" ops: param-free edges
+	sampled := make(map[*nn.Param]bool)
+	for _, p := range s.SampledParams(g) {
+		sampled[p] = true
+	}
+	for _, p := range shared {
+		if !sampled[p] {
+			t.Fatalf("shared param %s missing from sub-model", p.Name)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package nas
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// genotypeJSON is the stable on-disk representation: op names rather than
+// enum values, so files survive enum reordering.
+type genotypeJSON struct {
+	Nodes  int      `json:"nodes"`
+	Normal []string `json:"normal"`
+	Reduce []string `json:"reduce"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (g Genotype) MarshalJSON() ([]byte, error) {
+	enc := genotypeJSON{Nodes: g.Nodes}
+	for _, op := range g.Normal {
+		enc.Normal = append(enc.Normal, op.String())
+	}
+	for _, op := range g.Reduce {
+		enc.Reduce = append(enc.Reduce, op.String())
+	}
+	return json.Marshal(enc)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (g *Genotype) UnmarshalJSON(data []byte) error {
+	var dec genotypeJSON
+	if err := json.Unmarshal(data, &dec); err != nil {
+		return err
+	}
+	normal, err := opsFromNames(dec.Normal)
+	if err != nil {
+		return err
+	}
+	reduce, err := opsFromNames(dec.Reduce)
+	if err != nil {
+		return err
+	}
+	g.Nodes = dec.Nodes
+	g.Normal = normal
+	g.Reduce = reduce
+	return g.Validate()
+}
+
+// SaveGenotype writes a genotype to a JSON file.
+func SaveGenotype(path string, g Genotype) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return fmt.Errorf("save genotype: %w", err)
+	}
+	return nil
+}
+
+// LoadGenotype reads a genotype from a JSON file.
+func LoadGenotype(path string) (Genotype, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return Genotype{}, fmt.Errorf("load genotype: %w", err)
+	}
+	var g Genotype
+	if err := json.Unmarshal(buf, &g); err != nil {
+		return Genotype{}, fmt.Errorf("load genotype: %w", err)
+	}
+	return g, nil
+}
+
+func opsFromNames(names []string) ([]OpKind, error) {
+	out := make([]OpKind, len(names))
+	for i, name := range names {
+		op, err := opFromName(name)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = op
+	}
+	return out, nil
+}
+
+func opFromName(name string) (OpKind, error) {
+	for _, k := range AllOps {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("nas: unknown op name %q", name)
+}

@@ -1,0 +1,106 @@
+// Package nas implements the DARTS-style search space the paper adopts:
+// stacked cells, each a DAG whose edges carry one of N=8 candidate
+// operations. The full network with all candidates materialized on every
+// edge is the supernet; one-hot gates prune it to a sub-model with exactly
+// one operation per edge (paper Eq. 3–6).
+package nas
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedrlnas/internal/nn"
+)
+
+// OpKind identifies a candidate operation on a cell edge.
+type OpKind int
+
+// The paper's N = 8 candidate operations (Fig. 1), matching DARTS.
+const (
+	OpZero OpKind = iota + 1
+	OpIdentity
+	OpMaxPool3
+	OpAvgPool3
+	OpSepConv3
+	OpSepConv5
+	OpDilConv3
+	OpDilConv5
+)
+
+// AllOps is the full candidate set in canonical order.
+var AllOps = []OpKind{
+	OpZero, OpIdentity, OpMaxPool3, OpAvgPool3,
+	OpSepConv3, OpSepConv5, OpDilConv3, OpDilConv5,
+}
+
+// NumOps is the size of the full candidate set (the paper's N).
+const NumOps = 8
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpZero:
+		return "none"
+	case OpIdentity:
+		return "skip_connect"
+	case OpMaxPool3:
+		return "max_pool_3x3"
+	case OpAvgPool3:
+		return "avg_pool_3x3"
+	case OpSepConv3:
+		return "sep_conv_3x3"
+	case OpSepConv5:
+		return "sep_conv_5x5"
+	case OpDilConv3:
+		return "dil_conv_3x3"
+	case OpDilConv5:
+		return "dil_conv_5x5"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
+
+// NewOp materializes the candidate operation as a trainable module with c
+// channels and the given spatial stride.
+func NewOp(kind OpKind, name string, rng *rand.Rand, c, stride int) nn.Module {
+	switch kind {
+	case OpZero:
+		return nn.NewZero(stride)
+	case OpIdentity:
+		if stride == 1 {
+			return nn.NewIdentity()
+		}
+		return nn.NewSubSample(stride)
+	case OpMaxPool3:
+		return nn.NewMaxPool2D(3, stride, 1)
+	case OpAvgPool3:
+		return nn.NewAvgPool2D(3, stride, 1)
+	case OpSepConv3:
+		return nn.NewSepConv(name, rng, c, 3, stride)
+	case OpSepConv5:
+		return nn.NewSepConv(name, rng, c, 5, stride)
+	case OpDilConv3:
+		return nn.NewDilConv(name, rng, c, 3, stride)
+	case OpDilConv5:
+		return nn.NewDilConv(name, rng, c, 5, stride)
+	default:
+		panic(fmt.Sprintf("nas: unknown op kind %d", int(kind)))
+	}
+}
+
+// OpParamCount returns the number of learnable scalars the op contributes
+// at c channels (used for sizing sub-models without materializing them).
+func OpParamCount(kind OpKind, c int) int {
+	switch kind {
+	case OpSepConv3:
+		return c*3*3 + c*c + 2*c
+	case OpSepConv5:
+		return c*5*5 + c*c + 2*c
+	case OpDilConv3:
+		return c*3*3 + c*c + 2*c
+	case OpDilConv5:
+		return c*5*5 + c*c + 2*c
+	default:
+		return 0
+	}
+}

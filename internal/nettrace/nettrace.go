@@ -1,0 +1,195 @@
+// Package nettrace generates synthetic 4G/LTE bandwidth traces per mobility
+// regime, standing in for the van der Hooft et al. bandwidth logs the paper
+// uses for its adaptive-transmission experiment (Fig. 7; see DESIGN.md §2).
+//
+// Each regime is an AR(1) log-normal process whose mean and volatility are
+// calibrated to the published per-regime statistics of the real logs:
+// walking and cycling see high, fairly stable throughput; buses and trams
+// are mid-range; cars are fast but volatile; trains are slow and bursty.
+package nettrace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Regime is a mobility environment from the 4G/LTE measurement campaign.
+type Regime int
+
+// The six regimes of the 4G/LTE logs.
+const (
+	Foot Regime = iota + 1
+	Bicycle
+	Bus
+	Car
+	Train
+	Tram
+)
+
+// AllRegimes lists every regime in canonical order.
+var AllRegimes = []Regime{Foot, Bicycle, Bus, Car, Train, Tram}
+
+// String implements fmt.Stringer.
+func (r Regime) String() string {
+	switch r {
+	case Foot:
+		return "foot"
+	case Bicycle:
+		return "bicycle"
+	case Bus:
+		return "bus"
+	case Car:
+		return "car"
+	case Train:
+		return "train"
+	case Tram:
+		return "tram"
+	default:
+		return fmt.Sprintf("regime(%d)", int(r))
+	}
+}
+
+// params returns (mean Mbps, log-volatility, AR(1) persistence) per regime.
+func (r Regime) params() (meanMbps, vol, persist float64) {
+	switch r {
+	case Foot:
+		return 28, 0.25, 0.90
+	case Bicycle:
+		return 31, 0.30, 0.88
+	case Bus:
+		return 20, 0.45, 0.85
+	case Car:
+		return 30, 0.60, 0.80
+	case Train:
+		return 12, 0.70, 0.78
+	case Tram:
+		return 23, 0.40, 0.85
+	default:
+		return 20, 0.5, 0.85
+	}
+}
+
+// Trace is a sampled bandwidth series for one participant.
+type Trace struct {
+	Regime Regime
+	// Mbps[t] is the link bandwidth at round t in megabits per second.
+	Mbps []float64
+}
+
+// Generate samples a trace of length rounds.
+func Generate(r Regime, rounds int, rng *rand.Rand) (Trace, error) {
+	if rounds <= 0 {
+		return Trace{}, fmt.Errorf("nettrace: rounds %d must be positive", rounds)
+	}
+	mean, vol, persist := r.params()
+	mu := math.Log(mean)
+	series := make([]float64, rounds)
+	// Stationary start.
+	x := rng.NormFloat64() * vol / math.Sqrt(1-persist*persist)
+	for t := 0; t < rounds; t++ {
+		x = persist*x + vol*math.Sqrt(1-persist*persist)*rng.NormFloat64()
+		bw := math.Exp(mu + x - vol*vol/2)
+		// Floor at a realistic LTE cell-edge rate.
+		if bw < 0.5 {
+			bw = 0.5
+		}
+		series[t] = bw
+	}
+	return Trace{Regime: r, Mbps: series}, nil
+}
+
+// At returns the bandwidth at round t, clamping past the end (a stalled
+// device keeps its last observed rate).
+func (tr Trace) At(t int) float64 {
+	if len(tr.Mbps) == 0 {
+		return 0
+	}
+	if t < 0 {
+		t = 0
+	}
+	if t >= len(tr.Mbps) {
+		t = len(tr.Mbps) - 1
+	}
+	return tr.Mbps[t]
+}
+
+// Mean returns the average bandwidth of the trace.
+func (tr Trace) Mean() float64 {
+	if len(tr.Mbps) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range tr.Mbps {
+		s += v
+	}
+	return s / float64(len(tr.Mbps))
+}
+
+// TransferSeconds returns the time to ship payloadBytes at bandwidth
+// mbps, with a fixed per-transfer RTT overhead.
+func TransferSeconds(payloadBytes int64, mbps float64) float64 {
+	const rttOverhead = 0.005 // seconds: connection + signalling overhead
+	if mbps <= 0 {
+		return math.Inf(1)
+	}
+	bits := float64(payloadBytes) * 8
+	return bits/(mbps*1e6) + rttOverhead
+}
+
+// Environment describes the mix of regimes across participants ("Bus+Car"
+// in Fig. 7 means half the participants ride buses, half ride cars).
+type Environment struct {
+	Name    string
+	Regimes []Regime
+}
+
+// StandardEnvironments reproduces the x-axis of Fig. 7: each single regime
+// plus the mixed environments.
+func StandardEnvironments() []Environment {
+	envs := make([]Environment, 0, len(AllRegimes)+2)
+	for _, r := range AllRegimes {
+		envs = append(envs, Environment{Name: r.String(), Regimes: []Regime{r}})
+	}
+	envs = append(envs,
+		Environment{Name: "bus+car", Regimes: []Regime{Bus, Car}},
+		Environment{Name: "foot+train", Regimes: []Regime{Foot, Train}},
+	)
+	return envs
+}
+
+// ParticipantTraces samples one trace per participant, cycling through the
+// environment's regimes (so a two-regime mix splits participants evenly).
+func (e Environment) ParticipantTraces(k, rounds int, rng *rand.Rand) ([]Trace, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("nettrace: participant count %d must be positive", k)
+	}
+	if len(e.Regimes) == 0 {
+		return nil, fmt.Errorf("nettrace: environment %q has no regimes", e.Name)
+	}
+	out := make([]Trace, k)
+	for i := 0; i < k; i++ {
+		tr, err := Generate(e.Regimes[i%len(e.Regimes)], rounds, rng)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = tr
+	}
+	return out, nil
+}
+
+// CSV renders the trace as two-column CSV (round, mbps) for external
+// plotting or replay.
+func (tr Trace) CSV() string {
+	var b strings.Builder
+	b.WriteString("round,mbps\n")
+	for t, v := range tr.Mbps {
+		b.WriteString(strconv.Itoa(t))
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatFloat(v, 'f', 4, 64))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

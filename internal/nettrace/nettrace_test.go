@@ -1,0 +1,164 @@
+package nettrace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateLengthAndPositivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr, err := Generate(Car, 200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Mbps) != 200 {
+		t.Fatalf("trace length %d", len(tr.Mbps))
+	}
+	for i, v := range tr.Mbps {
+		if v < 0.5 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("bandwidth[%d] = %v invalid", i, v)
+		}
+	}
+	if _, err := Generate(Car, 0, rng); err == nil {
+		t.Error("expected error for zero rounds")
+	}
+}
+
+func TestRegimeMeansRoughlyCalibrated(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	means := make(map[Regime]float64)
+	for _, r := range AllRegimes {
+		total := 0.0
+		const reps = 30
+		for rep := 0; rep < reps; rep++ {
+			tr, err := Generate(r, 200, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += tr.Mean()
+		}
+		means[r] = total / reps
+	}
+	// Orderings that must hold: train is the slowest, bicycle/foot/car fast.
+	if means[Train] >= means[Bus] {
+		t.Errorf("train %.1f >= bus %.1f", means[Train], means[Bus])
+	}
+	if means[Train] >= means[Foot] {
+		t.Errorf("train %.1f >= foot %.1f", means[Train], means[Foot])
+	}
+	for r, m := range means {
+		want, _, _ := r.params()
+		if math.Abs(m-want) > 0.35*want {
+			t.Errorf("%s mean %.1f too far from calibration %.1f", r, m, want)
+		}
+	}
+}
+
+func TestCarMoreVolatileThanFoot(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cv := func(r Regime) float64 {
+		tr, err := Generate(r, 2000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean := tr.Mean()
+		s := 0.0
+		for _, v := range tr.Mbps {
+			d := v - mean
+			s += d * d
+		}
+		return math.Sqrt(s/float64(len(tr.Mbps))) / mean
+	}
+	if cv(Car) <= cv(Foot) {
+		t.Error("car volatility should exceed foot volatility")
+	}
+}
+
+func TestAtClamps(t *testing.T) {
+	tr := Trace{Regime: Foot, Mbps: []float64{1, 2, 3}}
+	if tr.At(-5) != 1 || tr.At(0) != 1 || tr.At(2) != 3 || tr.At(99) != 3 {
+		t.Error("At must clamp to trace bounds")
+	}
+	var empty Trace
+	if empty.At(0) != 0 {
+		t.Error("empty trace At should be 0")
+	}
+}
+
+func TestTransferSeconds(t *testing.T) {
+	// 1 MB at 8 Mbps = 1 second + 0.005 overhead.
+	got := TransferSeconds(1_000_000, 8)
+	if math.Abs(got-1.005) > 1e-9 {
+		t.Errorf("TransferSeconds = %v, want 1.005", got)
+	}
+	if !math.IsInf(TransferSeconds(100, 0), 1) {
+		t.Error("zero bandwidth must be infinite latency")
+	}
+	// Monotonic in payload, antitonic in bandwidth.
+	if TransferSeconds(2_000_000, 8) <= got {
+		t.Error("larger payload must take longer")
+	}
+	if TransferSeconds(1_000_000, 16) >= got {
+		t.Error("faster link must be quicker")
+	}
+}
+
+func TestStandardEnvironments(t *testing.T) {
+	envs := StandardEnvironments()
+	if len(envs) != len(AllRegimes)+2 {
+		t.Fatalf("got %d environments", len(envs))
+	}
+	names := make(map[string]bool)
+	for _, e := range envs {
+		names[e.Name] = true
+	}
+	if !names["bus+car"] || !names["foot+train"] {
+		t.Error("missing mixed environments")
+	}
+}
+
+func TestParticipantTracesMixesRegimes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	env := Environment{Name: "mix", Regimes: []Regime{Bus, Car}}
+	traces, err := env.ParticipantTraces(10, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus, car := 0, 0
+	for _, tr := range traces {
+		switch tr.Regime {
+		case Bus:
+			bus++
+		case Car:
+			car++
+		}
+	}
+	if bus != 5 || car != 5 {
+		t.Errorf("mix split %d/%d, want 5/5", bus, car)
+	}
+	if _, err := env.ParticipantTraces(0, 50, rng); err == nil {
+		t.Error("expected error for zero participants")
+	}
+	bad := Environment{Name: "empty"}
+	if _, err := bad.ParticipantTraces(3, 50, rng); err == nil {
+		t.Error("expected error for empty environment")
+	}
+}
+
+func TestRegimeStrings(t *testing.T) {
+	for _, r := range AllRegimes {
+		if s := r.String(); s == "" || s[0] == 'r' && s[1] == 'e' && s[2] == 'g' {
+			t.Errorf("regime %d has placeholder name %q", int(r), s)
+		}
+	}
+}
+
+func TestTraceCSV(t *testing.T) {
+	tr := Trace{Regime: Foot, Mbps: []float64{1.5, 2.25}}
+	csv := tr.CSV()
+	want := "round,mbps\n0,1.5000\n1,2.2500\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}

@@ -1,0 +1,179 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedrlnas/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution with optional grouping (for depthwise
+// convolutions), dilation, stride, and zero padding. Input [N,C,H,W],
+// weight [outC, inC/groups, kH, kW], optional bias [outC].
+type Conv2D struct {
+	InC, OutC        int
+	KH, KW           int
+	Stride, Pad      int
+	Dilation, Groups int
+
+	weight *Param
+	bias   *Param // nil when bias is disabled
+
+	lastX *tensor.Tensor
+}
+
+var _ Module = (*Conv2D)(nil)
+
+// ConvOpts configures optional Conv2D behaviour.
+type ConvOpts struct {
+	Stride   int // default 1
+	Pad      int // default 0
+	Dilation int // default 1
+	Groups   int // default 1
+	Bias     bool
+}
+
+// NewConv2D constructs a convolution with Kaiming-initialized weights.
+func NewConv2D(name string, rng *rand.Rand, inC, outC, k int, o ConvOpts) *Conv2D {
+	if o.Stride == 0 {
+		o.Stride = 1
+	}
+	if o.Dilation == 0 {
+		o.Dilation = 1
+	}
+	if o.Groups == 0 {
+		o.Groups = 1
+	}
+	if inC%o.Groups != 0 || outC%o.Groups != 0 {
+		panic(fmt.Sprintf("nn: conv groups %d must divide inC %d and outC %d", o.Groups, inC, outC))
+	}
+	c := &Conv2D{
+		InC: inC, OutC: outC, KH: k, KW: k,
+		Stride: o.Stride, Pad: o.Pad, Dilation: o.Dilation, Groups: o.Groups,
+	}
+	c.weight = NewParam(name+".weight", tensor.KaimingConv(rng, outC, inC/o.Groups, k, k))
+	if o.Bias {
+		c.bias = NewParam(name+".bias", tensor.New(outC))
+	}
+	return c
+}
+
+// Params implements Module.
+func (c *Conv2D) Params() []*Param {
+	if c.bias != nil {
+		return []*Param{c.weight, c.bias}
+	}
+	return []*Param{c.weight}
+}
+
+// Forward implements Module.
+func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	n, inC, h, w := mustDims4(x, "Conv2D")
+	if inC != c.InC {
+		panic(fmt.Sprintf("nn: Conv2D got %d input channels, want %d", inC, c.InC))
+	}
+	c.lastX = x
+	if c.Groups == 1 {
+		return c.forwardIm2col(x)
+	}
+	oh := convOutDim(h, c.KH, c.Stride, c.Pad, c.Dilation)
+	ow := convOutDim(w, c.KW, c.Stride, c.Pad, c.Dilation)
+	out := tensor.New(n, c.OutC, oh, ow)
+
+	xd, wd, od := x.Data(), c.weight.Value.Data(), out.Data()
+	icg := c.InC / c.Groups // input channels per group
+	ocg := c.OutC / c.Groups
+	for b := 0; b < n; b++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			g := oc / ocg
+			var biasV float64
+			if c.bias != nil {
+				biasV = c.bias.Value.Data()[oc]
+			}
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					acc := biasV
+					for ic := 0; ic < icg; ic++ {
+						inCh := g*icg + ic
+						xBase := ((b*c.InC + inCh) * h) * w
+						wBase := ((oc*icg + ic) * c.KH) * c.KW
+						for ky := 0; ky < c.KH; ky++ {
+							iy := oy*c.Stride - c.Pad + ky*c.Dilation
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kx := 0; kx < c.KW; kx++ {
+								ix := ox*c.Stride - c.Pad + kx*c.Dilation
+								if ix < 0 || ix >= w {
+									continue
+								}
+								acc += xd[xBase+iy*w+ix] * wd[wBase+ky*c.KW+kx]
+							}
+						}
+					}
+					od[((b*c.OutC+oc)*oh+oy)*ow+ox] = acc
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Module.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := c.lastX
+	if x == nil {
+		panic("nn: Conv2D.Backward before Forward")
+	}
+	if c.Groups == 1 {
+		return c.backwardIm2col(grad)
+	}
+	n, _, h, w := mustDims4(x, "Conv2D")
+	_, _, oh, ow := mustDims4(grad, "Conv2D.Backward")
+
+	gradX := tensor.New(x.Shape()...)
+	xd, wd := x.Data(), c.weight.Value.Data()
+	gd, gxd, gwd := grad.Data(), gradX.Data(), c.weight.Grad.Data()
+	icg := c.InC / c.Groups
+	ocg := c.OutC / c.Groups
+	var gbd []float64
+	if c.bias != nil {
+		gbd = c.bias.Grad.Data()
+	}
+	for b := 0; b < n; b++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			g := oc / ocg
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					gv := gd[((b*c.OutC+oc)*oh+oy)*ow+ox]
+					if gv == 0 {
+						continue
+					}
+					if gbd != nil {
+						gbd[oc] += gv
+					}
+					for ic := 0; ic < icg; ic++ {
+						inCh := g*icg + ic
+						xBase := ((b*c.InC + inCh) * h) * w
+						wBase := ((oc*icg + ic) * c.KH) * c.KW
+						for ky := 0; ky < c.KH; ky++ {
+							iy := oy*c.Stride - c.Pad + ky*c.Dilation
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kx := 0; kx < c.KW; kx++ {
+								ix := ox*c.Stride - c.Pad + kx*c.Dilation
+								if ix < 0 || ix >= w {
+									continue
+								}
+								gwd[wBase+ky*c.KW+kx] += gv * xd[xBase+iy*w+ix]
+								gxd[xBase+iy*w+ix] += gv * wd[wBase+ky*c.KW+kx]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return gradX
+}

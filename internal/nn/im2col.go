@@ -1,0 +1,173 @@
+package nn
+
+import (
+	"fedrlnas/internal/tensor"
+)
+
+// im2col lowers convolution to matrix multiplication: patches of the input
+// become columns of a matrix that is multiplied by the flattened kernels.
+// For the group-free case this is usually faster than the direct loops in
+// conv.go because the inner product runs over contiguous memory.
+//
+// Conv2D uses it automatically for Groups == 1; grouped (depthwise)
+// convolutions keep the direct path, whose inner loops are already small.
+
+// im2colBuffer extracts patches from one image [C,H,W] into a
+// [C*kH*kW, oH*oW] matrix (column-major over output positions).
+func im2colBuffer(xd []float64, c, h, w, kh, kw, stride, pad, dilation, oh, ow int, out []float64) {
+	cols := oh * ow
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				rowBase := ((ch*kh+ky)*kw + kx) * cols
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride - pad + ky*dilation
+					dst := rowBase + oy*ow
+					if iy < 0 || iy >= h {
+						for ox := 0; ox < ow; ox++ {
+							out[dst+ox] = 0
+						}
+						continue
+					}
+					srcRow := base + iy*w
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride - pad + kx*dilation
+						if ix < 0 || ix >= w {
+							out[dst+ox] = 0
+						} else {
+							out[dst+ox] = xd[srcRow+ix]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// col2imAdd scatters a [C*kH*kW, oH*oW] column matrix back into an image
+// gradient [C,H,W], accumulating overlaps (the transpose of im2colBuffer).
+func col2imAdd(cols []float64, c, h, w, kh, kw, stride, pad, dilation, oh, ow int, dst []float64) {
+	n := oh * ow
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				rowBase := ((ch*kh+ky)*kw + kx) * n
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride - pad + ky*dilation
+					if iy < 0 || iy >= h {
+						continue
+					}
+					srcRow := rowBase + oy*ow
+					dstRow := base + iy*w
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride - pad + kx*dilation
+						if ix < 0 || ix >= w {
+							continue
+						}
+						dst[dstRow+ix] += cols[srcRow+ox]
+					}
+				}
+			}
+		}
+	}
+}
+
+// forwardIm2col computes the convolution via im2col + matmul for Groups==1.
+func (c *Conv2D) forwardIm2col(x *tensor.Tensor) *tensor.Tensor {
+	n, _, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh := convOutDim(h, c.KH, c.Stride, c.Pad, c.Dilation)
+	ow := convOutDim(w, c.KW, c.Stride, c.Pad, c.Dilation)
+	out := tensor.New(n, c.OutC, oh, ow)
+	k := c.InC * c.KH * c.KW
+	cols := oh * ow
+	buf := make([]float64, k*cols)
+	xd, od := x.Data(), out.Data()
+	wd := c.weight.Value.Data() // [OutC, k] when flattened
+	var biasD []float64
+	if c.bias != nil {
+		biasD = c.bias.Value.Data()
+	}
+	imgSize := c.InC * h * w
+	for b := 0; b < n; b++ {
+		im2colBuffer(xd[b*imgSize:(b+1)*imgSize], c.InC, h, w, c.KH, c.KW,
+			c.Stride, c.Pad, c.Dilation, oh, ow, buf)
+		// out[b] = W (OutC×k) × buf (k×cols)
+		for oc := 0; oc < c.OutC; oc++ {
+			wrow := wd[oc*k : (oc+1)*k]
+			orow := od[(b*c.OutC+oc)*cols : (b*c.OutC+oc+1)*cols]
+			if biasD != nil {
+				bv := biasD[oc]
+				for j := range orow {
+					orow[j] = bv
+				}
+			}
+			for p := 0; p < k; p++ {
+				wv := wrow[p]
+				if wv == 0 {
+					continue
+				}
+				brow := buf[p*cols : (p+1)*cols]
+				for j := 0; j < cols; j++ {
+					orow[j] += wv * brow[j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// backwardIm2col computes weight/bias/input gradients via the column
+// representation for Groups==1.
+func (c *Conv2D) backwardIm2col(grad *tensor.Tensor) *tensor.Tensor {
+	x := c.lastX
+	n, _, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh, ow := grad.Dim(2), grad.Dim(3)
+	k := c.InC * c.KH * c.KW
+	cols := oh * ow
+	buf := make([]float64, k*cols)
+	colGrad := make([]float64, k*cols)
+	gradX := tensor.New(x.Shape()...)
+	xd, gd, gxd := x.Data(), grad.Data(), gradX.Data()
+	wd, gwd := c.weight.Value.Data(), c.weight.Grad.Data()
+	var gbd []float64
+	if c.bias != nil {
+		gbd = c.bias.Grad.Data()
+	}
+	imgSize := c.InC * h * w
+	for b := 0; b < n; b++ {
+		im2colBuffer(xd[b*imgSize:(b+1)*imgSize], c.InC, h, w, c.KH, c.KW,
+			c.Stride, c.Pad, c.Dilation, oh, ow, buf)
+		for i := range colGrad {
+			colGrad[i] = 0
+		}
+		for oc := 0; oc < c.OutC; oc++ {
+			grow := gd[(b*c.OutC+oc)*cols : (b*c.OutC+oc+1)*cols]
+			if gbd != nil {
+				s := 0.0
+				for _, v := range grow {
+					s += v
+				}
+				gbd[oc] += s
+			}
+			wrow := wd[oc*k : (oc+1)*k]
+			gwrow := gwd[oc*k : (oc+1)*k]
+			for p := 0; p < k; p++ {
+				brow := buf[p*cols : (p+1)*cols]
+				cgrow := colGrad[p*cols : (p+1)*cols]
+				wv := wrow[p]
+				s := 0.0
+				for j := 0; j < cols; j++ {
+					gv := grow[j]
+					s += gv * brow[j]
+					cgrow[j] += gv * wv
+				}
+				gwrow[p] += s
+			}
+		}
+		col2imAdd(colGrad, c.InC, h, w, c.KH, c.KW,
+			c.Stride, c.Pad, c.Dilation, oh, ow, gxd[b*imgSize:(b+1)*imgSize])
+	}
+	return gradX
+}

@@ -1,0 +1,129 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedrlnas/internal/tensor"
+)
+
+// directForward runs the loop-based convolution path regardless of Groups,
+// to verify the im2col fast path against it.
+func directForward(c *Conv2D, x *tensor.Tensor) *tensor.Tensor {
+	saved := c.Groups
+	// Temporarily force the direct path by pretending it is grouped; a
+	// 1-group conv equals itself, so instead we copy into a clone with the
+	// same weights and call the direct code through a grouped twin when
+	// possible. Simplest honest approach: replicate the direct algorithm
+	// here for groups == 1.
+	_ = saved
+	n, _, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh := (h+2*c.Pad-(c.Dilation*(c.KH-1)+1))/c.Stride + 1
+	ow := (w+2*c.Pad-(c.Dilation*(c.KW-1)+1))/c.Stride + 1
+	out := tensor.New(n, c.OutC, oh, ow)
+	xd, wd, od := x.Data(), c.weight.Value.Data(), out.Data()
+	for b := 0; b < n; b++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			var biasV float64
+			if c.bias != nil {
+				biasV = c.bias.Value.Data()[oc]
+			}
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					acc := biasV
+					for ic := 0; ic < c.InC; ic++ {
+						xBase := ((b*c.InC + ic) * h) * w
+						wBase := ((oc*c.InC + ic) * c.KH) * c.KW
+						for ky := 0; ky < c.KH; ky++ {
+							iy := oy*c.Stride - c.Pad + ky*c.Dilation
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kx := 0; kx < c.KW; kx++ {
+								ix := ox*c.Stride - c.Pad + kx*c.Dilation
+								if ix < 0 || ix >= w {
+									continue
+								}
+								acc += xd[xBase+iy*w+ix] * wd[wBase+ky*c.KW+kx]
+							}
+						}
+					}
+					od[((b*c.OutC+oc)*oh+oy)*ow+ox] = acc
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestIm2colForwardMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []ConvOpts{
+		{Pad: 1},
+		{Stride: 2, Pad: 1},
+		{Pad: 2, Dilation: 2},
+		{Bias: true},
+		{Stride: 2, Pad: 2, Dilation: 2, Bias: true},
+	}
+	for i, opts := range cases {
+		c := NewConv2D("c", rng, 3, 5, 3, opts)
+		x := tensor.Randn(rng, 1, 2, 3, 7, 7)
+		fast := c.Forward(x)
+		slow := directForward(c, x)
+		if !fast.AllClose(slow, 1e-10) {
+			t.Fatalf("case %d: im2col forward diverges from direct loops", i)
+		}
+	}
+}
+
+// The im2col backward is covered against finite differences by the main
+// conv gradient tests (TestConv2DGradients exercises Groups==1 cases); this
+// test checks the col2im scatter is the exact adjoint of the im2col gather.
+func TestCol2imIsAdjointOfIm2col(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const (
+		ch, h, w    = 2, 5, 5
+		kh, kw      = 3, 3
+		stride, pad = 2, 1
+		dilation    = 1
+	)
+	oh := (h+2*pad-(dilation*(kh-1)+1))/stride + 1
+	ow := (w+2*pad-(dilation*(kw-1)+1))/stride + 1
+	k := ch * kh * kw
+	cols := oh * ow
+
+	x := make([]float64, ch*h*w)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := make([]float64, k*cols)
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	// <im2col(x), y> must equal <x, col2im(y)> (adjoint identity).
+	ax := make([]float64, k*cols)
+	im2colBuffer(x, ch, h, w, kh, kw, stride, pad, dilation, oh, ow, ax)
+	lhs := 0.0
+	for i := range ax {
+		lhs += ax[i] * y[i]
+	}
+	aty := make([]float64, ch*h*w)
+	col2imAdd(y, ch, h, w, kh, kw, stride, pad, dilation, oh, ow, aty)
+	rhs := 0.0
+	for i := range aty {
+		rhs += aty[i] * x[i]
+	}
+	if diff := lhs - rhs; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("adjoint identity violated: %v vs %v", lhs, rhs)
+	}
+}
+
+func BenchmarkConvForwardIm2col(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	c := NewConv2D("c", rng, 8, 8, 3, ConvOpts{Pad: 1})
+	x := tensor.Randn(rng, 1, 16, 8, 8, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Forward(x)
+	}
+}

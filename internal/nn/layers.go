@@ -1,0 +1,318 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fedrlnas/internal/tensor"
+)
+
+// ReLU is the rectified-linear activation.
+type ReLU struct {
+	lastX *tensor.Tensor
+}
+
+var _ Module = (*ReLU)(nil)
+
+// NewReLU constructs a ReLU activation.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Params implements Module.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Forward implements Module.
+func (r *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
+	r.lastX = x
+	out := x.Clone()
+	d := out.Data()
+	for i, v := range d {
+		if v < 0 {
+			d[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward implements Module.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	gx := grad.Clone()
+	xd, gd := r.lastX.Data(), gx.Data()
+	for i := range gd {
+		if xd[i] <= 0 {
+			gd[i] = 0
+		}
+	}
+	return gx
+}
+
+// Identity passes its input through unchanged (the "skip connect" op).
+type Identity struct{}
+
+var _ Module = (*Identity)(nil)
+
+// NewIdentity constructs an identity module.
+func NewIdentity() *Identity { return &Identity{} }
+
+// Params implements Module.
+func (id *Identity) Params() []*Param { return nil }
+
+// Forward implements Module.
+func (id *Identity) Forward(x *tensor.Tensor) *tensor.Tensor { return x.Clone() }
+
+// Backward implements Module.
+func (id *Identity) Backward(grad *tensor.Tensor) *tensor.Tensor { return grad.Clone() }
+
+// Zero is the "none" op: it outputs zeros (optionally spatially strided),
+// cutting the edge from the computation graph.
+type Zero struct {
+	Stride int
+
+	lastShape []int
+}
+
+var _ Module = (*Zero)(nil)
+
+// NewZero constructs a zero op with the given spatial stride.
+func NewZero(stride int) *Zero { return &Zero{Stride: stride} }
+
+// Params implements Module.
+func (z *Zero) Params() []*Param { return nil }
+
+// Forward implements Module.
+func (z *Zero) Forward(x *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := mustDims4(x, "Zero")
+	z.lastShape = x.Shape()
+	if z.Stride == 1 {
+		return tensor.New(n, c, h, w)
+	}
+	oh := (h + z.Stride - 1) / z.Stride
+	ow := (w + z.Stride - 1) / z.Stride
+	return tensor.New(n, c, oh, ow)
+}
+
+// Backward implements Module.
+func (z *Zero) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return tensor.New(z.lastShape...)
+}
+
+// Linear is a fully connected layer: y = x Wᵀ + b with x of shape [N, in].
+type Linear struct {
+	In, Out int
+
+	weight *Param
+	bias   *Param
+
+	lastX *tensor.Tensor
+}
+
+var _ Module = (*Linear)(nil)
+
+// NewLinear constructs a fully connected layer with bias.
+func NewLinear(name string, rng *rand.Rand, in, out int) *Linear {
+	return &Linear{
+		In: in, Out: out,
+		weight: NewParam(name+".weight", tensor.KaimingLinear(rng, out, in)),
+		bias:   NewParam(name+".bias", tensor.New(out)),
+	}
+}
+
+// Params implements Module.
+func (l *Linear) Params() []*Param { return []*Param{l.weight, l.bias} }
+
+// Forward implements Module.
+func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Dims() != 2 || x.Dim(1) != l.In {
+		panic(fmt.Sprintf("nn: Linear expects [N,%d], got %v", l.In, x.Shape()))
+	}
+	l.lastX = x
+	n := x.Dim(0)
+	out := tensor.New(n, l.Out)
+	xd, wd, bd, od := x.Data(), l.weight.Value.Data(), l.bias.Value.Data(), out.Data()
+	for b := 0; b < n; b++ {
+		for o := 0; o < l.Out; o++ {
+			acc := bd[o]
+			wrow := wd[o*l.In : (o+1)*l.In]
+			xrow := xd[b*l.In : (b+1)*l.In]
+			for i := range wrow {
+				acc += wrow[i] * xrow[i]
+			}
+			od[b*l.Out+o] = acc
+		}
+	}
+	return out
+}
+
+// Backward implements Module.
+func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n := grad.Dim(0)
+	gradX := tensor.New(n, l.In)
+	xd, wd := l.lastX.Data(), l.weight.Value.Data()
+	gd, gxd := grad.Data(), gradX.Data()
+	gwd, gbd := l.weight.Grad.Data(), l.bias.Grad.Data()
+	for b := 0; b < n; b++ {
+		for o := 0; o < l.Out; o++ {
+			gv := gd[b*l.Out+o]
+			if gv == 0 {
+				continue
+			}
+			gbd[o] += gv
+			wrow := wd[o*l.In : (o+1)*l.In]
+			gwrow := gwd[o*l.In : (o+1)*l.In]
+			xrow := xd[b*l.In : (b+1)*l.In]
+			gxrow := gxd[b*l.In : (b+1)*l.In]
+			for i := range wrow {
+				gwrow[i] += gv * xrow[i]
+				gxrow[i] += gv * wrow[i]
+			}
+		}
+	}
+	return gradX
+}
+
+// BatchNorm2D normalizes each channel over the batch and spatial dimensions,
+// with learnable scale (gamma) and shift (beta) and running statistics for
+// evaluation mode.
+type BatchNorm2D struct {
+	C        int
+	Eps      float64
+	Momentum float64 // running-stat update rate
+
+	gamma, beta *Param
+
+	runningMean []float64
+	runningVar  []float64
+	training    bool
+
+	// cached for backward
+	lastX    *tensor.Tensor
+	lastXHat *tensor.Tensor
+	lastStd  []float64
+}
+
+var (
+	_ Module       = (*BatchNorm2D)(nil)
+	_ TrainToggler = (*BatchNorm2D)(nil)
+)
+
+// NewBatchNorm2D constructs batch normalization over c channels.
+func NewBatchNorm2D(name string, c int) *BatchNorm2D {
+	bn := &BatchNorm2D{
+		C: c, Eps: 1e-5, Momentum: 0.1,
+		gamma:       NewParam(name+".gamma", tensor.Full(1, c)),
+		beta:        NewParam(name+".beta", tensor.New(c)),
+		runningMean: make([]float64, c),
+		runningVar:  make([]float64, c),
+		training:    true,
+	}
+	for i := range bn.runningVar {
+		bn.runningVar[i] = 1
+	}
+	return bn
+}
+
+// SetTraining implements TrainToggler.
+func (bn *BatchNorm2D) SetTraining(training bool) { bn.training = training }
+
+// Params implements Module.
+func (bn *BatchNorm2D) Params() []*Param { return []*Param{bn.gamma, bn.beta} }
+
+// Forward implements Module.
+func (bn *BatchNorm2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := mustDims4(x, "BatchNorm2D")
+	if c != bn.C {
+		panic(fmt.Sprintf("nn: BatchNorm2D got %d channels, want %d", c, bn.C))
+	}
+	bn.lastX = x
+	out := tensor.New(n, c, h, w)
+	xhat := tensor.New(n, c, h, w)
+	bn.lastXHat = xhat
+	bn.lastStd = make([]float64, c)
+
+	m := float64(n * h * w)
+	xd, od, xh := x.Data(), out.Data(), xhat.Data()
+	gd, bd := bn.gamma.Value.Data(), bn.beta.Value.Data()
+	for ch := 0; ch < c; ch++ {
+		var mean, variance float64
+		if bn.training {
+			sum := 0.0
+			for b := 0; b < n; b++ {
+				base := ((b*c + ch) * h) * w
+				for i := 0; i < h*w; i++ {
+					sum += xd[base+i]
+				}
+			}
+			mean = sum / m
+			sq := 0.0
+			for b := 0; b < n; b++ {
+				base := ((b*c + ch) * h) * w
+				for i := 0; i < h*w; i++ {
+					d := xd[base+i] - mean
+					sq += d * d
+				}
+			}
+			variance = sq / m
+			bn.runningMean[ch] = (1-bn.Momentum)*bn.runningMean[ch] + bn.Momentum*mean
+			bn.runningVar[ch] = (1-bn.Momentum)*bn.runningVar[ch] + bn.Momentum*variance
+		} else {
+			mean, variance = bn.runningMean[ch], bn.runningVar[ch]
+		}
+		std := math.Sqrt(variance + bn.Eps)
+		bn.lastStd[ch] = std
+		g, bta := gd[ch], bd[ch]
+		for b := 0; b < n; b++ {
+			base := ((b*c + ch) * h) * w
+			for i := 0; i < h*w; i++ {
+				xhv := (xd[base+i] - mean) / std
+				xh[base+i] = xhv
+				od[base+i] = g*xhv + bta
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Module. In evaluation mode the statistics are treated
+// as constants; in training mode the full batch-statistics gradient is used.
+func (bn *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := mustDims4(grad, "BatchNorm2D.Backward")
+	gradX := tensor.New(n, c, h, w)
+	m := float64(n * h * w)
+	gd := grad.Data()
+	xh := bn.lastXHat.Data()
+	gxd := gradX.Data()
+	ggd, gbd := bn.gamma.Grad.Data(), bn.beta.Grad.Data()
+	gammaD := bn.gamma.Value.Data()
+	for ch := 0; ch < c; ch++ {
+		var sumDy, sumDyXHat float64
+		for b := 0; b < n; b++ {
+			base := ((b*c + ch) * h) * w
+			for i := 0; i < h*w; i++ {
+				dy := gd[base+i]
+				sumDy += dy
+				sumDyXHat += dy * xh[base+i]
+			}
+		}
+		ggd[ch] += sumDyXHat
+		gbd[ch] += sumDy
+		scale := gammaD[ch] / bn.lastStd[ch]
+		if !bn.training {
+			for b := 0; b < n; b++ {
+				base := ((b*c + ch) * h) * w
+				for i := 0; i < h*w; i++ {
+					gxd[base+i] = scale * gd[base+i]
+				}
+			}
+			continue
+		}
+		meanDy := sumDy / m
+		meanDyXHat := sumDyXHat / m
+		for b := 0; b < n; b++ {
+			base := ((b*c + ch) * h) * w
+			for i := 0; i < h*w; i++ {
+				gxd[base+i] = scale * (gd[base+i] - meanDy - xh[base+i]*meanDyXHat)
+			}
+		}
+	}
+	return gradX
+}

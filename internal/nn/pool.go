@@ -1,0 +1,284 @@
+package nn
+
+import (
+	"math"
+
+	"fedrlnas/internal/tensor"
+)
+
+// MaxPool2D is a max pooling layer over [N,C,H,W] inputs.
+type MaxPool2D struct {
+	K, Stride, Pad int
+
+	lastX   *tensor.Tensor
+	argmaxI []int // flat input index of each output's max
+}
+
+var _ Module = (*MaxPool2D)(nil)
+
+// NewMaxPool2D constructs a k×k max pool.
+func NewMaxPool2D(k, stride, pad int) *MaxPool2D {
+	return &MaxPool2D{K: k, Stride: stride, Pad: pad}
+}
+
+// Params implements Module.
+func (p *MaxPool2D) Params() []*Param { return nil }
+
+// Forward implements Module.
+func (p *MaxPool2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := mustDims4(x, "MaxPool2D")
+	p.lastX = x
+	oh := convOutDim(h, p.K, p.Stride, p.Pad, 1)
+	ow := convOutDim(w, p.K, p.Stride, p.Pad, 1)
+	out := tensor.New(n, c, oh, ow)
+	p.argmaxI = make([]int, out.Size())
+	xd, od := x.Data(), out.Data()
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			base := ((b*c + ch) * h) * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := math.Inf(-1)
+					bestI := -1
+					for ky := 0; ky < p.K; ky++ {
+						iy := oy*p.Stride - p.Pad + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < p.K; kx++ {
+							ix := ox*p.Stride - p.Pad + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							if v := xd[base+iy*w+ix]; v > best {
+								best, bestI = v, base+iy*w+ix
+							}
+						}
+					}
+					oi := ((b*c+ch)*oh+oy)*ow + ox
+					if bestI < 0 { // window entirely in padding
+						best = 0
+					}
+					od[oi] = best
+					p.argmaxI[oi] = bestI
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Module.
+func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	gradX := tensor.New(p.lastX.Shape()...)
+	gd, gxd := grad.Data(), gradX.Data()
+	for oi, src := range p.argmaxI {
+		if src >= 0 {
+			gxd[src] += gd[oi]
+		}
+	}
+	return gradX
+}
+
+// AvgPool2D is an average pooling layer. The divisor is the full window size
+// (count_include_pad semantics, like the paper's PyTorch default).
+type AvgPool2D struct {
+	K, Stride, Pad int
+
+	lastShape []int
+}
+
+var _ Module = (*AvgPool2D)(nil)
+
+// NewAvgPool2D constructs a k×k average pool.
+func NewAvgPool2D(k, stride, pad int) *AvgPool2D {
+	return &AvgPool2D{K: k, Stride: stride, Pad: pad}
+}
+
+// Params implements Module.
+func (p *AvgPool2D) Params() []*Param { return nil }
+
+// Forward implements Module.
+func (p *AvgPool2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := mustDims4(x, "AvgPool2D")
+	p.lastShape = x.Shape()
+	oh := convOutDim(h, p.K, p.Stride, p.Pad, 1)
+	ow := convOutDim(w, p.K, p.Stride, p.Pad, 1)
+	out := tensor.New(n, c, oh, ow)
+	inv := 1.0 / float64(p.K*p.K)
+	xd, od := x.Data(), out.Data()
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			base := ((b*c + ch) * h) * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					acc := 0.0
+					for ky := 0; ky < p.K; ky++ {
+						iy := oy*p.Stride - p.Pad + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < p.K; kx++ {
+							ix := ox*p.Stride - p.Pad + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							acc += xd[base+iy*w+ix]
+						}
+					}
+					od[((b*c+ch)*oh+oy)*ow+ox] = acc * inv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Module.
+func (p *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n, c, oh, ow := mustDims4(grad, "AvgPool2D.Backward")
+	gradX := tensor.New(p.lastShape...)
+	h, w := p.lastShape[2], p.lastShape[3]
+	inv := 1.0 / float64(p.K*p.K)
+	gd, gxd := grad.Data(), gradX.Data()
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			base := ((b*c + ch) * h) * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					gv := gd[((b*c+ch)*oh+oy)*ow+ox] * inv
+					for ky := 0; ky < p.K; ky++ {
+						iy := oy*p.Stride - p.Pad + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < p.K; kx++ {
+							ix := ox*p.Stride - p.Pad + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							gxd[base+iy*w+ix] += gv
+						}
+					}
+				}
+			}
+		}
+	}
+	return gradX
+}
+
+// GlobalAvgPool averages each channel's spatial map to a single value,
+// producing [N, C] output from [N, C, H, W] input.
+type GlobalAvgPool struct {
+	lastShape []int
+}
+
+var _ Module = (*GlobalAvgPool)(nil)
+
+// NewGlobalAvgPool constructs a global average pooling layer.
+func NewGlobalAvgPool() *GlobalAvgPool { return &GlobalAvgPool{} }
+
+// Params implements Module.
+func (p *GlobalAvgPool) Params() []*Param { return nil }
+
+// Forward implements Module.
+func (p *GlobalAvgPool) Forward(x *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := mustDims4(x, "GlobalAvgPool")
+	p.lastShape = x.Shape()
+	out := tensor.New(n, c)
+	inv := 1.0 / float64(h*w)
+	xd, od := x.Data(), out.Data()
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			base := ((b*c + ch) * h) * w
+			acc := 0.0
+			for i := 0; i < h*w; i++ {
+				acc += xd[base+i]
+			}
+			od[b*c+ch] = acc * inv
+		}
+	}
+	return out
+}
+
+// Backward implements Module.
+func (p *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	gradX := tensor.New(p.lastShape...)
+	n, c, h, w := p.lastShape[0], p.lastShape[1], p.lastShape[2], p.lastShape[3]
+	inv := 1.0 / float64(h*w)
+	gd, gxd := grad.Data(), gradX.Data()
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			gv := gd[b*c+ch] * inv
+			base := ((b*c + ch) * h) * w
+			for i := 0; i < h*w; i++ {
+				gxd[base+i] = gv
+			}
+		}
+	}
+	return gradX
+}
+
+// SubSample spatially subsamples by taking every stride-th pixel. It is the
+// strided form of the identity operation in reduction cells (a simplification
+// of DARTS' factorized reduce; see DESIGN.md §2).
+type SubSample struct {
+	Stride int
+
+	lastShape []int
+}
+
+var _ Module = (*SubSample)(nil)
+
+// NewSubSample constructs a stride-s spatial subsampler.
+func NewSubSample(stride int) *SubSample { return &SubSample{Stride: stride} }
+
+// Params implements Module.
+func (s *SubSample) Params() []*Param { return nil }
+
+// Forward implements Module.
+func (s *SubSample) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if s.Stride == 1 {
+		s.lastShape = x.Shape()
+		return x.Clone()
+	}
+	n, c, h, w := mustDims4(x, "SubSample")
+	s.lastShape = x.Shape()
+	oh := (h + s.Stride - 1) / s.Stride
+	ow := (w + s.Stride - 1) / s.Stride
+	out := tensor.New(n, c, oh, ow)
+	xd, od := x.Data(), out.Data()
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			base := ((b*c + ch) * h) * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					od[((b*c+ch)*oh+oy)*ow+ox] = xd[base+oy*s.Stride*w+ox*s.Stride]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Module.
+func (s *SubSample) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if s.Stride == 1 {
+		return grad.Clone()
+	}
+	gradX := tensor.New(s.lastShape...)
+	n, c, oh, ow := mustDims4(grad, "SubSample.Backward")
+	h, w := s.lastShape[2], s.lastShape[3]
+	gd, gxd := grad.Data(), gradX.Data()
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			base := ((b*c + ch) * h) * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					gxd[base+oy*s.Stride*w+ox*s.Stride] = gd[((b*c+ch)*oh+oy)*ow+ox]
+				}
+			}
+		}
+	}
+	return gradX
+}

@@ -1,0 +1,93 @@
+package nn
+
+import (
+	"math/rand"
+
+	"fedrlnas/internal/tensor"
+)
+
+// Sequential chains modules, feeding each one's output to the next.
+type Sequential struct {
+	mods []Module
+}
+
+var (
+	_ Module       = (*Sequential)(nil)
+	_ TrainToggler = (*Sequential)(nil)
+)
+
+// NewSequential constructs a chain of modules.
+func NewSequential(mods ...Module) *Sequential {
+	return &Sequential{mods: mods}
+}
+
+// Modules returns the contained modules in order.
+func (s *Sequential) Modules() []Module { return s.mods }
+
+// Params implements Module.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, m := range s.mods {
+		ps = append(ps, m.Params()...)
+	}
+	return ps
+}
+
+// Forward implements Module.
+func (s *Sequential) Forward(x *tensor.Tensor) *tensor.Tensor {
+	for _, m := range s.mods {
+		x = m.Forward(x)
+	}
+	return x
+}
+
+// Backward implements Module.
+func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.mods) - 1; i >= 0; i-- {
+		grad = s.mods[i].Backward(grad)
+	}
+	return grad
+}
+
+// SetTraining implements TrainToggler, propagating to children.
+func (s *Sequential) SetTraining(training bool) {
+	SetTraining(training, s.mods...)
+}
+
+// NewSepConv builds the DARTS separable convolution block:
+// ReLU → depthwise k×k conv → pointwise 1×1 conv → batch norm.
+// (The paper's search space applies the DARTS block; we use a single
+// depthwise-separable stage instead of DARTS' doubled stage to keep
+// participant-side compute tractable on this substrate — see DESIGN.md.)
+func NewSepConv(name string, rng *rand.Rand, c, k, stride int) *Sequential {
+	pad := k / 2
+	return NewSequential(
+		NewReLU(),
+		NewConv2D(name+".dw", rng, c, c, k, ConvOpts{Stride: stride, Pad: pad, Groups: c}),
+		NewConv2D(name+".pw", rng, c, c, 1, ConvOpts{}),
+		NewBatchNorm2D(name+".bn", c),
+	)
+}
+
+// NewDilConv builds the DARTS dilated separable convolution block:
+// ReLU → depthwise k×k dilation-2 conv → pointwise 1×1 conv → batch norm.
+func NewDilConv(name string, rng *rand.Rand, c, k, stride int) *Sequential {
+	dil := 2
+	pad := dil * (k - 1) / 2
+	return NewSequential(
+		NewReLU(),
+		NewConv2D(name+".dw", rng, c, c, k, ConvOpts{Stride: stride, Pad: pad, Dilation: dil, Groups: c}),
+		NewConv2D(name+".pw", rng, c, c, 1, ConvOpts{}),
+		NewBatchNorm2D(name+".bn", c),
+	)
+}
+
+// NewReLUConvBN builds the DARTS preprocessing block:
+// ReLU → k×k conv → batch norm. Used for cell input preprocessing and stems.
+func NewReLUConvBN(name string, rng *rand.Rand, inC, outC, k, stride int) *Sequential {
+	return NewSequential(
+		NewReLU(),
+		NewConv2D(name+".conv", rng, inC, outC, k, ConvOpts{Stride: stride, Pad: k / 2}),
+		NewBatchNorm2D(name+".bn", outC),
+	)
+}

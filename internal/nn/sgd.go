@@ -1,0 +1,63 @@
+package nn
+
+import (
+	"fedrlnas/internal/tensor"
+)
+
+// SGD is stochastic gradient descent with momentum, L2 weight decay and
+// global-norm gradient clipping — the optimizer configuration from the
+// paper's Table I (lr 0.025, momentum 0.9, weight decay 3e-4, clip 5).
+type SGD struct {
+	LR           float64
+	Momentum     float64
+	WeightDecay  float64
+	GradClip     float64 // <= 0 disables clipping
+	velocity     map[*Param]*tensor.Tensor
+	lastGradNorm float64
+}
+
+// NewSGD constructs an SGD optimizer.
+func NewSGD(lr, momentum, weightDecay, gradClip float64) *SGD {
+	return &SGD{
+		LR:          lr,
+		Momentum:    momentum,
+		WeightDecay: weightDecay,
+		GradClip:    gradClip,
+		velocity:    make(map[*Param]*tensor.Tensor),
+	}
+}
+
+// Step applies one update to ps using their accumulated gradients.
+// Gradients are not cleared; call ZeroGrads between steps.
+func (s *SGD) Step(ps []*Param) {
+	if s.GradClip > 0 {
+		grads := make([]*tensor.Tensor, len(ps))
+		for i, p := range ps {
+			grads[i] = p.Grad
+		}
+		s.lastGradNorm = tensor.ClipL2(s.GradClip, grads...)
+	}
+	for _, p := range ps {
+		g := p.Grad.Clone()
+		if s.WeightDecay > 0 {
+			g.AXPY(s.WeightDecay, p.Value)
+		}
+		if s.Momentum > 0 {
+			v, ok := s.velocity[p]
+			if !ok {
+				v = tensor.New(p.Value.Shape()...)
+				s.velocity[p] = v
+			}
+			v.ScaleInPlace(s.Momentum)
+			v.AddInPlace(g)
+			g = v
+		}
+		p.Value.AXPY(-s.LR, g)
+	}
+}
+
+// LastGradNorm returns the pre-clip global gradient norm of the last Step.
+func (s *SGD) LastGradNorm() float64 { return s.lastGradNorm }
+
+// Reset clears momentum state (used when re-initializing a model at P3).
+func (s *SGD) Reset() { s.velocity = make(map[*Param]*tensor.Tensor) }

@@ -1,0 +1,182 @@
+package rpcfed
+
+import (
+	"fmt"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"fedrlnas/internal/fed"
+	"fedrlnas/internal/metrics"
+	"fedrlnas/internal/nas"
+	"fedrlnas/internal/nn"
+	"fedrlnas/internal/tensor"
+)
+
+// FedAvgRequest asks a participant to run LocalSteps of SGD on a fixed
+// architecture starting from the shipped weights (the P3 "FL" phase over
+// the real transport).
+type FedAvgRequest struct {
+	Round      int
+	Normal     []int
+	Reduce     []int
+	Weights    [][]float64
+	BatchSize  int
+	LocalSteps int
+	// Optimizer hyperparameters (paper Table I "P3, FL").
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	GradClip    float64
+}
+
+// FedAvgReply returns the locally updated weights and shard size for
+// server-side weighted averaging.
+type FedAvgReply struct {
+	Round         int
+	ParticipantID int
+	NumSamples    int
+	TrainAccuracy float64
+	Weights       [][]float64
+}
+
+// TrainAvg implements the FedAvg participant update over RPC.
+func (p *ParticipantService) TrainAvg(req *FedAvgRequest, reply *FedAvgReply) error {
+	p.mu.Lock()
+	delay := p.delay
+	p.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	if req.BatchSize <= 0 || req.LocalSteps <= 0 {
+		return fmt.Errorf("rpcfed: bad FedAvg request batch=%d steps=%d", req.BatchSize, req.LocalSteps)
+	}
+	geno := nas.GenotypeFromGates(nas.Gates{Normal: req.Normal, Reduce: req.Reduce},
+		p.netCfg.Candidates, p.netCfg.Nodes)
+	model, err := nas.NewFixedModel(p.rng, p.netCfg, geno)
+	if err != nil {
+		return fmt.Errorf("rpcfed: materialize model: %w", err)
+	}
+	params := model.Params()
+	sizes := make([]int, len(params))
+	for i, pr := range params {
+		sizes[i] = pr.Value.Size()
+	}
+	if err := checkWeightShapes(req.Weights, sizes); err != nil {
+		return err
+	}
+	for i, pr := range params {
+		copy(pr.Value.Data(), req.Weights[i])
+	}
+
+	opt := nn.NewSGD(req.LR, req.Momentum, req.WeightDecay, req.GradClip)
+	lastAcc := 0.0
+	for step := 0; step < req.LocalSteps; step++ {
+		batch := p.batcher.Next(req.BatchSize)
+		x, y := p.ds.Gather(batch)
+		x = p.augment.Apply(x, p.rng)
+		nn.ZeroGrads(params)
+		lossRes, err := nn.CrossEntropy(model.Forward(x), y)
+		if err != nil {
+			return err
+		}
+		model.Backward(lossRes.GradLogits)
+		opt.Step(params)
+		lastAcc = lossRes.Accuracy
+	}
+
+	reply.Round = req.Round
+	reply.ParticipantID = p.id
+	reply.NumSamples = p.numSamples
+	reply.TrainAccuracy = lastAcc
+	reply.Weights = flattenValues(params)
+	return nil
+}
+
+// FedAvgOverRPC trains the genotype's discrete model with federated
+// averaging across the RPC participants (hard sync: all replies per round,
+// issued concurrently). The server's copy of the model is updated in place.
+func FedAvgOverRPC(clients []*rpc.Client, model *nas.FixedModel, geno nas.Genotype,
+	cfg fed.FedAvgConfig, rounds int) (metrics.Curve, error) {
+
+	if len(clients) == 0 {
+		return metrics.Curve{}, fmt.Errorf("rpcfed: no participants")
+	}
+	if err := cfg.Validate(); err != nil {
+		return metrics.Curve{}, err
+	}
+	params := model.Params()
+	var curve metrics.Curve
+
+	for round := 0; round < rounds; round++ {
+		weights := flattenValues(params)
+		req := &FedAvgRequest{
+			Round:      round,
+			Normal:     genotypeGateInts(geno.Normal),
+			Reduce:     genotypeGateInts(geno.Reduce),
+			Weights:    weights,
+			BatchSize:  cfg.BatchSize,
+			LocalSteps: cfg.LocalSteps,
+			LR:         cfg.LR, Momentum: cfg.Momentum,
+			WeightDecay: cfg.WeightDecay, GradClip: cfg.GradClip,
+		}
+		replies := make([]*FedAvgReply, len(clients))
+		errs := make([]error, len(clients))
+		var wg sync.WaitGroup
+		for i, client := range clients {
+			wg.Add(1)
+			go func(i int, client *rpc.Client) {
+				defer wg.Done()
+				r := &FedAvgReply{}
+				errs[i] = client.Call("Participant.TrainAvg", req, r)
+				replies[i] = r
+			}(i, client)
+		}
+		wg.Wait()
+
+		totalSamples := 0
+		for i, err := range errs {
+			if err != nil {
+				return curve, fmt.Errorf("rpcfed: participant %d round %d: %w", i, round, err)
+			}
+			totalSamples += replies[i].NumSamples
+		}
+		// Weighted average of returned weights.
+		avg := make([]*tensor.Tensor, len(params))
+		for i, p := range params {
+			avg[i] = tensor.New(p.Value.Shape()...)
+		}
+		meanAcc := 0.0
+		for _, r := range replies {
+			w := float64(r.NumSamples) / float64(totalSamples)
+			for i := range avg {
+				t := tensor.FromSlice(r.Weights[i], avg[i].Shape()...)
+				avg[i].AXPY(w, t)
+			}
+			meanAcc += r.TrainAccuracy
+		}
+		for i, p := range params {
+			p.Value.CopyFrom(avg[i])
+		}
+		curve.Add(round, meanAcc/float64(len(replies)))
+	}
+	return curve, nil
+}
+
+// genotypeGateInts converts op kinds to candidate indices over nas.AllOps
+// (the participant reconstructs the genotype from its full candidate list).
+func genotypeGateInts(ops []nas.OpKind) []int {
+	out := make([]int, len(ops))
+	for i, op := range ops {
+		for j, k := range nas.AllOps {
+			if k == op {
+				out[i] = j
+				break
+			}
+		}
+	}
+	return out
+}

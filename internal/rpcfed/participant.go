@@ -1,0 +1,148 @@
+package rpcfed
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"fedrlnas/internal/data"
+	"fedrlnas/internal/nas"
+	"fedrlnas/internal/nn"
+)
+
+// ParticipantService is the RPC service a federated client exposes. It
+// owns a local data shard and, per request, materializes the sub-model the
+// server selected (only the gated candidate per edge — never the whole
+// supernet), loads the shipped weights, runs one batch-gradient step's
+// backward pass, and returns reward plus gradients.
+type ParticipantService struct {
+	id     int
+	netCfg nas.Config
+
+	mu      sync.Mutex
+	ds      *data.Dataset
+	batcher *data.Batcher
+	rng     *rand.Rand
+	augment data.AugmentConfig
+
+	// Delay artificially slows every call (straggler injection for soft
+	// synchronization tests and demos).
+	delay time.Duration
+
+	numSamples int
+}
+
+// NewParticipantService constructs a participant over a shard of ds.
+func NewParticipantService(id int, ds *data.Dataset, indices []int, netCfg nas.Config, seed int64) (*ParticipantService, error) {
+	rng := rand.New(rand.NewSource(seed))
+	b, err := data.NewBatcher(indices, rng)
+	if err != nil {
+		return nil, fmt.Errorf("rpcfed: participant %d: %w", id, err)
+	}
+	return &ParticipantService{
+		id:         id,
+		netCfg:     netCfg,
+		ds:         ds,
+		batcher:    b,
+		rng:        rng,
+		augment:    data.DefaultAugment(),
+		numSamples: len(indices),
+	}, nil
+}
+
+// SetDelay injects an artificial per-call delay (straggler simulation).
+func (p *ParticipantService) SetDelay(d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.delay = d
+}
+
+// Hello implements the registration handshake.
+func (p *ParticipantService) Hello(_ *HelloRequest, reply *HelloReply) error {
+	reply.ParticipantID = p.id
+	reply.NumSamples = p.numSamples
+	return nil
+}
+
+// Train implements Alg. 1's participant update (lines 37–42) over RPC.
+func (p *ParticipantService) Train(req *TrainRequest, reply *TrainReply) error {
+	p.mu.Lock()
+	delay := p.delay
+	p.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	if req.BatchSize <= 0 {
+		return fmt.Errorf("rpcfed: batch size %d", req.BatchSize)
+	}
+	gates := gatesOf(req)
+	geno := nas.GenotypeFromGates(gates, p.netCfg.Candidates, p.netCfg.Nodes)
+	model, err := nas.NewFixedModel(p.rng, p.netCfg, geno)
+	if err != nil {
+		return fmt.Errorf("rpcfed: materialize sub-model: %w", err)
+	}
+	params := model.Params()
+	sizes := make([]int, len(params))
+	for i, pr := range params {
+		sizes[i] = pr.Value.Size()
+	}
+	if err := checkWeightShapes(req.Weights, sizes); err != nil {
+		return err
+	}
+	for i, pr := range params {
+		copy(pr.Value.Data(), req.Weights[i])
+	}
+
+	batch := p.batcher.Next(req.BatchSize)
+	x, y := p.ds.Gather(batch)
+	x = p.augment.Apply(x, p.rng)
+	nn.ZeroGrads(params)
+	lossRes, err := nn.CrossEntropy(model.Forward(x), y)
+	if err != nil {
+		return err
+	}
+	model.Backward(lossRes.GradLogits)
+
+	reply.Round = req.Round
+	reply.ParticipantID = p.id
+	reply.Reward = lossRes.Accuracy
+	reply.Loss = lossRes.Loss
+	reply.Grads = make([][]float64, len(params))
+	for i, pr := range params {
+		reply.Grads[i] = append([]float64(nil), pr.Grad.Data()...)
+	}
+	return nil
+}
+
+// Serve registers the service under a unique name and accepts connections
+// on a fresh TCP listener until the listener is closed. It returns the
+// listener (for its address and for shutdown) and a done channel closed
+// when the accept loop exits.
+func (p *ParticipantService) Serve(addr string) (net.Listener, <-chan struct{}, error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Participant", p); err != nil {
+		return nil, nil, fmt.Errorf("rpcfed: register: %w", err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("rpcfed: listen: %w", err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return ln, done, nil
+}

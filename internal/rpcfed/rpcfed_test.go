@@ -1,0 +1,367 @@
+package rpcfed
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"fedrlnas/internal/data"
+	"fedrlnas/internal/fed"
+	"fedrlnas/internal/nas"
+	"fedrlnas/internal/nn"
+	"fedrlnas/internal/staleness"
+)
+
+func testNet() nas.Config {
+	return nas.Config{
+		InChannels: 2, NumClasses: 4, C: 3, Layers: 2, Nodes: 1,
+		Candidates: nas.AllOps,
+	}
+}
+
+func testDataset(t *testing.T) *data.Dataset {
+	t.Helper()
+	spec := data.Spec{
+		Name: "rpct", NumClasses: 4, Channels: 2, Height: 6, Width: 6,
+		TrainPerClass: 24, TestPerClass: 6, Noise: 1.0, Confusion: 0.3, Seed: 13,
+	}
+	ds, err := data.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// startCluster launches k participant RPC servers on loopback and returns
+// their addresses plus a shutdown func.
+func startCluster(t *testing.T, k int, slow map[int]time.Duration) ([]string, []*ParticipantService, func()) {
+	t.Helper()
+	ds := testDataset(t)
+	rng := rand.New(rand.NewSource(5))
+	part, err := data.IIDPartition(ds.NumTrain(), k, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		addrs     []string
+		listeners []net.Listener
+		services  []*ParticipantService
+	)
+	for i := 0; i < k; i++ {
+		svc, err := NewParticipantService(i, ds, part.Indices[i], testNet(), int64(100+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d, ok := slow[i]; ok {
+			svc.SetDelay(d)
+		}
+		ln, _, err := svc.Serve("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, ln.Addr().String())
+		listeners = append(listeners, ln)
+		services = append(services, svc)
+	}
+	return addrs, services, func() {
+		for _, ln := range listeners {
+			_ = ln.Close()
+		}
+	}
+}
+
+func TestWireHelpers(t *testing.T) {
+	req := &TrainRequest{Normal: []int{1, 2}, Reduce: []int{3, 4}}
+	g := gatesOf(req)
+	req.Normal[0] = 9
+	if g.Normal[0] != 1 {
+		t.Error("gatesOf must copy")
+	}
+	if err := checkWeightShapes([][]float64{{1, 2}}, []int{2}); err != nil {
+		t.Errorf("valid shapes rejected: %v", err)
+	}
+	if err := checkWeightShapes([][]float64{{1}}, []int{2}); err == nil {
+		t.Error("wrong length accepted")
+	}
+	if err := checkWeightShapes([][]float64{{1}}, []int{1, 1}); err == nil {
+		t.Error("wrong count accepted")
+	}
+}
+
+func TestServerConfigValidation(t *testing.T) {
+	good := DefaultServerConfig(testNet())
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, mut := range []func(*ServerConfig){
+		func(c *ServerConfig) { c.Rounds = 0 },
+		func(c *ServerConfig) { c.BatchSize = 0 },
+		func(c *ServerConfig) { c.Quorum = 0 },
+		func(c *ServerConfig) { c.Quorum = 1.5 },
+		func(c *ServerConfig) { c.StalenessThreshold = -1 },
+		func(c *ServerConfig) { c.RoundTimeout = 0 },
+	} {
+		cfg := good
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Error("expected validation error")
+		}
+	}
+}
+
+func TestNewServerRequiresAddrs(t *testing.T) {
+	if _, err := NewServer(DefaultServerConfig(testNet()), nil); err == nil {
+		t.Error("expected error for empty address list")
+	}
+}
+
+func TestNewServerDialFailure(t *testing.T) {
+	if _, err := NewServer(DefaultServerConfig(testNet()), []string{"127.0.0.1:1"}); err == nil {
+		t.Error("expected dial error")
+	}
+}
+
+func TestParticipantHelloAndTrain(t *testing.T) {
+	addrs, _, stop := startCluster(t, 1, nil)
+	defer stop()
+	cfg := DefaultServerConfig(testNet())
+	cfg.Rounds = 1
+	cfg.BatchSize = 8
+	s, err := NewServer(cfg, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var hello HelloReply
+	if err := s.clients[0].Call("Participant.Hello", &HelloRequest{}, &hello); err != nil {
+		t.Fatal(err)
+	}
+	if hello.NumSamples == 0 {
+		t.Error("participant reports empty shard")
+	}
+
+	g := s.ctrl.SampleGates(s.rng)
+	sub := s.net.SampledParams(g)
+	req := &TrainRequest{
+		Round: 0, Normal: g.Normal, Reduce: g.Reduce,
+		Weights: flattenValues(sub), BatchSize: 8,
+	}
+	var reply TrainReply
+	if err := s.clients[0].Call("Participant.Train", req, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Grads) != len(sub) {
+		t.Fatalf("reply has %d grad tensors, want %d", len(reply.Grads), len(sub))
+	}
+	for i, p := range sub {
+		if len(reply.Grads[i]) != p.Value.Size() {
+			t.Fatalf("grad %d has %d values, want %d", i, len(reply.Grads[i]), p.Value.Size())
+		}
+	}
+	if reply.Reward < 0 || reply.Reward > 1 {
+		t.Errorf("reward %v out of range", reply.Reward)
+	}
+}
+
+func TestTrainRejectsBadRequest(t *testing.T) {
+	addrs, _, stop := startCluster(t, 1, nil)
+	defer stop()
+	cfg := DefaultServerConfig(testNet())
+	s, err := NewServer(cfg, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	g := s.ctrl.SampleGates(s.rng)
+	var reply TrainReply
+	// zero batch
+	err = s.clients[0].Call("Participant.Train", &TrainRequest{
+		Round: 0, Normal: g.Normal, Reduce: g.Reduce, BatchSize: 0,
+	}, &reply)
+	if err == nil {
+		t.Error("expected error for zero batch")
+	}
+	// wrong weight shapes
+	err = s.clients[0].Call("Participant.Train", &TrainRequest{
+		Round: 0, Normal: g.Normal, Reduce: g.Reduce, BatchSize: 4,
+		Weights: [][]float64{{1, 2, 3}},
+	}, &reply)
+	if err == nil {
+		t.Error("expected error for bad weights")
+	}
+}
+
+func TestRPCSearchEndToEnd(t *testing.T) {
+	addrs, _, stop := startCluster(t, 4, nil)
+	defer stop()
+	cfg := DefaultServerConfig(testNet())
+	cfg.Rounds = 20
+	cfg.BatchSize = 8
+	cfg.Quorum = 1 // hard sync: everyone fresh
+	s, err := NewServer(cfg, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Genotype.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Curve.Len() != cfg.Rounds {
+		t.Fatalf("curve has %d points", res.Curve.Len())
+	}
+	if res.FreshReplies != cfg.Rounds*4 {
+		t.Errorf("fresh replies %d, want %d", res.FreshReplies, cfg.Rounds*4)
+	}
+	if res.LateReplies != 0 {
+		t.Errorf("late replies %d under hard sync", res.LateReplies)
+	}
+	// The search must actually train.
+	if res.Curve.TailMean(5) <= 0.25 {
+		t.Errorf("tail accuracy %.3f no better than chance", res.Curve.TailMean(5))
+	}
+}
+
+func TestRPCSoftSyncHandlesStraggler(t *testing.T) {
+	// Every participant sleeps 5 ms per call (pinning the round duration);
+	// participant 3 sleeps 25 ms, a handful of rounds. With a quorum of
+	// 3/4 the server closes rounds without it, and its replies arrive a
+	// few rounds late — exercised through the genuine async path.
+	addrs, _, stop := startCluster(t, 4, map[int]time.Duration{
+		0: 5 * time.Millisecond,
+		1: 5 * time.Millisecond,
+		2: 5 * time.Millisecond,
+		3: 25 * time.Millisecond,
+	})
+	defer stop()
+	cfg := DefaultServerConfig(testNet())
+	cfg.Rounds = 30
+	cfg.BatchSize = 8
+	cfg.Quorum = 0.75
+	cfg.Strategy = staleness.DC
+	cfg.StalenessThreshold = 8
+	s, err := NewServer(cfg, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FreshReplies == 0 {
+		t.Fatal("no fresh replies")
+	}
+	if res.LateReplies == 0 {
+		t.Error("straggler never produced a late (delay-compensated) reply")
+	}
+	if res.Curve.Len() != cfg.Rounds {
+		t.Errorf("curve has %d points", res.Curve.Len())
+	}
+}
+
+func TestRPCThrowDiscardsLateReplies(t *testing.T) {
+	addrs, _, stop := startCluster(t, 3, map[int]time.Duration{
+		0: 5 * time.Millisecond,
+		1: 5 * time.Millisecond,
+		2: 25 * time.Millisecond,
+	})
+	defer stop()
+	cfg := DefaultServerConfig(testNet())
+	cfg.Rounds = 25
+	cfg.BatchSize = 8
+	cfg.Quorum = 0.67
+	cfg.Strategy = staleness.Throw
+	cfg.StalenessThreshold = 8
+	s, err := NewServer(cfg, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LateReplies != 0 {
+		t.Errorf("throw strategy accepted %d late replies", res.LateReplies)
+	}
+	if res.DroppedReplies == 0 {
+		t.Error("throw strategy never dropped anything despite a straggler")
+	}
+}
+
+func TestFedAvgOverRPC(t *testing.T) {
+	addrs, _, stop := startCluster(t, 3, nil)
+	defer stop()
+	cfg := DefaultServerConfig(testNet())
+	s, err := NewServer(cfg, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	geno := nas.Genotype{
+		Normal: []nas.OpKind{nas.OpSepConv3, nas.OpMaxPool3},
+		Reduce: []nas.OpKind{nas.OpAvgPool3, nas.OpSepConv3},
+		Nodes:  1,
+	}
+	model, err := nas.NewFixedModel(rand.New(rand.NewSource(9)), testNet(), geno)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := nn.CloneParamValues(model.Params())
+	fcfg := fed.DefaultFedAvgConfig()
+	fcfg.Rounds = 1 // rounds arg governs the loop below
+	fcfg.BatchSize = 8
+	curve, err := FedAvgOverRPC(s.clients, model, geno, fcfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve.Len() != 6 {
+		t.Fatalf("curve has %d points", curve.Len())
+	}
+	moved := false
+	for i, p := range model.Params() {
+		if !p.Value.AllClose(before[i], 1e-12) {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Error("FedAvg over RPC never moved the weights")
+	}
+	if _, err := FedAvgOverRPC(nil, model, geno, fcfg, 2); err == nil {
+		t.Error("expected error for no clients")
+	}
+	bad := fcfg
+	bad.BatchSize = 0
+	if _, err := FedAvgOverRPC(s.clients, model, geno, bad, 2); err == nil {
+		t.Error("expected error for invalid config")
+	}
+}
+
+func TestServeShutsDownOnListenerClose(t *testing.T) {
+	ds := testDataset(t)
+	svc, err := NewParticipantService(0, ds, []int{0, 1, 2, 3}, testNet(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, done, err := svc.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+		// accept loop exited cleanly
+	case <-time.After(2 * time.Second):
+		t.Fatal("accept loop did not exit after listener close")
+	}
+}

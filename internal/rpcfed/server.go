@@ -1,0 +1,407 @@
+package rpcfed
+
+import (
+	"fmt"
+	"math/rand"
+	"net/rpc"
+	"time"
+
+	"fedrlnas/internal/controller"
+	"fedrlnas/internal/metrics"
+	"fedrlnas/internal/nas"
+	"fedrlnas/internal/nn"
+	"fedrlnas/internal/staleness"
+	"fedrlnas/internal/tensor"
+)
+
+// ServerConfig configures the RPC search server.
+type ServerConfig struct {
+	Net   nas.Config
+	Alpha controller.Config
+
+	Rounds    int
+	BatchSize int
+
+	ThetaLR       float64
+	ThetaMomentum float64
+	ThetaWD       float64
+	ThetaClip     float64
+
+	// Quorum is the fraction of participants whose replies close a round
+	// (the paper's "wait for most participants"); 1.0 is hard sync.
+	Quorum float64
+	// StalenessThreshold is Δ: replies older than this many rounds are
+	// dropped (Alg. 1 line 23).
+	StalenessThreshold int
+	// Lambda is the delay-compensation strength; Strategy selects how
+	// late replies are treated (DC, Use, or Throw).
+	Lambda   float64
+	Strategy staleness.Strategy
+
+	// RoundTimeout bounds the wall-clock wait per round even below
+	// quorum (protection against dead participants).
+	RoundTimeout time.Duration
+
+	Seed int64
+}
+
+// DefaultServerConfig returns sensible RPC-deployment defaults.
+func DefaultServerConfig(net nas.Config) ServerConfig {
+	alpha := controller.DefaultConfig()
+	alpha.LR = 0.3
+	return ServerConfig{
+		Net: net, Alpha: alpha,
+		Rounds: 30, BatchSize: 16,
+		ThetaLR: 0.2, ThetaMomentum: 0.9, ThetaWD: 3e-4, ThetaClip: 5,
+		Quorum: 0.8, StalenessThreshold: 2, Lambda: 1, Strategy: staleness.DC,
+		RoundTimeout: 30 * time.Second,
+		Seed:         1,
+	}
+}
+
+// Validate checks the configuration.
+func (c ServerConfig) Validate() error {
+	switch {
+	case c.Rounds <= 0:
+		return fmt.Errorf("rpcfed: Rounds %d must be positive", c.Rounds)
+	case c.BatchSize <= 0:
+		return fmt.Errorf("rpcfed: BatchSize %d must be positive", c.BatchSize)
+	case c.Quorum <= 0 || c.Quorum > 1:
+		return fmt.Errorf("rpcfed: Quorum %v outside (0,1]", c.Quorum)
+	case c.StalenessThreshold < 0:
+		return fmt.Errorf("rpcfed: negative staleness threshold")
+	case c.RoundTimeout <= 0:
+		return fmt.Errorf("rpcfed: RoundTimeout must be positive")
+	}
+	return nil
+}
+
+// ServerResult summarizes an RPC search run.
+type ServerResult struct {
+	Genotype nas.Genotype
+	// Curve is the mean fresh-reply training accuracy per round.
+	Curve metrics.Curve
+	// FreshReplies / LateReplies / DroppedReplies count reply handling.
+	FreshReplies, LateReplies, DroppedReplies int
+	// RoundSeconds is the measured wall-clock per round.
+	RoundSeconds []float64
+}
+
+// Server drives Alg. 1 over RPC participants.
+type Server struct {
+	cfg  ServerConfig
+	net  *nas.Supernet
+	ctrl *controller.Controller
+	opt  *nn.SGD
+	rng  *rand.Rand
+
+	clients []*rpc.Client
+
+	paramIndex map[*nn.Param]int
+	thetaPool  *staleness.Pool[[]*tensor.Tensor]
+	alphaPool  *staleness.Pool[controller.AlphaSnapshot]
+	gatesPool  *staleness.Pool[[]nas.Gates]
+
+	replies  chan *TrainReply
+	inFlight map[int]bool // participants with an outstanding call
+}
+
+// NewServer dials the participant addresses and prepares the search state.
+func NewServer(cfg ServerConfig, addrs []string) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("rpcfed: no participant addresses")
+	}
+	net, err := nas.NewSupernet(rand.New(rand.NewSource(cfg.Seed+2)), cfg.Net)
+	if err != nil {
+		return nil, err
+	}
+	nE, rE := net.ArchSpace()
+	ctrl, err := controller.New(nE, rE, net.NumCandidates(), cfg.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:  cfg,
+		net:  net,
+		ctrl: ctrl,
+		opt:  nn.NewSGD(cfg.ThetaLR, cfg.ThetaMomentum, cfg.ThetaWD, cfg.ThetaClip),
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+
+		thetaPool: staleness.NewPool[[]*tensor.Tensor](cfg.StalenessThreshold),
+		alphaPool: staleness.NewPool[controller.AlphaSnapshot](cfg.StalenessThreshold),
+		gatesPool: staleness.NewPool[[]nas.Gates](cfg.StalenessThreshold),
+
+		replies:  make(chan *TrainReply, 4*len(addrs)),
+		inFlight: make(map[int]bool, len(addrs)),
+	}
+	s.paramIndex = make(map[*nn.Param]int)
+	for i, p := range net.Params() {
+		s.paramIndex[p] = i
+	}
+	for _, addr := range addrs {
+		client, err := rpc.Dial("tcp", addr)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("rpcfed: dial %s: %w", addr, err)
+		}
+		s.clients = append(s.clients, client)
+	}
+	s.net.SetTraining(true)
+	return s, nil
+}
+
+// Close tears down the participant connections.
+func (s *Server) Close() {
+	for _, c := range s.clients {
+		if c != nil {
+			_ = c.Close()
+		}
+	}
+}
+
+// Supernet exposes the server-side supernet (e.g. to warm-start θ).
+func (s *Server) Supernet() *nas.Supernet { return s.net }
+
+// Run executes cfg.Rounds rounds of Alg. 1 over the RPC participants and
+// derives the final genotype.
+func (s *Server) Run() (ServerResult, error) {
+	res := ServerResult{}
+	params := s.net.Params()
+	k := len(s.clients)
+	quorum := int(float64(k)*s.cfg.Quorum + 0.5)
+	if quorum < 1 {
+		quorum = 1
+	}
+
+	for t := 0; t < s.cfg.Rounds; t++ {
+		roundStart := time.Now()
+		thetaNow := nn.CloneParamValues(params)
+		s.thetaPool.Put(t, thetaNow)
+		alphaNow := s.ctrl.Snapshot()
+		s.alphaPool.Put(t, alphaNow)
+
+		gates := make([]nas.Gates, k)
+		for p := 0; p < k; p++ {
+			gates[p] = s.ctrl.SampleGates(s.rng)
+		}
+		s.gatesPool.Put(t, gates)
+
+		// Dispatch to every participant that is not still busy with an
+		// earlier round (genuine soft sync: stragglers skip rounds).
+		dispatched := 0
+		for p := 0; p < k; p++ {
+			if s.inFlight[p] {
+				continue
+			}
+			sub := s.net.SampledParams(gates[p])
+			req := &TrainRequest{
+				Round:     t,
+				Normal:    append([]int(nil), gates[p].Normal...),
+				Reduce:    append([]int(nil), gates[p].Reduce...),
+				Weights:   flattenValues(sub),
+				BatchSize: s.cfg.BatchSize,
+			}
+			s.inFlight[p] = true
+			go s.call(p, req)
+			dispatched++
+		}
+
+		// Collect until quorum of THIS round's replies (late replies from
+		// earlier rounds count toward the aggregate but not the quorum).
+		aggTheta := make([]*tensor.Tensor, len(params))
+		nE, rE := s.net.ArchSpace()
+		aggAlpha := controller.NewAlphaGrad(nE, rE, s.net.NumCandidates())
+		contributors, freshCount := 0, 0
+		sumAcc, sumFreshAcc := 0.0, 0.0
+		deadline := time.After(s.cfg.RoundTimeout)
+		target := quorum
+		if dispatched < target {
+			target = dispatched
+		}
+
+		handle := func(reply *TrainReply) error {
+			s.inFlight[reply.ParticipantID] = false
+			fresh, ok, err := s.absorb(reply, t, thetaNow, aggTheta, aggAlpha)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				res.DroppedReplies++
+				return nil
+			}
+			contributors++
+			sumAcc += reply.Reward
+			if fresh {
+				freshCount++
+				sumFreshAcc += reply.Reward
+				res.FreshReplies++
+			} else {
+				res.LateReplies++
+			}
+			return nil
+		}
+
+		// If every participant is still busy with earlier rounds, block for
+		// one reply (or the timeout) so the server does not spin.
+		if dispatched == 0 {
+			select {
+			case reply := <-s.replies:
+				if err := handle(reply); err != nil {
+					return res, err
+				}
+			case <-deadline:
+			}
+		}
+
+	collect:
+		for freshCount < target {
+			select {
+			case reply := <-s.replies:
+				if err := handle(reply); err != nil {
+					return res, err
+				}
+			case <-deadline:
+				break collect
+			}
+		}
+		// Drain any further replies already queued (late arrivals from
+		// earlier rounds) without blocking the round.
+	drain:
+		for {
+			select {
+			case reply := <-s.replies:
+				if err := handle(reply); err != nil {
+					return res, err
+				}
+			default:
+				break drain
+			}
+		}
+
+		if contributors > 0 {
+			inv := 1.0 / float64(contributors)
+			for i, p := range params {
+				p.Grad.Zero()
+				if aggTheta[i] != nil {
+					p.Grad.AXPY(inv, aggTheta[i])
+				}
+			}
+			s.opt.Step(params)
+			aggAlpha.Scale(inv)
+			s.ctrl.Apply(aggAlpha)
+			s.ctrl.UpdateBaseline(sumAcc * inv)
+		}
+		if freshCount > 0 {
+			res.Curve.Add(t, sumFreshAcc/float64(freshCount))
+		} else {
+			res.Curve.Add(t, 0)
+		}
+		res.RoundSeconds = append(res.RoundSeconds, time.Since(roundStart).Seconds())
+		s.thetaPool.Evict(t + 1)
+		s.alphaPool.Evict(t + 1)
+		s.gatesPool.Evict(t + 1)
+	}
+	res.Genotype = s.ctrl.Derive(s.cfg.Net.Candidates, s.cfg.Net.Nodes)
+	return res, nil
+}
+
+// call issues the RPC and forwards the reply (or a zeroed reply on error)
+// to the collection channel.
+func (s *Server) call(p int, req *TrainRequest) {
+	reply := &TrainReply{}
+	if err := s.clients[p].Call("Participant.Train", req, reply); err != nil {
+		// Feed a drop marker so the dispatcher can clear the in-flight bit.
+		reply.Round = -1
+		reply.ParticipantID = p
+	}
+	s.replies <- reply
+}
+
+// absorb folds one reply into the aggregation buffers, applying delay
+// compensation for late replies. It reports (fresh, accepted, err).
+func (s *Server) absorb(reply *TrainReply, t int, thetaNow []*tensor.Tensor,
+	aggTheta []*tensor.Tensor, aggAlpha controller.AlphaGrad) (bool, bool, error) {
+
+	if reply.Round < 0 {
+		return false, false, nil // transport failure: treat as dropped
+	}
+	delay := t - reply.Round
+	if delay < 0 {
+		return false, false, fmt.Errorf("rpcfed: reply from future round %d at %d", reply.Round, t)
+	}
+	if delay > s.cfg.StalenessThreshold {
+		return false, false, nil
+	}
+	if delay > 0 && s.cfg.Strategy == staleness.Throw {
+		return false, false, nil
+	}
+	gatesAt, ok := s.gatesPool.Get(reply.Round)
+	if !ok {
+		return false, false, nil
+	}
+	gk := gatesAt[reply.ParticipantID]
+	sub := s.net.SampledParams(gk)
+	sizes := make([]int, len(sub))
+	for i, p := range sub {
+		sizes[i] = p.Value.Size()
+	}
+	if err := checkWeightShapes(reply.Grads, sizes); err != nil {
+		return false, false, err
+	}
+	grads := make([]*tensor.Tensor, len(sub))
+	for i, p := range sub {
+		grads[i] = tensor.FromSlice(reply.Grads[i], p.Value.Shape()...)
+	}
+
+	if delay > 0 && s.cfg.Strategy == staleness.DC {
+		thetaAt, ok := s.thetaPool.Get(reply.Round)
+		if !ok {
+			return false, false, nil
+		}
+		freshVals := make([]*tensor.Tensor, len(sub))
+		staleVals := make([]*tensor.Tensor, len(sub))
+		for i, p := range sub {
+			idx := s.paramIndex[p]
+			freshVals[i] = thetaNow[idx]
+			staleVals[i] = thetaAt[idx]
+		}
+		var err error
+		grads, err = staleness.CompensateTheta(grads, freshVals, staleVals, s.cfg.Lambda)
+		if err != nil {
+			return false, false, err
+		}
+	}
+	for i, p := range sub {
+		idx := s.paramIndex[p]
+		if aggTheta[idx] == nil {
+			aggTheta[idx] = grads[i].Clone()
+		} else {
+			aggTheta[idx].AddInPlace(grads[i])
+		}
+	}
+
+	alphaAt, ok := s.alphaPool.Get(reply.Round)
+	if !ok {
+		return false, false, nil
+	}
+	logGrad := controller.LogProbGradAt(alphaAt, gk)
+	if delay > 0 && s.cfg.Strategy == staleness.DC {
+		drift := alphaAt.Diff(s.ctrl.Snapshot())
+		corrected := logGrad.Clone()
+		corrected.MulAdd3(s.cfg.Lambda, logGrad, drift)
+		logGrad = corrected
+	}
+	aggAlpha.AXPY(s.ctrl.Reward(reply.Reward), logGrad)
+	return delay == 0, true, nil
+}
+
+func flattenValues(params []*nn.Param) [][]float64 {
+	out := make([][]float64, len(params))
+	for i, p := range params {
+		out[i] = append([]float64(nil), p.Value.Data()...)
+	}
+	return out
+}

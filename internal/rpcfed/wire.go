@@ -1,0 +1,74 @@
+// Package rpcfed runs the federated model search over a real transport:
+// participants are net/rpc servers on TCP (the paper deploys with
+// PyTorch's Distributed RPC), and the search server dials them, ships
+// pruned sub-models, and collects rewards and gradients asynchronously.
+//
+// Unlike internal/search — where staleness is *simulated* from a schedule —
+// here soft synchronization is genuine: the server waits for a quorum of
+// replies per round, and replies that arrive after their round closed are
+// delay-compensated (Eq. 13–15) against the server's memory pools, exactly
+// as Alg. 1 prescribes.
+package rpcfed
+
+import (
+	"fmt"
+
+	"fedrlnas/internal/nas"
+)
+
+// TrainRequest asks a participant to run one local update (Alg. 1 lines
+// 37–42) on a sub-model.
+type TrainRequest struct {
+	Round int
+	// Gates select one candidate per edge; the participant reconstructs
+	// the sub-model wiring from its own copy of the network config.
+	Normal []int
+	Reduce []int
+	// Weights carries the sampled sub-model parameters in canonical
+	// (SampledParams) order, flattened per tensor.
+	Weights [][]float64
+	// BatchSize is the mini-batch size for the local step.
+	BatchSize int
+}
+
+// TrainReply returns the participant's reward and gradients.
+type TrainReply struct {
+	Round         int
+	ParticipantID int
+	// Reward is the training accuracy on the local batch (Eq. 8's ACC).
+	Reward float64
+	Loss   float64
+	// Grads carries ∇θ for the sampled parameters, aligned with
+	// TrainRequest.Weights.
+	Grads [][]float64
+}
+
+// HelloRequest is the registration handshake.
+type HelloRequest struct{}
+
+// HelloReply describes the participant.
+type HelloReply struct {
+	ParticipantID int
+	NumSamples    int
+}
+
+// gatesOf converts the wire representation back to nas.Gates.
+func gatesOf(req *TrainRequest) nas.Gates {
+	return nas.Gates{
+		Normal: append([]int(nil), req.Normal...),
+		Reduce: append([]int(nil), req.Reduce...),
+	}
+}
+
+// checkWeightShapes verifies a wire payload against expected tensor sizes.
+func checkWeightShapes(weights [][]float64, sizes []int) error {
+	if len(weights) != len(sizes) {
+		return fmt.Errorf("rpcfed: %d weight tensors, want %d", len(weights), len(sizes))
+	}
+	for i, w := range weights {
+		if len(w) != sizes[i] {
+			return fmt.Errorf("rpcfed: weight %d has %d values, want %d", i, len(w), sizes[i])
+		}
+	}
+	return nil
+}

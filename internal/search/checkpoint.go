@@ -1,0 +1,212 @@
+package search
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"fedrlnas/internal/controller"
+	"fedrlnas/internal/tensor"
+)
+
+// Checkpoint format: a small binary header, the α matrices, then every
+// supernet parameter tensor in canonical order (tensor wire format).
+// Checkpoints let long search phases resume across process restarts — the
+// paper's search runs for hours even on GPUs.
+
+const (
+	checkpointMagic   = uint32(0xfed51a5e)
+	checkpointVersion = uint32(1)
+)
+
+// SaveCheckpoint writes the current search state (θ, α, round counter and
+// the controller baseline) to path atomically (write + rename).
+func (s *Search) SaveCheckpoint(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	err = s.writeCheckpoint(w)
+	if err2 := w.Flush(); err == nil {
+		err = err2
+	}
+	if err2 := f.Close(); err == nil {
+		err = err2
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint restores θ, α, the round counter and the baseline from a
+// checkpoint written by SaveCheckpoint. The search must have been built
+// with an identical Config.
+func (s *Search) LoadCheckpoint(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	if err := s.readCheckpoint(bufio.NewReader(f)); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+func (s *Search) writeCheckpoint(w io.Writer) error {
+	for _, v := range []uint32{checkpointMagic, checkpointVersion, uint32(s.round)} {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(w, binary.LittleEndian, s.ctrl.Baseline()); err != nil {
+		return err
+	}
+	snap := s.ctrl.Snapshot()
+	if err := writeRows(w, snap.Normal); err != nil {
+		return err
+	}
+	if err := writeRows(w, snap.Reduce); err != nil {
+		return err
+	}
+	params := s.net.Params()
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if _, err := p.Value.WriteTo(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Search) readCheckpoint(r io.Reader) error {
+	var magic, version, round uint32
+	for _, dst := range []*uint32{&magic, &version, &round} {
+		if err := binary.Read(r, binary.LittleEndian, dst); err != nil {
+			return err
+		}
+	}
+	if magic != checkpointMagic {
+		return fmt.Errorf("bad magic %#x", magic)
+	}
+	if version != checkpointVersion {
+		return fmt.Errorf("unsupported version %d", version)
+	}
+	var baseline float64
+	if err := binary.Read(r, binary.LittleEndian, &baseline); err != nil {
+		return err
+	}
+	normal, err := readRows(r)
+	if err != nil {
+		return err
+	}
+	reduce, err := readRows(r)
+	if err != nil {
+		return err
+	}
+	if err := s.ctrl.Restore(controller.AlphaSnapshot{Normal: normal, Reduce: reduce}); err != nil {
+		return err
+	}
+	s.ctrl.UpdateBaseline(baseline) // re-seed the moving average
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return err
+	}
+	params := s.net.Params()
+	if int(n) != len(params) {
+		return fmt.Errorf("checkpoint has %d tensors, supernet has %d", n, len(params))
+	}
+	for _, p := range params {
+		t, err := tensor.ReadFrom(r)
+		if err != nil {
+			return err
+		}
+		if !t.SameShape(p.Value) {
+			return fmt.Errorf("checkpoint tensor shape %v != param %q shape %v",
+				t.Shape(), p.Name, p.Value.Shape())
+		}
+		p.Value.CopyFrom(t)
+	}
+	s.round = int(round)
+	return nil
+}
+
+func writeRows(w io.Writer, rows [][]float64) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(rows))); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(row))); err != nil {
+			return err
+		}
+		for _, v := range row {
+			if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func readRows(r io.Reader) ([][]float64, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > 1<<16 {
+		return nil, fmt.Errorf("row count %d too large", n)
+	}
+	rows := make([][]float64, n)
+	for i := range rows {
+		var m uint32
+		if err := binary.Read(r, binary.LittleEndian, &m); err != nil {
+			return nil, err
+		}
+		if m > 1<<16 {
+			return nil, fmt.Errorf("row length %d too large", m)
+		}
+		rows[i] = make([]float64, m)
+		for j := range rows[i] {
+			if err := binary.Read(r, binary.LittleEndian, &rows[i][j]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Round returns the number of completed communication rounds.
+func (s *Search) Round() int { return s.round }
+
+// RunWithCheckpoints executes the search phase like Run, writing a
+// checkpoint to path every `every` rounds (and once at the end) so long
+// searches survive process restarts. every <= 0 checkpoints only at the end.
+func (s *Search) RunWithCheckpoints(path string, every int) error {
+	for i := 0; i < s.cfg.SearchSteps; i++ {
+		acc, err := s.runRound(true, !s.cfg.AlphaOnly)
+		if err != nil {
+			return fmt.Errorf("search round %d: %w", i, err)
+		}
+		s.SearchCurve.Add(s.round-1, acc)
+		s.EntropyCurve.Add(s.round-1, s.ctrl.Entropy())
+		s.BaselineCurve.Add(s.round-1, s.ctrl.Baseline())
+		if every > 0 && (i+1)%every == 0 {
+			if err := s.SaveCheckpoint(path); err != nil {
+				return err
+			}
+		}
+	}
+	return s.SaveCheckpoint(path)
+}

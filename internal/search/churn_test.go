@@ -1,0 +1,66 @@
+package search
+
+import (
+	"testing"
+)
+
+func TestChurnValidation(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.ChurnProb = -0.1
+	if err := cfg.Validate(); err == nil {
+		t.Error("expected error for negative churn")
+	}
+	cfg.ChurnProb = 1
+	if err := cfg.Validate(); err == nil {
+		t.Error("expected error for churn = 1")
+	}
+	cfg.ChurnProb = 0.3
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("valid churn rejected: %v", err)
+	}
+}
+
+func TestSearchSurvivesChurn(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.ChurnProb = 0.4
+	cfg.WarmupSteps = 10
+	cfg.SearchSteps = 20
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Warmup(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.SearchCurve.Len() != 20 {
+		t.Errorf("curve has %d points", s.SearchCurve.Len())
+	}
+	if err := s.Derive().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Even extreme churn (most participants offline most rounds) must not
+// crash or corrupt state — Alg. 1's aggregation divides by the actual
+// contributor count.
+func TestSearchSurvivesExtremeChurn(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.ChurnProb = 0.9
+	cfg.WarmupSteps = 0
+	cfg.SearchSteps = 15
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range s.SearchCurve.Values() {
+		if v < 0 || v > 1 {
+			t.Fatalf("round %d accuracy %v out of range", i, v)
+		}
+	}
+}

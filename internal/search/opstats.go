@@ -1,0 +1,53 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fedrlnas/internal/nas"
+)
+
+// OpPreference summarizes where the policy's probability mass sits per
+// candidate operation, aggregated over edges — the "what did the search
+// learn to like" readout behind the paper's genotype tables.
+type OpPreference struct {
+	Op nas.OpKind
+	// NormalMass and ReduceMass are the mean softmax probability of the op
+	// across the normal-cell and reduction-cell edges.
+	NormalMass float64
+	ReduceMass float64
+}
+
+// OpPreferences returns per-op mean probability mass, sorted descending by
+// combined mass.
+func (s *Search) OpPreferences() []OpPreference {
+	pn, pr := s.ctrl.Probs()
+	cands := s.cfg.Net.Candidates
+	out := make([]OpPreference, len(cands))
+	for i, op := range cands {
+		out[i].Op = op
+		for _, row := range pn {
+			out[i].NormalMass += row[i]
+		}
+		for _, row := range pr {
+			out[i].ReduceMass += row[i]
+		}
+		out[i].NormalMass /= float64(len(pn))
+		out[i].ReduceMass /= float64(len(pr))
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		return out[a].NormalMass+out[a].ReduceMass > out[b].NormalMass+out[b].ReduceMass
+	})
+	return out
+}
+
+// FormatOpPreferences renders the preferences as an aligned text block.
+func FormatOpPreferences(prefs []OpPreference) string {
+	var b strings.Builder
+	b.WriteString("op              normal  reduce\n")
+	for _, p := range prefs {
+		b.WriteString(fmt.Sprintf("%-14s  %.4f  %.4f\n", p.Op, p.NormalMass, p.ReduceMass))
+	}
+	return b.String()
+}

@@ -1,0 +1,77 @@
+package search
+
+import (
+	"fmt"
+
+	"fedrlnas/internal/fed"
+	"fedrlnas/internal/metrics"
+	"fedrlnas/internal/nas"
+)
+
+// PipelineResult bundles the full P1→P4 run.
+type PipelineResult struct {
+	Genotype nas.Genotype
+
+	WarmupCurve  metrics.Curve
+	SearchCurve  metrics.Curve
+	EntropyCurve metrics.Curve
+
+	// SearchSeconds is the virtual time of P1+P2 (Table V's search time).
+	SearchSeconds float64
+	// MeanSubModelMB and SupernetMB reproduce Table V's size columns.
+	MeanSubModelMB float64
+	SupernetMB     float64
+
+	Centralized RetrainResult
+	Federated   RetrainResult
+	FedCurves   fed.FedAvgResult
+}
+
+// PipelineOptions selects which P3 variants to run.
+type PipelineOptions struct {
+	// Centralized runs P3 centrally with this config (nil skips it).
+	Centralized *RetrainConfig
+	// Federated runs P3 with FedAvg (nil skips it).
+	Federated *fed.FedAvgConfig
+}
+
+// RunPipeline executes warm-up, search, derivation and the requested P3/P4
+// variants end to end.
+func RunPipeline(cfg Config, opts PipelineOptions) (PipelineResult, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return PipelineResult{}, err
+	}
+	if err := s.Warmup(); err != nil {
+		return PipelineResult{}, err
+	}
+	if err := s.Run(); err != nil {
+		return PipelineResult{}, err
+	}
+	res := PipelineResult{
+		Genotype:       s.Derive(),
+		WarmupCurve:    s.WarmupCurve,
+		SearchCurve:    s.SearchCurve,
+		EntropyCurve:   s.EntropyCurve,
+		SearchSeconds:  s.TotalSeconds(),
+		MeanSubModelMB: float64(s.MeanSubModelBytes()) / (1024 * 1024),
+		SupernetMB:     float64(s.Supernet().SupernetBytes()) / (1024 * 1024),
+	}
+	if opts.Centralized != nil {
+		res.Centralized, err = RetrainCentralized(s.Dataset(), cfg.Net, res.Genotype, *opts.Centralized, cfg.Seed+33)
+		if err != nil {
+			return res, fmt.Errorf("pipeline centralized retrain: %w", err)
+		}
+	}
+	if opts.Federated != nil {
+		var fedRes fed.FedAvgResult
+		res.Federated, fedRes, err = RetrainFederated(
+			s.Dataset(), cfg.Net, res.Genotype,
+			cfg.Partition, cfg.DirichletAlpha, cfg.K, *opts.Federated, cfg.Seed+44)
+		if err != nil {
+			return res, fmt.Errorf("pipeline federated retrain: %w", err)
+		}
+		res.FedCurves = fedRes
+	}
+	return res, nil
+}

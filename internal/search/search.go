@@ -1,0 +1,447 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedrlnas/internal/controller"
+	"fedrlnas/internal/data"
+	"fedrlnas/internal/fed"
+	"fedrlnas/internal/metrics"
+	"fedrlnas/internal/nas"
+	"fedrlnas/internal/nettrace"
+	"fedrlnas/internal/nn"
+	"fedrlnas/internal/staleness"
+	"fedrlnas/internal/tensor"
+	"fedrlnas/internal/transmission"
+)
+
+// Search holds the live state of one federated model search.
+type Search struct {
+	cfg   Config
+	ds    *data.Dataset
+	parts []*fed.Participant
+	net   *nas.Supernet
+	ctrl  *controller.Controller
+
+	thetaOpt *nn.SGD
+	rng      *rand.Rand
+
+	paramIndex map[*nn.Param]int
+
+	thetaPool *staleness.Pool[[]*tensor.Tensor]
+	alphaPool *staleness.Pool[controller.AlphaSnapshot]
+	gatesPool *staleness.Pool[[]nas.Gates]
+
+	round int
+
+	// Stats tallies reply handling across all rounds.
+	Stats RoundStats
+	// Observer, when set, receives a report after every round.
+	Observer func(RoundReport)
+
+	// Curves and accounting, populated as phases run.
+	WarmupCurve   metrics.Curve
+	SearchCurve   metrics.Curve
+	EntropyCurve  metrics.Curve
+	BaselineCurve metrics.Curve
+	RoundSeconds  []float64
+	// SubModelBytes records the payload of every sub-model ever shipped.
+	SubModelBytes []int64
+}
+
+// New constructs a search over a freshly generated dataset and participant
+// population.
+func New(cfg Config) (*Search, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ds, err := data.Generate(cfg.Dataset)
+	if err != nil {
+		return nil, fmt.Errorf("search: %w", err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var part data.Partition
+	switch cfg.Partition {
+	case IID:
+		part, err = data.IIDPartition(ds.NumTrain(), cfg.K, rng)
+	case Dirichlet:
+		part, err = data.DirichletPartition(ds.TrainLabels, cfg.K, cfg.DirichletAlpha, rng)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("search: %w", err)
+	}
+	parts, err := fed.BuildParticipants(ds, part, cfg.Seed+101)
+	if err != nil {
+		return nil, fmt.Errorf("search: %w", err)
+	}
+	net, err := nas.NewSupernet(rand.New(rand.NewSource(cfg.Seed+202)), cfg.Net)
+	if err != nil {
+		return nil, fmt.Errorf("search: %w", err)
+	}
+	nE, rE := net.ArchSpace()
+	ctrl, err := controller.New(nE, rE, net.NumCandidates(), cfg.Alpha)
+	if err != nil {
+		return nil, fmt.Errorf("search: %w", err)
+	}
+	s := &Search{
+		cfg:      cfg,
+		ds:       ds,
+		parts:    parts,
+		net:      net,
+		ctrl:     ctrl,
+		thetaOpt: nn.NewSGD(cfg.ThetaLR, cfg.ThetaMomentum, cfg.ThetaWD, cfg.ThetaClip),
+		rng:      rng,
+	}
+	delta := cfg.Staleness.MaxDelay()
+	s.thetaPool = staleness.NewPool[[]*tensor.Tensor](delta)
+	s.alphaPool = staleness.NewPool[controller.AlphaSnapshot](delta)
+	s.gatesPool = staleness.NewPool[[]nas.Gates](delta)
+	s.paramIndex = make(map[*nn.Param]int)
+	for i, p := range net.Params() {
+		s.paramIndex[p] = i
+	}
+	net.SetTraining(true)
+	return s, nil
+}
+
+// Dataset exposes the generated dataset (for retraining and evaluation).
+func (s *Search) Dataset() *data.Dataset { return s.ds }
+
+// Participants exposes the participant population.
+func (s *Search) Participants() []*fed.Participant { return s.parts }
+
+// Supernet exposes the supernet under search.
+func (s *Search) Supernet() *nas.Supernet { return s.net }
+
+// Controller exposes the RL controller.
+func (s *Search) Controller() *controller.Controller { return s.ctrl }
+
+// AttachTraces assigns bandwidth traces to the participant population.
+func (s *Search) AttachTraces(traces []nettrace.Trace) error {
+	return fed.AttachTraces(s.parts, traces)
+}
+
+// SetSpeedFactors assigns per-participant compute speed factors (Table V's
+// device classes); a single value is broadcast to everyone.
+func (s *Search) SetSpeedFactors(factors ...float64) error {
+	switch len(factors) {
+	case 1:
+		for _, p := range s.parts {
+			p.SpeedFactor = factors[0]
+		}
+	case len(s.parts):
+		for i, p := range s.parts {
+			p.SpeedFactor = factors[i]
+		}
+	default:
+		return fmt.Errorf("search: %d speed factors for %d participants", len(factors), len(s.parts))
+	}
+	return nil
+}
+
+// SnapshotTheta deep-copies the current supernet weights (used to share one
+// warmed-up supernet across strategy comparisons, as Fig. 8 does).
+func (s *Search) SnapshotTheta() []*tensor.Tensor {
+	return nn.CloneParamValues(s.net.Params())
+}
+
+// RestoreTheta loads supernet weights from a snapshot.
+func (s *Search) RestoreTheta(snap []*tensor.Tensor) error {
+	return nn.RestoreParamValues(s.net.Params(), snap)
+}
+
+// Warmup runs P1: cfg.WarmupSteps rounds training θ only, sampling
+// architectures uniformly (α frozen at its uniform initialization).
+func (s *Search) Warmup() error {
+	for i := 0; i < s.cfg.WarmupSteps; i++ {
+		acc, err := s.runRound(false, true)
+		if err != nil {
+			return fmt.Errorf("warmup round %d: %w", i, err)
+		}
+		s.WarmupCurve.Add(s.round-1, acc)
+	}
+	return nil
+}
+
+// Run executes P2: cfg.SearchSteps rounds of Alg. 1.
+func (s *Search) Run() error {
+	for i := 0; i < s.cfg.SearchSteps; i++ {
+		acc, err := s.runRound(true, !s.cfg.AlphaOnly)
+		if err != nil {
+			return fmt.Errorf("search round %d: %w", i, err)
+		}
+		s.SearchCurve.Add(s.round-1, acc)
+		s.EntropyCurve.Add(s.round-1, s.ctrl.Entropy())
+		s.BaselineCurve.Add(s.round-1, s.ctrl.Baseline())
+	}
+	return nil
+}
+
+// Derive returns the argmax genotype under the current policy.
+func (s *Search) Derive() nas.Genotype {
+	return s.ctrl.Derive(s.cfg.Net.Candidates, s.cfg.Net.Nodes)
+}
+
+// TotalSeconds returns the virtual time consumed by all rounds so far.
+func (s *Search) TotalSeconds() float64 {
+	total := 0.0
+	for _, v := range s.RoundSeconds {
+		total += v
+	}
+	return total
+}
+
+// MeanSubModelBytes returns the average shipped sub-model payload.
+func (s *Search) MeanSubModelBytes() int64 {
+	if len(s.SubModelBytes) == 0 {
+		return 0
+	}
+	var total int64
+	for _, b := range s.SubModelBytes {
+		total += b
+	}
+	return total / int64(len(s.SubModelBytes))
+}
+
+// RoundStats tallies how participant updates were handled.
+type RoundStats struct {
+	// Fresh counts updates computed against the current round's state.
+	Fresh int
+	// Late counts stale-but-within-threshold updates that were applied
+	// (with or without delay compensation, per the strategy).
+	Late int
+	// Dropped counts updates beyond the staleness threshold or discarded
+	// by the Throw strategy.
+	Dropped int
+	// Offline counts participants skipped by churn.
+	Offline int
+}
+
+// RoundReport is the per-round summary delivered to Search.Observer.
+type RoundReport struct {
+	Round        int
+	MeanAccuracy float64
+	Entropy      float64
+	Baseline     float64
+	Seconds      float64
+	Stats        RoundStats // this round only
+}
+
+// runRound executes one communication round of Alg. 1 and returns the mean
+// training accuracy of the participants' sub-models.
+func (s *Search) runRound(updateAlpha, updateTheta bool) (float64, error) {
+	t := s.round
+	params := s.net.Params()
+
+	// Alg. 1 lines 4–7: snapshot θ, α and per-participant gates.
+	thetaNow := nn.CloneParamValues(params)
+	s.thetaPool.Put(t, thetaNow)
+	alphaNow := s.ctrl.Snapshot()
+	s.alphaPool.Put(t, alphaNow)
+
+	// Lines 5–9: sample a binary mask per participant.
+	sampled := make([]nas.Gates, len(s.parts))
+	sizes := make([]int64, len(s.parts))
+	for k := range s.parts {
+		sampled[k] = s.ctrl.SampleGates(s.rng)
+		sizes[k] = s.net.SubModelBytes(sampled[k])
+	}
+
+	// Lines 10–11: adaptive transmission.
+	bw := make([]float64, len(s.parts))
+	for k, p := range s.parts {
+		bw[k] = bandwidthAt(p, t)
+	}
+	assign, err := transmission.Assign(s.cfg.Transmission, sizes, bw, s.rng)
+	if err != nil {
+		return 0, err
+	}
+	// assigned[k] is the sub-model participant k actually trains.
+	assigned := make([]nas.Gates, len(s.parts))
+	for k := range s.parts {
+		assigned[k] = sampled[assign.ModelFor[k]]
+		s.SubModelBytes = append(s.SubModelBytes, sizes[assign.ModelFor[k]])
+	}
+	s.gatesPool.Put(t, assigned)
+
+	// Aggregation buffers (Alg. 1 lines 16–31).
+	aggTheta := make([]*tensor.Tensor, len(params))
+	nE, rE := s.net.ArchSpace()
+	aggAlpha := controller.NewAlphaGrad(nE, rE, s.net.NumCandidates())
+	contributors := 0
+	sumAcc := 0.0
+	roundSeconds := 0.0
+	var roundStats RoundStats
+
+	for k, part := range s.parts {
+		if s.cfg.ChurnProb > 0 && part.RNG.Float64() < s.cfg.ChurnProb {
+			roundStats.Offline++
+			continue // participant offline this round
+		}
+		delay, dropped := 0, false
+		if s.cfg.Strategy != staleness.Hard {
+			delay, dropped = s.cfg.Staleness.Sample(part.RNG)
+		}
+		if dropped {
+			roundStats.Dropped++
+			continue // beyond the staleness threshold (line 23)
+		}
+		tPrime := t - delay
+		if tPrime < 0 {
+			tPrime, delay = t, 0 // nothing older exists in the first rounds
+		}
+		if delay > 0 && s.cfg.Strategy == staleness.Throw {
+			roundStats.Dropped++
+			continue
+		}
+
+		gk := assigned[k]
+		thetaAt := thetaNow
+		alphaAt := alphaNow
+		if delay > 0 {
+			var ok bool
+			if thetaAt, ok = s.thetaPool.Get(tPrime); !ok {
+				continue
+			}
+			if alphaAt, ok = s.alphaPool.Get(tPrime); !ok {
+				continue
+			}
+			oldGates, ok := s.gatesPool.Get(tPrime)
+			if !ok {
+				continue
+			}
+			gk = oldGates[k]
+		}
+
+		// Participant update (Alg. 1 lines 37–42) against θ at round t'.
+		if err := nn.RestoreParamValues(params, thetaAt); err != nil {
+			return 0, err
+		}
+		batch := part.Batcher.Next(s.cfg.BatchSize)
+		x, y := s.ds.Gather(batch)
+		x = s.cfg.Augment.Apply(x, part.RNG)
+		nn.ZeroGrads(params)
+		lossRes, err := nn.CrossEntropy(s.net.ForwardSampled(x, gk), y)
+		if err != nil {
+			return 0, err
+		}
+		s.net.BackwardSampled(lossRes.GradLogits)
+		acc := lossRes.Accuracy
+
+		subParams := s.net.SampledParams(gk)
+		grads := nn.CloneParamGrads(subParams)
+
+		// θ-gradient handling (lines 18–27).
+		if delay > 0 && s.cfg.Strategy == staleness.DC {
+			freshVals := make([]*tensor.Tensor, len(subParams))
+			staleVals := make([]*tensor.Tensor, len(subParams))
+			for i, p := range subParams {
+				idx := s.paramIndex[p]
+				freshVals[i] = thetaNow[idx]
+				staleVals[i] = thetaAt[idx]
+			}
+			grads, err = staleness.CompensateTheta(grads, freshVals, staleVals, s.cfg.Lambda)
+			if err != nil {
+				return 0, err
+			}
+		}
+		for i, p := range subParams {
+			idx := s.paramIndex[p]
+			if aggTheta[idx] == nil {
+				aggTheta[idx] = grads[i].Clone()
+			} else {
+				aggTheta[idx].AddInPlace(grads[i])
+			}
+		}
+
+		// α-gradient handling (lines 20, 28).
+		reward := s.ctrl.Reward(acc)
+		logGrad := controller.LogProbGradAt(alphaAt, gk)
+		if delay > 0 && s.cfg.Strategy == staleness.DC {
+			drift := alphaAt.Diff(alphaNow) // α_t − α_{t'}
+			corrected := logGrad.Clone()
+			corrected.MulAdd3(s.cfg.Lambda, logGrad, drift)
+			logGrad = corrected
+		}
+		aggAlpha.AXPY(reward, logGrad)
+
+		contributors++
+		sumAcc += acc
+		if delay == 0 {
+			roundStats.Fresh++
+		} else {
+			roundStats.Late++
+		}
+
+		// Soft synchronization: only fresh participants gate the round's
+		// wall clock; stragglers' time was paid in earlier rounds.
+		if delay == 0 {
+			rt := 2*assign.LatencySeconds[k] +
+				part.ComputeSeconds(nn.ParamCount(subParams), s.cfg.BatchSize)
+			if rt > roundSeconds {
+				roundSeconds = rt
+			}
+		}
+	}
+
+	// Restore the current weights before applying the aggregated update.
+	if err := nn.RestoreParamValues(params, thetaNow); err != nil {
+		return 0, err
+	}
+	meanAcc := 0.0
+	if contributors > 0 {
+		meanAcc = sumAcc / float64(contributors)
+		inv := 1.0 / float64(contributors)
+		if updateTheta {
+			for i, p := range params {
+				p.Grad.Zero()
+				if aggTheta[i] != nil {
+					p.Grad.AXPY(inv, aggTheta[i])
+				}
+			}
+			s.thetaOpt.Step(params)
+		}
+		if updateAlpha {
+			aggAlpha.Scale(inv)
+			s.ctrl.Apply(aggAlpha)
+			s.ctrl.UpdateBaseline(meanAcc)
+		}
+	}
+
+	s.RoundSeconds = append(s.RoundSeconds, roundSeconds)
+	s.Stats.Fresh += roundStats.Fresh
+	s.Stats.Late += roundStats.Late
+	s.Stats.Dropped += roundStats.Dropped
+	s.Stats.Offline += roundStats.Offline
+	if s.Observer != nil {
+		s.Observer(RoundReport{
+			Round:        t,
+			MeanAccuracy: meanAcc,
+			Entropy:      s.ctrl.Entropy(),
+			Baseline:     s.ctrl.Baseline(),
+			Seconds:      roundSeconds,
+			Stats:        roundStats,
+		})
+	}
+	s.round++
+	s.thetaPool.Evict(s.round)
+	s.alphaPool.Evict(s.round)
+	s.gatesPool.Evict(s.round)
+	return meanAcc, nil
+}
+
+func bandwidthAt(p *fed.Participant, round int) float64 {
+	if len(p.Trace.Mbps) == 0 {
+		return 100
+	}
+	return p.Trace.At(round)
+}
+
+// DeriveExcludingZero returns the argmax genotype with the "none" op
+// excluded, the DARTS convention for final architectures (a zero edge would
+// contribute nothing to the retrained model).
+func (s *Search) DeriveExcludingZero() nas.Genotype {
+	pn, pr := s.ctrl.Probs()
+	return nas.DeriveGenotypeExcluding(pn, pr, s.cfg.Net.Candidates, s.cfg.Net.Nodes, nas.OpZero)
+}

@@ -1,0 +1,122 @@
+// Package simclock is a deterministic discrete-event virtual clock. The
+// federated simulator uses it to measure round latency, straggler arrival,
+// and device-speed effects (Table V, Fig. 7) without wall-clock sleeps.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Clock advances virtual time by draining a priority queue of events.
+// It is not safe for concurrent use; the simulator drives it from a single
+// goroutine (our substrate is strictly sequential — see DESIGN.md).
+type Clock struct {
+	now    time.Duration
+	events eventQueue
+	seq    int
+}
+
+// New returns a clock at virtual time zero.
+func New() *Clock {
+	return &Clock{}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Schedule enqueues fn to run at now+delay. Negative delays are clamped to
+// zero (the event runs at the current instant, after already-queued events
+// for that instant).
+func (c *Clock) Schedule(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	heap.Push(&c.events, &event{at: c.now + delay, seq: c.seq, fn: fn})
+	c.seq++
+}
+
+// Step runs the earliest pending event, advancing time to it. It reports
+// whether an event ran.
+func (c *Clock) Step() bool {
+	if c.events.Len() == 0 {
+		return false
+	}
+	ev, ok := heap.Pop(&c.events).(*event)
+	if !ok {
+		return false
+	}
+	c.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run drains all events (including ones scheduled while draining) and
+// returns the final virtual time.
+func (c *Clock) Run() time.Duration {
+	for c.Step() {
+	}
+	return c.now
+}
+
+// RunUntil drains events with timestamps <= deadline and advances the clock
+// to the deadline.
+func (c *Clock) RunUntil(deadline time.Duration) {
+	for c.events.Len() > 0 && c.events[0].at <= deadline {
+		c.Step()
+	}
+	if c.now < deadline {
+		c.now = deadline
+	}
+}
+
+// Pending returns the number of queued events.
+func (c *Clock) Pending() int { return c.events.Len() }
+
+// Advance moves time forward by d without running events; it refuses to
+// jump past a pending event.
+func (c *Clock) Advance(d time.Duration) error {
+	target := c.now + d
+	if c.events.Len() > 0 && c.events[0].at < target {
+		return fmt.Errorf("simclock: pending event at %v before target %v", c.events[0].at, target)
+	}
+	c.now = target
+	return nil
+}
+
+type event struct {
+	at  time.Duration
+	seq int // FIFO tiebreak for simultaneous events
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		return
+	}
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,104 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	c := New()
+	var order []int
+	c.Schedule(30*time.Millisecond, func() { order = append(order, 3) })
+	c.Schedule(10*time.Millisecond, func() { order = append(order, 1) })
+	c.Schedule(20*time.Millisecond, func() { order = append(order, 2) })
+	c.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if c.Now() != 30*time.Millisecond {
+		t.Errorf("final time %v", c.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	c := New()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		c.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	c.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	c := New()
+	var fired bool
+	c.Schedule(time.Second, func() {
+		c.Schedule(time.Second, func() { fired = true })
+	})
+	end := c.Run()
+	if !fired {
+		t.Error("nested event did not fire")
+	}
+	if end != 2*time.Second {
+		t.Errorf("end time %v, want 2s", end)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	c := New()
+	c.Schedule(time.Second, func() {})
+	c.Run()
+	ran := false
+	c.Schedule(-time.Second, func() { ran = true })
+	c.Run()
+	if !ran {
+		t.Error("negative-delay event did not run")
+	}
+	if c.Now() != time.Second {
+		t.Errorf("time went backwards: %v", c.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	c := New()
+	var count int
+	c.Schedule(time.Second, func() { count++ })
+	c.Schedule(3*time.Second, func() { count++ })
+	c.RunUntil(2 * time.Second)
+	if count != 1 {
+		t.Errorf("ran %d events before deadline, want 1", count)
+	}
+	if c.Now() != 2*time.Second {
+		t.Errorf("clock at %v, want 2s", c.Now())
+	}
+	if c.Pending() != 1 {
+		t.Errorf("pending %d, want 1", c.Pending())
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	c := New()
+	if err := c.Advance(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if c.Now() != time.Minute {
+		t.Errorf("Now = %v", c.Now())
+	}
+	c.Schedule(time.Second, func() {})
+	if err := c.Advance(time.Hour); err == nil {
+		t.Error("expected error jumping past pending event")
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	c := New()
+	if c.Step() {
+		t.Error("Step on empty clock must return false")
+	}
+}

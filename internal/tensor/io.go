@@ -1,0 +1,86 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary wire format: uint32 rank, rank×uint32 dims, size×float64 values,
+// all little-endian. Used by the federated transport simulation to measure
+// realistic payload sizes and by snapshot persistence.
+
+const maxWireDim = 1 << 24 // sanity bound when decoding untrusted streams
+
+// WriteTo serializes the tensor to w and returns the bytes written.
+func (t *Tensor) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(t.shape))); err != nil {
+		return n, fmt.Errorf("write rank: %w", err)
+	}
+	n += 4
+	for _, d := range t.shape {
+		if err := binary.Write(w, binary.LittleEndian, uint32(d)); err != nil {
+			return n, fmt.Errorf("write dim: %w", err)
+		}
+		n += 4
+	}
+	buf := make([]byte, 8)
+	for _, v := range t.data {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		if _, err := w.Write(buf); err != nil {
+			return n, fmt.Errorf("write data: %w", err)
+		}
+		n += 8
+	}
+	return n, nil
+}
+
+// ReadFrom deserializes a tensor previously written with WriteTo.
+func ReadFrom(r io.Reader) (*Tensor, error) {
+	var rank uint32
+	if err := binary.Read(r, binary.LittleEndian, &rank); err != nil {
+		return nil, fmt.Errorf("read rank: %w", err)
+	}
+	if rank == 0 || rank > 8 {
+		return nil, fmt.Errorf("tensor wire rank %d out of range", rank)
+	}
+	shape := make([]int, rank)
+	size := 1
+	for i := range shape {
+		var d uint32
+		if err := binary.Read(r, binary.LittleEndian, &d); err != nil {
+			return nil, fmt.Errorf("read dim: %w", err)
+		}
+		if d == 0 || d > maxWireDim {
+			return nil, fmt.Errorf("tensor wire dim %d out of range", d)
+		}
+		shape[i] = int(d)
+		size *= int(d)
+		if size > maxWireDim {
+			return nil, fmt.Errorf("tensor wire size %d too large", size)
+		}
+	}
+	t := New(shape...)
+	buf := make([]byte, 8)
+	for i := range t.data {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("read data: %w", err)
+		}
+		t.data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	}
+	return t, nil
+}
+
+// WireSize returns the number of bytes WriteTo would produce.
+func (t *Tensor) WireSize() int64 {
+	return int64(4 + 4*len(t.shape) + 8*len(t.data))
+}
+
+// Float32WireSize returns the payload size if weights were shipped as
+// float32, which is what a real deployment (and the paper's MB figures)
+// would use. The transmission simulator uses this for latency modeling.
+func (t *Tensor) Float32WireSize() int64 {
+	return int64(4 + 4*len(t.shape) + 4*len(t.data))
+}

@@ -1,0 +1,29 @@
+package transmission_test
+
+import (
+	"fmt"
+
+	"fedrlnas/internal/transmission"
+)
+
+// Example shows the paper's adaptive assignment: the largest sub-model
+// rides the fastest link, minimizing the round's critical path.
+func Example() {
+	modelBytes := []int64{4_000_000, 1_000_000, 2_000_000}
+	bandwidthMbps := []float64{10, 40, 20}
+
+	a, err := transmission.Assign(transmission.Adaptive, modelBytes, bandwidthMbps, nil)
+	if err != nil {
+		panic(err)
+	}
+	for participant, model := range a.ModelFor {
+		fmt.Printf("participant %d (%.0f Mbps) gets model %d (%d bytes)\n",
+			participant, bandwidthMbps[participant], model, modelBytes[model])
+	}
+	fmt.Printf("max latency: %.3fs\n", a.Max())
+	// Output:
+	// participant 0 (10 Mbps) gets model 1 (1000000 bytes)
+	// participant 1 (40 Mbps) gets model 0 (4000000 bytes)
+	// participant 2 (20 Mbps) gets model 2 (2000000 bytes)
+	// max latency: 0.805s
+}

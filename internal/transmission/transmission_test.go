@@ -1,0 +1,188 @@
+package transmission
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	testModels = []int64{4_000_000, 1_000_000, 2_000_000, 3_000_000}
+	testBW     = []float64{10, 40, 20, 30}
+)
+
+func TestAdaptivePairsLargestWithFastest(t *testing.T) {
+	a, err := Assign(Adaptive, testModels, testBW, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fastest participant (index 1, 40 Mbps) gets the largest model (index 0).
+	if a.ModelFor[1] != 0 {
+		t.Errorf("fastest participant got model %d, want 0", a.ModelFor[1])
+	}
+	// Slowest participant (index 0, 10 Mbps) gets the smallest model (index 1).
+	if a.ModelFor[0] != 1 {
+		t.Errorf("slowest participant got model %d, want 1", a.ModelFor[0])
+	}
+}
+
+func TestAssignmentIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, p := range []Policy{Adaptive, Random, Uniform} {
+		a, err := Assign(p, testModels, testBW, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		seen := make(map[int]bool)
+		for _, m := range a.ModelFor {
+			if m < 0 || m >= len(testModels) || seen[m] {
+				t.Fatalf("%s: ModelFor %v not a permutation", p, a.ModelFor)
+			}
+			seen[m] = true
+		}
+		if len(a.LatencySeconds) != len(testBW) {
+			t.Fatalf("%s: %d latencies", p, len(a.LatencySeconds))
+		}
+	}
+}
+
+func TestAdaptiveBeatsRandomOnMax(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	adaptive, err := Assign(Adaptive, testModels, testBW, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worse := 0
+	const trials = 50
+	for i := 0; i < trials; i++ {
+		r, err := Assign(Random, testModels, testBW, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if adaptive.Max() > r.Max()+1e-12 {
+			worse++
+		}
+	}
+	if worse > 0 {
+		t.Errorf("adaptive max latency beaten by random in %d/%d trials", worse, trials)
+	}
+}
+
+// Property: adaptive minimizes max latency over all assignments checked by
+// random search (rank pairing is optimal for max of size/bandwidth ratios).
+func TestAdaptiveOptimalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(5)
+		models := make([]int64, k)
+		bw := make([]float64, k)
+		for i := 0; i < k; i++ {
+			models[i] = int64(100_000 + rng.Intn(5_000_000))
+			bw[i] = 1 + rng.Float64()*50
+		}
+		adaptive, err := Assign(Adaptive, models, bw, nil)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 30; trial++ {
+			r, err := Assign(Random, models, bw, rng)
+			if err != nil {
+				return false
+			}
+			if adaptive.Max() > r.Max()+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniformLatencyUsesAverageSize(t *testing.T) {
+	a, err := Assign(Uniform, testModels, testBW, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All participants ship the same payload, so latency ranks mirror
+	// inverse bandwidth exactly.
+	if !(a.LatencySeconds[0] > a.LatencySeconds[2] &&
+		a.LatencySeconds[2] > a.LatencySeconds[3] &&
+		a.LatencySeconds[3] > a.LatencySeconds[1]) {
+		t.Errorf("uniform latencies %v not ordered by bandwidth", a.LatencySeconds)
+	}
+}
+
+func TestAssignValidation(t *testing.T) {
+	if _, err := Assign(Adaptive, []int64{1}, []float64{1, 2}, nil); err == nil {
+		t.Error("expected error for count mismatch")
+	}
+	if _, err := Assign(Adaptive, nil, nil, nil); err == nil {
+		t.Error("expected error for empty inputs")
+	}
+	if _, err := Assign(Random, testModels, testBW, nil); err == nil {
+		t.Error("expected error for random without rng")
+	}
+	if _, err := Assign(Policy(99), testModels, testBW, nil); err == nil {
+		t.Error("expected error for unknown policy")
+	}
+}
+
+func TestMaxAndMean(t *testing.T) {
+	a := Assignment{LatencySeconds: []float64{1, 3, 2}}
+	if a.Max() != 3 {
+		t.Errorf("Max = %v", a.Max())
+	}
+	if a.Mean() != 2 {
+		t.Errorf("Mean = %v", a.Mean())
+	}
+	var empty Assignment
+	if empty.Mean() != 0 || empty.Max() != 0 {
+		t.Error("empty assignment stats should be 0")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	for _, p := range []Policy{Adaptive, Random, Uniform} {
+		if s := p.String(); len(s) < 3 || s[:3] == "pol" {
+			t.Errorf("policy %d has placeholder string %q", int(p), s)
+		}
+	}
+}
+
+func TestGreedyIsPermutationAndCompetitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g, err := Assign(Greedy, testModels, testBW, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for _, m := range g.ModelFor {
+		if seen[m] {
+			t.Fatalf("greedy assignment not a permutation: %v", g.ModelFor)
+		}
+		seen[m] = true
+	}
+	// Greedy must never lose to random on max latency for this instance.
+	for trial := 0; trial < 30; trial++ {
+		r, err := Assign(Random, testModels, testBW, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Max() > r.Max()+1e-12 {
+			t.Fatalf("greedy max %.4f beaten by random %.4f", g.Max(), r.Max())
+		}
+	}
+	// On pure communication, greedy matches the rank-pairing optimum.
+	a, err := Assign(Adaptive, testModels, testBW, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := g.Max() - a.Max(); diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("greedy max %.6f != adaptive max %.6f on pure comm", g.Max(), a.Max())
+	}
+	if Greedy.String() != "greedy" {
+		t.Error("greedy string wrong")
+	}
+}
