@@ -1,0 +1,18 @@
+# Tier-1 targets. `make check` is the PR gate: vet + gofmt + build + tests
+# + race detector over the concurrent telemetry/search/RPC paths.
+.PHONY: check build test race fmt
+
+check:
+	./check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/search/... ./internal/rpcfed/... ./internal/telemetry/...
+
+fmt:
+	gofmt -w .

@@ -1,0 +1,28 @@
+#!/bin/sh
+# check.sh — tier-1 verification wrapper (run by `make check` and CI).
+# Fails on vet findings, unformatted files, build/test failures, and data
+# races in the concurrent telemetry/search/RPC paths.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== gofmt -l"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt required for:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race (search, rpcfed, telemetry)"
+go test -race ./internal/search/... ./internal/rpcfed/... ./internal/telemetry/...
+
+echo "OK"

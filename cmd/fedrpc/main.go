@@ -26,7 +26,21 @@ import (
 	"fedrlnas/internal/data"
 	"fedrlnas/internal/rpcfed"
 	"fedrlnas/internal/search"
+	"fedrlnas/internal/telemetry"
 )
+
+// startDebug spins up the opt-in debug HTTP endpoint when addr is set.
+func startDebug(addr string, reg *telemetry.Registry) (*telemetry.DebugServer, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	dbg, err := telemetry.StartDebugServer(addr, reg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("debug endpoint on http://%s (/metrics, /healthz, /debug/pprof/)\n", dbg.Addr())
+	return dbg, nil
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -87,15 +101,21 @@ func netConfig(classes, channels int) search.Config {
 func runWorker(args []string) error {
 	fs := flag.NewFlagSet("fedrpc worker", flag.ContinueOnError)
 	var (
-		index   = fs.Int("index", 0, "worker index in [0,k)")
-		k       = fs.Int("k", 4, "total number of workers")
-		listen  = fs.String("listen", "127.0.0.1:0", "TCP listen address")
-		dataset = fs.String("dataset", "cifar10s", "dataset name")
-		seed    = fs.Int64("seed", 1, "shared deployment seed")
+		index     = fs.Int("index", 0, "worker index in [0,k)")
+		k         = fs.Int("k", 4, "total number of workers")
+		listen    = fs.String("listen", "127.0.0.1:0", "TCP listen address")
+		dataset   = fs.String("dataset", "cifar10s", "dataset name")
+		seed      = fs.Int64("seed", 1, "shared deployment seed")
+		debugAddr = fs.String("debug-addr", "", "serve /metrics, /healthz, expvar and pprof on this address")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	dbg, err := startDebug(*debugAddr, telemetry.NewRegistry())
+	if err != nil {
+		return err
+	}
+	defer dbg.Close()
 	ds, shard, err := shardFor(*dataset, *k, *index, *seed)
 	if err != nil {
 		return err
@@ -118,12 +138,14 @@ func runWorker(args []string) error {
 func runServer(args []string) error {
 	fs := flag.NewFlagSet("fedrpc server", flag.ContinueOnError)
 	var (
-		addrList = fs.String("addrs", "", "comma-separated worker addresses")
-		dataset  = fs.String("dataset", "cifar10s", "dataset name")
-		rounds   = fs.Int("rounds", 40, "search rounds")
-		batch    = fs.Int("batch", 16, "participant batch size")
-		quorum   = fs.Float64("quorum", 0.8, "fraction of replies that closes a round")
-		seed     = fs.Int64("seed", 1, "shared deployment seed")
+		addrList  = fs.String("addrs", "", "comma-separated worker addresses")
+		dataset   = fs.String("dataset", "cifar10s", "dataset name")
+		rounds    = fs.Int("rounds", 40, "search rounds")
+		batch     = fs.Int("batch", 16, "participant batch size")
+		quorum    = fs.Float64("quorum", 0.8, "fraction of replies that closes a round")
+		seed      = fs.Int64("seed", 1, "shared deployment seed")
+		traceOut  = fs.String("trace", "", "write a JSONL span trace of every round to this file")
+		debugAddr = fs.String("debug-addr", "", "serve /metrics, /healthz, expvar and pprof on this address")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -147,6 +169,26 @@ func runServer(args []string) error {
 		return err
 	}
 	defer srv.Close()
+
+	registry := telemetry.NewRegistry()
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		if tracer, err = telemetry.OpenJSONL(*traceOut); err != nil {
+			return err
+		}
+		defer func() {
+			if err := tracer.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "fedrpc: trace:", err)
+			}
+		}()
+	}
+	srv.SetTelemetry(tracer, registry)
+	dbg, err := startDebug(*debugAddr, registry)
+	if err != nil {
+		return err
+	}
+	defer dbg.Close()
+
 	fmt.Printf("searching over %d workers for %d rounds (quorum %.0f%%)…\n",
 		len(addrs), *rounds, *quorum*100)
 	res, err := srv.Run()

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"io"
+	"net/http"
 	"strings"
 	"testing"
+
+	"fedrlnas/internal/telemetry"
 )
 
 func TestRunModeValidation(t *testing.T) {
@@ -41,6 +45,50 @@ func TestShardForValidation(t *testing.T) {
 		if shard[i] != shard2[i] {
 			t.Fatal("shards differ across regenerations — workers would train on wrong data")
 		}
+	}
+}
+
+// TestDebugAddrServesEndpoints exercises the -debug-addr wiring: the same
+// startDebug call both subcommands use must serve /metrics, /healthz and
+// /debug/pprof/ over HTTP.
+func TestDebugAddrServesEndpoints(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("rounds_total", "rounds").Add(2)
+	dbg, err := startDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dbg.Close()
+	base := "http://" + dbg.Addr()
+	for path, want := range map[string]string{
+		"/metrics":      "rounds_total 2",
+		"/healthz":      "ok",
+		"/debug/pprof/": "goroutine",
+		"/debug/vars":   "memstats",
+	} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), want) {
+			t.Errorf("%s = %d, body missing %q", path, resp.StatusCode, want)
+		}
+	}
+	// Empty address disables the endpoint without error.
+	off, err := startDebug("", reg)
+	if err != nil || off != nil {
+		t.Errorf("startDebug(\"\") = %v, %v; want nil, nil", off, err)
+	}
+	if err := off.Close(); err != nil {
+		t.Errorf("closing disabled debug server: %v", err)
+	}
+	if _, err := startDebug("999.999.999.999:-1", reg); err == nil {
+		t.Error("invalid debug address accepted")
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"fedrlnas/internal/nas"
 	"fedrlnas/internal/search"
 	"fedrlnas/internal/staleness"
+	"fedrlnas/internal/telemetry"
 	"fedrlnas/internal/transmission"
 )
 
@@ -48,6 +49,8 @@ func run(args []string) error {
 		alphaOnly = fs.Bool("alpha-only", false, "freeze theta during search (Fig. 5 ablation)")
 		genoOut   = fs.String("genotype-out", "", "write the searched genotype to this JSON file")
 		ckptOut   = fs.String("checkpoint-out", "", "write a search checkpoint (theta+alpha) to this file")
+		traceOut  = fs.String("trace", "", "write a JSONL span trace of every search round to this file")
+		debugAddr = fs.String("debug-addr", "", "serve /metrics, /healthz, expvar and pprof on this address (e.g. 127.0.0.1:6060)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -123,6 +126,31 @@ func run(args []string) error {
 		fcfg := fed.DefaultFedAvgConfig()
 		fcfg.Rounds = *fedRounds
 		opts.Federated = &fcfg
+	}
+
+	registry := telemetry.NewRegistry()
+	opts.Registry = registry
+	if *debugAddr != "" {
+		dbg, err := telemetry.StartDebugServer(*debugAddr, registry)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Printf("debug endpoint on http://%s (/metrics, /healthz, /debug/pprof/)\n", dbg.Addr())
+	}
+	if *traceOut != "" {
+		tracer, err := telemetry.OpenJSONL(*traceOut)
+		if err != nil {
+			return err
+		}
+		opts.Tracer = tracer
+		defer func() {
+			if err := tracer.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "fedsearch: trace:", err)
+			} else {
+				fmt.Printf("trace written to %s (%d events)\n", *traceOut, tracer.Events())
+			}
+		}()
 	}
 
 	fmt.Printf("P1 warm-up (%d rounds) + P2 search (%d rounds), K=%d, %s/%s…\n",

@@ -115,12 +115,13 @@ type Summary struct {
 	P50       float64
 }
 
-// Summarize computes summary statistics for vals.
+// Summarize computes summary statistics for vals. P50 is the true median:
+// for even N it averages the two middle order statistics.
 func Summarize(vals []float64) Summary {
-	s := Summary{N: len(vals), Min: math.Inf(1), Max: math.Inf(-1)}
 	if len(vals) == 0 {
 		return Summary{}
 	}
+	s := Summary{N: len(vals), Min: math.Inf(1), Max: math.Inf(-1)}
 	for _, v := range vals {
 		s.Mean += v
 		if v < s.Min {
@@ -138,7 +139,11 @@ func Summarize(vals []float64) Summary {
 	s.Std = math.Sqrt(s.Std / float64(len(vals)))
 	sorted := append([]float64(nil), vals...)
 	sort.Float64s(sorted)
-	s.P50 = sorted[len(sorted)/2]
+	if n := len(sorted); n%2 == 1 {
+		s.P50 = sorted[n/2]
+	} else {
+		s.P50 = (sorted[n/2-1] + sorted[n/2]) / 2
+	}
 	return s
 }
 

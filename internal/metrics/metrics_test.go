@@ -74,8 +74,50 @@ func TestSummarize(t *testing.T) {
 	if s.Min != 2 || s.Max != 9 {
 		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
 	}
+	if math.Abs(s.P50-4.5) > 1e-12 { // true median of even N: (4+5)/2
+		t.Errorf("P50 = %v, want 4.5", s.P50)
+	}
 	if z := Summarize(nil); z.N != 0 {
 		t.Error("empty summary should be zero")
+	}
+}
+
+// TestSummarizeMedianSmallN pins P50, Min and Max for N = 0..4, in
+// particular the even-N true-median and the empty-input early return
+// (which must not leak ±Inf Min/Max).
+func TestSummarizeMedianSmallN(t *testing.T) {
+	cases := []struct {
+		name          string
+		vals          []float64
+		p50, min, max float64
+	}{
+		{"n0", nil, 0, 0, 0},
+		{"n0 empty slice", []float64{}, 0, 0, 0},
+		{"n1", []float64{3}, 3, 3, 3},
+		{"n2", []float64{1, 2}, 1.5, 1, 2},
+		{"n3", []float64{5, 1, 3}, 3, 1, 5},
+		{"n4", []float64{4, 1, 3, 2}, 2.5, 1, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := Summarize(tc.vals)
+			if s.N != len(tc.vals) {
+				t.Errorf("N = %d, want %d", s.N, len(tc.vals))
+			}
+			if math.Abs(s.P50-tc.p50) > 1e-12 {
+				t.Errorf("P50 = %v, want %v", s.P50, tc.p50)
+			}
+			if s.Min != tc.min || s.Max != tc.max {
+				t.Errorf("Min/Max = %v/%v, want %v/%v", s.Min, s.Max, tc.min, tc.max)
+			}
+			if math.IsInf(s.Min, 0) || math.IsInf(s.Max, 0) {
+				t.Error("empty input leaked ±Inf into Min/Max")
+			}
+			// Summarize must not reorder the caller's slice.
+			if tc.name == "n3" && (tc.vals[0] != 5 || tc.vals[2] != 3) {
+				t.Error("Summarize mutated its input")
+			}
+		})
 	}
 }
 

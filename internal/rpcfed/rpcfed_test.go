@@ -295,6 +295,94 @@ func TestRPCThrowDiscardsLateReplies(t *testing.T) {
 	}
 }
 
+// TestRoundTimeoutClosesRoundWithDeadParticipant is the RoundTimeout
+// regression test: one "participant" accepts TCP connections but closes
+// them immediately (a dead client whose calls fail), so with quorum 1.0
+// the fresh-reply target is never reached and every round must close at
+// the deadline instead of hanging. The telemetry counters must record the
+// timeouts and the dropped (transport-failed) replies.
+func TestRoundTimeoutClosesRoundWithDeadParticipant(t *testing.T) {
+	addrs, _, stop := startCluster(t, 1, nil)
+	defer stop()
+	// Dead participant: accepts and instantly closes every connection.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dead.Close()
+	go func() {
+		for {
+			conn, err := dead.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close()
+		}
+	}()
+
+	cfg := DefaultServerConfig(testNet())
+	cfg.Rounds = 3
+	cfg.BatchSize = 8
+	cfg.Quorum = 1.0 // both replies required: the dead one forces the timeout
+	cfg.RoundTimeout = 300 * time.Millisecond
+	s, err := NewServer(cfg, append(addrs, dead.Addr().String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	type outcome struct {
+		res ServerResult
+		err error
+	}
+	done := make(chan outcome, 1)
+	start := time.Now()
+	go func() {
+		res, err := s.Run()
+		done <- outcome{res, err}
+	}()
+	var out outcome
+	select {
+	case out = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("server hung: rounds did not close at RoundTimeout")
+	}
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	elapsed := time.Since(start)
+	// Each round waits out the full deadline (quorum unreachable), so the
+	// run takes at least Rounds × RoundTimeout but far less than a hang.
+	if min := time.Duration(cfg.Rounds) * cfg.RoundTimeout; elapsed < min {
+		t.Errorf("run finished in %v, before the %v of cumulative timeouts", elapsed, min)
+	}
+	if out.res.Curve.Len() != cfg.Rounds {
+		t.Errorf("curve has %d points, want %d", out.res.Curve.Len(), cfg.Rounds)
+	}
+	// The live participant still contributes fresh replies every round.
+	if out.res.FreshReplies != cfg.Rounds {
+		t.Errorf("fresh replies %d, want %d", out.res.FreshReplies, cfg.Rounds)
+	}
+	// Every round closed below quorum: the timeout counter says so.
+	if got := s.met.Timeouts.Value(); got != int64(cfg.Rounds) {
+		t.Errorf("round_timeouts_total = %d, want %d", got, cfg.Rounds)
+	}
+	// The dead participant's failed calls are accounted as drops, in both
+	// the result façade and the registry counter.
+	if out.res.DroppedReplies == 0 {
+		t.Error("dead participant produced no dropped replies")
+	}
+	if got := s.met.RepliesDropped.Value(); got != int64(out.res.DroppedReplies) {
+		t.Errorf("replies_dropped_total = %d, want %d", got, out.res.DroppedReplies)
+	}
+	if got := s.met.RepliesFresh.Value(); got != int64(out.res.FreshReplies) {
+		t.Errorf("replies_fresh_total = %d, want %d", got, out.res.FreshReplies)
+	}
+	if got := s.met.Rounds.Value(); got != int64(cfg.Rounds) {
+		t.Errorf("rounds_total = %d, want %d", got, cfg.Rounds)
+	}
+}
+
 func TestFedAvgOverRPC(t *testing.T) {
 	addrs, _, stop := startCluster(t, 3, nil)
 	defer stop()

@@ -11,6 +11,7 @@ import (
 	"fedrlnas/internal/nas"
 	"fedrlnas/internal/nn"
 	"fedrlnas/internal/staleness"
+	"fedrlnas/internal/telemetry"
 	"fedrlnas/internal/tensor"
 )
 
@@ -104,6 +105,11 @@ type Server struct {
 
 	replies  chan *TrainReply
 	inFlight map[int]bool // participants with an outstanding call
+
+	// tracer receives per-round span events (nil = disabled); met holds
+	// the registry-backed runtime counters.
+	tracer *telemetry.Tracer
+	met    telemetry.RoundMetrics
 }
 
 // NewServer dials the participant addresses and prepares the search state.
@@ -141,6 +147,7 @@ func NewServer(cfg ServerConfig, addrs []string) (*Server, error) {
 	for i, p := range net.Params() {
 		s.paramIndex[p] = i
 	}
+	s.met = telemetry.NewDisabledRoundMetrics()
 	for _, addr := range addrs {
 		client, err := rpc.Dial("tcp", addr)
 		if err != nil {
@@ -165,6 +172,16 @@ func (s *Server) Close() {
 // Supernet exposes the server-side supernet (e.g. to warm-start θ).
 func (s *Server) Supernet() *nas.Supernet { return s.net }
 
+// SetTelemetry attaches a span tracer and a metric registry to the server.
+// Both may be nil: a nil tracer disables tracing, a nil registry keeps the
+// private one created by NewServer. Call it before Run.
+func (s *Server) SetTelemetry(tracer *telemetry.Tracer, reg *telemetry.Registry) {
+	s.tracer = tracer
+	if reg != nil {
+		s.met = telemetry.NewRoundMetrics(reg)
+	}
+}
+
 // Run executes cfg.Rounds rounds of Alg. 1 over the RPC participants and
 // derives the final genotype.
 func (s *Server) Run() (ServerResult, error) {
@@ -178,6 +195,7 @@ func (s *Server) Run() (ServerResult, error) {
 
 	for t := 0; t < s.cfg.Rounds; t++ {
 		roundStart := time.Now()
+		s.tracer.RoundStart(t)
 		thetaNow := nn.CloneParamValues(params)
 		s.thetaPool.Put(t, thetaNow)
 		alphaNow := s.ctrl.Snapshot()
@@ -196,6 +214,9 @@ func (s *Server) Run() (ServerResult, error) {
 			if s.inFlight[p] {
 				continue
 			}
+			bytes := s.net.SubModelBytes(gates[p])
+			s.met.SubModelBytes.Observe(float64(bytes))
+			s.tracer.SubModelSample(t, p, bytes)
 			sub := s.net.SampledParams(gates[p])
 			req := &TrainRequest{
 				Round:     t,
@@ -224,12 +245,18 @@ func (s *Server) Run() (ServerResult, error) {
 
 		handle := func(reply *TrainReply) error {
 			s.inFlight[reply.ParticipantID] = false
+			delay := 0
+			if reply.Round >= 0 && t > reply.Round {
+				delay = t - reply.Round
+			}
 			fresh, ok, err := s.absorb(reply, t, thetaNow, aggTheta, aggAlpha)
 			if err != nil {
 				return err
 			}
 			if !ok {
 				res.DroppedReplies++
+				s.met.RepliesDropped.Inc()
+				s.tracer.ReplyDropped(t, reply.ParticipantID, delay)
 				return nil
 			}
 			contributors++
@@ -238,8 +265,12 @@ func (s *Server) Run() (ServerResult, error) {
 				freshCount++
 				sumFreshAcc += reply.Reward
 				res.FreshReplies++
+				s.met.RepliesFresh.Inc()
+				s.tracer.ReplyFresh(t, reply.ParticipantID)
 			} else {
 				res.LateReplies++
+				s.met.RepliesLate.Inc()
+				s.tracer.ReplyLate(t, reply.ParticipantID, delay)
 			}
 			return nil
 		}
@@ -264,6 +295,10 @@ func (s *Server) Run() (ServerResult, error) {
 					return res, err
 				}
 			case <-deadline:
+				// Round closes below quorum: dead or straggling
+				// participants kept it from filling up.
+				s.met.Timeouts.Inc()
+				s.tracer.RoundTimeout(t, time.Since(roundStart).Seconds())
 				break collect
 			}
 		}
@@ -293,13 +328,21 @@ func (s *Server) Run() (ServerResult, error) {
 			aggAlpha.Scale(inv)
 			s.ctrl.Apply(aggAlpha)
 			s.ctrl.UpdateBaseline(sumAcc * inv)
+			s.tracer.AlphaUpdate(t, s.ctrl.Entropy())
 		}
+		meanFreshAcc := 0.0
 		if freshCount > 0 {
-			res.Curve.Add(t, sumFreshAcc/float64(freshCount))
-		} else {
-			res.Curve.Add(t, 0)
+			meanFreshAcc = sumFreshAcc / float64(freshCount)
 		}
-		res.RoundSeconds = append(res.RoundSeconds, time.Since(roundStart).Seconds())
+		res.Curve.Add(t, meanFreshAcc)
+		elapsed := time.Since(roundStart).Seconds()
+		res.RoundSeconds = append(res.RoundSeconds, elapsed)
+		s.met.Rounds.Inc()
+		s.met.RoundSeconds.Observe(elapsed)
+		s.met.Accuracy.Set(meanFreshAcc)
+		s.met.Entropy.Set(s.ctrl.Entropy())
+		s.met.Baseline.Set(s.ctrl.Baseline())
+		s.tracer.RoundEnd(t, elapsed, meanFreshAcc)
 		s.thetaPool.Evict(t + 1)
 		s.alphaPool.Evict(t + 1)
 		s.gatesPool.Evict(t + 1)

@@ -6,6 +6,7 @@ import (
 	"fedrlnas/internal/fed"
 	"fedrlnas/internal/metrics"
 	"fedrlnas/internal/nas"
+	"fedrlnas/internal/telemetry"
 )
 
 // PipelineResult bundles the full P1→P4 run.
@@ -27,12 +28,19 @@ type PipelineResult struct {
 	FedCurves   fed.FedAvgResult
 }
 
-// PipelineOptions selects which P3 variants to run.
+// PipelineOptions selects which P3 variants to run and how the live
+// search phases are observed.
 type PipelineOptions struct {
 	// Centralized runs P3 centrally with this config (nil skips it).
 	Centralized *RetrainConfig
 	// Federated runs P3 with FedAvg (nil skips it).
 	Federated *fed.FedAvgConfig
+	// Tracer receives per-round span events from P1/P2 (nil disables
+	// tracing at zero cost).
+	Tracer *telemetry.Tracer
+	// Registry backs the live search counters and gauges, e.g. for a
+	// debug HTTP /metrics endpoint (nil keeps a private registry).
+	Registry *telemetry.Registry
 }
 
 // RunPipeline executes warm-up, search, derivation and the requested P3/P4
@@ -42,6 +50,7 @@ func RunPipeline(cfg Config, opts PipelineOptions) (PipelineResult, error) {
 	if err != nil {
 		return PipelineResult{}, err
 	}
+	s.SetTelemetry(opts.Tracer, opts.Registry)
 	if err := s.Warmup(); err != nil {
 		return PipelineResult{}, err
 	}

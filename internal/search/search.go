@@ -12,6 +12,7 @@ import (
 	"fedrlnas/internal/nettrace"
 	"fedrlnas/internal/nn"
 	"fedrlnas/internal/staleness"
+	"fedrlnas/internal/telemetry"
 	"fedrlnas/internal/tensor"
 	"fedrlnas/internal/transmission"
 )
@@ -35,7 +36,14 @@ type Search struct {
 
 	round int
 
-	// Stats tallies reply handling across all rounds.
+	// tracer receives per-round span events; nil (the default) is a
+	// zero-cost no-op. met holds the registry-backed counters that are
+	// the source of truth for all reply accounting.
+	tracer *telemetry.Tracer
+	met    telemetry.RoundMetrics
+
+	// Stats tallies reply handling across all rounds. It is a façade
+	// refreshed from the telemetry counters after every round.
 	Stats RoundStats
 	// Observer, when set, receives a report after every round.
 	Observer func(RoundReport)
@@ -101,8 +109,32 @@ func New(cfg Config) (*Search, error) {
 	for i, p := range net.Params() {
 		s.paramIndex[p] = i
 	}
+	s.met = telemetry.NewDisabledRoundMetrics()
 	net.SetTraining(true)
 	return s, nil
+}
+
+// SetTelemetry attaches a span tracer and a metric registry to the search.
+// Both may be nil: a nil tracer disables tracing at zero cost, and a nil
+// registry keeps the private one created by New. Call it before Warmup/Run;
+// rebinding mid-search restarts the Stats façade from the new registry's
+// counter values.
+func (s *Search) SetTelemetry(tracer *telemetry.Tracer, reg *telemetry.Registry) {
+	s.tracer = tracer
+	if reg != nil {
+		s.met = telemetry.NewRoundMetrics(reg)
+		s.Stats = s.statsFromCounters()
+	}
+}
+
+// statsFromCounters materializes the RoundStats façade from the registry.
+func (s *Search) statsFromCounters() RoundStats {
+	return RoundStats{
+		Fresh:   int(s.met.RepliesFresh.Value()),
+		Late:    int(s.met.RepliesLate.Value()),
+		Dropped: int(s.met.RepliesDropped.Value()),
+		Offline: int(s.met.Offline.Value()),
+	}
 }
 
 // Dataset exposes the generated dataset (for retraining and evaluation).
@@ -233,6 +265,13 @@ type RoundReport struct {
 func (s *Search) runRound(updateAlpha, updateTheta bool) (float64, error) {
 	t := s.round
 	params := s.net.Params()
+	s.tracer.RoundStart(t)
+	// Snapshot the cumulative counters so this round's deltas can be
+	// reported to the Observer without a second tally.
+	fresh0 := s.met.RepliesFresh.Value()
+	late0 := s.met.RepliesLate.Value()
+	dropped0 := s.met.RepliesDropped.Value()
+	offline0 := s.met.Offline.Value()
 
 	// Alg. 1 lines 4–7: snapshot θ, α and per-participant gates.
 	thetaNow := nn.CloneParamValues(params)
@@ -246,6 +285,7 @@ func (s *Search) runRound(updateAlpha, updateTheta bool) (float64, error) {
 	for k := range s.parts {
 		sampled[k] = s.ctrl.SampleGates(s.rng)
 		sizes[k] = s.net.SubModelBytes(sampled[k])
+		s.tracer.SubModelSample(t, k, sizes[k])
 	}
 
 	// Lines 10–11: adaptive transmission.
@@ -261,7 +301,10 @@ func (s *Search) runRound(updateAlpha, updateTheta bool) (float64, error) {
 	assigned := make([]nas.Gates, len(s.parts))
 	for k := range s.parts {
 		assigned[k] = sampled[assign.ModelFor[k]]
-		s.SubModelBytes = append(s.SubModelBytes, sizes[assign.ModelFor[k]])
+		sz := sizes[assign.ModelFor[k]]
+		s.SubModelBytes = append(s.SubModelBytes, sz)
+		s.met.SubModelBytes.Observe(float64(sz))
+		s.tracer.TxAssign(t, k, sz, assign.LatencySeconds[k])
 	}
 	s.gatesPool.Put(t, assigned)
 
@@ -272,11 +315,11 @@ func (s *Search) runRound(updateAlpha, updateTheta bool) (float64, error) {
 	contributors := 0
 	sumAcc := 0.0
 	roundSeconds := 0.0
-	var roundStats RoundStats
 
 	for k, part := range s.parts {
 		if s.cfg.ChurnProb > 0 && part.RNG.Float64() < s.cfg.ChurnProb {
-			roundStats.Offline++
+			s.met.Offline.Inc()
+			s.tracer.ReplyOffline(t, k)
 			continue // participant offline this round
 		}
 		delay, dropped := 0, false
@@ -284,7 +327,8 @@ func (s *Search) runRound(updateAlpha, updateTheta bool) (float64, error) {
 			delay, dropped = s.cfg.Staleness.Sample(part.RNG)
 		}
 		if dropped {
-			roundStats.Dropped++
+			s.met.RepliesDropped.Inc()
+			s.tracer.ReplyDropped(t, k, delay)
 			continue // beyond the staleness threshold (line 23)
 		}
 		tPrime := t - delay
@@ -292,7 +336,8 @@ func (s *Search) runRound(updateAlpha, updateTheta bool) (float64, error) {
 			tPrime, delay = t, 0 // nothing older exists in the first rounds
 		}
 		if delay > 0 && s.cfg.Strategy == staleness.Throw {
-			roundStats.Dropped++
+			s.met.RepliesDropped.Inc()
+			s.tracer.ReplyDropped(t, k, delay)
 			continue
 		}
 
@@ -369,9 +414,11 @@ func (s *Search) runRound(updateAlpha, updateTheta bool) (float64, error) {
 		contributors++
 		sumAcc += acc
 		if delay == 0 {
-			roundStats.Fresh++
+			s.met.RepliesFresh.Inc()
+			s.tracer.ReplyFresh(t, k)
 		} else {
-			roundStats.Late++
+			s.met.RepliesLate.Inc()
+			s.tracer.ReplyLate(t, k, delay)
 		}
 
 		// Soft synchronization: only fresh participants gate the round's
@@ -406,14 +453,18 @@ func (s *Search) runRound(updateAlpha, updateTheta bool) (float64, error) {
 			aggAlpha.Scale(inv)
 			s.ctrl.Apply(aggAlpha)
 			s.ctrl.UpdateBaseline(meanAcc)
+			s.tracer.AlphaUpdate(t, s.ctrl.Entropy())
 		}
 	}
 
 	s.RoundSeconds = append(s.RoundSeconds, roundSeconds)
-	s.Stats.Fresh += roundStats.Fresh
-	s.Stats.Late += roundStats.Late
-	s.Stats.Dropped += roundStats.Dropped
-	s.Stats.Offline += roundStats.Offline
+	s.met.Rounds.Inc()
+	s.met.RoundSeconds.Observe(roundSeconds)
+	s.met.Accuracy.Set(meanAcc)
+	s.met.Entropy.Set(s.ctrl.Entropy())
+	s.met.Baseline.Set(s.ctrl.Baseline())
+	s.Stats = s.statsFromCounters()
+	s.tracer.RoundEnd(t, roundSeconds, meanAcc)
 	if s.Observer != nil {
 		s.Observer(RoundReport{
 			Round:        t,
@@ -421,7 +472,12 @@ func (s *Search) runRound(updateAlpha, updateTheta bool) (float64, error) {
 			Entropy:      s.ctrl.Entropy(),
 			Baseline:     s.ctrl.Baseline(),
 			Seconds:      roundSeconds,
-			Stats:        roundStats,
+			Stats: RoundStats{
+				Fresh:   int(s.met.RepliesFresh.Value() - fresh0),
+				Late:    int(s.met.RepliesLate.Value() - late0),
+				Dropped: int(s.met.RepliesDropped.Value() - dropped0),
+				Offline: int(s.met.Offline.Value() - offline0),
+			},
 		})
 	}
 	s.round++

@@ -1,0 +1,219 @@
+package search
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"fedrlnas/internal/staleness"
+	"fedrlnas/internal/telemetry"
+)
+
+// TestRoundStatsAccountingAcrossStrategies pins the Fresh/Late/Dropped/
+// Offline tallies to Alg. 1's semantics under each staleness strategy with
+// churn, and checks the three accounting views agree: per-round Observer
+// deltas, the cumulative Stats façade, and the telemetry counters.
+func TestRoundStatsAccountingAcrossStrategies(t *testing.T) {
+	cases := []struct {
+		name     string
+		strategy staleness.Strategy
+	}{
+		{"dc", staleness.DC},
+		{"use", staleness.Use},
+		{"throw", staleness.Throw},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tinyConfig()
+			cfg.WarmupSteps = 0
+			cfg.SearchSteps = 40
+			cfg.K = 5
+			cfg.Staleness = staleness.Severe()
+			cfg.Strategy = tc.strategy
+			cfg.ChurnProb = 0.15
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reg := telemetry.NewRegistry()
+			s.SetTelemetry(nil, reg)
+			var perRound []RoundStats
+			s.Observer = func(r RoundReport) { perRound = append(perRound, r.Stats) }
+			if err := s.Run(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Observer per-round deltas must sum to the cumulative façade.
+			var sum RoundStats
+			for _, st := range perRound {
+				sum.Fresh += st.Fresh
+				sum.Late += st.Late
+				sum.Dropped += st.Dropped
+				sum.Offline += st.Offline
+			}
+			if sum != s.Stats {
+				t.Errorf("observer sum %+v != cumulative Stats %+v", sum, s.Stats)
+			}
+			// The façade must mirror the registry-backed counters.
+			counters := RoundStats{
+				Fresh:   int(reg.Counter("replies_fresh_total", "").Value()),
+				Late:    int(reg.Counter("replies_late_total", "").Value()),
+				Dropped: int(reg.Counter("replies_dropped_total", "").Value()),
+				Offline: int(reg.Counter("participants_offline_total", "").Value()),
+			}
+			if counters != s.Stats {
+				t.Errorf("registry counters %+v != Stats %+v", counters, s.Stats)
+			}
+			if got := reg.Counter("rounds_total", "").Value(); got != int64(cfg.SearchSteps) {
+				t.Errorf("rounds_total = %d, want %d", got, cfg.SearchSteps)
+			}
+			if reg.Histogram("submodel_bytes", "").N() == 0 {
+				t.Error("submodel_bytes histogram never observed a payload")
+			}
+
+			// Every participant-round is fresh, late, dropped, offline, or an
+			// (uncounted) early-round pool miss — never more than K per round.
+			total := sum.Fresh + sum.Late + sum.Dropped + sum.Offline
+			if total == 0 || total > cfg.SearchSteps*cfg.K {
+				t.Errorf("accounted %d participant-rounds for %d slots", total, cfg.SearchSteps*cfg.K)
+			}
+			if sum.Fresh == 0 {
+				t.Error("no fresh updates in 40 rounds")
+			}
+			if sum.Offline == 0 {
+				t.Error("15% churn over 200 participant-rounds never went offline")
+			}
+			switch tc.strategy {
+			case staleness.Throw:
+				// Throw never applies a stale update: everything late is dropped.
+				if sum.Late != 0 {
+					t.Errorf("Throw applied %d late updates", sum.Late)
+				}
+				if sum.Dropped == 0 {
+					t.Error("Throw dropped nothing under severe staleness")
+				}
+			case staleness.DC, staleness.Use:
+				// DC and Use apply within-threshold stale updates.
+				if sum.Late == 0 {
+					t.Errorf("%s never applied a late update under severe staleness", tc.name)
+				}
+				// The schedule itself still drops beyond-threshold draws.
+				if sum.Dropped == 0 {
+					t.Error("schedule never dropped despite a 10% drop rate")
+				}
+			}
+		})
+	}
+}
+
+// TestRoundStatsHardSyncUnderChurn pins the remaining strategy: hard sync
+// never samples delays, so churn is the only loss channel.
+func TestRoundStatsHardSyncUnderChurn(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.WarmupSteps = 0
+	cfg.SearchSteps = 20
+	cfg.Strategy = staleness.Hard
+	cfg.ChurnProb = 0.25
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats.Late != 0 || s.Stats.Dropped != 0 {
+		t.Errorf("hard sync produced late=%d dropped=%d", s.Stats.Late, s.Stats.Dropped)
+	}
+	if s.Stats.Offline == 0 {
+		t.Error("25% churn never took a participant offline")
+	}
+	if s.Stats.Fresh+s.Stats.Offline != cfg.SearchSteps*cfg.K {
+		t.Errorf("fresh %d + offline %d != %d participant-rounds",
+			s.Stats.Fresh, s.Stats.Offline, cfg.SearchSteps*cfg.K)
+	}
+}
+
+// TestSearchTraceEvents runs a short search with a tracer attached and
+// checks the JSONL stream: valid JSON, one round.start/round.end pair per
+// round, and per-participant submodel.sample and tx.assign events.
+func TestSearchTraceEvents(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.WarmupSteps = 2
+	cfg.SearchSteps = 3
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tracer := telemetry.NewJSONLTracer(&buf)
+	s.SetTelemetry(tracer, nil)
+	if err := s.Warmup(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("invalid trace line %q: %v", sc.Text(), err)
+		}
+		counts[m["event"].(string)]++
+	}
+	rounds := cfg.WarmupSteps + cfg.SearchSteps
+	if counts[telemetry.EventRoundStart] != rounds || counts[telemetry.EventRoundEnd] != rounds {
+		t.Errorf("round.start/end = %d/%d, want %d each",
+			counts[telemetry.EventRoundStart], counts[telemetry.EventRoundEnd], rounds)
+	}
+	if want := rounds * cfg.K; counts[telemetry.EventSubModelSample] != want ||
+		counts[telemetry.EventTxAssign] != want {
+		t.Errorf("submodel.sample/tx.assign = %d/%d, want %d each",
+			counts[telemetry.EventSubModelSample], counts[telemetry.EventTxAssign], want)
+	}
+	// Hard sync, no churn: every participant-round replies fresh.
+	if want := rounds * cfg.K; counts[telemetry.EventReplyFresh] != want {
+		t.Errorf("reply.fresh = %d, want %d", counts[telemetry.EventReplyFresh], want)
+	}
+	// α only updates during the search phase.
+	if counts[telemetry.EventAlphaUpdate] != cfg.SearchSteps {
+		t.Errorf("alpha.update = %d, want %d", counts[telemetry.EventAlphaUpdate], cfg.SearchSteps)
+	}
+}
+
+// TestDisabledTelemetryHotPathAllocFree asserts the acceptance criterion
+// that a search without attached telemetry performs zero telemetry
+// allocations on the hot path: the exact tracer/metric call sequence
+// runRound issues per participant and per round must not allocate.
+func TestDisabledTelemetryHotPathAllocFree(t *testing.T) {
+	s, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.tracer.RoundStart(0)
+		s.tracer.SubModelSample(0, 1, 4096)
+		s.met.SubModelBytes.Observe(4096)
+		s.tracer.TxAssign(0, 1, 4096, 0.1)
+		s.met.Offline.Inc()
+		s.tracer.ReplyOffline(0, 2)
+		s.met.RepliesDropped.Inc()
+		s.tracer.ReplyDropped(0, 3, 4)
+		s.met.RepliesFresh.Inc()
+		s.tracer.ReplyFresh(0, 1)
+		s.met.RepliesLate.Inc()
+		s.tracer.ReplyLate(0, 0, 1)
+		s.tracer.AlphaUpdate(0, 1.2)
+		s.met.Rounds.Inc()
+		s.met.RoundSeconds.Observe(0.5)
+		s.met.Accuracy.Set(0.5)
+		s.met.Entropy.Set(1.2)
+		s.met.Baseline.Set(0.4)
+		s.tracer.RoundEnd(0, 0.5, 0.5)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled telemetry allocated %.1f times per round", allocs)
+	}
+}

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestDebugMuxServesMetricsHealthzExpvarPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("rounds_total", "rounds").Add(3)
+	ts := httptest.NewServer(NewDebugMux(reg))
+	defer ts.Close()
+
+	if code, body := get(t, ts.URL+"/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "rounds_total 3") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	if code, body := get(t, ts.URL+"/healthz"); code != http.StatusOK ||
+		strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, body := get(t, ts.URL+"/debug/vars"); code != http.StatusOK ||
+		!strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars = %d (memstats missing)", code)
+	}
+	if code, body := get(t, ts.URL+"/debug/pprof/"); code != http.StatusOK ||
+		!strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+	if code, _ := get(t, ts.URL+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestDebugMuxNilRegistry(t *testing.T) {
+	ts := httptest.NewServer(NewDebugMux(nil))
+	defer ts.Close()
+	if code, body := get(t, ts.URL+"/metrics"); code != http.StatusOK || body != "" {
+		t.Errorf("/metrics on nil registry = %d %q", code, body)
+	}
+}
+
+func TestStartDebugServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("round_accuracy", "").Set(0.9)
+	ds, err := StartDebugServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if ds.Addr() == "" {
+		t.Fatal("no bound address")
+	}
+	if code, body := get(t, "http://"+ds.Addr()+"/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "round_accuracy 0.9") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var nilDS *DebugServer
+	if nilDS.Addr() != "" || nilDS.Close() != nil {
+		t.Error("nil DebugServer should be inert")
+	}
+	if _, err := StartDebugServer("256.0.0.1:99999", reg); err == nil {
+		t.Error("bad address accepted")
+	}
+}

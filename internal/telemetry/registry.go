@@ -1,0 +1,353 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"fedrlnas/internal/metrics"
+)
+
+// Counter is a monotonically increasing metric. A nil *Counter is a no-op,
+// so handles can be carried unconditionally. All methods are lock-free.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. A nil *Gauge is a no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the last stored value (0 if never set).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a concurrency-safe latency/size distribution reusing
+// metrics.Histogram for percentile readout. A nil *Histogram is a no-op.
+type Histogram struct {
+	mu  sync.Mutex
+	h   metrics.Histogram
+	sum float64
+}
+
+// Observe records a value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.h.Observe(v)
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.N()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) by nearest rank,
+// NaN when empty.
+func (h *Histogram) Percentile(p float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.Percentile(p)
+}
+
+// Registry is a process-wide metric namespace. Handles are created (or
+// fetched, idempotently) by name; WritePrometheus renders every metric in
+// the Prometheus text exposition format with deterministic ordering.
+// A nil *Registry hands out nil (no-op) handles.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	help     map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	r.init()
+	return r
+}
+
+// init lazily allocates the name maps so a zero Registry value works too.
+// Callers must hold r.mu.
+func (r *Registry) init() {
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+		r.gauges = make(map[string]*Gauge)
+		r.hists = make(map[string]*Histogram)
+		r.help = make(map[string]string)
+	}
+}
+
+// validName enforces the Prometheus metric-name charset.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// register records name/help, panicking on an invalid name or a name
+// already registered as a different kind (programmer errors).
+func (r *Registry) register(name, help, kind string, taken ...map[string]bool) {
+	if !validName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	for _, m := range taken {
+		if m[name] {
+			panic(fmt.Sprintf("telemetry: metric %q already registered as a different kind (want %s)", name, kind))
+		}
+	}
+	if help != "" {
+		r.help[name] = help
+	}
+}
+
+func keys[V any](m map[string]V) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+// Counter returns the counter registered under name, creating it if needed.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.init()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.register(name, help, "counter", keys(r.gauges), keys(r.hists))
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.init()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.register(name, help, "gauge", keys(r.counters), keys(r.hists))
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it if
+// needed.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.init()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	r.register(name, help, "histogram", keys(r.counters), keys(r.gauges))
+	h := &Histogram{}
+	r.hists[name] = h
+	return h
+}
+
+// summaryQuantiles are the quantile labels exported for histograms.
+var summaryQuantiles = []float64{50, 90, 99}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (histograms as summaries), sorted by name for stable output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	// Snapshot under the registry lock; individual metrics have their own
+	// synchronization, so reads below are race-free.
+	counters, gauges, hists, help := r.counters, r.gauges, r.hists, r.help
+	r.mu.Unlock()
+
+	for _, n := range names {
+		if h := help[n]; h != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", n, h); err != nil {
+				return err
+			}
+		}
+		switch {
+		case counters[n] != nil:
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, counters[n].Value()); err != nil {
+				return err
+			}
+		case gauges[n] != nil:
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, gauges[n].Value()); err != nil {
+				return err
+			}
+		case hists[n] != nil:
+			h := hists[n]
+			if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", n); err != nil {
+				return err
+			}
+			if h.N() > 0 {
+				for _, q := range summaryQuantiles {
+					if _, err := fmt.Fprintf(w, "%s{quantile=\"%g\"} %g\n", n, q/100, h.Percentile(q)); err != nil {
+						return err
+					}
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", n, h.Sum(), n, h.N()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RoundMetrics bundles the typed handles every federated round loop — the
+// in-process search and the RPC deployment alike — records into. The
+// metric-name inventory is documented in README.md §Observability.
+type RoundMetrics struct {
+	// Rounds counts completed communication rounds (rounds_total).
+	Rounds *Counter
+	// RepliesFresh/RepliesLate/RepliesDropped count reply handling per
+	// Alg. 1 (replies_*_total).
+	RepliesFresh   *Counter
+	RepliesLate    *Counter
+	RepliesDropped *Counter
+	// Offline counts participants skipped by churn
+	// (participants_offline_total).
+	Offline *Counter
+	// Timeouts counts rounds closed by the deadline below quorum
+	// (round_timeouts_total, RPC deployment only).
+	Timeouts *Counter
+	// RoundSeconds and SubModelBytes are latency/size distributions.
+	RoundSeconds  *Histogram
+	SubModelBytes *Histogram
+	// Accuracy/Entropy/Baseline track the latest round's mean training
+	// accuracy and the controller state.
+	Accuracy *Gauge
+	Entropy  *Gauge
+	Baseline *Gauge
+}
+
+// NewRoundMetrics registers the standard round-loop metrics on reg (a nil
+// reg yields all-no-op handles).
+func NewRoundMetrics(reg *Registry) RoundMetrics {
+	return RoundMetrics{
+		Rounds:         reg.Counter("rounds_total", "communication rounds completed"),
+		RepliesFresh:   reg.Counter("replies_fresh_total", "participant updates computed against the current round"),
+		RepliesLate:    reg.Counter("replies_late_total", "stale-but-applied participant updates"),
+		RepliesDropped: reg.Counter("replies_dropped_total", "participant updates discarded (staleness threshold, Throw strategy, or transport failure)"),
+		Offline:        reg.Counter("participants_offline_total", "participants skipped by churn"),
+		Timeouts:       reg.Counter("round_timeouts_total", "rounds closed by RoundTimeout below quorum"),
+		RoundSeconds:   reg.Histogram("round_seconds", "per-round duration in seconds"),
+		SubModelBytes:  reg.Histogram("submodel_bytes", "shipped sub-model payload in bytes"),
+		Accuracy:       reg.Gauge("round_accuracy", "latest round mean training accuracy"),
+		Entropy:        reg.Gauge("alpha_entropy", "controller policy entropy"),
+		Baseline:       reg.Gauge("alpha_baseline", "controller reward baseline"),
+	}
+}
+
+// NewDisabledRoundMetrics returns the handle set for an unobserved run:
+// counters and gauges are real (atomic, alloc-free, and needed for
+// cumulative-stats façades) but the histograms are nil no-ops — observing
+// an unbounded distribution allocates, and a run nobody is scraping should
+// not pay that on the hot path.
+func NewDisabledRoundMetrics() RoundMetrics {
+	met := NewRoundMetrics(NewRegistry())
+	met.RoundSeconds = nil
+	met.SubModelBytes = nil
+	return met
+}

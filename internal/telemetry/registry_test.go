@@ -1,0 +1,208 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("rounds_total", "rounds")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters only go up
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if again := reg.Counter("rounds_total", ""); again != c {
+		t.Error("Counter not idempotent by name")
+	}
+
+	g := reg.Gauge("round_accuracy", "acc")
+	if g.Value() != 0 {
+		t.Error("unset gauge should read 0")
+	}
+	g.Set(0.75)
+	if g.Value() != 0.75 {
+		t.Errorf("gauge = %v", g.Value())
+	}
+
+	h := reg.Histogram("round_seconds", "seconds")
+	if !math.IsNaN(h.Percentile(50)) {
+		t.Error("empty histogram percentile should be NaN")
+	}
+	for i := 1; i <= 4; i++ {
+		h.Observe(float64(i))
+	}
+	if h.N() != 4 || h.Sum() != 10 {
+		t.Errorf("N/Sum = %d/%v", h.N(), h.Sum())
+	}
+	if p := h.Percentile(100); p != 4 {
+		t.Errorf("p100 = %v", p)
+	}
+}
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x", "")
+	g := reg.Gauge("y", "")
+	h := reg.Histogram("z", "")
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.N() != 0 || h.Sum() != 0 {
+		t.Error("nil handles must be inert")
+	}
+	if !math.IsNaN(h.Percentile(50)) {
+		t.Error("nil histogram percentile should be NaN")
+	}
+	if err := reg.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Errorf("nil registry WritePrometheus: %v", err)
+	}
+}
+
+func TestCounterHandlesAllocFree(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c", "")
+	g := reg.Gauge("g", "")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(3)
+	})
+	if allocs != 0 {
+		t.Errorf("metric updates allocated %.1f times", allocs)
+	}
+}
+
+func TestRegistryRejectsBadNames(t *testing.T) {
+	reg := NewRegistry()
+	for _, bad := range []string{"", "9lives", "has space", "dash-ed", "ünïcode"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q accepted", bad)
+				}
+			}()
+			reg.Counter(bad, "")
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("kind collision accepted")
+			}
+		}()
+		reg.Counter("dual", "")
+		reg.Gauge("dual", "")
+	}()
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("replies_dropped_total", "dropped replies").Add(7)
+	reg.Gauge("alpha_entropy", "entropy").Set(1.5)
+	h := reg.Histogram("round_seconds", "round wall-clock")
+	h.Observe(0.5)
+	h.Observe(1.5)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP replies_dropped_total dropped replies",
+		"# TYPE replies_dropped_total counter",
+		"replies_dropped_total 7",
+		"# TYPE alpha_entropy gauge",
+		"alpha_entropy 1.5",
+		"# TYPE round_seconds summary",
+		`round_seconds{quantile="0.5"}`,
+		"round_seconds_sum 2",
+		"round_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic ordering: two renders must match.
+	var b2 strings.Builder
+	if err := reg.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Error("WritePrometheus output not deterministic")
+	}
+	// Empty histograms render sum/count but no quantiles (NaN is invalid).
+	reg2 := NewRegistry()
+	reg2.Histogram("empty_h", "")
+	var b3 strings.Builder
+	if err := reg2.WritePrometheus(&b3); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b3.String(), "quantile") || !strings.Contains(b3.String(), "empty_h_count 0") {
+		t.Errorf("empty histogram rendering wrong:\n%s", b3.String())
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	reg := NewRegistry()
+	met := NewRoundMetrics(reg)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				met.Rounds.Inc()
+				met.RoundSeconds.Observe(float64(j))
+				met.Accuracy.Set(float64(j))
+				reg.Counter("rounds_total", "").Value()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 50; j++ {
+			var b strings.Builder
+			if err := reg.WritePrometheus(&b); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	wg.Wait()
+	if met.Rounds.Value() != 8*500 {
+		t.Errorf("rounds = %d, want %d", met.Rounds.Value(), 8*500)
+	}
+}
+
+func TestNewDisabledRoundMetrics(t *testing.T) {
+	met := NewDisabledRoundMetrics()
+	met.Rounds.Inc()
+	met.RepliesFresh.Inc()
+	met.Accuracy.Set(0.5)
+	if met.Rounds.Value() != 1 || met.RepliesFresh.Value() != 1 || met.Accuracy.Value() != 0.5 {
+		t.Error("disabled metrics must still count (cumulative-stats façade)")
+	}
+	// Histograms are nil no-ops: observing must neither panic nor store.
+	met.RoundSeconds.Observe(1)
+	met.SubModelBytes.Observe(1)
+	if met.RoundSeconds.N() != 0 || met.SubModelBytes.N() != 0 {
+		t.Error("disabled histograms must be inert")
+	}
+}
+
+func TestNewRoundMetricsNilRegistry(t *testing.T) {
+	met := NewRoundMetrics(nil)
+	met.Rounds.Inc()
+	met.RoundSeconds.Observe(1)
+	met.Accuracy.Set(0.5)
+	if met.Rounds.Value() != 0 {
+		t.Error("nil-registry handles must be inert")
+	}
+}

@@ -1,0 +1,234 @@
+// Package telemetry is the runtime observability substrate for the
+// federated search stack: a span-style JSONL tracer for per-round events,
+// a process-wide metric registry (counters, gauges, latency histograms),
+// and an opt-in debug HTTP server exposing Prometheus-format metrics,
+// health, expvar, and pprof.
+//
+// Everything in this package is safe to leave wired in on hot paths: a nil
+// *Tracer is a zero-allocation no-op, and nil metric handles are no-ops
+// too, so instrumented code never needs to branch on "telemetry enabled".
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Event names emitted by the instrumented round loops. The JSONL schema is
+// documented in README.md §Observability; field names are stable.
+const (
+	EventRoundStart     = "round.start"
+	EventRoundEnd       = "round.end"
+	EventRoundTimeout   = "round.timeout"
+	EventSubModelSample = "submodel.sample"
+	EventTxAssign       = "tx.assign"
+	EventReplyFresh     = "reply.fresh"
+	EventReplyLate      = "reply.late"
+	EventReplyDropped   = "reply.dropped"
+	EventReplyOffline   = "reply.offline"
+	EventAlphaUpdate    = "alpha.update"
+)
+
+// Event is one trace record. A zero field is emitted as its zero value so
+// the schema stays fixed; Participant is omitted when negative (events
+// that concern the whole round rather than one participant).
+type Event struct {
+	// Name identifies the event (see the Event* constants).
+	Name string
+	// Round is the communication round the event belongs to.
+	Round int
+	// Participant is the participant id, or -1 when not applicable.
+	Participant int
+	// Bytes is the payload size associated with the event (sub-model
+	// wire size for submodel.sample / tx.assign), 0 otherwise.
+	Bytes int64
+	// Staleness is the reply delay in rounds (0 = fresh).
+	Staleness int
+	// Seconds is the wall-clock (or virtual) duration of the event.
+	Seconds float64
+	// Value is an event-specific scalar: mean accuracy for round.end,
+	// entropy for alpha.update, assignment latency for tx.assign.
+	Value float64
+}
+
+// Tracer writes Events as JSON lines. A nil *Tracer discards every event
+// without allocating, so call sites never guard emissions. Methods are
+// safe for concurrent use.
+type Tracer struct {
+	mu  sync.Mutex
+	w   io.Writer
+	c   io.Closer
+	buf []byte
+	n   int64
+	err error
+
+	// now stamps events; replaced in tests for determinism.
+	now func() time.Time
+}
+
+// NewJSONLTracer returns a tracer writing one JSON object per line to w.
+func NewJSONLTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w, buf: make([]byte, 0, 256), now: time.Now}
+}
+
+// OpenJSONL creates (truncating) path and returns a tracer writing to it.
+// Close flushes and closes the file.
+func OpenJSONL(path string) (*Tracer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: open trace: %w", err)
+	}
+	t := NewJSONLTracer(f)
+	t.c = f
+	return t, nil
+}
+
+// Close closes the underlying writer if it is closable and reports the
+// first write error encountered over the tracer's lifetime.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.c != nil {
+		if err := t.c.Close(); err != nil && t.err == nil {
+			t.err = err
+		}
+		t.c = nil
+	}
+	return t.err
+}
+
+// Err reports the first write error encountered (nil if none).
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Events reports how many events have been written.
+func (t *Tracer) Events() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Emit writes one event. On a nil tracer this is a no-op that performs no
+// allocation, so it can sit on the hottest loop unconditionally.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	b := t.buf[:0]
+	b = append(b, `{"ts":`...)
+	b = strconv.AppendInt(b, t.now().UnixNano(), 10)
+	b = append(b, `,"event":"`...)
+	b = append(b, e.Name...)
+	b = append(b, `","round":`...)
+	b = strconv.AppendInt(b, int64(e.Round), 10)
+	if e.Participant >= 0 {
+		b = append(b, `,"participant":`...)
+		b = strconv.AppendInt(b, int64(e.Participant), 10)
+	}
+	b = append(b, `,"bytes":`...)
+	b = strconv.AppendInt(b, e.Bytes, 10)
+	b = append(b, `,"staleness":`...)
+	b = strconv.AppendInt(b, int64(e.Staleness), 10)
+	b = append(b, `,"seconds":`...)
+	b = appendJSONFloat(b, e.Seconds)
+	b = append(b, `,"value":`...)
+	b = appendJSONFloat(b, e.Value)
+	b = append(b, "}\n"...)
+	t.buf = b
+	if _, err := t.w.Write(b); err != nil {
+		t.err = err
+		return
+	}
+	t.n++
+}
+
+// appendJSONFloat renders v as a JSON number (NaN/Inf, which JSON cannot
+// represent, degrade to 0).
+func appendJSONFloat(b []byte, v float64) []byte {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return append(b, '0')
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// RoundStart marks the beginning of a communication round.
+func (t *Tracer) RoundStart(round int) {
+	t.Emit(Event{Name: EventRoundStart, Round: round, Participant: -1})
+}
+
+// RoundEnd marks the end of a round with its duration and mean accuracy.
+func (t *Tracer) RoundEnd(round int, seconds, meanAccuracy float64) {
+	t.Emit(Event{Name: EventRoundEnd, Round: round, Participant: -1,
+		Seconds: seconds, Value: meanAccuracy})
+}
+
+// RoundTimeout records a round closed by the deadline below quorum.
+func (t *Tracer) RoundTimeout(round int, waitedSeconds float64) {
+	t.Emit(Event{Name: EventRoundTimeout, Round: round, Participant: -1,
+		Seconds: waitedSeconds})
+}
+
+// SubModelSample records the sub-model sampled for a participant.
+func (t *Tracer) SubModelSample(round, participant int, bytes int64) {
+	t.Emit(Event{Name: EventSubModelSample, Round: round,
+		Participant: participant, Bytes: bytes})
+}
+
+// TxAssign records the sub-model actually assigned for transmission, with
+// its wire size and modeled link latency.
+func (t *Tracer) TxAssign(round, participant int, bytes int64, latencySeconds float64) {
+	t.Emit(Event{Name: EventTxAssign, Round: round, Participant: participant,
+		Bytes: bytes, Value: latencySeconds})
+}
+
+// ReplyFresh records an update computed against the current round's state.
+func (t *Tracer) ReplyFresh(round, participant int) {
+	t.Emit(Event{Name: EventReplyFresh, Round: round, Participant: participant})
+}
+
+// ReplyLate records a stale-but-applied update with its delay in rounds.
+func (t *Tracer) ReplyLate(round, participant, staleness int) {
+	t.Emit(Event{Name: EventReplyLate, Round: round, Participant: participant,
+		Staleness: staleness})
+}
+
+// ReplyDropped records an update discarded for staleness (or transport
+// failure, staleness 0).
+func (t *Tracer) ReplyDropped(round, participant, staleness int) {
+	t.Emit(Event{Name: EventReplyDropped, Round: round, Participant: participant,
+		Staleness: staleness})
+}
+
+// ReplyOffline records a participant skipped by churn this round.
+func (t *Tracer) ReplyOffline(round, participant int) {
+	t.Emit(Event{Name: EventReplyOffline, Round: round, Participant: participant})
+}
+
+// AlphaUpdate records a policy update with the controller's entropy after
+// the step (the baseline is exposed via the alpha_baseline gauge).
+func (t *Tracer) AlphaUpdate(round int, entropy float64) {
+	t.Emit(Event{Name: EventAlphaUpdate, Round: round, Participant: -1,
+		Value: entropy})
+}

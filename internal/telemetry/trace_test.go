@@ -1,0 +1,197 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fixedClock makes trace output deterministic.
+func fixedClock(t *Tracer) {
+	t.now = func() time.Time { return time.Unix(12, 345) }
+}
+
+func TestTracerEmitsValidJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONLTracer(&buf)
+	fixedClock(tr)
+
+	tr.RoundStart(0)
+	tr.SubModelSample(0, 3, 4096)
+	tr.TxAssign(0, 3, 2048, 0.25)
+	tr.ReplyFresh(0, 3)
+	tr.ReplyLate(1, 2, 1)
+	tr.ReplyDropped(2, 1, 5)
+	tr.ReplyOffline(2, 0)
+	tr.AlphaUpdate(2, 1.38)
+	tr.RoundTimeout(3, 0.5)
+	tr.RoundEnd(3, 1.5, 0.75)
+	if tr.Events() != 10 {
+		t.Fatalf("Events() = %d, want 10", tr.Events())
+	}
+
+	sc := bufio.NewScanner(&buf)
+	var names []string
+	for sc.Scan() {
+		line := sc.Text()
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("invalid JSON line %q: %v", line, err)
+		}
+		for _, key := range []string{"ts", "event", "round", "bytes", "staleness", "seconds", "value"} {
+			if _, ok := m[key]; !ok {
+				t.Errorf("line %q missing %q", line, key)
+			}
+		}
+		names = append(names, m["event"].(string))
+	}
+	want := []string{
+		EventRoundStart, EventSubModelSample, EventTxAssign, EventReplyFresh,
+		EventReplyLate, EventReplyDropped, EventReplyOffline, EventAlphaUpdate,
+		EventRoundTimeout, EventRoundEnd,
+	}
+	if len(names) != len(want) {
+		t.Fatalf("%d lines, want %d", len(names), len(want))
+	}
+	for i, n := range names {
+		if n != want[i] {
+			t.Errorf("line %d event %q, want %q", i, n, want[i])
+		}
+	}
+}
+
+func TestTracerFieldValues(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONLTracer(&buf)
+	fixedClock(tr)
+	tr.Emit(Event{Name: "x", Round: 7, Participant: 4, Bytes: 99, Staleness: 2, Seconds: 0.5, Value: 0.25})
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]float64{
+		"round": 7, "participant": 4, "bytes": 99, "staleness": 2,
+		"seconds": 0.5, "value": 0.25,
+	}
+	for k, want := range checks {
+		if got := m[k].(float64); got != want {
+			t.Errorf("%s = %v, want %v", k, got, want)
+		}
+	}
+
+	// Round-scoped events omit the participant field entirely.
+	buf.Reset()
+	tr.RoundStart(1)
+	if strings.Contains(buf.String(), "participant") {
+		t.Errorf("round.start should omit participant: %s", buf.String())
+	}
+
+	// NaN/Inf must not produce invalid JSON.
+	buf.Reset()
+	tr.Emit(Event{Name: "x", Participant: -1, Seconds: math.Inf(1), Value: math.NaN()})
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("NaN value broke JSON: %v (%s)", err, buf.String())
+	}
+}
+
+func TestNilTracerIsNoOpAndAllocFree(t *testing.T) {
+	var tr *Tracer
+	// Must not panic, must report zero state.
+	tr.RoundStart(1)
+	tr.RoundEnd(1, 0, 0)
+	if tr.Events() != 0 || tr.Err() != nil || tr.Close() != nil {
+		t.Error("nil tracer should be inert")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.RoundStart(3)
+		tr.SubModelSample(3, 1, 512)
+		tr.TxAssign(3, 1, 512, 0.1)
+		tr.ReplyFresh(3, 1)
+		tr.ReplyLate(3, 2, 1)
+		tr.ReplyDropped(3, 0, 4)
+		tr.ReplyOffline(3, 0)
+		tr.AlphaUpdate(3, 0.5)
+		tr.RoundEnd(3, 0.2, 0.9)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled tracer allocated %.1f times per round", allocs)
+	}
+}
+
+func TestEnabledTracerSteadyStateAllocFree(t *testing.T) {
+	// After the reusable buffer warms up, the hand-rolled encoder should
+	// not allocate per event either (io.Discard has a zero-cost Write).
+	tr := NewJSONLTracer(discard{})
+	fixedClock(tr)
+	tr.RoundStart(0) // warm the buffer
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.ReplyFresh(1, 2)
+	})
+	if allocs != 0 {
+		t.Errorf("enabled tracer allocated %.1f times per event", allocs)
+	}
+}
+
+// discard is io.Discard without the interface-conversion allocation noise.
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestOpenJSONLWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	tr, err := OpenJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.RoundStart(0)
+	tr.RoundEnd(0, 0.1, 0.5)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("file has %d lines, want 2", len(lines))
+	}
+	for _, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("invalid line %q: %v", line, err)
+		}
+	}
+}
+
+// failWriter fails after n successful writes.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.n--
+	return len(p), nil
+}
+
+func TestTracerRecordsFirstWriteError(t *testing.T) {
+	tr := NewJSONLTracer(&failWriter{n: 1})
+	fixedClock(tr)
+	tr.RoundStart(0)
+	tr.RoundStart(1) // fails
+	tr.RoundStart(2) // silently skipped
+	if tr.Events() != 1 {
+		t.Errorf("Events() = %d, want 1", tr.Events())
+	}
+	if tr.Err() == nil || tr.Close() == nil {
+		t.Error("write error not surfaced")
+	}
+}
