@@ -1,6 +1,8 @@
 # Tier-1 targets. `make check` is the PR gate: vet + gofmt + build + tests
-# + race detector over the concurrent telemetry/search/RPC paths.
-.PHONY: check build test race fmt
+# + race detector over the concurrent paths (parallel engine, trainers,
+# telemetry, RPC). `make bench` measures round throughput across worker
+# counts and writes BENCH_rounds.json.
+.PHONY: check build test race fmt bench
 
 check:
 	./check.sh
@@ -12,7 +14,12 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/search/... ./internal/rpcfed/... ./internal/telemetry/...
+	go test -race ./internal/parallel/... ./internal/nn/... ./internal/fed/... \
+		./internal/search/... ./internal/baselines/... ./internal/rpcfed/... \
+		./internal/telemetry/...
 
 fmt:
 	gofmt -w .
+
+bench:
+	go run ./cmd/benchrounds -out BENCH_rounds.json

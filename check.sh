@@ -22,7 +22,9 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (search, rpcfed, telemetry)"
-go test -race ./internal/search/... ./internal/rpcfed/... ./internal/telemetry/...
+echo "== go test -race (parallel, nn, fed, search, baselines, rpcfed, telemetry)"
+go test -race ./internal/parallel/... ./internal/nn/... ./internal/fed/... \
+	./internal/search/... ./internal/baselines/... ./internal/rpcfed/... \
+	./internal/telemetry/...
 
 echo "OK"

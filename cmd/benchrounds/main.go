@@ -1,0 +1,182 @@
+// Command benchrounds measures the parallel round engine's throughput on
+// the Fig. 4 search workload (K participants jointly optimizing θ and α)
+// across worker counts, and writes the numbers to a JSON report (the
+// BENCH_rounds.json artifact produced by `make bench`).
+//
+// Usage:
+//
+//	benchrounds [-out BENCH_rounds.json] [-rounds 12] [-k 10] [-workers 1,4]
+//
+// Results are bit-identical at every worker count, so the report also
+// carries a determinism checksum per run; a mismatch across worker counts
+// is a bug, not noise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"fedrlnas/internal/search"
+)
+
+type runResult struct {
+	Workers        int     `json:"workers"`
+	Rounds         int     `json:"rounds"`
+	Seconds        float64 `json:"seconds"`
+	RoundsPerSec   float64 `json:"rounds_per_sec"`
+	NsPerRound     int64   `json:"ns_per_round"`
+	AllocsPerRound uint64  `json:"allocs_per_round"`
+	BytesPerRound  uint64  `json:"bytes_per_round"`
+	// Checksum fingerprints the final reward curve; it must be identical
+	// across every worker count.
+	Checksum float64 `json:"checksum"`
+}
+
+type report struct {
+	Workload   string      `json:"workload"`
+	K          int         `json:"k"`
+	CPUs       int         `json:"cpus"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Results    []runResult `json:"results"`
+	// SpeedupMaxVsSerial is rounds/sec at the largest worker count over
+	// rounds/sec at workers=1. On a single-core host this hovers near 1
+	// regardless of worker count; the CPUs field records that context.
+	SpeedupMaxVsSerial float64 `json:"speedup_max_vs_serial"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrounds:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchrounds", flag.ContinueOnError)
+	var (
+		out        = fs.String("out", "BENCH_rounds.json", "write the JSON report here (empty = stdout only)")
+		rounds     = fs.Int("rounds", 12, "timed search rounds per worker count")
+		k          = fs.Int("k", 10, "participants (Fig. 4 uses K=10)")
+		workersArg = fs.String("workers", "1,4", "comma-separated worker counts to benchmark")
+		seed       = fs.Int64("seed", 1, "search seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var workerCounts []int
+	for _, f := range strings.Split(*workersArg, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || w < 1 {
+			return fmt.Errorf("bad -workers entry %q", f)
+		}
+		workerCounts = append(workerCounts, w)
+	}
+	if len(workerCounts) == 0 {
+		return fmt.Errorf("no worker counts")
+	}
+
+	rep := report{
+		Workload:   fmt.Sprintf("fig4-search-k%d", *k),
+		K:          *k,
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, w := range workerCounts {
+		r, err := benchOne(*k, w, *rounds, *seed)
+		if err != nil {
+			return err
+		}
+		rep.Results = append(rep.Results, r)
+		fmt.Printf("workers=%d: %.3f rounds/sec (%d rounds in %.2fs, %d allocs/round)\n",
+			w, r.RoundsPerSec, r.Rounds, r.Seconds, r.AllocsPerRound)
+	}
+	for _, r := range rep.Results[1:] {
+		if r.Checksum != rep.Results[0].Checksum {
+			return fmt.Errorf("determinism violated: checksum %v at workers=%d vs %v at workers=%d",
+				r.Checksum, r.Workers, rep.Results[0].Checksum, rep.Results[0].Workers)
+		}
+	}
+	base, best := rep.Results[0], rep.Results[0]
+	for _, r := range rep.Results {
+		if r.Workers == 1 {
+			base = r
+		}
+		if r.Workers > best.Workers {
+			best = r
+		}
+	}
+	if base.RoundsPerSec > 0 {
+		rep.SpeedupMaxVsSerial = best.RoundsPerSec / base.RoundsPerSec
+	}
+	fmt.Printf("speedup workers=%d vs workers=1: %.2fx (on %d CPUs)\n",
+		best.Workers, rep.SpeedupMaxVsSerial, rep.CPUs)
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", *out)
+	} else {
+		os.Stdout.Write(blob)
+	}
+	return nil
+}
+
+// benchOne times `rounds` search rounds of the Fig. 4 workload at the given
+// worker count. A short untimed warm-up (P1) precedes the measurement so
+// buffer pools and batch norms are in steady state.
+func benchOne(k, workers, rounds int, seed int64) (runResult, error) {
+	cfg := search.DefaultConfig()
+	cfg.K = k
+	cfg.Workers = workers
+	cfg.Seed = seed
+	cfg.WarmupSteps = 2
+	cfg.SearchSteps = rounds
+	s, err := search.New(cfg)
+	if err != nil {
+		return runResult{}, err
+	}
+	if err := s.Warmup(); err != nil {
+		return runResult{}, err
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if err := s.Run(); err != nil {
+		return runResult{}, err
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	checksum := 0.0
+	for i, v := range s.SearchCurve.Values() {
+		checksum += v * float64(i+1)
+	}
+	secs := elapsed.Seconds()
+	res := runResult{
+		Workers:        workers,
+		Rounds:         rounds,
+		Seconds:        secs,
+		NsPerRound:     elapsed.Nanoseconds() / int64(rounds),
+		AllocsPerRound: (after.Mallocs - before.Mallocs) / uint64(rounds),
+		BytesPerRound:  (after.TotalAlloc - before.TotalAlloc) / uint64(rounds),
+		Checksum:       checksum,
+	}
+	if secs > 0 {
+		res.RoundsPerSec = float64(rounds) / secs
+	}
+	return res, nil
+}

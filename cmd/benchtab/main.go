@@ -35,10 +35,15 @@ func run(args []string) error {
 		scaleArg = fs.String("scale", "quick", "experiment scale: quick or full")
 		csv      = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
 		outDir   = fs.String("out", "", "also write each experiment's artifacts (txt + csv) into this directory")
+		workers  = fs.Int("workers", 0, "concurrent participants per round (0 = NumCPU); results are identical at any value")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers %d must be >= 0", *workers)
+	}
+	experiments.Workers = *workers
 	if *list {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
 		return nil

@@ -143,6 +143,7 @@ func runServer(args []string) error {
 		rounds    = fs.Int("rounds", 40, "search rounds")
 		batch     = fs.Int("batch", 16, "participant batch size")
 		quorum    = fs.Float64("quorum", 0.8, "fraction of replies that closes a round")
+		workers   = fs.Int("workers", 0, "concurrent payload serializations at dispatch (0 = NumCPU)")
 		seed      = fs.Int64("seed", 1, "shared deployment seed")
 		traceOut  = fs.String("trace", "", "write a JSONL span trace of every round to this file")
 		debugAddr = fs.String("debug-addr", "", "serve /metrics, /healthz, expvar and pprof on this address")
@@ -163,6 +164,7 @@ func runServer(args []string) error {
 	scfg.Rounds = *rounds
 	scfg.BatchSize = *batch
 	scfg.Quorum = *quorum
+	scfg.Workers = *workers
 	scfg.Seed = *seed
 	srv, err := rpcfed.NewServer(scfg, addrs)
 	if err != nil {

@@ -46,6 +46,7 @@ func run(args []string) error {
 		lambda    = fs.Float64("lambda", 1.0, "delay-compensation strength")
 		transPol  = fs.String("transmission", "adaptive", "sub-model assignment: adaptive, random, uniform")
 		seed      = fs.Int64("seed", 1, "random seed")
+		workers   = fs.Int("workers", 0, "concurrent participants per round (0 = NumCPU); results are identical at any value")
 		alphaOnly = fs.Bool("alpha-only", false, "freeze theta during search (Fig. 5 ablation)")
 		genoOut   = fs.String("genotype-out", "", "write the searched genotype to this JSON file")
 		ckptOut   = fs.String("checkpoint-out", "", "write a search checkpoint (theta+alpha) to this file")
@@ -83,6 +84,7 @@ func run(args []string) error {
 	cfg.SearchSteps = *searchN
 	cfg.BatchSize = *batch
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	cfg.AlphaOnly = *alphaOnly
 	cfg.Lambda = *lambda
 
@@ -125,6 +127,7 @@ func run(args []string) error {
 	if *fedRounds > 0 {
 		fcfg := fed.DefaultFedAvgConfig()
 		fcfg.Rounds = *fedRounds
+		fcfg.Workers = *workers
 		opts.Federated = &fcfg
 	}
 

@@ -10,6 +10,8 @@ import (
 	"fedrlnas/internal/nas"
 	"fedrlnas/internal/nettrace"
 	"fedrlnas/internal/nn"
+	"fedrlnas/internal/parallel"
+	"fedrlnas/internal/tensor"
 )
 
 // EvoConfig configures the EvoFedNAS baseline (Zhu & Jin): a population of
@@ -34,6 +36,11 @@ type EvoConfig struct {
 	ThetaMomentum float64
 	ThetaWD       float64
 	ThetaClip     float64
+
+	// Workers caps how many participants' local steps run concurrently;
+	// 0 selects runtime.NumCPU(). Results are bit-identical at every
+	// worker count.
+	Workers int
 
 	Seed int64
 }
@@ -125,40 +132,117 @@ func EvoFedNAS(ds *data.Dataset, part data.Partition, cfg EvoConfig) (NASResult,
 	res := NASResult{Method: "evofednas"}
 	var totalPayload, payloadCount int64
 
+	pool := parallel.New(cfg.Workers)
+	var reps []*supReplica
+	var primaryBNs []*nn.BatchNorm2D
+	if pool.Workers() > 1 {
+		if reps, err = newSupReplicas(pool, len(parts), cfg.Seed+1, cfg.Net); err != nil {
+			return res, err
+		}
+		primaryBNs = net.BatchNorms()
+	}
+	// evoOut is one participant's contribution, merged in index order (the
+	// fitness EMA must fold in participant order — with K > Population the
+	// same candidate trains twice in a round).
+	type evoOut struct {
+		grads   []*tensor.Tensor
+		acc     float64
+		payload int64
+		seconds float64
+		bn      [][]nn.BNStats
+	}
+
 	for round := 0; round < cfg.Rounds; round++ {
 		nn.ZeroGrads(params)
 		aggTheta := nn.CloneParamGrads(params) // zero-valued accumulators
 		roundAcc := 0.0
 		roundSeconds := 0.0
-		for k, p := range parts {
-			cand := pop[(k+round*len(parts))%len(pop)]
-			batch := p.Batcher.Next(cfg.BatchSize)
-			x, y := ds.Gather(batch)
-			nn.ZeroGrads(params)
-			lossRes, err := nn.CrossEntropy(net.ForwardSampled(x, cand.gates), y)
+		if len(reps) > 0 {
+			global := nn.CloneParamValues(params)
+			outs := make([]evoOut, len(parts))
+			err := pool.Run(len(parts), func(worker, k int) error {
+				p := parts[k]
+				rep := reps[worker]
+				// Tasks only read the candidate's gates; fitness is
+				// updated in the ordered merge below.
+				cand := pop[(k+round*len(parts))%len(pop)]
+				if err := nn.RestoreParamValues(rep.params, global); err != nil {
+					return fmt.Errorf("participant %d: %w", p.ID, err)
+				}
+				batch := p.Batcher.Next(cfg.BatchSize)
+				x, y := ds.Gather(batch)
+				nn.ZeroGrads(rep.params)
+				lossRes, err := nn.CrossEntropy(rep.net.ForwardSampled(x, cand.gates), y)
+				if err != nil {
+					return fmt.Errorf("participant %d: %w", p.ID, err)
+				}
+				rep.net.BackwardSampled(lossRes.GradLogits)
+				sub := rep.net.SampledParams(cand.gates)
+				payload := nn.ParamBytes(sub)
+				comm := 2 * nettrace.TransferSeconds(payload, 100)
+				comp := p.ComputeSeconds(nn.ParamCount(sub), cfg.BatchSize)
+				outs[k] = evoOut{
+					grads:   nn.CloneParamGrads(rep.params),
+					acc:     lossRes.Accuracy,
+					payload: payload,
+					seconds: comm + comp,
+					bn:      rep.drainBN(),
+				}
+				return nil
+			})
 			if err != nil {
-				return res, err
+				return res, fmt.Errorf("round %d: %w", round, err)
 			}
-			net.BackwardSampled(lossRes.GradLogits)
-			for i, pr := range params {
-				aggTheta[i].AddInPlace(pr.Grad)
+			for k := range outs {
+				cand := pop[(k+round*len(parts))%len(pop)]
+				for i := range params {
+					aggTheta[i].AddInPlace(outs[k].grads[i])
+				}
+				if cand.seen {
+					cand.fitness = cfg.FitnessDecay*outs[k].acc + (1-cfg.FitnessDecay)*cand.fitness
+				} else {
+					cand.fitness = outs[k].acc
+					cand.seen = true
+				}
+				roundAcc += outs[k].acc
+				replayBN(primaryBNs, outs[k].bn)
+				totalPayload += outs[k].payload
+				payloadCount++
+				if outs[k].seconds > roundSeconds {
+					roundSeconds = outs[k].seconds
+				}
 			}
-			if cand.seen {
-				cand.fitness = cfg.FitnessDecay*lossRes.Accuracy + (1-cfg.FitnessDecay)*cand.fitness
-			} else {
-				cand.fitness = lossRes.Accuracy
-				cand.seen = true
-			}
-			roundAcc += lossRes.Accuracy
+		} else {
+			for k, p := range parts {
+				cand := pop[(k+round*len(parts))%len(pop)]
+				batch := p.Batcher.Next(cfg.BatchSize)
+				x, y := ds.Gather(batch)
+				nn.ZeroGrads(params)
+				lossRes, err := nn.CrossEntropy(net.ForwardSampled(x, cand.gates), y)
+				if err != nil {
+					return res, err
+				}
+				net.BackwardSampled(lossRes.GradLogits)
+				for i, pr := range params {
+					aggTheta[i].AddInPlace(pr.Grad)
+				}
+				if cand.seen {
+					cand.fitness = cfg.FitnessDecay*lossRes.Accuracy + (1-cfg.FitnessDecay)*cand.fitness
+				} else {
+					cand.fitness = lossRes.Accuracy
+					cand.seen = true
+				}
+				roundAcc += lossRes.Accuracy
 
-			sub := net.SampledParams(cand.gates)
-			payload := nn.ParamBytes(sub)
-			totalPayload += payload
-			payloadCount++
-			comm := 2 * nettrace.TransferSeconds(payload, 100)
-			comp := p.ComputeSeconds(nn.ParamCount(sub), cfg.BatchSize)
-			if t := comm + comp; t > roundSeconds {
-				roundSeconds = t
+				sub := net.SampledParams(cand.gates)
+				payload := nn.ParamBytes(sub)
+				totalPayload += payload
+				payloadCount++
+				comm := 2 * nettrace.TransferSeconds(payload, 100)
+				comp := p.ComputeSeconds(nn.ParamCount(sub), cfg.BatchSize)
+				if t := comm + comp; t > roundSeconds {
+					roundSeconds = t
+				}
 			}
 		}
 		inv := 1.0 / float64(len(parts))

@@ -10,6 +10,8 @@ import (
 	"fedrlnas/internal/nas"
 	"fedrlnas/internal/nettrace"
 	"fedrlnas/internal/nn"
+	"fedrlnas/internal/parallel"
+	"fedrlnas/internal/tensor"
 )
 
 // FedNASConfig configures the FedNAS baseline (He et al.): federated
@@ -29,6 +31,11 @@ type FedNASConfig struct {
 
 	AlphaLR float64
 	AlphaWD float64
+
+	// Workers caps how many participants' local steps run concurrently;
+	// 0 selects runtime.NumCPU(). Results are bit-identical at every
+	// worker count.
+	Workers int
 
 	Seed int64
 }
@@ -70,6 +77,24 @@ func FedNAS(ds *data.Dataset, part data.Partition, cfg FedNASConfig) (NASResult,
 	payload := net.SupernetBytes()
 	res := NASResult{Method: "fednas", PayloadBytesPerRound: payload}
 
+	pool := parallel.New(cfg.Workers)
+	var reps []*supReplica
+	var primaryBNs []*nn.BatchNorm2D
+	if pool.Workers() > 1 {
+		if reps, err = newSupReplicas(pool, len(parts), cfg.Seed+1, cfg.Net); err != nil {
+			return res, err
+		}
+		primaryBNs = net.BatchNorms()
+	}
+	// fednasOut is one participant's contribution, merged in index order.
+	type fednasOut struct {
+		grads   []*tensor.Tensor
+		gN, gR  [][]float64
+		acc     float64
+		seconds float64
+		bn      [][]nn.BNStats
+	}
+
 	for round := 0; round < cfg.Rounds; round++ {
 		nn.ZeroGrads(params)
 		aggTheta := nn.CloneParamGrads(params) // zero-valued accumulators
@@ -80,28 +105,77 @@ func FedNAS(ds *data.Dataset, part data.Partition, cfg FedNASConfig) (NASResult,
 
 		pn := controller.SoftmaxRows(alphaN)
 		pr := controller.SoftmaxRows(alphaR)
-		for _, part := range parts {
-			batch := part.Batcher.Next(cfg.BatchSize)
-			x, y := ds.Gather(batch)
-			nn.ZeroGrads(params)
-			lossRes, err := nn.CrossEntropy(net.ForwardMixed(x, pn, pr), y)
+		if len(reps) > 0 {
+			// The global weights are constant within a round, so every
+			// replica restores the same snapshot; all order-sensitive
+			// accumulation happens in the merge below.
+			global := nn.CloneParamValues(params)
+			outs := make([]fednasOut, len(parts))
+			err := pool.Run(len(parts), func(worker, k int) error {
+				part := parts[k]
+				rep := reps[worker]
+				if err := nn.RestoreParamValues(rep.params, global); err != nil {
+					return fmt.Errorf("participant %d: %w", part.ID, err)
+				}
+				batch := part.Batcher.Next(cfg.BatchSize)
+				x, y := ds.Gather(batch)
+				nn.ZeroGrads(rep.params)
+				lossRes, err := nn.CrossEntropy(rep.net.ForwardMixed(x, pn, pr), y)
+				if err != nil {
+					return fmt.Errorf("participant %d: %w", part.ID, err)
+				}
+				mg := rep.net.BackwardMixed(lossRes.GradLogits)
+				comm := 2 * nettrace.TransferSeconds(payload, 100)
+				comp := part.ComputeSeconds(paramCount, cfg.BatchSize)
+				outs[k] = fednasOut{
+					grads:   nn.CloneParamGrads(rep.params),
+					gN:      controller.ChainSoftmax(mg.Normal, pn),
+					gR:      controller.ChainSoftmax(mg.Reduce, pr),
+					acc:     lossRes.Accuracy,
+					seconds: comm + comp,
+					bn:      rep.drainBN(),
+				}
+				return nil
+			})
 			if err != nil {
-				return res, err
+				return res, fmt.Errorf("round %d: %w", round, err)
 			}
-			mg := net.BackwardMixed(lossRes.GradLogits)
-			for i, p := range params {
-				aggTheta[i].AddInPlace(p.Grad)
+			for k := range outs {
+				for i := range params {
+					aggTheta[i].AddInPlace(outs[k].grads[i])
+				}
+				axpyRows(aggN, 1, outs[k].gN)
+				axpyRows(aggR, 1, outs[k].gR)
+				roundAcc += outs[k].acc
+				replayBN(primaryBNs, outs[k].bn)
+				if outs[k].seconds > roundSeconds {
+					roundSeconds = outs[k].seconds
+				}
 			}
-			axpyRows(aggN, 1, controller.ChainSoftmax(mg.Normal, pn))
-			axpyRows(aggR, 1, controller.ChainSoftmax(mg.Reduce, pr))
-			roundAcc += lossRes.Accuracy
+		} else {
+			for _, part := range parts {
+				batch := part.Batcher.Next(cfg.BatchSize)
+				x, y := ds.Gather(batch)
+				nn.ZeroGrads(params)
+				lossRes, err := nn.CrossEntropy(net.ForwardMixed(x, pn, pr), y)
+				if err != nil {
+					return res, err
+				}
+				mg := net.BackwardMixed(lossRes.GradLogits)
+				for i, p := range params {
+					aggTheta[i].AddInPlace(p.Grad)
+				}
+				axpyRows(aggN, 1, controller.ChainSoftmax(mg.Normal, pn))
+				axpyRows(aggR, 1, controller.ChainSoftmax(mg.Reduce, pr))
+				roundAcc += lossRes.Accuracy
 
-			// Every participant pays for the whole supernet: download +
-			// full mixed-compute + upload.
-			comm := 2 * nettrace.TransferSeconds(payload, 100)
-			comp := part.ComputeSeconds(paramCount, cfg.BatchSize)
-			if t := comm + comp; t > roundSeconds {
-				roundSeconds = t
+				// Every participant pays for the whole supernet: download +
+				// full mixed-compute + upload.
+				comm := 2 * nettrace.TransferSeconds(payload, 100)
+				comp := part.ComputeSeconds(paramCount, cfg.BatchSize)
+				if t := comm + comp; t > roundSeconds {
+					roundSeconds = t
+				}
 			}
 		}
 		inv := 1.0 / float64(len(parts))

@@ -1,0 +1,66 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedrlnas/internal/nas"
+	"fedrlnas/internal/nn"
+	"fedrlnas/internal/parallel"
+)
+
+// supReplica is one worker slot's private supernet copy for the parallel
+// baseline trainers (FedNAS, EvoFedNAS). Replicas are restored from the
+// round's global weight snapshot before every local step and run their
+// batch norms in stat-capture mode, so all order-sensitive state lands in
+// the trainers' sequential merge — the same bit-determinism recipe as the
+// main search engine (DESIGN.md §Concurrency).
+type supReplica struct {
+	net    *nas.Supernet
+	params []*nn.Param
+	bns    []*nn.BatchNorm2D
+}
+
+// newSupReplicas builds min(pool workers, maxTasks) supernet replicas.
+// Structure is all that matters — weights are overwritten each round — so
+// the primary network's init seed is reused.
+func newSupReplicas(pool *parallel.Pool, maxTasks int, seed int64, cfg nas.Config) ([]*supReplica, error) {
+	n := pool.Workers()
+	if n > maxTasks {
+		n = maxTasks
+	}
+	reps := make([]*supReplica, n)
+	for i := range reps {
+		net, err := nas.NewSupernet(rand.New(rand.NewSource(seed)), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("baselines: worker replica %d: %w", i, err)
+		}
+		net.SetTraining(true)
+		bns := net.BatchNorms()
+		for _, bn := range bns {
+			bn.SetStatCapture(true)
+		}
+		reps[i] = &supReplica{net: net, params: net.Params(), bns: bns}
+	}
+	return reps, nil
+}
+
+// drainBN collects the replica's captured batch statistics for ordered
+// replay onto the primary network.
+func (r *supReplica) drainBN() [][]nn.BNStats {
+	out := make([][]nn.BNStats, len(r.bns))
+	for i, bn := range r.bns {
+		out[i] = bn.DrainCapturedStats()
+	}
+	return out
+}
+
+// replayBN folds one participant's captured statistics into the primary
+// network's batch norms in layer order.
+func replayBN(primary []*nn.BatchNorm2D, stats [][]nn.BNStats) {
+	for layer, recs := range stats {
+		for _, rec := range recs {
+			primary[layer].ApplyStats(rec)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedrlnas/internal/data"
+)
+
+// The worker-count determinism contract extends to the federated baselines:
+// the same seed must yield identical search curves, genotypes, and virtual
+// clocks whether participants run sequentially or across a worker pool.
+
+func assertCurvesEqual(t *testing.T, name string, a, b []float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: length %d vs %d", name, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] { // bit-identical, no tolerance
+			t.Fatalf("%s[%d]: %v vs %v", name, i, a[i], b[i])
+		}
+	}
+}
+
+func TestFedNASDeterministicAcrossWorkers(t *testing.T) {
+	ds := testDataset(t)
+	part, err := data.IIDPartition(ds.NumTrain(), 3, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultFedNASConfig(testNet(), 3)
+	cfg.Rounds = 6
+	cfg.BatchSize = 8
+
+	cfg.Workers = 1
+	seq, err := FedNAS(ds, part, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	par, err := FedNAS(ds, part, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if seq.Genotype.String() != par.Genotype.String() {
+		t.Fatalf("genotype diverges: %s vs %s", seq.Genotype, par.Genotype)
+	}
+	assertCurvesEqual(t, "search curve", seq.Curve.Values(), par.Curve.Values())
+	if seq.SearchSeconds != par.SearchSeconds {
+		t.Fatalf("search seconds %v vs %v", seq.SearchSeconds, par.SearchSeconds)
+	}
+}
+
+func TestEvoFedNASDeterministicAcrossWorkers(t *testing.T) {
+	ds := testDataset(t)
+	part, err := data.IIDPartition(ds.NumTrain(), 5, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// K=5 > Population=4 exercises the same-candidate-twice-per-round EMA
+	// ordering that the merge phase must preserve.
+	cfg := DefaultEvoConfig(testNet(), 5)
+	cfg.Rounds = 8
+	cfg.BatchSize = 8
+	cfg.Population = 4
+	cfg.GenerationEvery = 3
+
+	cfg.Workers = 1
+	seq, err := EvoFedNAS(ds, part, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	par, err := EvoFedNAS(ds, part, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if seq.Genotype.String() != par.Genotype.String() {
+		t.Fatalf("genotype diverges: %s vs %s", seq.Genotype, par.Genotype)
+	}
+	assertCurvesEqual(t, "search curve", seq.Curve.Values(), par.Curve.Values())
+	if seq.SearchSeconds != par.SearchSeconds {
+		t.Fatalf("search seconds %v vs %v", seq.SearchSeconds, par.SearchSeconds)
+	}
+	if seq.PayloadBytesPerRound != par.PayloadBytesPerRound {
+		t.Fatalf("payload %d vs %d", seq.PayloadBytesPerRound, par.PayloadBytesPerRound)
+	}
+}

@@ -14,6 +14,13 @@ import (
 	"fedrlnas/internal/search"
 )
 
+// Workers caps per-round participant concurrency in every experiment —
+// the search engine, federated retraining, and the federated baselines.
+// 0 (the default) selects runtime.NumCPU(). Every experiment is
+// bit-identical at every worker count (DESIGN.md §Concurrency), so this
+// only changes wall-clock. benchtab's -workers flag sets it.
+var Workers int
+
 // Scale selects experiment duration: Quick for CI-sized smoke runs, Full
 // for the EXPERIMENTS.md numbers.
 type Scale int
@@ -131,6 +138,7 @@ func baseSearchConfig(scale Scale) search.Config {
 	w, s, _, _ := scale.sizes()
 	cfg.WarmupSteps = w
 	cfg.SearchSteps = s
+	cfg.Workers = Workers
 	return cfg
 }
 
@@ -151,6 +159,7 @@ func fedConfig(scale Scale) fed.FedAvgConfig {
 	cfg := fed.DefaultFedAvgConfig()
 	_, _, _, r := scale.sizes()
 	cfg.Rounds = r
+	cfg.Workers = Workers
 	return cfg
 }
 

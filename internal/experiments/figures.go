@@ -345,6 +345,9 @@ func fedAvgFixedBig(ds *data.Dataset, cfg search.Config, fcfg fed.FedAvgConfig) 
 	if err != nil {
 		return fed.FedAvgResult{}, err
 	}
+	fcfg.NewReplica = func() fed.Model {
+		return baselines.NewResNetLike(rand.New(rand.NewSource(1)), ds.Spec.Channels, ds.Spec.NumClasses)
+	}
 	return fed.FedAvg(model, ds, parts, fcfg)
 }
 

@@ -52,6 +52,7 @@ func fedNASGenotype(cfg search.Config, scale Scale) (nas.Genotype, error) {
 		return nas.Genotype{}, err
 	}
 	fcfg := baselines.DefaultFedNASConfig(cfg.Net, cfg.K)
+	fcfg.Workers = Workers
 	_, s, _, _ := scale.sizes()
 	// FedNAS ships the whole supernet each round; at the same round budget
 	// it is far more expensive, so the paper runs it for fewer rounds on

@@ -145,7 +145,11 @@ func Table3Federated(scale Scale) (Output, error) {
 	}
 	rng := rand.New(rand.NewSource(52))
 	fixed := baselines.NewSmallCNN(rng, ds.Spec.Channels, ds.Spec.NumClasses)
-	fixedRes, err := fed.FedAvg(fixed, ds, parts, fcfg)
+	fixedCfg := fcfg
+	fixedCfg.NewReplica = func() fed.Model {
+		return baselines.NewSmallCNN(rand.New(rand.NewSource(52)), ds.Spec.Channels, ds.Spec.NumClasses)
+	}
+	fixedRes, err := fed.FedAvg(fixed, ds, parts, fixedCfg)
 	if err != nil {
 		return Output{}, err
 	}
@@ -160,6 +164,7 @@ func Table3Federated(scale Scale) (Output, error) {
 			return Output{}, err
 		}
 		ecfg := baselines.DefaultEvoConfig(netV, cfg.K)
+		ecfg.Workers = Workers
 		_, steps, _, _ := scale.sizes()
 		ecfg.Rounds = steps
 		ecfg.BatchSize = cfg.BatchSize
@@ -254,6 +259,7 @@ func Table4NonIID(scale Scale) (Output, error) {
 					return err
 				}
 				ecfg := baselines.DefaultEvoConfig(netV, cfg.K)
+				ecfg.Workers = Workers
 				_, steps, _, _ := scale.sizes()
 				ecfg.Rounds = steps
 				ecfg.BatchSize = cfg.BatchSize
@@ -320,6 +326,7 @@ func Table5SearchTime(scale Scale) (Output, error) {
 		return Output{}, err
 	}
 	fncfg := baselines.DefaultFedNASConfig(cfg.Net, cfg.K)
+	fncfg.Workers = Workers
 	fncfg.Rounds = steps
 	fncfg.BatchSize = cfg.BatchSize
 	fn, err := baselines.FedNAS(ds, part, fncfg)
@@ -330,6 +337,7 @@ func Table5SearchTime(scale Scale) (Output, error) {
 
 	// EvoFedNAS (big space; the paper reports 16.1 h, the slowest).
 	ecfg := baselines.DefaultEvoConfig(baselines.EvoBig.ApplyVariant(cfg.Net), cfg.K)
+	ecfg.Workers = Workers
 	ecfg.Rounds = steps * 2 // evolution needs more rounds to converge
 	ecfg.BatchSize = cfg.BatchSize
 	evo, err := baselines.EvoFedNAS(ds, part, ecfg)

@@ -47,6 +47,10 @@ func (m *SequentialModel) Params() []*nn.Param { return m.Net.Params() }
 // SetTraining implements Model.
 func (m *SequentialModel) SetTraining(training bool) { m.Net.SetTraining(training) }
 
+// BatchNorms enumerates the network's batch-norm layers in structural
+// order, enabling the parallel trainers' ordered stat replay.
+func (m *SequentialModel) BatchNorms() []*nn.BatchNorm2D { return nn.CollectBatchNorms(m.Net) }
+
 // Participant is one federated client: a data shard, its own RNG, a compute
 // speed, and a bandwidth trace.
 type Participant struct {

@@ -35,6 +35,14 @@ type FedAvgConfig struct {
 	ClientFraction float64
 
 	Augment data.AugmentConfig
+
+	// Workers caps how many participants' local updates run concurrently;
+	// 0 selects runtime.NumCPU(). Training is bit-identical at every
+	// worker count (see DESIGN.md §Concurrency).
+	Workers int
+	// NewReplica builds a model structurally identical to the one being
+	// trained, one per worker slot. nil keeps the sequential path.
+	NewReplica func() Model
 }
 
 // Validate checks the configuration.
@@ -50,6 +58,8 @@ func (c FedAvgConfig) Validate() error {
 		return fmt.Errorf("fed: LR %v must be positive", c.LR)
 	case c.ClientFraction < 0 || c.ClientFraction > 1:
 		return fmt.Errorf("fed: ClientFraction %v outside [0,1]", c.ClientFraction)
+	case c.Workers < 0:
+		return fmt.Errorf("fed: Workers %d must be >= 0", c.Workers)
 	}
 	return nil
 }
@@ -97,6 +107,18 @@ func FedAvg(model Model, ds *data.Dataset, parts []*Participant, cfg FedAvgConfi
 	payloadBytes := nn.ParamBytes(params)
 	model.SetTraining(true)
 	selRNG := rand.New(rand.NewSource(int64(len(parts))*7907 + 13))
+	run, err := newRunner(model, cfg.Workers, len(parts), cfg.NewReplica)
+	if err != nil {
+		return res, err
+	}
+
+	// avgOut is one participant's contribution, merged in selection order.
+	type avgOut struct {
+		lastAcc float64
+		delta   []*tensor.Tensor
+		seconds float64
+		bn      [][]nn.BNStats
+	}
 
 	for round := 0; round < cfg.Rounds; round++ {
 		selected := selectClients(parts, cfg.ClientFraction, selRNG)
@@ -112,40 +134,100 @@ func FedAvg(model Model, ds *data.Dataset, parts []*Participant, cfg FedAvgConfi
 		roundTrainAcc := 0.0
 		roundSeconds := 0.0
 
-		for _, part := range selected {
-			if err := nn.RestoreParamValues(params, global); err != nil {
-				return res, fmt.Errorf("round %d participant %d: %w", round, part.ID, err)
+		if run.parallelPath() {
+			// Fan the selected participants' local updates out across the
+			// worker replicas; each task writes only its own outs slot, and
+			// the merge below folds them back in selection order, so the
+			// result is bit-identical to the sequential branch.
+			outs := make([]avgOut, len(selected))
+			err := run.pool.Run(len(selected), func(worker, j int) error {
+				part := selected[j]
+				rep := run.reps[worker]
+				rparams := rep.Params()
+				if err := nn.RestoreParamValues(rparams, global); err != nil {
+					return fmt.Errorf("participant %d: %w", part.ID, err)
+				}
+				opt := nn.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay, cfg.GradClip)
+				lastAcc := 0.0
+				for step := 0; step < cfg.LocalSteps; step++ {
+					batch := part.Batcher.Next(cfg.BatchSize)
+					x, y := ds.Gather(batch)
+					x = cfg.Augment.Apply(x, part.RNG)
+					nn.ZeroGrads(rparams)
+					lossRes, err := nn.CrossEntropy(rep.Forward(x), y)
+					if err != nil {
+						return fmt.Errorf("participant %d: %w", part.ID, err)
+					}
+					rep.Backward(lossRes.GradLogits)
+					opt.Step(rparams)
+					lastAcc = lossRes.Accuracy
+				}
+				delta := make([]*tensor.Tensor, len(rparams))
+				for i, p := range rparams {
+					delta[i] = p.Value.Sub(global[i])
+				}
+				comm := 2 * nettrace.TransferSeconds(payloadBytes, bwAt(part, round))
+				comp := float64(cfg.LocalSteps) * part.ComputeSeconds(paramCount, cfg.BatchSize)
+				outs[j] = avgOut{
+					lastAcc: lastAcc, delta: delta,
+					seconds: comm + comp, bn: run.drainBN(worker),
+				}
+				return nil
+			})
+			if err != nil {
+				return res, fmt.Errorf("round %d: %w", round, err)
 			}
-			opt := nn.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay, cfg.GradClip)
-			lastAcc := 0.0
-			for step := 0; step < cfg.LocalSteps; step++ {
-				batch := part.Batcher.Next(cfg.BatchSize)
-				x, y := ds.Gather(batch)
-				x = cfg.Augment.Apply(x, part.RNG)
-				nn.ZeroGrads(params)
-				lossRes, err := nn.CrossEntropy(model.Forward(x), y)
-				if err != nil {
+			for j, part := range selected {
+				out := &outs[j]
+				roundTrainAcc += out.lastAcc
+				w := float64(part.NumSamples) / float64(totalSamples)
+				for i := range params {
+					weightedDelta[i].AXPY(w, out.delta[i])
+				}
+				run.replayBN(out.bn)
+				if out.seconds > roundSeconds {
+					roundSeconds = out.seconds
+				}
+			}
+			// The primary's weights were never touched during the parallel
+			// phase, so they still equal global; no restore needed before
+			// applying the aggregate delta.
+		} else {
+			for _, part := range selected {
+				if err := nn.RestoreParamValues(params, global); err != nil {
 					return res, fmt.Errorf("round %d participant %d: %w", round, part.ID, err)
 				}
-				model.Backward(lossRes.GradLogits)
-				opt.Step(params)
-				lastAcc = lossRes.Accuracy
+				opt := nn.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay, cfg.GradClip)
+				lastAcc := 0.0
+				for step := 0; step < cfg.LocalSteps; step++ {
+					batch := part.Batcher.Next(cfg.BatchSize)
+					x, y := ds.Gather(batch)
+					x = cfg.Augment.Apply(x, part.RNG)
+					nn.ZeroGrads(params)
+					lossRes, err := nn.CrossEntropy(model.Forward(x), y)
+					if err != nil {
+						return res, fmt.Errorf("round %d participant %d: %w", round, part.ID, err)
+					}
+					model.Backward(lossRes.GradLogits)
+					opt.Step(params)
+					lastAcc = lossRes.Accuracy
+				}
+				roundTrainAcc += lastAcc
+				for i, p := range params {
+					delta := p.Value.Sub(global[i])
+					weightedDelta[i].AXPY(float64(part.NumSamples)/float64(totalSamples), delta)
+				}
+				// Virtual time: download + local compute + upload.
+				comm := 2 * nettrace.TransferSeconds(payloadBytes, bwAt(part, round))
+				comp := float64(cfg.LocalSteps) * part.ComputeSeconds(paramCount, cfg.BatchSize)
+				if t := comm + comp; t > roundSeconds {
+					roundSeconds = t
+				}
 			}
-			roundTrainAcc += lastAcc
-			for i, p := range params {
-				delta := p.Value.Sub(global[i])
-				weightedDelta[i].AXPY(float64(part.NumSamples)/float64(totalSamples), delta)
-			}
-			// Virtual time: download + local compute + upload.
-			comm := 2 * nettrace.TransferSeconds(payloadBytes, bwAt(part, round))
-			comp := float64(cfg.LocalSteps) * part.ComputeSeconds(paramCount, cfg.BatchSize)
-			if t := comm + comp; t > roundSeconds {
-				roundSeconds = t
-			}
-		}
 
-		if err := nn.RestoreParamValues(params, global); err != nil {
-			return res, fmt.Errorf("round %d: %w", round, err)
+			if err := nn.RestoreParamValues(params, global); err != nil {
+				return res, fmt.Errorf("round %d: %w", round, err)
+			}
 		}
 		for i, p := range params {
 			p.Value.AddInPlace(weightedDelta[i])
@@ -154,10 +236,18 @@ func FedAvg(model Model, ds *data.Dataset, parts []*Participant, cfg FedAvgConfi
 		res.RoundSeconds = append(res.RoundSeconds, roundSeconds)
 		res.TotalSeconds += roundSeconds
 		if cfg.EvalEvery > 0 && (round%cfg.EvalEvery == 0 || round == cfg.Rounds-1) {
-			res.ValAcc.Add(round, Evaluate(model, ds, 32))
+			acc, err := run.evaluate(ds, 32)
+			if err != nil {
+				return res, fmt.Errorf("round %d: %w", round, err)
+			}
+			res.ValAcc.Add(round, acc)
 		}
 	}
-	res.FinalAcc = Evaluate(model, ds, 32)
+	final, err := run.evaluate(ds, 32)
+	if err != nil {
+		return res, err
+	}
+	res.FinalAcc = final
 	return res, nil
 }
 

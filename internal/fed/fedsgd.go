@@ -24,6 +24,14 @@ type FedSGDConfig struct {
 	GradClip    float64
 
 	Augment data.AugmentConfig
+
+	// Workers caps how many participants' gradients are computed
+	// concurrently; 0 selects runtime.NumCPU(). Training is bit-identical
+	// at every worker count (see DESIGN.md §Concurrency).
+	Workers int
+	// NewReplica builds a model structurally identical to the one being
+	// trained, one per worker slot. nil keeps the sequential path.
+	NewReplica func() Model
 }
 
 // DefaultFedSGDConfig returns substrate-scale defaults.
@@ -36,7 +44,7 @@ func DefaultFedSGDConfig() FedSGDConfig {
 
 // Validate checks the configuration.
 func (c FedSGDConfig) Validate() error {
-	if c.Rounds <= 0 || c.BatchSize <= 0 || c.LR <= 0 {
+	if c.Rounds <= 0 || c.BatchSize <= 0 || c.LR <= 0 || c.Workers < 0 {
 		return fmt.Errorf("fed: invalid FedSGD config %+v", c)
 	}
 	return nil
@@ -55,6 +63,17 @@ func FedSGD(model Model, ds *data.Dataset, parts []*Participant, cfg FedSGDConfi
 	params := model.Params()
 	opt := nn.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay, cfg.GradClip)
 	model.SetTraining(true)
+	run, err := newRunner(model, cfg.Workers, len(parts), cfg.NewReplica)
+	if err != nil {
+		return curve, err
+	}
+
+	// sgdOut is one participant's gradient, merged in participant order.
+	type sgdOut struct {
+		grads []*tensor.Tensor
+		acc   float64
+		bn    [][]nn.BNStats
+	}
 
 	for round := 0; round < cfg.Rounds; round++ {
 		agg := make([]*tensor.Tensor, len(params))
@@ -62,20 +81,61 @@ func FedSGD(model Model, ds *data.Dataset, parts []*Participant, cfg FedSGDConfi
 			agg[i] = tensor.New(p.Value.Shape()...)
 		}
 		acc := 0.0
-		for _, part := range parts {
-			batch := part.Batcher.Next(cfg.BatchSize)
-			x, y := ds.Gather(batch)
-			x = cfg.Augment.Apply(x, part.RNG)
-			nn.ZeroGrads(params)
-			lossRes, err := nn.CrossEntropy(model.Forward(x), y)
+		if run.parallelPath() {
+			// The global weights are constant within a round (the single
+			// SGD step happens after aggregation), so every replica is
+			// restored to the same snapshot and gradients are exact.
+			global := nn.CloneParamValues(params)
+			outs := make([]sgdOut, len(parts))
+			err := run.pool.Run(len(parts), func(worker, k int) error {
+				part := parts[k]
+				rep := run.reps[worker]
+				rparams := rep.Params()
+				if err := nn.RestoreParamValues(rparams, global); err != nil {
+					return fmt.Errorf("participant %d: %w", part.ID, err)
+				}
+				batch := part.Batcher.Next(cfg.BatchSize)
+				x, y := ds.Gather(batch)
+				x = cfg.Augment.Apply(x, part.RNG)
+				nn.ZeroGrads(rparams)
+				lossRes, err := nn.CrossEntropy(rep.Forward(x), y)
+				if err != nil {
+					return fmt.Errorf("participant %d: %w", part.ID, err)
+				}
+				rep.Backward(lossRes.GradLogits)
+				outs[k] = sgdOut{
+					grads: nn.CloneParamGrads(rparams),
+					acc:   lossRes.Accuracy,
+					bn:    run.drainBN(worker),
+				}
+				return nil
+			})
 			if err != nil {
-				return curve, fmt.Errorf("round %d participant %d: %w", round, part.ID, err)
+				return curve, fmt.Errorf("round %d: %w", round, err)
 			}
-			model.Backward(lossRes.GradLogits)
-			for i, p := range params {
-				agg[i].AddInPlace(p.Grad)
+			for k := range outs {
+				for i := range params {
+					agg[i].AddInPlace(outs[k].grads[i])
+				}
+				run.replayBN(outs[k].bn)
+				acc += outs[k].acc
 			}
-			acc += lossRes.Accuracy
+		} else {
+			for _, part := range parts {
+				batch := part.Batcher.Next(cfg.BatchSize)
+				x, y := ds.Gather(batch)
+				x = cfg.Augment.Apply(x, part.RNG)
+				nn.ZeroGrads(params)
+				lossRes, err := nn.CrossEntropy(model.Forward(x), y)
+				if err != nil {
+					return curve, fmt.Errorf("round %d participant %d: %w", round, part.ID, err)
+				}
+				model.Backward(lossRes.GradLogits)
+				for i, p := range params {
+					agg[i].AddInPlace(p.Grad)
+				}
+				acc += lossRes.Accuracy
+			}
 		}
 		inv := 1.0 / float64(len(parts))
 		for i, p := range params {

@@ -1,0 +1,175 @@
+package fed
+
+import (
+	"fmt"
+
+	"fedrlnas/internal/data"
+	"fedrlnas/internal/nn"
+	"fedrlnas/internal/parallel"
+)
+
+// batchNormer is implemented by models that can enumerate their batch-norm
+// layers in deterministic structural order (nas.FixedModel, SequentialModel).
+// The parallel trainers need it to replay replica batch statistics onto the
+// primary model in participant order — the one side effect of a local step
+// that is not captured by parameter deltas. See DESIGN.md §Concurrency.
+type batchNormer interface {
+	BatchNorms() []*nn.BatchNorm2D
+}
+
+// runner fans a trainer's per-participant work out across a worker pool,
+// one private model replica per worker slot. A runner with no replicas
+// (reps == nil) marks the sequential path: the trainer falls back to its
+// original single-model loop, which the replica path reproduces
+// bit-identically (pure arithmetic on restored snapshots, ordered merge).
+type runner struct {
+	pool    *parallel.Pool
+	primary Model
+	reps    []Model
+
+	primaryBNs []*nn.BatchNorm2D
+	repBNs     [][]*nn.BatchNorm2D
+}
+
+// newRunner builds the replica set for a trainer run. newReplica may be nil
+// (sequential path); when set it must produce models structurally identical
+// to primary. maxTasks caps the replica count (more could never be in
+// flight). The primary must expose its batch-norm layers for the ordered
+// stat replay; a primary that cannot keeps the sequential path.
+func newRunner(primary Model, workers, maxTasks int, newReplica func() Model) (*runner, error) {
+	r := &runner{primary: primary}
+	pbn, ok := primary.(batchNormer)
+	if newReplica == nil || !ok {
+		return r, nil
+	}
+	r.pool = parallel.New(workers)
+	n := r.pool.Workers()
+	if n > maxTasks {
+		n = maxTasks
+	}
+	r.primaryBNs = pbn.BatchNorms()
+	primaryParams := primary.Params()
+	for i := 0; i < n; i++ {
+		m := newReplica()
+		if m == nil {
+			// Factory declined; train sequentially.
+			r.reps, r.repBNs = nil, nil
+			return r, nil
+		}
+		mbn, ok := m.(batchNormer)
+		if !ok {
+			return nil, fmt.Errorf("fed: replica %d cannot enumerate batch norms", i)
+		}
+		bns := mbn.BatchNorms()
+		if len(bns) != len(r.primaryBNs) {
+			return nil, fmt.Errorf("fed: replica %d has %d batch norms, primary %d",
+				i, len(bns), len(r.primaryBNs))
+		}
+		if err := checkSameStructure(m.Params(), primaryParams, i); err != nil {
+			return nil, err
+		}
+		m.SetTraining(true)
+		for _, bn := range bns {
+			bn.SetStatCapture(true)
+		}
+		r.reps = append(r.reps, m)
+		r.repBNs = append(r.repBNs, bns)
+	}
+	return r, nil
+}
+
+// checkSameStructure verifies a replica's parameters are index-aligned and
+// shape-identical with the primary's, so snapshot restores and delta merges
+// are positionally exact.
+func checkSameStructure(rep, primary []*nn.Param, i int) error {
+	if len(rep) != len(primary) {
+		return fmt.Errorf("fed: replica %d has %d params, primary %d", i, len(rep), len(primary))
+	}
+	for j := range rep {
+		rs, ps := rep[j].Value.Shape(), primary[j].Value.Shape()
+		if len(rs) != len(ps) {
+			return fmt.Errorf("fed: replica %d param %d (%s) shape mismatch", i, j, primary[j].Name)
+		}
+		for d := range rs {
+			if rs[d] != ps[d] {
+				return fmt.Errorf("fed: replica %d param %d (%s) shape %v, primary %v",
+					i, j, primary[j].Name, rs, ps)
+			}
+		}
+	}
+	return nil
+}
+
+// parallelPath reports whether per-participant work runs on replicas.
+func (r *runner) parallelPath() bool { return len(r.reps) > 0 }
+
+// drainBN collects the batch statistics worker w's replica captured during
+// a local step, for ordered replay via replayBN.
+func (r *runner) drainBN(w int) [][]nn.BNStats {
+	out := make([][]nn.BNStats, len(r.repBNs[w]))
+	for i, bn := range r.repBNs[w] {
+		out[i] = bn.DrainCapturedStats()
+	}
+	return out
+}
+
+// replayBN folds one participant's captured statistics into the primary
+// model's running stats, exactly as its sequential local step would have.
+func (r *runner) replayBN(stats [][]nn.BNStats) {
+	for layer, recs := range stats {
+		for _, rec := range recs {
+			r.primaryBNs[layer].ApplyStats(rec)
+		}
+	}
+}
+
+// evaluate measures test accuracy like Evaluate, but fans the batches out
+// across the replicas when the parallel path is active. Batch results are
+// summed in batch order, so the value is bit-identical to the sequential
+// Evaluate.
+func (r *runner) evaluate(ds *data.Dataset, batchSize int) (float64, error) {
+	if !r.parallelPath() {
+		return Evaluate(r.primary, ds, batchSize), nil
+	}
+	n := ds.NumTest()
+	if n == 0 {
+		return 0, nil
+	}
+	snap := nn.CloneParamValues(r.primary.Params())
+	for w, rep := range r.reps {
+		if err := nn.RestoreParamValues(rep.Params(), snap); err != nil {
+			return 0, fmt.Errorf("fed: eval replica %d: %w", w, err)
+		}
+		for i, bn := range r.repBNs[w] {
+			bn.CopyStatsFrom(r.primaryBNs[i])
+		}
+		rep.SetTraining(false)
+	}
+	nBatches := (n + batchSize - 1) / batchSize
+	corrects := make([]float64, nBatches)
+	err := r.pool.Run(nBatches, func(worker, b int) error {
+		start := b * batchSize
+		end := start + batchSize
+		if end > n {
+			end = n
+		}
+		indices := make([]int, end-start)
+		for i := range indices {
+			indices[i] = start + i
+		}
+		x, y := ds.GatherTest(indices)
+		corrects[b] = nn.Accuracy(r.reps[worker].Forward(x), y) * float64(len(y))
+		return nil
+	})
+	for _, rep := range r.reps {
+		rep.SetTraining(true)
+	}
+	if err != nil {
+		return 0, err
+	}
+	correct := 0.0
+	for _, c := range corrects {
+		correct += c
+	}
+	return correct / float64(n), nil
+}

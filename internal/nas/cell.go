@@ -180,6 +180,16 @@ func (c *Cell) SampledParams(gates []int) []*nn.Param {
 	return ps
 }
 
+// BatchNorms returns the cell's batch-norm layers in structural order
+// (pre0, pre1, then each edge's candidates in order).
+func (c *Cell) BatchNorms() []*nn.BatchNorm2D {
+	bns := nn.CollectBatchNorms(c.pre0, c.pre1)
+	for _, e := range c.Edges {
+		bns = append(bns, nn.CollectBatchNorms(e.ops...)...)
+	}
+	return bns
+}
+
 // SetTraining toggles train/eval mode on every contained module.
 func (c *Cell) SetTraining(training bool) {
 	c.pre0.SetTraining(training)

@@ -57,6 +57,11 @@ func (m *FixedModel) Params() []*nn.Param { return m.Net.Params() }
 // SetTraining implements the federated Model contract.
 func (m *FixedModel) SetTraining(training bool) { m.Net.SetTraining(training) }
 
+// BatchNorms exposes the model's batch-norm layers in structural order,
+// letting the parallel federated engine sync running statistics between
+// replicas (see fed package).
+func (m *FixedModel) BatchNorms() []*nn.BatchNorm2D { return m.Net.BatchNorms() }
+
 // ParamCount returns the number of scalar parameters.
 func (m *FixedModel) ParamCount() int { return nn.ParamCount(m.Net.Params()) }
 

@@ -175,6 +175,18 @@ func (s *Supernet) SupernetBytes() int64 {
 	return nn.ParamBytes(s.Params())
 }
 
+// BatchNorms returns every batch-norm layer in deterministic structural
+// order (stem, then each cell, head has none). Structurally identical
+// supernets yield index-aligned lists, which the parallel round engine
+// relies on to replay replica batch statistics onto the primary network.
+func (s *Supernet) BatchNorms() []*nn.BatchNorm2D {
+	bns := nn.CollectBatchNorms(s.stem)
+	for _, c := range s.cells {
+		bns = append(bns, c.BatchNorms()...)
+	}
+	return bns
+}
+
 // SetTraining toggles train/eval mode across the whole network.
 func (s *Supernet) SetTraining(training bool) {
 	s.stem.SetTraining(training)

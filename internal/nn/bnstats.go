@@ -1,0 +1,79 @@
+package nn
+
+// Batch-norm statistic capture/replay. BatchNorm2D's training forward has a
+// side effect — the EMA update of the running statistics — that makes it the
+// one piece of per-participant work that is not naturally order-independent.
+// The parallel round engine therefore runs worker replicas in *capture* mode:
+// a capturing BatchNorm2D records the batch statistics of every training
+// forward instead of folding them into its running stats, and the round loop
+// replays the captured statistics onto the primary model's layers in fixed
+// participant-index order. Because the batch statistics themselves depend
+// only on the input batch and the (restored) parameters — never on the
+// running stats — replaying them through ApplyStats reproduces bit-identical
+// running statistics to a fully sequential run. See DESIGN.md §Concurrency.
+
+// BNStats is one training forward's batch statistics: per-channel mean and
+// (biased) variance.
+type BNStats struct {
+	Mean []float64
+	Var  []float64
+}
+
+// SetStatCapture toggles capture mode. While capturing, training forwards
+// append their batch statistics to an internal log (read with
+// DrainCapturedStats) and leave the running statistics untouched.
+func (bn *BatchNorm2D) SetStatCapture(on bool) {
+	bn.capture = on
+	if !on {
+		bn.captured = nil
+	}
+}
+
+// DrainCapturedStats returns the batch statistics captured since the last
+// drain, oldest first, and clears the log.
+func (bn *BatchNorm2D) DrainCapturedStats() []BNStats {
+	s := bn.captured
+	bn.captured = nil
+	return s
+}
+
+// ApplyStats folds one captured forward's batch statistics into the running
+// statistics, exactly as a non-capturing training forward would have.
+func (bn *BatchNorm2D) ApplyStats(s BNStats) {
+	for ch := 0; ch < bn.C; ch++ {
+		bn.runningMean[ch] = (1-bn.Momentum)*bn.runningMean[ch] + bn.Momentum*s.Mean[ch]
+		bn.runningVar[ch] = (1-bn.Momentum)*bn.runningVar[ch] + bn.Momentum*s.Var[ch]
+	}
+}
+
+// CopyStatsFrom overwrites bn's running statistics with src's (used to sync
+// evaluation replicas with the primary model; parameters are copied
+// separately via RestoreParamValues).
+func (bn *BatchNorm2D) CopyStatsFrom(src *BatchNorm2D) {
+	copy(bn.runningMean, src.runningMean)
+	copy(bn.runningVar, src.runningVar)
+}
+
+// Container is implemented by modules that contain other modules, so
+// generic walkers can enumerate a module tree without knowing its concrete
+// layout. Children returns the direct children in deterministic order.
+type Container interface {
+	Children() []Module
+}
+
+// CollectBatchNorms walks the module trees rooted at ms in order and
+// returns every BatchNorm2D encountered. Two structurally identical models
+// yield index-aligned lists, which is what lets the round engine pair each
+// replica layer with its primary counterpart.
+func CollectBatchNorms(ms ...Module) []*BatchNorm2D {
+	var out []*BatchNorm2D
+	for _, m := range ms {
+		switch v := m.(type) {
+		case *BatchNorm2D:
+			out = append(out, v)
+		case Container:
+			out = append(out, CollectBatchNorms(v.Children()...)...)
+		}
+	}
+	return out
+}

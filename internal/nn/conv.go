@@ -20,6 +20,12 @@ type Conv2D struct {
 	bias   *Param // nil when bias is disabled
 
 	lastX *tensor.Tensor
+
+	// Per-layer im2col scratch, reused across calls. Safe because a layer
+	// belongs to exactly one model replica and each replica is driven by at
+	// most one worker at a time (see package doc and internal/parallel).
+	colBuf     []float64
+	colGradBuf []float64
 }
 
 var _ Module = (*Conv2D)(nil)

@@ -12,6 +12,16 @@ import (
 // Conv2D uses it automatically for Groups == 1; grouped (depthwise)
 // convolutions keep the direct path, whose inner loops are already small.
 
+// growScratch returns a length-n slice backed by buf when it is large
+// enough, allocating only on growth. Contents are unspecified; callers
+// overwrite (im2colBuffer) or zero (the colGrad loop) before reading.
+func growScratch(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
 // im2colBuffer extracts patches from one image [C,H,W] into a
 // [C*kH*kW, oH*oW] matrix (column-major over output positions).
 func im2colBuffer(xd []float64, c, h, w, kh, kw, stride, pad, dilation, oh, ow int, out []float64) {
@@ -82,7 +92,8 @@ func (c *Conv2D) forwardIm2col(x *tensor.Tensor) *tensor.Tensor {
 	out := tensor.New(n, c.OutC, oh, ow)
 	k := c.InC * c.KH * c.KW
 	cols := oh * ow
-	buf := make([]float64, k*cols)
+	c.colBuf = growScratch(c.colBuf, k*cols)
+	buf := c.colBuf
 	xd, od := x.Data(), out.Data()
 	wd := c.weight.Value.Data() // [OutC, k] when flattened
 	var biasD []float64
@@ -126,8 +137,9 @@ func (c *Conv2D) backwardIm2col(grad *tensor.Tensor) *tensor.Tensor {
 	oh, ow := grad.Dim(2), grad.Dim(3)
 	k := c.InC * c.KH * c.KW
 	cols := oh * ow
-	buf := make([]float64, k*cols)
-	colGrad := make([]float64, k*cols)
+	c.colBuf = growScratch(c.colBuf, k*cols)
+	c.colGradBuf = growScratch(c.colGradBuf, k*cols)
+	buf, colGrad := c.colBuf, c.colGradBuf
 	gradX := tensor.New(x.Shape()...)
 	xd, gd, gxd := x.Data(), grad.Data(), gradX.Data()
 	wd, gwd := c.weight.Value.Data(), c.weight.Grad.Data()

@@ -184,6 +184,11 @@ type BatchNorm2D struct {
 	runningVar  []float64
 	training    bool
 
+	// capture mode: training forwards log their batch statistics instead
+	// of EMA-updating the running stats (see bnstats.go).
+	capture  bool
+	captured []BNStats
+
 	// cached for backward
 	lastX    *tensor.Tensor
 	lastXHat *tensor.Tensor
@@ -232,6 +237,10 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	m := float64(n * h * w)
 	xd, od, xh := x.Data(), out.Data(), xhat.Data()
 	gd, bd := bn.gamma.Value.Data(), bn.beta.Value.Data()
+	var capStats BNStats
+	if bn.training && bn.capture {
+		capStats = BNStats{Mean: make([]float64, c), Var: make([]float64, c)}
+	}
 	for ch := 0; ch < c; ch++ {
 		var mean, variance float64
 		if bn.training {
@@ -252,8 +261,12 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 				}
 			}
 			variance = sq / m
-			bn.runningMean[ch] = (1-bn.Momentum)*bn.runningMean[ch] + bn.Momentum*mean
-			bn.runningVar[ch] = (1-bn.Momentum)*bn.runningVar[ch] + bn.Momentum*variance
+			if capStats.Mean != nil {
+				capStats.Mean[ch], capStats.Var[ch] = mean, variance
+			} else {
+				bn.runningMean[ch] = (1-bn.Momentum)*bn.runningMean[ch] + bn.Momentum*mean
+				bn.runningVar[ch] = (1-bn.Momentum)*bn.runningVar[ch] + bn.Momentum*variance
+			}
 		} else {
 			mean, variance = bn.runningMean[ch], bn.runningVar[ch]
 		}
@@ -268,6 +281,9 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 				od[base+i] = g*xhv + bta
 			}
 		}
+	}
+	if capStats.Mean != nil {
+		bn.captured = append(bn.captured, capStats)
 	}
 	return out
 }

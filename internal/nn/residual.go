@@ -15,6 +15,7 @@ type Residual struct {
 var (
 	_ Module       = (*Residual)(nil)
 	_ TrainToggler = (*Residual)(nil)
+	_ Container    = (*Residual)(nil)
 )
 
 // NewResidual constructs a residual block around body.
@@ -31,6 +32,9 @@ func NewBasicBlock(name string, rng *rand.Rand, c int) *Residual {
 		NewBatchNorm2D(name+".bn2", c),
 	))
 }
+
+// Children implements Container.
+func (r *Residual) Children() []Module { return []Module{r.body} }
 
 // Params implements Module.
 func (r *Residual) Params() []*Param { return r.body.Params() }

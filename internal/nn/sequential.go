@@ -14,6 +14,7 @@ type Sequential struct {
 var (
 	_ Module       = (*Sequential)(nil)
 	_ TrainToggler = (*Sequential)(nil)
+	_ Container    = (*Sequential)(nil)
 )
 
 // NewSequential constructs a chain of modules.
@@ -23,6 +24,9 @@ func NewSequential(mods ...Module) *Sequential {
 
 // Modules returns the contained modules in order.
 func (s *Sequential) Modules() []Module { return s.mods }
+
+// Children implements Container.
+func (s *Sequential) Children() []Module { return s.mods }
 
 // Params implements Module.
 func (s *Sequential) Params() []*Param {

@@ -1,0 +1,173 @@
+// Package parallel provides the shared worker-pool execution layer that
+// drives all per-round participant work in the federated search engine.
+//
+// The pool is deliberately minimal: Run(n, fn) partitions n independent
+// tasks across a fixed number of workers and blocks until every task has
+// finished. Each invocation of fn receives both the worker slot (0 ≤
+// worker < Workers()) and the task index (0 ≤ task < n). The worker slot
+// is the key to deterministic parallelism throughout the repo: callers
+// allocate one set of mutable scratch state (model replica, gradient
+// buffers) per worker slot, so a task owns its slot's state exclusively
+// for the duration of fn and no locking is needed inside the hot path.
+//
+// Determinism contract: Run makes no guarantee about the order tasks
+// execute in, so callers must keep per-task results in per-task (or
+// per-worker) storage and merge them sequentially in task-index order
+// after Run returns. With that discipline the merged result is
+// bit-identical for every worker count, including workers=1.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fedrlnas/internal/telemetry"
+)
+
+// Pool executes batches of independent tasks on a fixed set of workers.
+// A nil *Pool is valid and runs everything inline on the calling
+// goroutine (workers = 1).
+type Pool struct {
+	workers int
+
+	// Optional telemetry, attached via Observe. All handles are nil-safe.
+	tasks       *telemetry.Counter   // parallel_tasks_total
+	queueWait   *telemetry.Counter   // parallel_queue_wait_nanoseconds_total
+	taskSeconds *telemetry.Histogram // participant_step_seconds
+}
+
+// New returns a pool with the given number of workers. workers <= 0
+// selects runtime.NumCPU().
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the concurrency level tasks may run at. A nil pool is
+// sequential.
+func (p *Pool) Workers() int {
+	if p == nil || p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+// Observe attaches pool metrics to reg: a parallel_workers gauge, the
+// parallel_tasks_total counter, the parallel_queue_wait_nanoseconds_total
+// counter (cumulative time between Run being called and each task
+// starting, i.e. how long work sat waiting for a worker slot), and the
+// participant_step_seconds histogram of per-task wall time. A nil pool or
+// nil registry is a no-op.
+func (p *Pool) Observe(reg *telemetry.Registry) {
+	if p == nil || reg == nil {
+		return
+	}
+	reg.Gauge("parallel_workers", "worker-pool concurrency level").Set(float64(p.Workers()))
+	p.tasks = reg.Counter("parallel_tasks_total", "tasks executed by the worker pool")
+	p.queueWait = reg.Counter("parallel_queue_wait_nanoseconds_total", "cumulative time tasks waited for a worker slot")
+	p.taskSeconds = reg.Histogram("participant_step_seconds", "per-participant local step wall time in seconds")
+}
+
+// observed reports whether any metric handle is attached, so the
+// unobserved hot path stays free of time.Now calls.
+func (p *Pool) observed() bool {
+	return p != nil && (p.tasks != nil || p.queueWait != nil || p.taskSeconds != nil)
+}
+
+// Run executes fn(worker, task) for every task in [0, n). Tasks are
+// claimed from a shared atomic counter, so at most Workers() invocations
+// run concurrently and each worker slot is used by one goroutine at a
+// time. Run blocks until all tasks finish and returns the first error in
+// task-index order (remaining tasks still run, so partial state stays
+// well-defined for callers that merge afterwards).
+func (p *Pool) Run(n int, fn func(worker, task int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := p.Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Inline fast path: no goroutines, no synchronization.
+		var firstErr error
+		for task := 0; task < n; task++ {
+			start := p.startTask()
+			err := runTask(fn, 0, task)
+			p.endTask(start)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+		errs = make([]error, n)
+	)
+	enqueued := time.Now()
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				task := int(next.Add(1)) - 1
+				if task >= n {
+					return
+				}
+				if p.queueWait != nil {
+					p.queueWait.Add(time.Since(enqueued).Nanoseconds())
+				}
+				start := p.startTask()
+				errs[task] = runTask(fn, worker, task)
+				p.endTask(start)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runTask invokes fn, converting a panic into an error so one bad task
+// cannot tear down the whole round (and so behaviour matches at every
+// worker count).
+func runTask(fn func(worker, task int) error, worker, task int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("parallel: task %d panicked: %v", task, r)
+		}
+	}()
+	return fn(worker, task)
+}
+
+// startTask returns the task start time when metrics are attached
+// (zero otherwise, keeping the unobserved path clock-free).
+func (p *Pool) startTask() time.Time {
+	if !p.observed() {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// endTask records task completion metrics.
+func (p *Pool) endTask(start time.Time) {
+	if !p.observed() {
+		return
+	}
+	p.tasks.Inc()
+	if p.taskSeconds != nil && !start.IsZero() {
+		p.taskSeconds.Observe(time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,165 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"fedrlnas/internal/telemetry"
+)
+
+func TestWorkersDefaults(t *testing.T) {
+	if got := New(0).Workers(); got != runtime.NumCPU() {
+		t.Fatalf("New(0).Workers() = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := New(-3).Workers(); got != runtime.NumCPU() {
+		t.Fatalf("New(-3).Workers() = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := New(7).Workers(); got != 7 {
+		t.Fatalf("New(7).Workers() = %d, want 7", got)
+	}
+	var nilPool *Pool
+	if got := nilPool.Workers(); got != 1 {
+		t.Fatalf("nil pool Workers() = %d, want 1", got)
+	}
+}
+
+func TestRunCoversEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		p := New(workers)
+		const n = 257
+		var hits [n]atomic.Int64
+		if err := p.Run(n, func(worker, task int) error {
+			if worker < 0 || worker >= workers {
+				return fmt.Errorf("worker %d out of range [0,%d)", worker, workers)
+			}
+			hits[task].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: Run: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times, want 1", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunNilPoolIsSequential(t *testing.T) {
+	var p *Pool
+	order := make([]int, 0, 8)
+	if err := p.Run(8, func(worker, task int) error {
+		if worker != 0 {
+			t.Fatalf("nil pool used worker %d", worker)
+		}
+		order = append(order, task)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, task := range order {
+		if task != i {
+			t.Fatalf("nil pool ran tasks out of order: %v", order)
+		}
+	}
+}
+
+func TestRunZeroTasks(t *testing.T) {
+	if err := New(4).Run(0, func(worker, task int) error {
+		t.Fatal("fn called for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunWorkerSlotExclusive verifies the core safety contract: two tasks
+// never run concurrently on the same worker slot, so per-worker scratch
+// state (model replicas, gradient buffers) needs no locking.
+func TestRunWorkerSlotExclusive(t *testing.T) {
+	const workers, n = 4, 400
+	p := New(workers)
+	var busy [workers]atomic.Int64
+	err := p.Run(n, func(worker, task int) error {
+		if busy[worker].Add(1) != 1 {
+			return fmt.Errorf("worker slot %d entered concurrently", worker)
+		}
+		defer busy[worker].Add(-1)
+		// Touch some per-worker state to give the race detector a target.
+		runtime.Gosched()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFirstErrorInTaskOrder(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := New(workers).Run(10, func(worker, task int) error {
+			ran.Add(1)
+			switch task {
+			case 3:
+				return errA
+			case 7:
+				return errB
+			}
+			return nil
+		})
+		if !errors.Is(err, errA) {
+			t.Fatalf("workers=%d: err = %v, want first-by-index %v", workers, err, errA)
+		}
+		if got := ran.Load(); got != 10 {
+			t.Fatalf("workers=%d: only %d/10 tasks ran after error", workers, got)
+		}
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := New(workers).Run(5, func(worker, task int) error {
+			if task == 2 {
+				panic("boom")
+			}
+			return nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "task 2 panicked") {
+			t.Fatalf("workers=%d: err = %v, want task-2 panic error", workers, err)
+		}
+	}
+}
+
+func TestObserveMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	p := New(3)
+	p.Observe(reg)
+	if got := reg.Gauge("parallel_workers", "").Value(); got != 3 {
+		t.Fatalf("parallel_workers = %g, want 3", got)
+	}
+	const n = 12
+	if err := p.Run(n, func(worker, task int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("parallel_tasks_total", "").Value(); got != n {
+		t.Fatalf("parallel_tasks_total = %d, want %d", got, n)
+	}
+	if got := reg.Histogram("participant_step_seconds", "").N(); got != n {
+		t.Fatalf("participant_step_seconds N = %d, want %d", got, n)
+	}
+	if got := reg.Counter("parallel_queue_wait_nanoseconds_total", "").Value(); got < 0 {
+		t.Fatalf("queue wait counter = %d, want >= 0", got)
+	}
+}
+
+func TestObserveNilSafe(t *testing.T) {
+	var p *Pool
+	p.Observe(telemetry.NewRegistry()) // must not panic
+	New(2).Observe(nil)                // must not panic
+}

@@ -10,6 +10,7 @@ import (
 	"fedrlnas/internal/metrics"
 	"fedrlnas/internal/nas"
 	"fedrlnas/internal/nn"
+	"fedrlnas/internal/parallel"
 	"fedrlnas/internal/staleness"
 	"fedrlnas/internal/telemetry"
 	"fedrlnas/internal/tensor"
@@ -43,6 +44,12 @@ type ServerConfig struct {
 	// quorum (protection against dead participants).
 	RoundTimeout time.Duration
 
+	// Workers caps how many participants' sub-model payloads are
+	// serialized concurrently at dispatch time (the server-side hot path);
+	// 0 selects runtime.NumCPU(). Dispatch order and results are
+	// unaffected by the worker count.
+	Workers int
+
 	Seed int64
 }
 
@@ -73,6 +80,8 @@ func (c ServerConfig) Validate() error {
 		return fmt.Errorf("rpcfed: negative staleness threshold")
 	case c.RoundTimeout <= 0:
 		return fmt.Errorf("rpcfed: RoundTimeout must be positive")
+	case c.Workers < 0:
+		return fmt.Errorf("rpcfed: Workers %d must be >= 0", c.Workers)
 	}
 	return nil
 }
@@ -105,6 +114,9 @@ type Server struct {
 
 	replies  chan *TrainReply
 	inFlight map[int]bool // participants with an outstanding call
+
+	// pool parallelizes per-participant payload serialization at dispatch.
+	pool *parallel.Pool
 
 	// tracer receives per-round span events (nil = disabled); met holds
 	// the registry-backed runtime counters.
@@ -142,6 +154,7 @@ func NewServer(cfg ServerConfig, addrs []string) (*Server, error) {
 
 		replies:  make(chan *TrainReply, 4*len(addrs)),
 		inFlight: make(map[int]bool, len(addrs)),
+		pool:     parallel.New(cfg.Workers),
 	}
 	s.paramIndex = make(map[*nn.Param]int)
 	for i, p := range net.Params() {
@@ -179,6 +192,7 @@ func (s *Server) SetTelemetry(tracer *telemetry.Tracer, reg *telemetry.Registry)
 	s.tracer = tracer
 	if reg != nil {
 		s.met = telemetry.NewRoundMetrics(reg)
+		s.pool.Observe(reg)
 	}
 }
 
@@ -209,24 +223,39 @@ func (s *Server) Run() (ServerResult, error) {
 
 		// Dispatch to every participant that is not still busy with an
 		// earlier round (genuine soft sync: stragglers skip rounds).
-		dispatched := 0
+		// Payload serialization — sampling and flattening each
+		// participant's sub-model weights, the server-side hot path — fans
+		// out across the worker pool; the supernet is read-only here (late
+		// replies are only absorbed in the collect phase below), so tasks
+		// share it safely. Dispatch itself stays in participant order.
+		var todo []int
 		for p := 0; p < k; p++ {
-			if s.inFlight[p] {
-				continue
+			if !s.inFlight[p] {
+				todo = append(todo, p)
 			}
-			bytes := s.net.SubModelBytes(gates[p])
-			s.met.SubModelBytes.Observe(float64(bytes))
-			s.tracer.SubModelSample(t, p, bytes)
+		}
+		reqs := make([]*TrainRequest, len(todo))
+		if err := s.pool.Run(len(todo), func(_, i int) error {
+			p := todo[i]
 			sub := s.net.SampledParams(gates[p])
-			req := &TrainRequest{
+			reqs[i] = &TrainRequest{
 				Round:     t,
 				Normal:    append([]int(nil), gates[p].Normal...),
 				Reduce:    append([]int(nil), gates[p].Reduce...),
 				Weights:   flattenValues(sub),
 				BatchSize: s.cfg.BatchSize,
 			}
+			return nil
+		}); err != nil {
+			return res, err
+		}
+		dispatched := 0
+		for i, p := range todo {
+			bytes := s.net.SubModelBytes(gates[p])
+			s.met.SubModelBytes.Observe(float64(bytes))
+			s.tracer.SubModelSample(t, p, bytes)
 			s.inFlight[p] = true
-			go s.call(p, req)
+			go s.call(p, reqs[i])
 			dispatched++
 		}
 

@@ -96,6 +96,11 @@ type Config struct {
 	// Augment is the participant-side augmentation.
 	Augment data.AugmentConfig
 
+	// Workers caps the number of participants whose local steps run
+	// concurrently within a round; 0 selects runtime.NumCPU(). Results are
+	// bit-identical at every worker count (see DESIGN.md §Concurrency).
+	Workers int
+
 	// Seed drives every stochastic component.
 	Seed int64
 }
@@ -164,6 +169,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("search: DirichletAlpha %v must be positive", c.DirichletAlpha)
 	case c.ChurnProb < 0 || c.ChurnProb >= 1:
 		return fmt.Errorf("search: ChurnProb %v outside [0,1)", c.ChurnProb)
+	case c.Workers < 0:
+		return fmt.Errorf("search: Workers %d must be >= 0", c.Workers)
 	case c.Net.NumClasses != c.Dataset.NumClasses:
 		return fmt.Errorf("search: net classes %d != dataset classes %d",
 			c.Net.NumClasses, c.Dataset.NumClasses)

@@ -1,0 +1,141 @@
+package search
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"fedrlnas/internal/staleness"
+)
+
+// searchFingerprint captures everything the determinism contract promises:
+// the derived genotype, the full reward/accuracy curves, and a checksum of
+// the final supernet weights.
+type searchFingerprint struct {
+	genotype string
+	warmup   []float64
+	search   []float64
+	entropy  []float64
+	baseline []float64
+	seconds  []float64
+	thetaSum float64
+	stats    RoundStats
+}
+
+func fingerprint(t *testing.T, cfg Config) searchFingerprint {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Warmup(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, snap := range s.SnapshotTheta() {
+		for i, v := range snap.Data() {
+			sum += v * float64(i%7+1) // position-sensitive checksum
+		}
+	}
+	return searchFingerprint{
+		genotype: s.Derive().String(),
+		warmup:   s.WarmupCurve.Values(),
+		search:   s.SearchCurve.Values(),
+		entropy:  s.EntropyCurve.Values(),
+		baseline: s.BaselineCurve.Values(),
+		seconds:  append([]float64(nil), s.RoundSeconds...),
+		thetaSum: sum,
+		stats:    s.Stats,
+	}
+}
+
+func assertIdentical(t *testing.T, name string, a, b []float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: length %d vs %d", name, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] { // bit-identical, no tolerance
+			t.Fatalf("%s[%d]: %v vs %v", name, i, a[i], b[i])
+		}
+	}
+}
+
+// TestSearchDeterministicAcrossWorkerCounts is the headline regression test
+// for the parallel round engine: a short P1+P2 search run at workers=1 and
+// workers=max(4, NumCPU) with the same seed must produce a bit-identical
+// derived genotype, reward curve, and final θ checksum.
+func TestSearchDeterministicAcrossWorkerCounts(t *testing.T) {
+	base := tinyConfig()
+	base.WarmupSteps = 6
+	base.SearchSteps = 10
+	base.Seed = 42
+
+	cfg1 := base
+	cfg1.Workers = 1
+	cfgN := base
+	cfgN.Workers = 4
+	if n := runtime.NumCPU(); n > cfgN.Workers {
+		cfgN.Workers = n
+	}
+
+	fp1 := fingerprint(t, cfg1)
+	fpN := fingerprint(t, cfgN)
+
+	if fp1.genotype != fpN.genotype {
+		t.Fatalf("derived genotype diverges: workers=1 %s vs workers=%d %s",
+			fp1.genotype, cfgN.Workers, fpN.genotype)
+	}
+	assertIdentical(t, "warmup curve", fp1.warmup, fpN.warmup)
+	assertIdentical(t, "search (reward) curve", fp1.search, fpN.search)
+	assertIdentical(t, "entropy curve", fp1.entropy, fpN.entropy)
+	assertIdentical(t, "baseline curve", fp1.baseline, fpN.baseline)
+	assertIdentical(t, "round seconds", fp1.seconds, fpN.seconds)
+	if fp1.thetaSum != fpN.thetaSum {
+		t.Fatalf("final θ checksum diverges: %v vs %v", fp1.thetaSum, fpN.thetaSum)
+	}
+	if math.IsNaN(fp1.thetaSum) {
+		t.Fatal("θ checksum is NaN")
+	}
+	if fp1.stats != fpN.stats {
+		t.Fatalf("round stats diverge: %+v vs %+v", fp1.stats, fpN.stats)
+	}
+}
+
+// TestSearchDeterministicUnderStalenessAndChurn repeats the check on the
+// adversarial configuration — severe staleness with delay compensation plus
+// participant churn — where every stochastic code path (per-participant
+// staleness draws, snapshot lookups, DC correction, drop/offline metrics)
+// is exercised concurrently.
+func TestSearchDeterministicUnderStalenessAndChurn(t *testing.T) {
+	base := tinyConfig()
+	base.WarmupSteps = 4
+	base.SearchSteps = 12
+	base.Seed = 7
+	base.Staleness = staleness.Severe()
+	base.Strategy = staleness.DC
+	base.ChurnProb = 0.2
+
+	cfg1 := base
+	cfg1.Workers = 1
+	cfgN := base
+	cfgN.Workers = 4
+
+	fp1 := fingerprint(t, cfg1)
+	fpN := fingerprint(t, cfgN)
+
+	if fp1.genotype != fpN.genotype {
+		t.Fatalf("derived genotype diverges: %s vs %s", fp1.genotype, fpN.genotype)
+	}
+	assertIdentical(t, "search curve", fp1.search, fpN.search)
+	assertIdentical(t, "baseline curve", fp1.baseline, fpN.baseline)
+	if fp1.thetaSum != fpN.thetaSum {
+		t.Fatalf("final θ checksum diverges: %v vs %v", fp1.thetaSum, fpN.thetaSum)
+	}
+	if fp1.stats != fpN.stats {
+		t.Fatalf("round stats diverge: %+v vs %+v", fp1.stats, fpN.stats)
+	}
+}

@@ -1,0 +1,236 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedrlnas/internal/controller"
+	"fedrlnas/internal/nas"
+	"fedrlnas/internal/nn"
+	"fedrlnas/internal/staleness"
+	"fedrlnas/internal/tensor"
+	"fedrlnas/internal/transmission"
+)
+
+// The parallel round engine. One communication round of Alg. 1 fans the K
+// participants' local steps out across the worker pool; every worker owns a
+// private supernet replica, so no mutable tensor is ever shared between
+// in-flight participants. Determinism holds because
+//
+//   - every stochastic draw a participant makes (churn, staleness, batch
+//     selection, augmentation) comes from that participant's own RNG, so the
+//     per-participant draw sequence is independent of scheduling;
+//   - the local step itself is pure floating-point arithmetic on a restored
+//     θ snapshot, identical on any replica;
+//   - all order-sensitive mutation — gradient aggregation, α accumulation,
+//     batch-norm running-stat updates — is deferred to a sequential merge
+//     over results in fixed participant-index order.
+//
+// The merged state is therefore bit-identical at every worker count, and to
+// the fully sequential engine this replaced. See DESIGN.md §Concurrency.
+
+// workerReplica is the per-worker-slot mutable state: a structurally
+// identical copy of the supernet whose parameters are restored from the
+// round's θ snapshot before each local step.
+type workerReplica struct {
+	net    *nas.Supernet
+	params []*nn.Param
+	// index maps a replica parameter to its canonical position in the
+	// primary supernet's Params() ordering (identical structural order).
+	index map[*nn.Param]int
+	// bns are the replica's batch-norm layers, index-aligned with the
+	// primary network's, running in stat-capture mode.
+	bns []*nn.BatchNorm2D
+}
+
+// newWorkerReplicas builds one supernet replica per worker slot (capped at
+// the participant count — more replicas could never be in flight at once).
+func newWorkerReplicas(n int, seed int64, cfg nas.Config) ([]*workerReplica, error) {
+	reps := make([]*workerReplica, n)
+	for i := range reps {
+		// Structure is all that matters (weights are overwritten every
+		// round), so reuse the primary network's init seed.
+		net, err := nas.NewSupernet(rand.New(rand.NewSource(seed)), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("search: worker replica %d: %w", i, err)
+		}
+		net.SetTraining(true)
+		bns := net.BatchNorms()
+		for _, bn := range bns {
+			bn.SetStatCapture(true)
+		}
+		params := net.Params()
+		index := make(map[*nn.Param]int, len(params))
+		for j, p := range params {
+			index[p] = j
+		}
+		reps[i] = &workerReplica{net: net, params: params, index: index, bns: bns}
+	}
+	return reps, nil
+}
+
+// partStatus records how a participant's round attempt ended.
+type partStatus int
+
+const (
+	// partSkipped: required snapshot already evicted; silently skipped
+	// (matches the sequential engine's bare continue).
+	partSkipped partStatus = iota
+	partOffline
+	partDropped
+	partContributed
+)
+
+// partResult carries everything a participant's local step produced, for
+// the ordered merge. Tensors are task-private; nothing aliases the primary
+// network or the snapshots.
+type partResult struct {
+	status partStatus
+	delay  int
+	acc    float64
+	// grads[i] is the θ gradient for canonical parameter subIdx[i].
+	subIdx []int
+	grads  []*tensor.Tensor
+	// reward-weighted REINFORCE direction for the α merge.
+	reward  float64
+	logGrad controller.AlphaGrad
+	// bnStats[layer] holds the batch statistics the replica's layer
+	// captured during the local forward, for replay onto the primary.
+	bnStats [][]nn.BNStats
+	// rt is the fresh participant's wall-clock contribution (download,
+	// compute, upload) to the round's soft-synchronization clock.
+	rt float64
+}
+
+// roundCtx is the read-only round state shared by all in-flight tasks.
+type roundCtx struct {
+	t        int
+	thetaNow []*tensor.Tensor
+	alphaNow controller.AlphaSnapshot
+	assigned []nas.Gates
+	assign   transmission.Assignment
+}
+
+// runParticipant executes participant k's side of the round (Alg. 1 lines
+// 37–42 plus the server-side staleness bookkeeping for its reply) on the
+// given worker replica, writing the outcome into res. It only reads shared
+// state that is immutable for the duration of the round: the snapshots, the
+// staleness pools (Put/Evict happen outside the parallel phase), the
+// controller baseline, and the participant's private RNG/batcher.
+func (s *Search) runParticipant(rep *workerReplica, k int, in *roundCtx, res *partResult) error {
+	part := s.parts[k]
+	if s.cfg.ChurnProb > 0 && part.RNG.Float64() < s.cfg.ChurnProb {
+		res.status = partOffline
+		s.met.Offline.Inc()
+		s.tracer.ReplyOffline(in.t, k)
+		return nil
+	}
+	delay, dropped := 0, false
+	if s.cfg.Strategy != staleness.Hard {
+		delay, dropped = s.cfg.Staleness.Sample(part.RNG)
+	}
+	if dropped {
+		res.status = partDropped
+		s.met.RepliesDropped.Inc()
+		s.tracer.ReplyDropped(in.t, k, delay)
+		return nil
+	}
+	tPrime := in.t - delay
+	if tPrime < 0 {
+		tPrime, delay = in.t, 0 // nothing older exists in the first rounds
+	}
+	if delay > 0 && s.cfg.Strategy == staleness.Throw {
+		res.status = partDropped
+		s.met.RepliesDropped.Inc()
+		s.tracer.ReplyDropped(in.t, k, delay)
+		return nil
+	}
+
+	gk := in.assigned[k]
+	thetaAt := in.thetaNow
+	alphaAt := in.alphaNow
+	if delay > 0 {
+		var ok bool
+		if thetaAt, ok = s.thetaPool.Get(tPrime); !ok {
+			return nil
+		}
+		if alphaAt, ok = s.alphaPool.Get(tPrime); !ok {
+			return nil
+		}
+		oldGates, ok := s.gatesPool.Get(tPrime)
+		if !ok {
+			return nil
+		}
+		gk = oldGates[k]
+	}
+
+	// Local step against θ at round t', on this worker's replica.
+	if err := nn.RestoreParamValues(rep.params, thetaAt); err != nil {
+		return err
+	}
+	batch := part.Batcher.Next(s.cfg.BatchSize)
+	x, y := s.ds.Gather(batch)
+	x = s.cfg.Augment.Apply(x, part.RNG)
+	nn.ZeroGrads(rep.params)
+	lossRes, err := nn.CrossEntropy(rep.net.ForwardSampled(x, gk), y)
+	if err != nil {
+		return err
+	}
+	rep.net.BackwardSampled(lossRes.GradLogits)
+	res.acc = lossRes.Accuracy
+
+	subParams := rep.net.SampledParams(gk)
+	grads := nn.CloneParamGrads(subParams)
+	res.subIdx = make([]int, len(subParams))
+	for i, p := range subParams {
+		res.subIdx[i] = rep.index[p]
+	}
+
+	// θ-gradient delay compensation (lines 18–27).
+	if delay > 0 && s.cfg.Strategy == staleness.DC {
+		freshVals := make([]*tensor.Tensor, len(subParams))
+		staleVals := make([]*tensor.Tensor, len(subParams))
+		for i, idx := range res.subIdx {
+			freshVals[i] = in.thetaNow[idx]
+			staleVals[i] = thetaAt[idx]
+		}
+		grads, err = staleness.CompensateTheta(grads, freshVals, staleVals, s.cfg.Lambda)
+		if err != nil {
+			return err
+		}
+	}
+	res.grads = grads
+
+	// α-gradient handling (lines 20, 28). Reward reads the controller
+	// baseline, which is only updated after the merge, so it is stable for
+	// the whole parallel phase.
+	res.reward = s.ctrl.Reward(res.acc)
+	res.logGrad = controller.LogProbGradAt(alphaAt, gk)
+	if delay > 0 && s.cfg.Strategy == staleness.DC {
+		drift := alphaAt.Diff(in.alphaNow) // α_t − α_{t'}
+		corrected := res.logGrad.Clone()
+		corrected.MulAdd3(s.cfg.Lambda, res.logGrad, drift)
+		res.logGrad = corrected
+	}
+
+	// Hand the captured batch-norm statistics to the merge phase.
+	res.bnStats = make([][]nn.BNStats, len(rep.bns))
+	for i, bn := range rep.bns {
+		res.bnStats[i] = bn.DrainCapturedStats()
+	}
+
+	res.delay = delay
+	res.status = partContributed
+	if delay == 0 {
+		s.met.RepliesFresh.Inc()
+		s.tracer.ReplyFresh(in.t, k)
+		// Soft synchronization: only fresh participants gate the round's
+		// wall clock; stragglers' time was paid in earlier rounds.
+		res.rt = 2*in.assign.LatencySeconds[k] +
+			part.ComputeSeconds(nn.ParamCount(subParams), s.cfg.BatchSize)
+	} else {
+		s.met.RepliesLate.Inc()
+		s.tracer.ReplyLate(in.t, k, delay)
+	}
+	return nil
+}

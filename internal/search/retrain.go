@@ -141,6 +141,17 @@ func RetrainFederated(ds *data.Dataset, netCfg nas.Config, geno nas.Genotype,
 	if err != nil {
 		return RetrainResult{}, fed.FedAvgResult{}, err
 	}
+	if cfg.NewReplica == nil {
+		// Worker replicas only need the model's structure; their weights are
+		// restored from the global snapshot before every local update.
+		cfg.NewReplica = func() fed.Model {
+			m, err := nas.NewFixedModel(rand.New(rand.NewSource(seed)), netCfg, geno)
+			if err != nil {
+				return nil // falls back to the sequential path
+			}
+			return m
+		}
+	}
 	fedRes, err := fed.FedAvg(model, ds, parts, cfg)
 	if err != nil {
 		return RetrainResult{}, fed.FedAvgResult{}, err

@@ -11,6 +11,7 @@ import (
 	"fedrlnas/internal/nas"
 	"fedrlnas/internal/nettrace"
 	"fedrlnas/internal/nn"
+	"fedrlnas/internal/parallel"
 	"fedrlnas/internal/staleness"
 	"fedrlnas/internal/telemetry"
 	"fedrlnas/internal/tensor"
@@ -29,6 +30,14 @@ type Search struct {
 	rng      *rand.Rand
 
 	paramIndex map[*nn.Param]int
+
+	// pool fans participant local steps out across worker slots; replicas
+	// holds one private supernet copy per slot and primaryBNs the primary
+	// network's batch-norm layers, index-aligned with every replica's (see
+	// engine.go).
+	pool       *parallel.Pool
+	replicas   []*workerReplica
+	primaryBNs []*nn.BatchNorm2D
 
 	thetaPool *staleness.Pool[[]*tensor.Tensor]
 	alphaPool *staleness.Pool[controller.AlphaSnapshot]
@@ -111,6 +120,17 @@ func New(cfg Config) (*Search, error) {
 	}
 	s.met = telemetry.NewDisabledRoundMetrics()
 	net.SetTraining(true)
+
+	s.pool = parallel.New(cfg.Workers)
+	nrep := s.pool.Workers()
+	if nrep > len(parts) {
+		nrep = len(parts)
+	}
+	s.replicas, err = newWorkerReplicas(nrep, cfg.Seed+202, cfg.Net)
+	if err != nil {
+		return nil, err
+	}
+	s.primaryBNs = net.BatchNorms()
 	return s, nil
 }
 
@@ -124,6 +144,7 @@ func (s *Search) SetTelemetry(tracer *telemetry.Tracer, reg *telemetry.Registry)
 	if reg != nil {
 		s.met = telemetry.NewRoundMetrics(reg)
 		s.Stats = s.statsFromCounters()
+		s.pool.Observe(reg)
 	}
 }
 
@@ -308,134 +329,52 @@ func (s *Search) runRound(updateAlpha, updateTheta bool) (float64, error) {
 	}
 	s.gatesPool.Put(t, assigned)
 
-	// Aggregation buffers (Alg. 1 lines 16–31).
+	// Participant local steps (Alg. 1 lines 37–42), fanned out across the
+	// worker pool. Each task runs on a private supernet replica; the primary
+	// network's weights are never touched during the parallel phase (see
+	// engine.go for the determinism argument).
+	ctx := &roundCtx{t: t, thetaNow: thetaNow, alphaNow: alphaNow, assigned: assigned, assign: assign}
+	results := make([]partResult, len(s.parts))
+	if err := s.pool.Run(len(s.parts), func(worker, k int) error {
+		return s.runParticipant(s.replicas[worker], k, ctx, &results[k])
+	}); err != nil {
+		return 0, err
+	}
+
+	// Ordered merge (Alg. 1 lines 16–31): aggregate in participant-index
+	// order so every sum — and the replayed batch-norm statistics — is
+	// bit-identical regardless of task scheduling.
 	aggTheta := make([]*tensor.Tensor, len(params))
 	nE, rE := s.net.ArchSpace()
 	aggAlpha := controller.NewAlphaGrad(nE, rE, s.net.NumCandidates())
 	contributors := 0
 	sumAcc := 0.0
 	roundSeconds := 0.0
-
-	for k, part := range s.parts {
-		if s.cfg.ChurnProb > 0 && part.RNG.Float64() < s.cfg.ChurnProb {
-			s.met.Offline.Inc()
-			s.tracer.ReplyOffline(t, k)
-			continue // participant offline this round
-		}
-		delay, dropped := 0, false
-		if s.cfg.Strategy != staleness.Hard {
-			delay, dropped = s.cfg.Staleness.Sample(part.RNG)
-		}
-		if dropped {
-			s.met.RepliesDropped.Inc()
-			s.tracer.ReplyDropped(t, k, delay)
-			continue // beyond the staleness threshold (line 23)
-		}
-		tPrime := t - delay
-		if tPrime < 0 {
-			tPrime, delay = t, 0 // nothing older exists in the first rounds
-		}
-		if delay > 0 && s.cfg.Strategy == staleness.Throw {
-			s.met.RepliesDropped.Inc()
-			s.tracer.ReplyDropped(t, k, delay)
+	for k := range s.parts {
+		res := &results[k]
+		if res.status != partContributed {
 			continue
 		}
-
-		gk := assigned[k]
-		thetaAt := thetaNow
-		alphaAt := alphaNow
-		if delay > 0 {
-			var ok bool
-			if thetaAt, ok = s.thetaPool.Get(tPrime); !ok {
-				continue
-			}
-			if alphaAt, ok = s.alphaPool.Get(tPrime); !ok {
-				continue
-			}
-			oldGates, ok := s.gatesPool.Get(tPrime)
-			if !ok {
-				continue
-			}
-			gk = oldGates[k]
-		}
-
-		// Participant update (Alg. 1 lines 37–42) against θ at round t'.
-		if err := nn.RestoreParamValues(params, thetaAt); err != nil {
-			return 0, err
-		}
-		batch := part.Batcher.Next(s.cfg.BatchSize)
-		x, y := s.ds.Gather(batch)
-		x = s.cfg.Augment.Apply(x, part.RNG)
-		nn.ZeroGrads(params)
-		lossRes, err := nn.CrossEntropy(s.net.ForwardSampled(x, gk), y)
-		if err != nil {
-			return 0, err
-		}
-		s.net.BackwardSampled(lossRes.GradLogits)
-		acc := lossRes.Accuracy
-
-		subParams := s.net.SampledParams(gk)
-		grads := nn.CloneParamGrads(subParams)
-
-		// θ-gradient handling (lines 18–27).
-		if delay > 0 && s.cfg.Strategy == staleness.DC {
-			freshVals := make([]*tensor.Tensor, len(subParams))
-			staleVals := make([]*tensor.Tensor, len(subParams))
-			for i, p := range subParams {
-				idx := s.paramIndex[p]
-				freshVals[i] = thetaNow[idx]
-				staleVals[i] = thetaAt[idx]
-			}
-			grads, err = staleness.CompensateTheta(grads, freshVals, staleVals, s.cfg.Lambda)
-			if err != nil {
-				return 0, err
-			}
-		}
-		for i, p := range subParams {
-			idx := s.paramIndex[p]
+		for i, idx := range res.subIdx {
 			if aggTheta[idx] == nil {
-				aggTheta[idx] = grads[i].Clone()
+				aggTheta[idx] = res.grads[i]
 			} else {
-				aggTheta[idx].AddInPlace(grads[i])
+				aggTheta[idx].AddInPlace(res.grads[i])
 			}
 		}
-
-		// α-gradient handling (lines 20, 28).
-		reward := s.ctrl.Reward(acc)
-		logGrad := controller.LogProbGradAt(alphaAt, gk)
-		if delay > 0 && s.cfg.Strategy == staleness.DC {
-			drift := alphaAt.Diff(alphaNow) // α_t − α_{t'}
-			corrected := logGrad.Clone()
-			corrected.MulAdd3(s.cfg.Lambda, logGrad, drift)
-			logGrad = corrected
+		aggAlpha.AXPY(res.reward, res.logGrad)
+		for layer, recs := range res.bnStats {
+			for _, rec := range recs {
+				s.primaryBNs[layer].ApplyStats(rec)
+			}
 		}
-		aggAlpha.AXPY(reward, logGrad)
-
 		contributors++
-		sumAcc += acc
-		if delay == 0 {
-			s.met.RepliesFresh.Inc()
-			s.tracer.ReplyFresh(t, k)
-		} else {
-			s.met.RepliesLate.Inc()
-			s.tracer.ReplyLate(t, k, delay)
-		}
-
-		// Soft synchronization: only fresh participants gate the round's
-		// wall clock; stragglers' time was paid in earlier rounds.
-		if delay == 0 {
-			rt := 2*assign.LatencySeconds[k] +
-				part.ComputeSeconds(nn.ParamCount(subParams), s.cfg.BatchSize)
-			if rt > roundSeconds {
-				roundSeconds = rt
-			}
+		sumAcc += res.acc
+		if res.delay == 0 && res.rt > roundSeconds {
+			roundSeconds = res.rt
 		}
 	}
 
-	// Restore the current weights before applying the aggregated update.
-	if err := nn.RestoreParamValues(params, thetaNow); err != nil {
-		return 0, err
-	}
 	meanAcc := 0.0
 	if contributors > 0 {
 		meanAcc = sumAcc / float64(contributors)

@@ -1,0 +1,112 @@
+package search
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"fedrlnas/internal/telemetry"
+)
+
+// replyEvents parses a JSONL trace into per-round participant→event maps,
+// considering only the reply.* span events.
+func replyEvents(t *testing.T, raw []byte) map[int]map[int]string {
+	t.Helper()
+	rounds := make(map[int]map[int]string)
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	for sc.Scan() {
+		var e struct {
+			Event       string `json:"event"`
+			Round       int    `json:"round"`
+			Participant *int   `json:"participant"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("invalid trace line %q: %v", sc.Text(), err)
+		}
+		if !strings.HasPrefix(e.Event, "reply.") {
+			continue
+		}
+		if e.Participant == nil {
+			t.Fatalf("reply event without participant: %q", sc.Text())
+		}
+		if rounds[e.Round] == nil {
+			rounds[e.Round] = make(map[int]string)
+		}
+		if prev, dup := rounds[e.Round][*e.Participant]; dup {
+			t.Fatalf("round %d participant %d has two reply events (%s, %s)",
+				e.Round, *e.Participant, prev, e.Event)
+		}
+		rounds[e.Round][*e.Participant] = e.Event
+	}
+	return rounds
+}
+
+// TestTraceParticipantIDsUnderConcurrency runs a churny search with the
+// worker pool engaged and checks the JSONL trace it emits: every round must
+// carry exactly one reply span per participant with the correct ID, and the
+// per-round event sets must match a workers=1 run exactly (arrival order may
+// differ; attribution may not).
+func TestTraceParticipantIDsUnderConcurrency(t *testing.T) {
+	runTrace := func(workers int) map[int]map[int]string {
+		cfg := tinyConfig()
+		cfg.WarmupSteps = 3
+		cfg.SearchSteps = 8
+		cfg.Seed = 23
+		cfg.ChurnProb = 0.3
+		cfg.Workers = workers
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		s.SetTelemetry(telemetry.NewJSONLTracer(&buf), nil)
+		if err := s.Warmup(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return replyEvents(t, buf.Bytes())
+	}
+
+	par := runTrace(4)
+	seq := runTrace(1)
+
+	cfgK := tinyConfig().K
+	totalRounds := 3 + 8
+	if len(par) != totalRounds {
+		t.Fatalf("trace covers %d rounds, want %d", len(par), totalRounds)
+	}
+	for round, byPart := range par {
+		if len(byPart) != cfgK {
+			t.Fatalf("round %d has %d reply events, want %d: %v",
+				round, len(byPart), cfgK, byPart)
+		}
+		for k := 0; k < cfgK; k++ {
+			if _, ok := byPart[k]; !ok {
+				t.Fatalf("round %d missing reply for participant %d", round, k)
+			}
+		}
+		if fmt.Sprint(sortedEvents(byPart)) != fmt.Sprint(sortedEvents(seq[round])) {
+			t.Fatalf("round %d events diverge between worker counts:\n  workers=4: %v\n  workers=1: %v",
+				round, byPart, seq[round])
+		}
+	}
+}
+
+func sortedEvents(byPart map[int]string) []string {
+	keys := make([]int, 0, len(byPart))
+	for k := range byPart {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, fmt.Sprintf("%d:%s", k, byPart[k]))
+	}
+	return out
+}

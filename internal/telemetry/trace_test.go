@@ -8,7 +8,9 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -193,5 +195,80 @@ func TestTracerRecordsFirstWriteError(t *testing.T) {
 	}
 	if tr.Err() == nil || tr.Close() == nil {
 		t.Error("write error not surfaced")
+	}
+}
+
+// slowWriter widens the torn-write window: each Write yields the scheduler
+// partway through, so an unsynchronized tracer would interleave lines.
+type slowWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *slowWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	half := len(p) / 2
+	w.buf.Write(p[:half])
+	runtime.Gosched()
+	w.buf.Write(p[half:])
+	return len(p), nil
+}
+
+// TestTracerConcurrentEmitsAreLineAtomic drives Emit from many goroutines —
+// the shape of the parallel round engine, where every in-flight participant
+// task emits its own reply span — and asserts that every output line is a
+// complete, valid JSON object carrying the participant ID that emitted it.
+func TestTracerConcurrentEmitsAreLineAtomic(t *testing.T) {
+	const participants = 8
+	const perParticipant = 50
+	w := &slowWriter{}
+	tr := NewJSONLTracer(w)
+	fixedClock(tr)
+
+	var wg sync.WaitGroup
+	for k := 0; k < participants; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for i := 0; i < perParticipant; i++ {
+				switch i % 3 {
+				case 0:
+					tr.ReplyFresh(i, k)
+				case 1:
+					tr.ReplyLate(i, k, 2)
+				default:
+					tr.ReplyDropped(i, k, 5)
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+
+	if got := tr.Events(); got != participants*perParticipant {
+		t.Fatalf("Events() = %d, want %d", got, participants*perParticipant)
+	}
+	counts := make(map[int]int)
+	sc := bufio.NewScanner(bytes.NewReader(w.buf.Bytes()))
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("torn or invalid line %q: %v", sc.Text(), err)
+		}
+		p, ok := m["participant"].(float64)
+		if !ok {
+			t.Fatalf("line missing participant: %q", sc.Text())
+		}
+		counts[int(p)]++
+	}
+	if lines != participants*perParticipant {
+		t.Fatalf("%d lines, want %d", lines, participants*perParticipant)
+	}
+	for k := 0; k < participants; k++ {
+		if counts[k] != perParticipant {
+			t.Errorf("participant %d has %d events, want %d", k, counts[k], perParticipant)
+		}
 	}
 }
