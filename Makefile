@@ -1,8 +1,9 @@
 # Tier-1 targets. `make check` is the PR gate: vet + gofmt + build + tests
-# + race detector over the concurrent paths (parallel engine, trainers,
-# telemetry, RPC). `make bench` measures round throughput across worker
-# counts and writes BENCH_rounds.json.
-.PHONY: check build test race fmt bench
+# + race detector over the concurrent paths (GEMM kernel, parallel engine,
+# trainers, telemetry, RPC) + a 1-iteration bench smoke over the tensor/nn
+# kernels. `make bench` measures round throughput across worker counts and
+# writes BENCH_rounds.json.
+.PHONY: check build test race fmt bench bench-smoke
 
 check:
 	./check.sh
@@ -14,9 +15,12 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/parallel/... ./internal/nn/... ./internal/fed/... \
-		./internal/search/... ./internal/baselines/... ./internal/rpcfed/... \
-		./internal/telemetry/...
+	go test -race ./internal/tensor/... ./internal/parallel/... ./internal/nn/... \
+		./internal/fed/... ./internal/search/... ./internal/baselines/... \
+		./internal/rpcfed/... ./internal/telemetry/...
+
+bench-smoke:
+	go test -run '^$$' -bench . -benchtime 1x ./internal/tensor/... ./internal/nn/...
 
 fmt:
 	gofmt -w .

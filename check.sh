@@ -22,9 +22,12 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (parallel, nn, fed, search, baselines, rpcfed, telemetry)"
-go test -race ./internal/parallel/... ./internal/nn/... ./internal/fed/... \
-	./internal/search/... ./internal/baselines/... ./internal/rpcfed/... \
-	./internal/telemetry/...
+echo "== go test -race (tensor, parallel, nn, fed, search, baselines, rpcfed, telemetry)"
+go test -race ./internal/tensor/... ./internal/parallel/... ./internal/nn/... \
+	./internal/fed/... ./internal/search/... ./internal/baselines/... \
+	./internal/rpcfed/... ./internal/telemetry/...
+
+echo "== bench smoke (tensor, nn kernels; 1 iteration, catches crashes/regressed shapes)"
+go test -run '^$' -bench . -benchtime 1x ./internal/tensor/... ./internal/nn/...
 
 echo "OK"

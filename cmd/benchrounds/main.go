@@ -23,27 +23,38 @@ import (
 	"time"
 
 	"fedrlnas/internal/search"
+	"fedrlnas/internal/tensor"
 )
 
 type runResult struct {
-	Workers        int     `json:"workers"`
-	Rounds         int     `json:"rounds"`
-	Seconds        float64 `json:"seconds"`
-	RoundsPerSec   float64 `json:"rounds_per_sec"`
-	NsPerRound     int64   `json:"ns_per_round"`
-	AllocsPerRound uint64  `json:"allocs_per_round"`
-	BytesPerRound  uint64  `json:"bytes_per_round"`
+	Workers      int     `json:"workers"`
+	Rounds       int     `json:"rounds"`
+	Seconds      float64 `json:"seconds"`
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+	// Gomaxprocs is the scheduler width in effect for this specific run —
+	// worker goroutines beyond it time-slice rather than run concurrently.
+	Gomaxprocs     int    `json:"gomaxprocs"`
+	NsPerRound     int64  `json:"ns_per_round"`
+	AllocsPerRound uint64 `json:"allocs_per_round"`
+	BytesPerRound  uint64 `json:"bytes_per_round"`
+	// GemmGflops is the achieved GEMM kernel throughput over the timed
+	// region (2·m·n·k flops per matmul, summed via tensor.GemmFLOPs).
+	GemmGflops float64 `json:"gemm_gflops"`
 	// Checksum fingerprints the final reward curve; it must be identical
 	// across every worker count.
 	Checksum float64 `json:"checksum"`
 }
 
 type report struct {
-	Workload   string      `json:"workload"`
-	K          int         `json:"k"`
-	CPUs       int         `json:"cpus"`
-	GOMAXPROCS int         `json:"gomaxprocs"`
-	Results    []runResult `json:"results"`
+	Workload   string `json:"workload"`
+	K          int    `json:"k"`
+	CPUs       int    `json:"cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// ParallelMeaningful is false when the host exposes fewer than 2 CPUs:
+	// multi-worker numbers then measure scheduling overhead, not speedup,
+	// and SpeedupMaxVsSerial should be read as a determinism check only.
+	ParallelMeaningful bool        `json:"parallel_meaningful"`
+	Results            []runResult `json:"results"`
 	// SpeedupMaxVsSerial is rounds/sec at the largest worker count over
 	// rounds/sec at workers=1. On a single-core host this hovers near 1
 	// regardless of worker count; the CPUs field records that context.
@@ -82,10 +93,15 @@ func run(args []string) error {
 	}
 
 	rep := report{
-		Workload:   fmt.Sprintf("fig4-search-k%d", *k),
-		K:          *k,
-		CPUs:       runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workload:           fmt.Sprintf("fig4-search-k%d", *k),
+		K:                  *k,
+		CPUs:               runtime.NumCPU(),
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		ParallelMeaningful: runtime.NumCPU() >= 2,
+	}
+	if !rep.ParallelMeaningful {
+		fmt.Fprintf(os.Stderr, "benchrounds: warning: %d CPU visible — multi-worker results measure scheduling overhead, not parallel speedup\n",
+			rep.CPUs)
 	}
 	for _, w := range workerCounts {
 		r, err := benchOne(*k, w, *rounds, *seed)
@@ -93,8 +109,8 @@ func run(args []string) error {
 			return err
 		}
 		rep.Results = append(rep.Results, r)
-		fmt.Printf("workers=%d: %.3f rounds/sec (%d rounds in %.2fs, %d allocs/round)\n",
-			w, r.RoundsPerSec, r.Rounds, r.Seconds, r.AllocsPerRound)
+		fmt.Printf("workers=%d: %.3f rounds/sec (%d rounds in %.2fs, %d allocs/round, %.2f GEMM GFLOP/s)\n",
+			w, r.RoundsPerSec, r.Rounds, r.Seconds, r.AllocsPerRound, r.GemmGflops)
 	}
 	for _, r := range rep.Results[1:] {
 		if r.Checksum != rep.Results[0].Checksum {
@@ -154,11 +170,13 @@ func benchOne(k, workers, rounds int, seed int64) (runResult, error) {
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
+	flops0 := tensor.GemmFLOPs()
 	start := time.Now()
 	if err := s.Run(); err != nil {
 		return runResult{}, err
 	}
 	elapsed := time.Since(start)
+	flops1 := tensor.GemmFLOPs()
 	runtime.ReadMemStats(&after)
 
 	checksum := 0.0
@@ -170,6 +188,7 @@ func benchOne(k, workers, rounds int, seed int64) (runResult, error) {
 		Workers:        workers,
 		Rounds:         rounds,
 		Seconds:        secs,
+		Gomaxprocs:     runtime.GOMAXPROCS(0),
 		NsPerRound:     elapsed.Nanoseconds() / int64(rounds),
 		AllocsPerRound: (after.Mallocs - before.Mallocs) / uint64(rounds),
 		BytesPerRound:  (after.TotalAlloc - before.TotalAlloc) / uint64(rounds),
@@ -177,6 +196,7 @@ func benchOne(k, workers, rounds int, seed int64) (runResult, error) {
 	}
 	if secs > 0 {
 		res.RoundsPerSec = float64(rounds) / secs
+		res.GemmGflops = float64(flops1-flops0) / secs / 1e9
 	}
 	return res, nil
 }

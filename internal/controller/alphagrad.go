@@ -17,6 +17,21 @@ func NewAlphaGrad(normalEdges, reduceEdges, numCandidates int) AlphaGrad {
 	}
 }
 
+// Zero resets every entry to 0 (for reusing an accumulator across rounds).
+func (g AlphaGrad) Zero() {
+	zeroRowsInPlace(g.Normal)
+	zeroRowsInPlace(g.Reduce)
+}
+
+func zeroRowsInPlace(rows [][]float64) {
+	for i := range rows {
+		row := rows[i]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+}
+
 // Clone deep-copies g.
 func (g AlphaGrad) Clone() AlphaGrad {
 	return AlphaGrad{Normal: copyRows(g.Normal), Reduce: copyRows(g.Reduce)}

@@ -39,6 +39,10 @@ type Controller struct {
 
 	baseline    float64
 	baselineSet bool
+
+	// scratch for the sequential server-side sampling paths (SampleGates,
+	// LogProb, Entropy); NOT used by the concurrent LogProbGradAt path.
+	probsN, probsR [][]float64
 }
 
 // New constructs a controller with zero-initialized α (uniform policy).
@@ -63,16 +67,25 @@ func (c *Controller) Probs() (normal, reduce [][]float64) {
 	return softmaxRows(c.alphaNormal), softmaxRows(c.alphaReduce)
 }
 
+// probsScratch computes the policy into the controller's reusable scratch
+// rows. Only for the sequential server-side paths; the rows are overwritten
+// by the next call.
+func (c *Controller) probsScratch() (normal, reduce [][]float64) {
+	c.probsN = softmaxRowsInto(c.probsN, c.alphaNormal)
+	c.probsR = softmaxRowsInto(c.probsR, c.alphaReduce)
+	return c.probsN, c.probsR
+}
+
 // SampleGates draws a one-hot architecture from the current policy (Eq. 5).
 func (c *Controller) SampleGates(rng *rand.Rand) nas.Gates {
-	pn, pr := c.Probs()
+	pn, pr := c.probsScratch()
 	return nas.Gates{Normal: sampleRows(rng, pn), Reduce: sampleRows(rng, pr)}
 }
 
 // LogProb returns log p(g): the sum over all edges of the log-probability of
 // the sampled candidate.
 func (c *Controller) LogProb(g nas.Gates) float64 {
-	pn, pr := c.Probs()
+	pn, pr := c.probsScratch()
 	lp := 0.0
 	for e, k := range g.Normal {
 		lp += math.Log(pn[e][k])
@@ -88,22 +101,9 @@ func (c *Controller) LogProb(g nas.Gates) float64 {
 // (The paper's Eq. 11 prints δ with the cases swapped; δ_ii = 1 is the
 // standard Kronecker delta REINFORCE requires, which Eq. 12 also uses.)
 func (c *Controller) LogProbGrad(g nas.Gates) AlphaGrad {
-	pn, pr := c.Probs()
-	grad := AlphaGrad{
-		Normal: zeroRows(len(c.alphaNormal), c.NumCandidates()),
-		Reduce: zeroRows(len(c.alphaReduce), c.NumCandidates()),
-	}
-	fill := func(dst [][]float64, probs [][]float64, gates []int) {
-		for e, k := range gates {
-			for j := range dst[e] {
-				dst[e][j] = -probs[e][j]
-			}
-			dst[e][k] += 1
-		}
-	}
-	fill(grad.Normal, pn, g.Normal)
-	fill(grad.Reduce, pr, g.Reduce)
-	return grad
+	// Read-only view of α; LogProbGradAt writes the softmax straight into
+	// the gradient rows, skipping the intermediate probability matrices.
+	return LogProbGradAt(AlphaSnapshot{Normal: c.alphaNormal, Reduce: c.alphaReduce}, g)
 }
 
 // Reward converts a raw training accuracy into a baselined reward (Eq. 8)
@@ -153,7 +153,7 @@ func (c *Controller) Apply(grad AlphaGrad) {
 // Entropy returns the mean per-edge policy entropy in nats — a convergence
 // diagnostic: it starts at ln(N) and shrinks as the policy commits.
 func (c *Controller) Entropy() float64 {
-	pn, pr := c.Probs()
+	pn, pr := c.probsScratch()
 	total, edges := 0.0, 0
 	for _, rows := range [][][]float64{pn, pr} {
 		for _, row := range rows {
@@ -166,6 +166,14 @@ func (c *Controller) Entropy() float64 {
 		}
 	}
 	return total / float64(edges)
+}
+
+// View returns a zero-copy read-only view of the current α matrices. Unlike
+// Snapshot, the rows alias the live state: callers may only read them, and
+// the next Apply/Restore changes them in place. Intended for round engines
+// that never consult stale snapshots and want to skip the deep copy.
+func (c *Controller) View() AlphaSnapshot {
+	return AlphaSnapshot{Normal: c.alphaNormal, Reduce: c.alphaReduce}
 }
 
 // Snapshot deep-copies the current α matrices (for staleness memory pools).
@@ -211,23 +219,47 @@ func (s AlphaSnapshot) Diff(other AlphaSnapshot) AlphaGrad {
 // applied to stale α, needed by the delay-compensation path of Alg. 1
 // line 28 where the straggler's gates were sampled from a past policy).
 func LogProbGradAt(s AlphaSnapshot, g nas.Gates) AlphaGrad {
-	pn := softmaxRows(s.Normal)
-	pr := softmaxRows(s.Reduce)
-	grad := AlphaGrad{
-		Normal: zeroRows(len(s.Normal), len(s.Normal[0])),
-		Reduce: zeroRows(len(s.Reduce), len(s.Reduce[0])),
-	}
-	fill := func(dst, probs [][]float64, gates []int) {
+	var grad AlphaGrad
+	LogProbGradAtInto(&grad, s, g)
+	return grad
+}
+
+// LogProbGradAtInto is LogProbGradAt into a caller-owned gradient, reusing
+// dst's rows when the shapes already match. Every row is fully overwritten
+// (gates carry one sampled candidate per edge), so no zeroing is needed.
+func LogProbGradAtInto(dst *AlphaGrad, s AlphaSnapshot, g nas.Gates) {
+	dst.Normal = shapedRows(dst.Normal, len(s.Normal), len(s.Normal[0]))
+	dst.Reduce = shapedRows(dst.Reduce, len(s.Reduce), len(s.Reduce[0]))
+	// Softmax straight into the gradient row, then negate and add the
+	// Kronecker one: no per-edge probability temporaries. This function is
+	// called concurrently by round-engine workers, so all written state is
+	// confined to dst.
+	fill := func(rows, alpha [][]float64, gates []int) {
 		for e, k := range gates {
-			for j := range dst[e] {
-				dst[e][j] = -probs[e][j]
+			row := rows[e]
+			tensor.SoftmaxInto(row, alpha[e])
+			for j := range row {
+				row[j] = -row[j]
 			}
-			dst[e][k] += 1
+			row[k] += 1
 		}
 	}
-	fill(grad.Normal, pn, g.Normal)
-	fill(grad.Reduce, pr, g.Reduce)
-	return grad
+	fill(dst.Normal, s.Normal, g.Normal)
+	fill(dst.Reduce, s.Reduce, g.Reduce)
+}
+
+// shapedRows returns a rows×cols matrix, reusing the given storage when its
+// shape already matches. Contents are unspecified; callers must overwrite.
+func shapedRows(rows [][]float64, n, cols int) [][]float64 {
+	if len(rows) != n {
+		rows = make([][]float64, n)
+	}
+	for i := range rows {
+		if len(rows[i]) != cols {
+			rows[i] = make([]float64, cols)
+		}
+	}
+	return rows
 }
 
 // ChainSoftmax converts per-edge dL/dp rows into dL/dα rows through the
@@ -259,6 +291,21 @@ func softmaxRows(alpha [][]float64) [][]float64 {
 		out[i] = tensor.Softmax(row)
 	}
 	return out
+}
+
+// softmaxRowsInto is softmaxRows into reusable row storage, allocating only
+// when the shape grows or changes.
+func softmaxRowsInto(dst [][]float64, alpha [][]float64) [][]float64 {
+	if len(dst) != len(alpha) {
+		dst = make([][]float64, len(alpha))
+	}
+	for i, row := range alpha {
+		if len(dst[i]) != len(row) {
+			dst[i] = make([]float64, len(row))
+		}
+		tensor.SoftmaxInto(dst[i], row)
+	}
+	return dst
 }
 
 func sampleRows(rng *rand.Rand, probs [][]float64) []int {

@@ -26,16 +26,28 @@ func DefaultAugment() AugmentConfig {
 // Apply augments a batch [N,C,H,W] in place-free fashion, returning a new
 // tensor. A zero-valued config is the identity.
 func (a AugmentConfig) Apply(batch *tensor.Tensor, rng *rand.Rand) *tensor.Tensor {
-	out := batch.Clone()
-	n, c, h, w := out.Dim(0), out.Dim(1), out.Dim(2), out.Dim(3)
-	od := out.Data()
+	return a.ApplyInto(nil, batch, rng)
+}
+
+// ApplyInto is Apply with a caller-provided output buffer, reused when its
+// shape matches the batch (allocated otherwise). The input batch is left
+// untouched, and the RNG draw sequence is identical to Apply's.
+func (a AugmentConfig) ApplyInto(dst, batch *tensor.Tensor, rng *rand.Rand) *tensor.Tensor {
+	n, c, h, w := batch.Dim(0), batch.Dim(1), batch.Dim(2), batch.Dim(3)
+	if dst == nil || !dst.ShapeIs(n, c, h, w) {
+		dst = tensor.New(n, c, h, w)
+	}
+	sd, dd := batch.Data(), dst.Data()
 	size := c * h * w
 	for b := 0; b < n; b++ {
-		img := od[b*size : (b+1)*size]
+		src := sd[b*size : (b+1)*size]
+		img := dd[b*size : (b+1)*size]
 		if a.RandomClip > 0 {
 			dy := rng.Intn(2*a.RandomClip+1) - a.RandomClip
 			dx := rng.Intn(2*a.RandomClip+1) - a.RandomClip
-			shift(img, c, h, w, dy, dx)
+			shiftInto(img, src, c, h, w, dy, dx)
+		} else {
+			copy(img, src)
 		}
 		if a.FlipProb > 0 && rng.Float64() < a.FlipProb {
 			flipH(img, c, h, w)
@@ -46,15 +58,17 @@ func (a AugmentConfig) Apply(batch *tensor.Tensor, rng *rand.Rand) *tensor.Tenso
 			cutout(img, c, h, w, cy, cx, a.Cutout)
 		}
 	}
-	return out
+	return dst
 }
 
-// shift translates every channel by (dy, dx), zero-filling exposed pixels.
-func shift(img []float64, c, h, w, dy, dx int) {
+// shiftInto writes src translated by (dy, dx) into dst, zero-filling exposed
+// pixels. Reading from the untouched source image makes the shift a pure
+// scatter — no temporary copy is needed.
+func shiftInto(dst, src []float64, c, h, w, dy, dx int) {
 	if dy == 0 && dx == 0 {
+		copy(dst, src)
 		return
 	}
-	src := append([]float64(nil), img...)
 	for ch := 0; ch < c; ch++ {
 		base := ch * h * w
 		for y := 0; y < h; y++ {
@@ -62,9 +76,9 @@ func shift(img []float64, c, h, w, dy, dx int) {
 			for x := 0; x < w; x++ {
 				sx := x - dx
 				if sy < 0 || sy >= h || sx < 0 || sx >= w {
-					img[base+y*w+x] = 0
+					dst[base+y*w+x] = 0
 				} else {
-					img[base+y*w+x] = src[base+sy*w+sx]
+					dst[base+y*w+x] = src[base+sy*w+sx]
 				}
 			}
 		}

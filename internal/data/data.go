@@ -127,6 +127,27 @@ func (d *Dataset) Gather(indices []int) (*tensor.Tensor, []int) {
 	return gather(d.TrainImages, d.TrainLabels, indices, d.Spec)
 }
 
+// GatherInto is Gather with caller-provided buffers: dst is reused when its
+// shape matches the batch and labelBuf's backing array is reused when large
+// enough. It returns the (possibly newly allocated) batch and labels.
+func (d *Dataset) GatherInto(dst *tensor.Tensor, labelBuf []int, indices []int) (*tensor.Tensor, []int) {
+	c, h, w := d.Spec.Channels, d.Spec.Height, d.Spec.Width
+	size := c * h * w
+	if dst == nil || !dst.ShapeIs(len(indices), c, h, w) {
+		dst = tensor.New(len(indices), c, h, w)
+	}
+	if cap(labelBuf) < len(indices) {
+		labelBuf = make([]int, len(indices))
+	}
+	labelBuf = labelBuf[:len(indices)]
+	od, id := dst.Data(), d.TrainImages.Data()
+	for bi, idx := range indices {
+		copy(od[bi*size:(bi+1)*size], id[idx*size:(idx+1)*size])
+		labelBuf[bi] = d.TrainLabels[idx]
+	}
+	return dst, labelBuf
+}
+
 // GatherTest builds a batch tensor and label slice from test indices.
 func (d *Dataset) GatherTest(indices []int) (*tensor.Tensor, []int) {
 	return gather(d.TestImages, d.TestLabels, indices, d.Spec)

@@ -379,8 +379,9 @@ func TestFlipIsInvolution(t *testing.T) {
 }
 
 func TestShiftZeroFills(t *testing.T) {
-	img := []float64{1, 2, 3, 4}
-	shift(img, 1, 2, 2, 1, 0) // shift down by 1
+	src := []float64{1, 2, 3, 4}
+	img := make([]float64, len(src))
+	shiftInto(img, src, 1, 2, 2, 1, 0) // shift down by 1
 	if img[0] != 0 || img[1] != 0 || img[2] != 1 || img[3] != 2 {
 		t.Errorf("shift result %v", img)
 	}

@@ -20,6 +20,7 @@ func NumEdges(b int) int { return 2*b + b*(b-1)/2 }
 type MixedOp struct {
 	Candidates []OpKind
 	ops        []nn.Module
+	params     []*nn.Param
 
 	lastSampled int              // candidate index used in sampled mode
 	lastOutputs []*tensor.Tensor // per-candidate outputs in mixed mode
@@ -41,13 +42,15 @@ func newMixedOp(name string, rng *rand.Rand, candidates []OpKind, c, stride int)
 // Op returns the materialized module for candidate i.
 func (m *MixedOp) Op(i int) nn.Module { return m.ops[i] }
 
-// Params returns the parameters of every candidate.
+// Params returns the parameters of every candidate. The returned slice is
+// cached (candidates are fixed at construction) and must not be mutated.
 func (m *MixedOp) Params() []*nn.Param {
-	var ps []*nn.Param
-	for _, op := range m.ops {
-		ps = append(ps, op.Params()...)
+	if m.params == nil {
+		for _, op := range m.ops {
+			m.params = append(m.params, op.Params()...)
+		}
 	}
-	return ps
+	return m.params
 }
 
 // ForwardSampled runs only candidate k.
@@ -113,16 +116,23 @@ type CellSpec struct {
 // Cell is one DARTS cell: two preprocessed inputs, b intermediate nodes
 // connected by MixedOp edges, output = channel-concat of the intermediates.
 type Cell struct {
-	Spec  CellSpec
-	pre0  *nn.Sequential
-	pre1  *nn.Sequential
-	Edges []*MixedOp // ordered: node0's edges (from s0, s1), node1's (s0, s1, n0), …
+	Spec   CellSpec
+	pre0   *nn.Sequential
+	pre1   *nn.Sequential
+	Edges  []*MixedOp // ordered: node0's edges (from s0, s1), node1's (s0, s1, n0), …
+	params []*nn.Param
 
 	// forward caches
 	lastStates    []*tensor.Tensor
 	lastGates     []int
 	lastMixed     bool
 	lastEdgeProbs [][]float64
+
+	// persistent hot-path buffers (nn's buffer-ownership contract): the
+	// concat output, per-node gradient slices, and the backward scratch.
+	concatBuf  *tensor.Tensor
+	splitBufs  []*tensor.Tensor
+	stateGrads []*tensor.Tensor
 }
 
 // NewCell materializes a cell. candidates is the per-edge candidate set
@@ -159,9 +169,17 @@ func NewCell(name string, rng *rand.Rand, spec CellSpec, candidates []OpKind) *C
 // OutChannels returns the channel count of the cell output.
 func (c *Cell) OutChannels() int { return c.Spec.Nodes * c.Spec.C }
 
-// Params returns every parameter in the cell (all candidates).
+// Params returns every parameter in the cell (all candidates). The returned
+// slice is cached and must not be mutated.
 func (c *Cell) Params() []*nn.Param {
-	ps := append([]*nn.Param(nil), c.pre0.Params()...)
+	if c.params == nil {
+		c.params = c.appendParams(nil)
+	}
+	return c.params
+}
+
+func (c *Cell) appendParams(ps []*nn.Param) []*nn.Param {
+	ps = append(ps, c.pre0.Params()...)
 	ps = append(ps, c.pre1.Params()...)
 	for _, e := range c.Edges {
 		ps = append(ps, e.Params()...)
@@ -172,7 +190,14 @@ func (c *Cell) Params() []*nn.Param {
 // SampledParams returns the preprocessing parameters plus only the
 // parameters of the gated candidate on each edge — the sub-model payload.
 func (c *Cell) SampledParams(gates []int) []*nn.Param {
-	ps := append([]*nn.Param(nil), c.pre0.Params()...)
+	return c.AppendSampledParams(nil, gates)
+}
+
+// AppendSampledParams appends the sampled sub-model's parameters to ps and
+// returns it — the no-alloc form of SampledParams for callers that own a
+// reusable buffer.
+func (c *Cell) AppendSampledParams(ps []*nn.Param, gates []int) []*nn.Param {
+	ps = append(ps, c.pre0.Params()...)
 	ps = append(ps, c.pre1.Params()...)
 	for e, g := range gates {
 		ps = append(ps, c.Edges[e].Op(g).Params()...)
@@ -206,7 +231,7 @@ func (c *Cell) ForwardSampled(s0, s1 *tensor.Tensor, gates []int) *tensor.Tensor
 	}
 	c.lastMixed = false
 	c.lastGates = append(c.lastGates[:0], gates...)
-	states := []*tensor.Tensor{c.pre0.Forward(s0), c.pre1.Forward(s1)}
+	states := append(c.lastStates[:0], c.pre0.Forward(s0), c.pre1.Forward(s1))
 	edge := 0
 	for i := 0; i < c.Spec.Nodes; i++ {
 		var node *tensor.Tensor
@@ -222,7 +247,7 @@ func (c *Cell) ForwardSampled(s0, s1 *tensor.Tensor, gates []int) *tensor.Tensor
 		states = append(states, node)
 	}
 	c.lastStates = states
-	return concatChannels(states[2:])
+	return c.concatStates(states[2:])
 }
 
 // ForwardMixed runs the cell with all candidates blended by edgeProbs
@@ -233,7 +258,7 @@ func (c *Cell) ForwardMixed(s0, s1 *tensor.Tensor, edgeProbs [][]float64) *tenso
 	}
 	c.lastMixed = true
 	c.lastEdgeProbs = edgeProbs
-	states := []*tensor.Tensor{c.pre0.Forward(s0), c.pre1.Forward(s1)}
+	states := append(c.lastStates[:0], c.pre0.Forward(s0), c.pre1.Forward(s1))
 	edge := 0
 	for i := 0; i < c.Spec.Nodes; i++ {
 		var node *tensor.Tensor
@@ -249,15 +274,19 @@ func (c *Cell) ForwardMixed(s0, s1 *tensor.Tensor, edgeProbs [][]float64) *tenso
 		states = append(states, node)
 	}
 	c.lastStates = states
-	return concatChannels(states[2:])
+	return c.concatStates(states[2:])
 }
 
 // Backward back-propagates the cell. It returns gradients for (s0, s1) and,
 // after a mixed forward, the per-edge dL/d(probs) rows (nil after sampled).
 func (c *Cell) Backward(grad *tensor.Tensor) (gs0, gs1 *tensor.Tensor, dProbs [][]float64) {
-	nodeGrads := splitChannels(grad, c.Spec.Nodes, c.Spec.C)
+	nodeGrads := c.splitGrad(grad)
 	// stateGrads[j] accumulates dL/d(states[j]).
-	stateGrads := make([]*tensor.Tensor, 2+c.Spec.Nodes)
+	if cap(c.stateGrads) < 2+c.Spec.Nodes {
+		c.stateGrads = make([]*tensor.Tensor, 2+c.Spec.Nodes)
+	}
+	stateGrads := c.stateGrads[:2+c.Spec.Nodes]
+	stateGrads[0], stateGrads[1] = nil, nil
 	for i := 0; i < c.Spec.Nodes; i++ {
 		stateGrads[2+i] = nodeGrads[i]
 	}
@@ -298,7 +327,40 @@ func (c *Cell) Backward(grad *tensor.Tensor) (gs0, gs1 *tensor.Tensor, dProbs []
 	return gs0, gs1, dProbs
 }
 
-// concatChannels concatenates [N,C,H,W] tensors along the channel axis.
+// concatStates concatenates the node outputs into the cell's persistent
+// concat buffer (overwritten by the next forward).
+func (c *Cell) concatStates(ts []*tensor.Tensor) *tensor.Tensor {
+	n, h, w := ts[0].Dim(0), ts[0].Dim(2), ts[0].Dim(3)
+	totalC := 0
+	for _, t := range ts {
+		totalC += t.Dim(1)
+	}
+	if c.concatBuf == nil || !c.concatBuf.ShapeIs(n, totalC, h, w) {
+		c.concatBuf = tensor.New(n, totalC, h, w)
+	}
+	concatChannelsInto(c.concatBuf, ts)
+	return c.concatBuf
+}
+
+// splitGrad splits the concat gradient into per-node slices held in the
+// cell's persistent split buffers (overwritten by the next backward).
+func (c *Cell) splitGrad(grad *tensor.Tensor) []*tensor.Tensor {
+	if cap(c.splitBufs) < c.Spec.Nodes {
+		c.splitBufs = make([]*tensor.Tensor, c.Spec.Nodes)
+	}
+	c.splitBufs = c.splitBufs[:c.Spec.Nodes]
+	n, h, w := grad.Dim(0), grad.Dim(2), grad.Dim(3)
+	for p := range c.splitBufs {
+		if c.splitBufs[p] == nil || !c.splitBufs[p].ShapeIs(n, c.Spec.C, h, w) {
+			c.splitBufs[p] = tensor.New(n, c.Spec.C, h, w)
+		}
+	}
+	splitChannelsInto(c.splitBufs, grad, c.Spec.Nodes, c.Spec.C)
+	return c.splitBufs
+}
+
+// concatChannels concatenates [N,C,H,W] tensors along the channel axis into
+// a new tensor.
 func concatChannels(ts []*tensor.Tensor) *tensor.Tensor {
 	n, h, w := ts[0].Dim(0), ts[0].Dim(2), ts[0].Dim(3)
 	totalC := 0
@@ -306,6 +368,15 @@ func concatChannels(ts []*tensor.Tensor) *tensor.Tensor {
 		totalC += t.Dim(1)
 	}
 	out := tensor.New(n, totalC, h, w)
+	concatChannelsInto(out, ts)
+	return out
+}
+
+// concatChannelsInto concatenates ts along the channel axis into out, which
+// must already have the combined shape.
+func concatChannelsInto(out *tensor.Tensor, ts []*tensor.Tensor) {
+	n, h, w := ts[0].Dim(0), ts[0].Dim(2), ts[0].Dim(3)
+	totalC := out.Dim(1)
 	od := out.Data()
 	cOff := 0
 	for _, t := range ts {
@@ -318,27 +389,33 @@ func concatChannels(ts []*tensor.Tensor) *tensor.Tensor {
 		}
 		cOff += c
 	}
+}
+
+// splitChannels splits an [N, parts*c, H, W] tensor into parts new tensors
+// of c channels each (inverse of concatChannels).
+func splitChannels(t *tensor.Tensor, parts, c int) []*tensor.Tensor {
+	n, h, w := t.Dim(0), t.Dim(2), t.Dim(3)
+	out := make([]*tensor.Tensor, parts)
+	for p := range out {
+		out[p] = tensor.New(n, c, h, w)
+	}
+	splitChannelsInto(out, t, parts, c)
 	return out
 }
 
-// splitChannels splits an [N, parts*c, H, W] tensor into parts tensors of c
-// channels each (inverse of concatChannels).
-func splitChannels(t *tensor.Tensor, parts, c int) []*tensor.Tensor {
+// splitChannelsInto splits t into the pre-shaped tensors in out.
+func splitChannelsInto(out []*tensor.Tensor, t *tensor.Tensor, parts, c int) {
 	n, totalC, h, w := t.Dim(0), t.Dim(1), t.Dim(2), t.Dim(3)
 	if totalC != parts*c {
 		panic(fmt.Sprintf("nas: cannot split %d channels into %d x %d", totalC, parts, c))
 	}
-	out := make([]*tensor.Tensor, parts)
 	td := t.Data()
 	for p := 0; p < parts; p++ {
-		s := tensor.New(n, c, h, w)
-		sd := s.Data()
+		sd := out[p].Data()
 		for b := 0; b < n; b++ {
 			srcBase := (b*totalC + p*c) * h * w
 			dstBase := b * c * h * w
 			copy(sd[dstBase:dstBase+c*h*w], td[srcBase:srcBase+c*h*w])
 		}
-		out[p] = s
 	}
-	return out
 }

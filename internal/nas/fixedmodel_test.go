@@ -93,7 +93,9 @@ func TestFixedModelTrainToggle(t *testing.T) {
 	// Train-mode forwards differ from eval-mode forwards (batch-stat BN).
 	x := tensor.Randn(rng, 1, 4, 3, 8, 8)
 	m.SetTraining(true)
-	a := m.Forward(x)
+	// Clone: Forward returns a module-owned buffer that the second call
+	// overwrites (nn's buffer-ownership contract).
+	a := m.Forward(x).Clone()
 	m.SetTraining(false)
 	b := m.Forward(x)
 	if a.AllClose(b, 1e-9) {

@@ -77,6 +77,17 @@ type Supernet struct {
 	head  *nn.Linear
 
 	reduction map[int]bool
+
+	// Cached enumerations (the structure is fixed at construction) and
+	// hot-path scratch. sizeScratch backs SubModelBytes; cellGradBufs /
+	// stemGradBuf are the persistent inter-cell gradient accumulators of
+	// backwardCells (see the buffer-ownership contract in package nn).
+	params       []*nn.Param
+	sharedParams []*nn.Param
+	sizeScratch  []*nn.Param
+	cellGrads    []*tensor.Tensor
+	cellGradBufs []*tensor.Tensor
+	stemGradBuf  *tensor.Tensor
 }
 
 // NewSupernet materializes the network described by cfg.
@@ -126,47 +137,61 @@ func (s *Supernet) NumCandidates() int { return len(s.Cfg.Candidates) }
 // Cells returns the stacked cells in order.
 func (s *Supernet) Cells() []*Cell { return s.cells }
 
-// Params returns every learnable parameter (full supernet θ).
+// Params returns every learnable parameter (full supernet θ). The returned
+// slice is cached (the structure is fixed at construction) and must not be
+// mutated.
 func (s *Supernet) Params() []*nn.Param {
-	ps := append([]*nn.Param(nil), s.stem.Params()...)
-	for _, c := range s.cells {
-		ps = append(ps, c.Params()...)
+	if s.params == nil {
+		ps := append([]*nn.Param(nil), s.stem.Params()...)
+		for _, c := range s.cells {
+			ps = append(ps, c.Params()...)
+		}
+		s.params = append(ps, s.head.Params()...)
 	}
-	ps = append(ps, s.head.Params()...)
-	return ps
+	return s.params
 }
 
 // SharedParams returns the parameters every sub-model carries regardless of
-// gates: stem, cell preprocessing, classifier head.
+// gates: stem, cell preprocessing, classifier head. The returned slice is
+// cached and must not be mutated.
 func (s *Supernet) SharedParams() []*nn.Param {
-	ps := append([]*nn.Param(nil), s.stem.Params()...)
-	for _, c := range s.cells {
-		ps = append(ps, c.pre0.Params()...)
-		ps = append(ps, c.pre1.Params()...)
+	if s.sharedParams == nil {
+		ps := append([]*nn.Param(nil), s.stem.Params()...)
+		for _, c := range s.cells {
+			ps = append(ps, c.pre0.Params()...)
+			ps = append(ps, c.pre1.Params()...)
+		}
+		s.sharedParams = append(ps, s.head.Params()...)
 	}
-	ps = append(ps, s.head.Params()...)
-	return ps
+	return s.sharedParams
 }
 
 // SampledParams returns the parameter set of the sub-model selected by g:
 // shared parameters plus the gated candidate on every edge of every cell.
 func (s *Supernet) SampledParams(g Gates) []*nn.Param {
-	ps := append([]*nn.Param(nil), s.stem.Params()...)
+	return s.AppendSampledParams(nil, g)
+}
+
+// AppendSampledParams appends the sampled sub-model's parameters to ps and
+// returns it — the no-alloc form of SampledParams for callers that own a
+// reusable buffer.
+func (s *Supernet) AppendSampledParams(ps []*nn.Param, g Gates) []*nn.Param {
+	ps = append(ps, s.stem.Params()...)
 	for _, c := range s.cells {
 		gates := g.Normal
 		if c.Spec.Reduction {
 			gates = g.Reduce
 		}
-		ps = append(ps, c.SampledParams(gates)...)
+		ps = c.AppendSampledParams(ps, gates)
 	}
-	ps = append(ps, s.head.Params()...)
-	return ps
+	return append(ps, s.head.Params()...)
 }
 
 // SubModelBytes returns the float32 wire size of the sub-model selected by
 // g — what the server would actually transmit to a participant.
 func (s *Supernet) SubModelBytes(g Gates) int64 {
-	return nn.ParamBytes(s.SampledParams(g))
+	s.sizeScratch = s.AppendSampledParams(s.sizeScratch[:0], g)
+	return nn.ParamBytes(s.sizeScratch)
 }
 
 // SupernetBytes returns the float32 wire size of the entire supernet — what
@@ -249,19 +274,49 @@ func (s *Supernet) BackwardMixed(gradLogits *tensor.Tensor) MixedGrads {
 }
 
 // backwardCells walks the cell stack in reverse, handling the two-input
-// skip wiring (cell l receives cell l-1 and cell l-2 outputs).
+// skip wiring (cell l receives cell l-1 and cell l-2 outputs). Inter-cell
+// gradient accumulation copies into per-slot persistent buffers instead of
+// cloning: a cell's backward outputs (gs0/gs1) live in buffers the next
+// cell's backward overwrites, so they must be captured, but the capture
+// target's shape never changes between passes.
 func (s *Supernet) backwardCells(grad *tensor.Tensor, mg *MixedGrads) {
 	n := len(s.cells)
-	// gradS1[i] is dL/d(output of cell i); gradS0 contributions flow to i-1.
-	gradOut := make([]*tensor.Tensor, n)
+	if cap(s.cellGrads) < n {
+		s.cellGrads = make([]*tensor.Tensor, n)
+	}
+	if s.cellGradBufs == nil {
+		s.cellGradBufs = make([]*tensor.Tensor, n)
+	}
+	// gradOut[i] is dL/d(output of cell i); gs0 contributions flow to i-2.
+	gradOut := s.cellGrads[:n]
+	for i := range gradOut {
+		gradOut[i] = nil
+	}
 	gradOut[n-1] = grad
+	addCell := func(slot int, g *tensor.Tensor) {
+		if gradOut[slot] != nil {
+			gradOut[slot].AddInPlace(g)
+			return
+		}
+		buf := s.cellGradBufs[slot]
+		if buf == nil || !buf.ShapeIs(g.Dim(0), g.Dim(1), g.Dim(2), g.Dim(3)) {
+			buf = tensor.New(g.Shape()...)
+			s.cellGradBufs[slot] = buf
+		}
+		buf.CopyFrom(g)
+		gradOut[slot] = buf
+	}
 	var gradStem *tensor.Tensor
 	addStem := func(g *tensor.Tensor) {
-		if gradStem == nil {
-			gradStem = g.Clone()
-		} else {
+		if gradStem != nil {
 			gradStem.AddInPlace(g)
+			return
 		}
+		if s.stemGradBuf == nil || !s.stemGradBuf.ShapeIs(g.Dim(0), g.Dim(1), g.Dim(2), g.Dim(3)) {
+			s.stemGradBuf = tensor.New(g.Shape()...)
+		}
+		s.stemGradBuf.CopyFrom(g)
+		gradStem = s.stemGradBuf
 	}
 	for i := n - 1; i >= 0; i-- {
 		if gradOut[i] == nil {
@@ -278,21 +333,13 @@ func (s *Supernet) backwardCells(grad *tensor.Tensor, mg *MixedGrads) {
 		}
 		// s1 input of cell i is output of cell i-1 (or the stem).
 		if i-1 >= 0 {
-			if gradOut[i-1] == nil {
-				gradOut[i-1] = gs1.Clone()
-			} else {
-				gradOut[i-1].AddInPlace(gs1)
-			}
+			addCell(i-1, gs1)
 		} else {
 			addStem(gs1)
 		}
 		// s0 input of cell i is output of cell i-2 (or the stem).
 		if i-2 >= 0 {
-			if gradOut[i-2] == nil {
-				gradOut[i-2] = gs0.Clone()
-			} else {
-				gradOut[i-2].AddInPlace(gs0)
-			}
+			addCell(i-2, gs0)
 		} else {
 			addStem(gs0)
 		}

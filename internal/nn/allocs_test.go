@@ -8,12 +8,15 @@ import (
 	"fedrlnas/internal/tensor"
 )
 
-// The conv hot path must not allocate im2col scratch per call: the column
-// buffers are per-layer and reused once warm. Forward still allocates its
-// output tensor and backward its input-gradient tensor (both escape to the
-// caller), so the budgets below pin "output allocations only".
+// The conv hot path must not allocate at all once warm: column scratch,
+// GEMM workspaces, the output tensor, and the input-gradient tensor are all
+// per-layer persistent buffers, reused whenever shapes repeat (the package
+// doc's buffer-ownership contract).
 
 func TestConvForwardAllocsPinned(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool drops Puts at random, defeating scratch reuse")
+	}
 	rng := rand.New(rand.NewSource(1))
 	c := NewConv2D("c", rng, 8, 8, 3, ConvOpts{Pad: 1})
 	x := tensor.Randn(rng, 1, 4, 8, 6, 6)
@@ -21,14 +24,15 @@ func TestConvForwardAllocsPinned(t *testing.T) {
 	allocs := testing.AllocsPerRun(20, func() {
 		_ = c.Forward(x)
 	})
-	// Output tensor = 1 struct + 1 data slice + 1 shape slice ≤ 4 allocs;
-	// any per-call im2col make([]float64, k*cols) would push this over.
-	if allocs > 4 {
-		t.Fatalf("Conv2D.Forward allocates %.0f objects/call, want <= 4 (scratch not reused?)", allocs)
+	if allocs > 0 {
+		t.Fatalf("Conv2D.Forward allocates %.0f objects/call, want 0 (buffers not reused?)", allocs)
 	}
 }
 
 func TestConvBackwardAllocsPinned(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool drops Puts at random, defeating scratch reuse")
+	}
 	rng := rand.New(rand.NewSource(2))
 	c := NewConv2D("c", rng, 8, 8, 3, ConvOpts{Pad: 1})
 	x := tensor.Randn(rng, 1, 4, 8, 6, 6)
@@ -38,8 +42,8 @@ func TestConvBackwardAllocsPinned(t *testing.T) {
 	allocs := testing.AllocsPerRun(20, func() {
 		_ = c.Backward(grad)
 	})
-	if allocs > 4 {
-		t.Fatalf("Conv2D.Backward allocates %.0f objects/call, want <= 4 (scratch not reused?)", allocs)
+	if allocs > 0 {
+		t.Fatalf("Conv2D.Backward allocates %.0f objects/call, want 0 (buffers not reused?)", allocs)
 	}
 }
 
@@ -98,7 +102,9 @@ func TestBatchNormStatCaptureReplayMatchesSequential(t *testing.T) {
 	rep.SetStatCapture(true)
 	var outCap []*tensor.Tensor
 	for _, x := range batches {
-		outCap = append(outCap, rep.Forward(x))
+		// Clone: Forward's return is the layer's reused buffer (see the
+		// package doc's ownership contract) and the next call overwrites it.
+		outCap = append(outCap, rep.Forward(x).Clone())
 	}
 	stats := rep.DrainCapturedStats()
 	if len(stats) != len(batches) {

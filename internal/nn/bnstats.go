@@ -26,15 +26,38 @@ func (bn *BatchNorm2D) SetStatCapture(on bool) {
 	bn.capture = on
 	if !on {
 		bn.captured = nil
+		bn.statsFree = nil
 	}
 }
 
 // DrainCapturedStats returns the batch statistics captured since the last
-// drain, oldest first, and clears the log.
+// drain, oldest first, and clears the log. The caller owns the returned
+// records.
 func (bn *BatchNorm2D) DrainCapturedStats() []BNStats {
 	s := bn.captured
 	bn.captured = nil
 	return s
+}
+
+// DrainCapturedStatsInto is the no-alloc drain: it copies the captured
+// records into dst[:0] (growing it only when needed), clears the log while
+// keeping its backing array for future captures, and returns dst. The caller
+// owns the records until it hands them back via RecycleStats.
+func (bn *BatchNorm2D) DrainCapturedStatsInto(dst []BNStats) []BNStats {
+	dst = append(dst[:0], bn.captured...)
+	bn.captured = bn.captured[:0]
+	return dst
+}
+
+// RecycleStats returns consumed capture records to the layer's freelist so
+// later capturing forwards reuse their Mean/Var storage instead of
+// allocating. Records with a mismatched channel count are ignored.
+func (bn *BatchNorm2D) RecycleStats(recs []BNStats) {
+	for _, r := range recs {
+		if len(r.Mean) == bn.C && len(r.Var) == bn.C {
+			bn.statsFree = append(bn.statsFree, r)
+		}
+	}
 }
 
 // ApplyStats folds one captured forward's batch statistics into the running

@@ -18,14 +18,26 @@ type Conv2D struct {
 
 	weight *Param
 	bias   *Param // nil when bias is disabled
+	params []*Param
 
 	lastX *tensor.Tensor
 
-	// Per-layer im2col scratch, reused across calls. Safe because a layer
-	// belongs to exactly one model replica and each replica is driven by at
-	// most one worker at a time (see package doc and internal/parallel).
+	// Per-layer im2col scratch and persistent output/gradient buffers,
+	// reused across calls (see the package doc's buffer-ownership contract).
+	// Safe because a layer belongs to exactly one model replica and each
+	// replica is driven by at most one worker at a time (see internal/parallel).
 	colBuf     []float64
 	colGradBuf []float64
+	outColBuf  []float64
+	gradColBuf []float64
+	outBuf     *tensor.Tensor
+	gradXBuf   *tensor.Tensor
+
+	// Hoisted in-bounds output ranges for the grouped direct path: for each
+	// kernel offset, the inclusive output rows/cols whose sampled input
+	// stays inside the image (see convValid).
+	oy0s, oy1s []int
+	ox0s, ox1s []int
 }
 
 var _ Module = (*Conv2D)(nil)
@@ -64,12 +76,17 @@ func NewConv2D(name string, rng *rand.Rand, inC, outC, k int, o ConvOpts) *Conv2
 	return c
 }
 
-// Params implements Module.
+// Params implements Module. The returned slice is cached (the parameter set
+// is fixed at construction) and must not be mutated.
 func (c *Conv2D) Params() []*Param {
-	if c.bias != nil {
-		return []*Param{c.weight, c.bias}
+	if c.params == nil {
+		if c.bias != nil {
+			c.params = []*Param{c.weight, c.bias}
+		} else {
+			c.params = []*Param{c.weight}
+		}
 	}
-	return []*Param{c.weight}
+	return c.params
 }
 
 // Forward implements Module.
@@ -84,45 +101,127 @@ func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	}
 	oh := convOutDim(h, c.KH, c.Stride, c.Pad, c.Dilation)
 	ow := convOutDim(w, c.KW, c.Stride, c.Pad, c.Dilation)
-	out := tensor.New(n, c.OutC, oh, ow)
+	c.outBuf = reuseBuf(c.outBuf, n, c.OutC, oh, ow)
+	out := c.outBuf
 
+	// Shift-and-AXPY formulation: the kernel offsets are the outer loops and
+	// each (ky,kx) contributes one branch-free strided row update over the
+	// precomputed in-bounds output range. Per output element the additions
+	// still arrive in (ic,ky,kx) order, so the result is bit-identical to
+	// the per-pixel accumulator this replaced.
 	xd, wd, od := x.Data(), c.weight.Value.Data(), out.Data()
+	var biasD []float64
+	if c.bias != nil {
+		biasD = c.bias.Value.Data()
+	}
 	icg := c.InC / c.Groups // input channels per group
 	ocg := c.OutC / c.Groups
+	c.hoistRanges(oh, ow, h, w)
+	oy0s, oy1s, ox0s, ox1s := c.oy0s, c.oy1s, c.ox0s, c.ox1s
 	for b := 0; b < n; b++ {
 		for oc := 0; oc < c.OutC; oc++ {
 			g := oc / ocg
-			var biasV float64
-			if c.bias != nil {
-				biasV = c.bias.Value.Data()[oc]
+			plane := od[((b*c.OutC+oc)*oh)*ow : ((b*c.OutC+oc)*oh+oh)*ow]
+			bv := 0.0
+			if biasD != nil {
+				bv = biasD[oc]
 			}
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					acc := biasV
-					for ic := 0; ic < icg; ic++ {
-						inCh := g*icg + ic
-						xBase := ((b*c.InC + inCh) * h) * w
-						wBase := ((oc*icg + ic) * c.KH) * c.KW
-						for ky := 0; ky < c.KH; ky++ {
-							iy := oy*c.Stride - c.Pad + ky*c.Dilation
-							if iy < 0 || iy >= h {
-								continue
-							}
-							for kx := 0; kx < c.KW; kx++ {
-								ix := ox*c.Stride - c.Pad + kx*c.Dilation
-								if ix < 0 || ix >= w {
-									continue
+			for i := range plane {
+				plane[i] = bv
+			}
+			for ic := 0; ic < icg; ic++ {
+				xBase := ((b*c.InC + g*icg + ic) * h) * w
+				wBase := ((oc*icg + ic) * c.KH) * c.KW
+				for ky := 0; ky < c.KH; ky++ {
+					kyOff := ky*c.Dilation - c.Pad
+					oy0, oy1 := oy0s[ky], oy1s[ky]
+					for kx := 0; kx < c.KW; kx++ {
+						wv := wd[wBase+ky*c.KW+kx]
+						kxOff := kx*c.Dilation - c.Pad
+						ox0, ox1 := ox0s[kx], ox1s[kx]
+						if ox0 > ox1 {
+							continue
+						}
+						if c.Stride == 1 {
+							// Contiguous AXPY over the in-bounds span;
+							// slicing both rows to the same length lets the
+							// compiler drop the bounds checks.
+							for oy := oy0; oy <= oy1; oy++ {
+								orow := plane[oy*ow+ox0 : oy*ow+ox1+1]
+								xrow := xd[xBase+(oy+kyOff)*w+ox0+kxOff:][:len(orow)]
+								for i, v := range xrow {
+									orow[i] += wv * v
 								}
-								acc += xd[xBase+iy*w+ix] * wd[wBase+ky*c.KW+kx]
+							}
+							continue
+						}
+						for oy := oy0; oy <= oy1; oy++ {
+							xrow := xd[xBase+(oy*c.Stride+kyOff)*w:]
+							orow := plane[oy*ow:]
+							ix := ox0*c.Stride + kxOff
+							for ox := ox0; ox <= ox1; ox++ {
+								orow[ox] += wv * xrow[ix]
+								ix += c.Stride
 							}
 						}
 					}
-					od[((b*c.OutC+oc)*oh+oy)*ow+ox] = acc
 				}
 			}
 		}
 	}
 	return out
+}
+
+// hoistRanges fills the per-kernel-offset valid output ranges used by the
+// grouped direct path, reusing the layer's scratch slices.
+func (c *Conv2D) hoistRanges(oh, ow, h, w int) {
+	c.oy0s = growInts(c.oy0s, c.KH)
+	c.oy1s = growInts(c.oy1s, c.KH)
+	c.ox0s = growInts(c.ox0s, c.KW)
+	c.ox1s = growInts(c.ox1s, c.KW)
+	for ky := 0; ky < c.KH; ky++ {
+		c.oy0s[ky], c.oy1s[ky] = convValid(oh, ky*c.Dilation-c.Pad, c.Stride, h)
+	}
+	for kx := 0; kx < c.KW; kx++ {
+		c.ox0s[kx], c.ox1s[kx] = convValid(ow, kx*c.Dilation-c.Pad, c.Stride, w)
+	}
+}
+
+// growInts returns a length-n int slice backed by buf when it is large
+// enough, allocating only on growth.
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// convValid returns the inclusive output-index range [lo, hi] whose sampled
+// input index o*stride+off stays inside [0, limit); hi < lo when empty.
+func convValid(outDim, off, stride, limit int) (lo, hi int) {
+	lo = divCeil(-off, stride)
+	if lo < 0 {
+		lo = 0
+	}
+	hi = divFloor(limit-1-off, stride)
+	if hi > outDim-1 {
+		hi = outDim - 1
+	}
+	return lo, hi
+}
+
+func divCeil(a, b int) int {
+	if a >= 0 {
+		return (a + b - 1) / b
+	}
+	return -(-a / b)
+}
+
+func divFloor(a, b int) int {
+	if a >= 0 {
+		return a / b
+	}
+	return -((-a + b - 1) / b)
 }
 
 // Backward implements Module.
@@ -137,7 +236,9 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, _, h, w := mustDims4(x, "Conv2D")
 	_, _, oh, ow := mustDims4(grad, "Conv2D.Backward")
 
-	gradX := tensor.New(x.Shape()...)
+	c.gradXBuf = reuseBufLike(c.gradXBuf, x)
+	gradX := c.gradXBuf
+	gradX.Zero() // the direct path accumulates into it
 	xd, wd := x.Data(), c.weight.Value.Data()
 	gd, gxd, gwd := grad.Data(), gradX.Data(), c.weight.Grad.Data()
 	icg := c.InC / c.Groups
@@ -146,36 +247,63 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if c.bias != nil {
 		gbd = c.bias.Grad.Data()
 	}
+	// Same shift-and-AXPY structure as the grouped forward: per (ky,kx) one
+	// branch-free strided sweep accumulates both the weight gradient (as a
+	// register reduction) and the input gradient.
+	c.hoistRanges(oh, ow, h, w)
+	oy0s, oy1s, ox0s, ox1s := c.oy0s, c.oy1s, c.ox0s, c.ox1s
 	for b := 0; b < n; b++ {
 		for oc := 0; oc < c.OutC; oc++ {
 			g := oc / ocg
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					gv := gd[((b*c.OutC+oc)*oh+oy)*ow+ox]
-					if gv == 0 {
-						continue
-					}
-					if gbd != nil {
-						gbd[oc] += gv
-					}
-					for ic := 0; ic < icg; ic++ {
-						inCh := g*icg + ic
-						xBase := ((b*c.InC + inCh) * h) * w
-						wBase := ((oc*icg + ic) * c.KH) * c.KW
-						for ky := 0; ky < c.KH; ky++ {
-							iy := oy*c.Stride - c.Pad + ky*c.Dilation
-							if iy < 0 || iy >= h {
-								continue
-							}
-							for kx := 0; kx < c.KW; kx++ {
-								ix := ox*c.Stride - c.Pad + kx*c.Dilation
-								if ix < 0 || ix >= w {
-									continue
+			gplane := gd[((b*c.OutC+oc)*oh)*ow : ((b*c.OutC+oc)*oh+oh)*ow]
+			if gbd != nil {
+				s := 0.0
+				for _, v := range gplane {
+					s += v
+				}
+				gbd[oc] += s
+			}
+			for ic := 0; ic < icg; ic++ {
+				xBase := ((b*c.InC + g*icg + ic) * h) * w
+				wBase := ((oc*icg + ic) * c.KH) * c.KW
+				for ky := 0; ky < c.KH; ky++ {
+					kyOff := ky*c.Dilation - c.Pad
+					oy0, oy1 := oy0s[ky], oy1s[ky]
+					for kx := 0; kx < c.KW; kx++ {
+						wv := wd[wBase+ky*c.KW+kx]
+						kxOff := kx*c.Dilation - c.Pad
+						ox0, ox1 := ox0s[kx], ox1s[kx]
+						if ox0 > ox1 {
+							continue
+						}
+						gw := 0.0
+						if c.Stride == 1 {
+							for oy := oy0; oy <= oy1; oy++ {
+								grow := gplane[oy*ow+ox0 : oy*ow+ox1+1]
+								rowBase := xBase + (oy+kyOff)*w + ox0 + kxOff
+								xrow := xd[rowBase:][:len(grow)]
+								gxrow := gxd[rowBase:][:len(grow)]
+								for i, gv := range grow {
+									gw += gv * xrow[i]
+									gxrow[i] += gv * wv
 								}
-								gwd[wBase+ky*c.KW+kx] += gv * xd[xBase+iy*w+ix]
-								gxd[xBase+iy*w+ix] += gv * wd[wBase+ky*c.KW+kx]
+							}
+						} else {
+							for oy := oy0; oy <= oy1; oy++ {
+								rowBase := xBase + (oy*c.Stride+kyOff)*w
+								xrow := xd[rowBase:]
+								gxrow := gxd[rowBase:]
+								grow := gplane[oy*ow:]
+								ix := ox0*c.Stride + kxOff
+								for ox := ox0; ox <= ox1; ox++ {
+									gv := grow[ox]
+									gw += gv * xrow[ix]
+									gxrow[ix] += gv * wv
+									ix += c.Stride
+								}
 							}
 						}
+						gwd[wBase+ky*c.KW+kx] += gw
 					}
 				}
 			}

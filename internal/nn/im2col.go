@@ -6,15 +6,17 @@ import (
 
 // im2col lowers convolution to matrix multiplication: patches of the input
 // become columns of a matrix that is multiplied by the flattened kernels.
-// For the group-free case this is usually faster than the direct loops in
-// conv.go because the inner product runs over contiguous memory.
+// The whole batch is lowered at once into a single [C*kH*kW, N*oH*oW]
+// column matrix so each pass runs ONE GEMM per layer (wide enough to
+// amortize the kernel's packing) instead of a small matmul per image.
 //
 // Conv2D uses it automatically for Groups == 1; grouped (depthwise)
-// convolutions keep the direct path, whose inner loops are already small.
+// convolutions keep the direct path, whose shift-and-AXPY loops are already
+// branch-free (see conv.go).
 
 // growScratch returns a length-n slice backed by buf when it is large
 // enough, allocating only on growth. Contents are unspecified; callers
-// overwrite (im2colBuffer) or zero (the colGrad loop) before reading.
+// overwrite before reading.
 func growScratch(buf []float64, n int) []float64 {
 	if cap(buf) < n {
 		return make([]float64, n)
@@ -22,31 +24,50 @@ func growScratch(buf []float64, n int) []float64 {
 	return buf[:n]
 }
 
-// im2colBuffer extracts patches from one image [C,H,W] into a
-// [C*kH*kW, oH*oW] matrix (column-major over output positions).
-func im2colBuffer(xd []float64, c, h, w, kh, kw, stride, pad, dilation, oh, ow int, out []float64) {
-	cols := oh * ow
+// im2colBuffer extracts patches from one image [C,H,W] into columns
+// [colOff, colOff+oH*oW) of a column matrix with row stride ld. With
+// ld = oH*oW and colOff = 0 it produces the single-image [C*kH*kW, oH*oW]
+// matrix; the batch path lays images side by side with ld = N*oH*oW.
+func im2colBuffer(xd []float64, c, h, w, kh, kw, stride, pad, dilation, oh, ow int, out []float64, ld, colOff int) {
+	if kh == 1 && kw == 1 && stride == 1 && pad == 0 {
+		// Pointwise fast path: row ch of the column matrix is channel ch's
+		// plane verbatim.
+		for ch := 0; ch < c; ch++ {
+			copy(out[ch*ld+colOff:ch*ld+colOff+oh*ow], xd[ch*h*w:ch*h*w+oh*ow])
+		}
+		return
+	}
 	for ch := 0; ch < c; ch++ {
 		base := ch * h * w
 		for ky := 0; ky < kh; ky++ {
+			kyOff := ky*dilation - pad
 			for kx := 0; kx < kw; kx++ {
-				rowBase := ((ch*kh+ky)*kw + kx) * cols
+				kxOff := kx*dilation - pad
+				ox0, ox1 := convValid(ow, kxOff, stride, w)
+				rowBase := ((ch*kh+ky)*kw+kx)*ld + colOff
 				for oy := 0; oy < oh; oy++ {
-					iy := oy*stride - pad + ky*dilation
-					dst := rowBase + oy*ow
-					if iy < 0 || iy >= h {
-						for ox := 0; ox < ow; ox++ {
-							out[dst+ox] = 0
+					iy := oy*stride + kyOff
+					dst := out[rowBase+oy*ow : rowBase+(oy+1)*ow]
+					if iy < 0 || iy >= h || ox0 > ox1 {
+						for i := range dst {
+							dst[i] = 0
 						}
 						continue
+					}
+					for i := range dst[:ox0] {
+						dst[i] = 0
+					}
+					for i := range dst[ox1+1:] {
+						dst[ox1+1+i] = 0
 					}
 					srcRow := base + iy*w
-					for ox := 0; ox < ow; ox++ {
-						ix := ox*stride - pad + kx*dilation
-						if ix < 0 || ix >= w {
-							out[dst+ox] = 0
-						} else {
-							out[dst+ox] = xd[srcRow+ix]
+					if stride == 1 {
+						copy(dst[ox0:ox1+1], xd[srcRow+ox0+kxOff:srcRow+ox1+kxOff+1])
+					} else {
+						ix := ox0*stride + kxOff
+						for ox := ox0; ox <= ox1; ox++ {
+							dst[ox] = xd[srcRow+ix]
+							ix += stride
 						}
 					}
 				}
@@ -55,28 +76,36 @@ func im2colBuffer(xd []float64, c, h, w, kh, kw, stride, pad, dilation, oh, ow i
 	}
 }
 
-// col2imAdd scatters a [C*kH*kW, oH*oW] column matrix back into an image
-// gradient [C,H,W], accumulating overlaps (the transpose of im2colBuffer).
-func col2imAdd(cols []float64, c, h, w, kh, kw, stride, pad, dilation, oh, ow int, dst []float64) {
-	n := oh * ow
+// col2imAdd scatters columns [colOff, colOff+oH*oW) of a column matrix with
+// row stride ld back into an image gradient [C,H,W], accumulating overlaps
+// (the transpose of im2colBuffer).
+func col2imAdd(cols []float64, c, h, w, kh, kw, stride, pad, dilation, oh, ow int, dst []float64, ld, colOff int) {
+	if kh == 1 && kw == 1 && stride == 1 && pad == 0 {
+		for ch := 0; ch < c; ch++ {
+			src := cols[ch*ld+colOff : ch*ld+colOff+oh*ow]
+			d := dst[ch*h*w : ch*h*w+oh*ow]
+			for i, v := range src {
+				d[i] += v
+			}
+		}
+		return
+	}
 	for ch := 0; ch < c; ch++ {
 		base := ch * h * w
 		for ky := 0; ky < kh; ky++ {
+			kyOff := ky*dilation - pad
+			oy0, oy1 := convValid(oh, kyOff, stride, h)
 			for kx := 0; kx < kw; kx++ {
-				rowBase := ((ch*kh+ky)*kw + kx) * n
-				for oy := 0; oy < oh; oy++ {
-					iy := oy*stride - pad + ky*dilation
-					if iy < 0 || iy >= h {
-						continue
-					}
+				kxOff := kx*dilation - pad
+				ox0, ox1 := convValid(ow, kxOff, stride, w)
+				rowBase := ((ch*kh+ky)*kw+kx)*ld + colOff
+				for oy := oy0; oy <= oy1; oy++ {
 					srcRow := rowBase + oy*ow
-					dstRow := base + iy*w
-					for ox := 0; ox < ow; ox++ {
-						ix := ox*stride - pad + kx*dilation
-						if ix < 0 || ix >= w {
-							continue
-						}
+					dstRow := base + (oy*stride+kyOff)*w
+					ix := ox0*stride + kxOff
+					for ox := ox0; ox <= ox1; ox++ {
 						dst[dstRow+ix] += cols[srcRow+ox]
+						ix += stride
 					}
 				}
 			}
@@ -84,44 +113,55 @@ func col2imAdd(cols []float64, c, h, w, kh, kw, stride, pad, dilation, oh, ow in
 	}
 }
 
-// forwardIm2col computes the convolution via im2col + matmul for Groups==1.
+// lowerBatch fills colBuf (row stride total = n*cols) with the whole batch.
+func (c *Conv2D) lowerBatch(x *tensor.Tensor, n, h, w, oh, ow int) {
+	xd := x.Data()
+	cols := oh * ow
+	total := n * cols
+	imgSize := c.InC * h * w
+	for b := 0; b < n; b++ {
+		im2colBuffer(xd[b*imgSize:(b+1)*imgSize], c.InC, h, w, c.KH, c.KW,
+			c.Stride, c.Pad, c.Dilation, oh, ow, c.colBuf, total, b*cols)
+	}
+}
+
+// forwardIm2col computes the convolution via batch im2col + one GEMM for
+// Groups==1. The returned tensor is the layer's persistent output buffer.
 func (c *Conv2D) forwardIm2col(x *tensor.Tensor) *tensor.Tensor {
 	n, _, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	oh := convOutDim(h, c.KH, c.Stride, c.Pad, c.Dilation)
 	ow := convOutDim(w, c.KW, c.Stride, c.Pad, c.Dilation)
-	out := tensor.New(n, c.OutC, oh, ow)
 	k := c.InC * c.KH * c.KW
 	cols := oh * ow
-	c.colBuf = growScratch(c.colBuf, k*cols)
-	buf := c.colBuf
-	xd, od := x.Data(), out.Data()
-	wd := c.weight.Value.Data() // [OutC, k] when flattened
+	total := n * cols
+
+	c.outBuf = reuseBuf(c.outBuf, n, c.OutC, oh, ow)
+	out := c.outBuf
+	c.colBuf = growScratch(c.colBuf, k*total)
+	c.outColBuf = growScratch(c.outColBuf, c.OutC*total)
+	c.lowerBatch(x, n, h, w, oh, ow)
+
+	// outCol [OutC, total] = W [OutC, k] · colAll [k, total]
+	tensor.GemmRaw(false, false, c.OutC, total, k, 1,
+		c.weight.Value.Data(), k, c.colBuf, total, 0, c.outColBuf, total)
+
+	// Scatter image-major: outCol[oc, b*cols+j] → out[b, oc, j], plus bias.
+	od := out.Data()
 	var biasD []float64
 	if c.bias != nil {
 		biasD = c.bias.Value.Data()
 	}
-	imgSize := c.InC * h * w
-	for b := 0; b < n; b++ {
-		im2colBuffer(xd[b*imgSize:(b+1)*imgSize], c.InC, h, w, c.KH, c.KW,
-			c.Stride, c.Pad, c.Dilation, oh, ow, buf)
-		// out[b] = W (OutC×k) × buf (k×cols)
-		for oc := 0; oc < c.OutC; oc++ {
-			wrow := wd[oc*k : (oc+1)*k]
-			orow := od[(b*c.OutC+oc)*cols : (b*c.OutC+oc+1)*cols]
-			if biasD != nil {
+	for oc := 0; oc < c.OutC; oc++ {
+		src := c.outColBuf[oc*total : (oc+1)*total]
+		for b := 0; b < n; b++ {
+			dst := od[(b*c.OutC+oc)*cols : (b*c.OutC+oc+1)*cols]
+			s := src[b*cols : (b+1)*cols]
+			if biasD == nil {
+				copy(dst, s)
+			} else {
 				bv := biasD[oc]
-				for j := range orow {
-					orow[j] = bv
-				}
-			}
-			for p := 0; p < k; p++ {
-				wv := wrow[p]
-				if wv == 0 {
-					continue
-				}
-				brow := buf[p*cols : (p+1)*cols]
-				for j := 0; j < cols; j++ {
-					orow[j] += wv * brow[j]
+				for j, v := range s {
+					dst[j] = v + bv
 				}
 			}
 		}
@@ -129,57 +169,55 @@ func (c *Conv2D) forwardIm2col(x *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
-// backwardIm2col computes weight/bias/input gradients via the column
-// representation for Groups==1.
+// backwardIm2col computes weight/bias/input gradients with two GEMMs over
+// the batch-wide column representation for Groups==1.
 func (c *Conv2D) backwardIm2col(grad *tensor.Tensor) *tensor.Tensor {
 	x := c.lastX
 	n, _, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	oh, ow := grad.Dim(2), grad.Dim(3)
 	k := c.InC * c.KH * c.KW
 	cols := oh * ow
-	c.colBuf = growScratch(c.colBuf, k*cols)
-	c.colGradBuf = growScratch(c.colGradBuf, k*cols)
-	buf, colGrad := c.colBuf, c.colGradBuf
-	gradX := tensor.New(x.Shape()...)
-	xd, gd, gxd := x.Data(), grad.Data(), gradX.Data()
-	wd, gwd := c.weight.Value.Data(), c.weight.Grad.Data()
-	var gbd []float64
-	if c.bias != nil {
-		gbd = c.bias.Grad.Data()
+	total := n * cols
+
+	c.colBuf = growScratch(c.colBuf, k*total)
+	c.colGradBuf = growScratch(c.colGradBuf, k*total)
+	c.gradColBuf = growScratch(c.gradColBuf, c.OutC*total)
+	c.gradXBuf = reuseBufLike(c.gradXBuf, x)
+	gradX := c.gradXBuf
+	gradX.Zero() // col2imAdd accumulates into it
+	c.lowerBatch(x, n, h, w, oh, ow)
+
+	// Gather the output gradient image-major into gradCol [OutC, total].
+	gd := grad.Data()
+	for oc := 0; oc < c.OutC; oc++ {
+		dst := c.gradColBuf[oc*total : (oc+1)*total]
+		for b := 0; b < n; b++ {
+			copy(dst[b*cols:(b+1)*cols], gd[(b*c.OutC+oc)*cols:(b*c.OutC+oc+1)*cols])
+		}
 	}
+	if c.bias != nil {
+		gbd := c.bias.Grad.Data()
+		for oc := 0; oc < c.OutC; oc++ {
+			s := 0.0
+			for _, v := range c.gradColBuf[oc*total : (oc+1)*total] {
+				s += v
+			}
+			gbd[oc] += s
+		}
+	}
+
+	// gradW [OutC, k] += gradCol [OutC, total] · colAllᵀ [total, k]
+	tensor.GemmRaw(false, true, c.OutC, k, total, 1,
+		c.gradColBuf, total, c.colBuf, total, 1, c.weight.Grad.Data(), k)
+	// colGrad [k, total] = Wᵀ [k, OutC] · gradCol [OutC, total]
+	tensor.GemmRaw(true, false, k, total, c.OutC, 1,
+		c.weight.Value.Data(), k, c.gradColBuf, total, 0, c.colGradBuf, total)
+
+	gxd := gradX.Data()
 	imgSize := c.InC * h * w
 	for b := 0; b < n; b++ {
-		im2colBuffer(xd[b*imgSize:(b+1)*imgSize], c.InC, h, w, c.KH, c.KW,
-			c.Stride, c.Pad, c.Dilation, oh, ow, buf)
-		for i := range colGrad {
-			colGrad[i] = 0
-		}
-		for oc := 0; oc < c.OutC; oc++ {
-			grow := gd[(b*c.OutC+oc)*cols : (b*c.OutC+oc+1)*cols]
-			if gbd != nil {
-				s := 0.0
-				for _, v := range grow {
-					s += v
-				}
-				gbd[oc] += s
-			}
-			wrow := wd[oc*k : (oc+1)*k]
-			gwrow := gwd[oc*k : (oc+1)*k]
-			for p := 0; p < k; p++ {
-				brow := buf[p*cols : (p+1)*cols]
-				cgrow := colGrad[p*cols : (p+1)*cols]
-				wv := wrow[p]
-				s := 0.0
-				for j := 0; j < cols; j++ {
-					gv := grow[j]
-					s += gv * brow[j]
-					cgrow[j] += gv * wv
-				}
-				gwrow[p] += s
-			}
-		}
-		col2imAdd(colGrad, c.InC, h, w, c.KH, c.KW,
-			c.Stride, c.Pad, c.Dilation, oh, ow, gxd[b*imgSize:(b+1)*imgSize])
+		col2imAdd(c.colGradBuf, c.InC, h, w, c.KH, c.KW,
+			c.Stride, c.Pad, c.Dilation, oh, ow, gxd[b*imgSize:(b+1)*imgSize], total, b*cols)
 	}
 	return gradX
 }

@@ -102,13 +102,13 @@ func TestCol2imIsAdjointOfIm2col(t *testing.T) {
 	}
 	// <im2col(x), y> must equal <x, col2im(y)> (adjoint identity).
 	ax := make([]float64, k*cols)
-	im2colBuffer(x, ch, h, w, kh, kw, stride, pad, dilation, oh, ow, ax)
+	im2colBuffer(x, ch, h, w, kh, kw, stride, pad, dilation, oh, ow, ax, cols, 0)
 	lhs := 0.0
 	for i := range ax {
 		lhs += ax[i] * y[i]
 	}
 	aty := make([]float64, ch*h*w)
-	col2imAdd(y, ch, h, w, kh, kw, stride, pad, dilation, oh, ow, aty)
+	col2imAdd(y, ch, h, w, kh, kw, stride, pad, dilation, oh, ow, aty, cols, 0)
 	rhs := 0.0
 	for i := range aty {
 		rhs += aty[i] * x[i]

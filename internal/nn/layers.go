@@ -10,7 +10,11 @@ import (
 
 // ReLU is the rectified-linear activation.
 type ReLU struct {
-	lastX *tensor.Tensor
+	// mask is 1 where the last input was positive, 0 elsewhere, making the
+	// backward pass a branch-free multiply.
+	mask []float64
+
+	outBuf, gradXBuf *tensor.Tensor
 }
 
 var _ Module = (*ReLU)(nil)
@@ -23,31 +27,40 @@ func (r *ReLU) Params() []*Param { return nil }
 
 // Forward implements Module.
 func (r *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
-	r.lastX = x
-	out := x.Clone()
-	d := out.Data()
-	for i, v := range d {
-		if v < 0 {
-			d[i] = 0
+	r.outBuf = reuseBufLike(r.outBuf, x)
+	xd, d := x.Data(), r.outBuf.Data()
+	if cap(r.mask) < len(xd) {
+		r.mask = make([]float64, len(xd))
+	}
+	r.mask = r.mask[:len(xd)]
+	m := r.mask
+	for i, v := range xd {
+		if v > 0 {
+			d[i], m[i] = v, 1
+		} else {
+			d[i], m[i] = 0, 0
 		}
 	}
-	return out
+	return r.outBuf
 }
 
 // Backward implements Module.
 func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	gx := grad.Clone()
-	xd, gd := r.lastX.Data(), gx.Data()
-	for i := range gd {
-		if xd[i] <= 0 {
-			gd[i] = 0
-		}
+	r.gradXBuf = reuseBufLike(r.gradXBuf, grad)
+	srcD, gd := grad.Data(), r.gradXBuf.Data()
+	m := r.mask[:len(srcD)]
+	for i, v := range srcD {
+		gd[i] = v * m[i]
 	}
-	return gx
+	return r.gradXBuf
 }
 
-// Identity passes its input through unchanged (the "skip connect" op).
-type Identity struct{}
+// Identity passes its input through unchanged (the "skip connect" op). It
+// returns a copy, not an alias: callers (cell nodes) accumulate into op
+// outputs in place, so aliasing the input would corrupt upstream buffers.
+type Identity struct {
+	outBuf, gradXBuf *tensor.Tensor
+}
 
 var _ Module = (*Identity)(nil)
 
@@ -58,10 +71,18 @@ func NewIdentity() *Identity { return &Identity{} }
 func (id *Identity) Params() []*Param { return nil }
 
 // Forward implements Module.
-func (id *Identity) Forward(x *tensor.Tensor) *tensor.Tensor { return x.Clone() }
+func (id *Identity) Forward(x *tensor.Tensor) *tensor.Tensor {
+	id.outBuf = reuseBufLike(id.outBuf, x)
+	id.outBuf.CopyFrom(x)
+	return id.outBuf
+}
 
 // Backward implements Module.
-func (id *Identity) Backward(grad *tensor.Tensor) *tensor.Tensor { return grad.Clone() }
+func (id *Identity) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	id.gradXBuf = reuseBufLike(id.gradXBuf, grad)
+	id.gradXBuf.CopyFrom(grad)
+	return id.gradXBuf
+}
 
 // Zero is the "none" op: it outputs zeros (optionally spatially strided),
 // cutting the edge from the computation graph.
@@ -69,6 +90,8 @@ type Zero struct {
 	Stride int
 
 	lastShape []int
+
+	outBuf, gradXBuf *tensor.Tensor
 }
 
 var _ Module = (*Zero)(nil)
@@ -83,17 +106,21 @@ func (z *Zero) Params() []*Param { return nil }
 func (z *Zero) Forward(x *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := mustDims4(x, "Zero")
 	z.lastShape = x.Shape()
-	if z.Stride == 1 {
-		return tensor.New(n, c, h, w)
+	oh, ow := h, w
+	if z.Stride != 1 {
+		oh = (h + z.Stride - 1) / z.Stride
+		ow = (w + z.Stride - 1) / z.Stride
 	}
-	oh := (h + z.Stride - 1) / z.Stride
-	ow := (w + z.Stride - 1) / z.Stride
-	return tensor.New(n, c, oh, ow)
+	z.outBuf = reuseBuf(z.outBuf, n, c, oh, ow)
+	z.outBuf.Zero() // callers accumulate into returned buffers in place
+	return z.outBuf
 }
 
 // Backward implements Module.
 func (z *Zero) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	return tensor.New(z.lastShape...)
+	z.gradXBuf = reuseBuf(z.gradXBuf, z.lastShape...)
+	z.gradXBuf.Zero()
+	return z.gradXBuf
 }
 
 // Linear is a fully connected layer: y = x Wᵀ + b with x of shape [N, in].
@@ -102,8 +129,11 @@ type Linear struct {
 
 	weight *Param
 	bias   *Param
+	params []*Param
 
 	lastX *tensor.Tensor
+
+	outBuf, gradXBuf *tensor.Tensor
 }
 
 var _ Module = (*Linear)(nil)
@@ -117,8 +147,14 @@ func NewLinear(name string, rng *rand.Rand, in, out int) *Linear {
 	}
 }
 
-// Params implements Module.
-func (l *Linear) Params() []*Param { return []*Param{l.weight, l.bias} }
+// Params implements Module. The returned slice is cached and must not be
+// mutated.
+func (l *Linear) Params() []*Param {
+	if l.params == nil {
+		l.params = []*Param{l.weight, l.bias}
+	}
+	return l.params
+}
 
 // Forward implements Module.
 func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
@@ -127,17 +163,16 @@ func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
 	}
 	l.lastX = x
 	n := x.Dim(0)
-	out := tensor.New(n, l.Out)
-	xd, wd, bd, od := x.Data(), l.weight.Value.Data(), l.bias.Value.Data(), out.Data()
+	l.outBuf = reuseBuf(l.outBuf, n, l.Out)
+	out := l.outBuf
+	// out [N, Out] = x [N, In] · Wᵀ [In, Out], then broadcast the bias.
+	tensor.GemmRaw(false, true, n, l.Out, l.In, 1,
+		x.Data(), l.In, l.weight.Value.Data(), l.In, 0, out.Data(), l.Out)
+	bd, od := l.bias.Value.Data(), out.Data()
 	for b := 0; b < n; b++ {
-		for o := 0; o < l.Out; o++ {
-			acc := bd[o]
-			wrow := wd[o*l.In : (o+1)*l.In]
-			xrow := xd[b*l.In : (b+1)*l.In]
-			for i := range wrow {
-				acc += wrow[i] * xrow[i]
-			}
-			od[b*l.Out+o] = acc
+		row := od[b*l.Out : (b+1)*l.Out]
+		for o, bv := range bd {
+			row[o] += bv
 		}
 	}
 	return out
@@ -146,27 +181,21 @@ func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
 // Backward implements Module.
 func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n := grad.Dim(0)
-	gradX := tensor.New(n, l.In)
-	xd, wd := l.lastX.Data(), l.weight.Value.Data()
-	gd, gxd := grad.Data(), gradX.Data()
-	gwd, gbd := l.weight.Grad.Data(), l.bias.Grad.Data()
+	l.gradXBuf = reuseBuf(l.gradXBuf, n, l.In)
+	gradX := l.gradXBuf
+	gd, gbd := grad.Data(), l.bias.Grad.Data()
 	for b := 0; b < n; b++ {
-		for o := 0; o < l.Out; o++ {
-			gv := gd[b*l.Out+o]
-			if gv == 0 {
-				continue
-			}
+		row := gd[b*l.Out : (b+1)*l.Out]
+		for o, gv := range row {
 			gbd[o] += gv
-			wrow := wd[o*l.In : (o+1)*l.In]
-			gwrow := gwd[o*l.In : (o+1)*l.In]
-			xrow := xd[b*l.In : (b+1)*l.In]
-			gxrow := gxd[b*l.In : (b+1)*l.In]
-			for i := range wrow {
-				gwrow[i] += gv * xrow[i]
-				gxrow[i] += gv * wrow[i]
-			}
 		}
 	}
+	// gradW [Out, In] += gradᵀ [Out, N] · x [N, In]
+	tensor.GemmRaw(true, false, l.Out, l.In, n, 1,
+		gd, l.Out, l.lastX.Data(), l.In, 1, l.weight.Grad.Data(), l.In)
+	// gradX [N, In] = grad [N, Out] · W [Out, In]
+	tensor.GemmRaw(false, false, n, l.In, l.Out, 1,
+		gd, l.Out, l.weight.Value.Data(), l.In, 0, gradX.Data(), l.In)
 	return gradX
 }
 
@@ -179,20 +208,25 @@ type BatchNorm2D struct {
 	Momentum float64 // running-stat update rate
 
 	gamma, beta *Param
+	params      []*Param
 
 	runningMean []float64
 	runningVar  []float64
 	training    bool
 
 	// capture mode: training forwards log their batch statistics instead
-	// of EMA-updating the running stats (see bnstats.go).
-	capture  bool
-	captured []BNStats
+	// of EMA-updating the running stats (see bnstats.go). statsFree is a
+	// freelist of consumed records whose Mean/Var storage capture reuses.
+	capture   bool
+	captured  []BNStats
+	statsFree []BNStats
 
 	// cached for backward
 	lastX    *tensor.Tensor
 	lastXHat *tensor.Tensor
 	lastStd  []float64
+
+	outBuf, gradXBuf *tensor.Tensor
 }
 
 var (
@@ -219,8 +253,14 @@ func NewBatchNorm2D(name string, c int) *BatchNorm2D {
 // SetTraining implements TrainToggler.
 func (bn *BatchNorm2D) SetTraining(training bool) { bn.training = training }
 
-// Params implements Module.
-func (bn *BatchNorm2D) Params() []*Param { return []*Param{bn.gamma, bn.beta} }
+// Params implements Module. The returned slice is cached and must not be
+// mutated.
+func (bn *BatchNorm2D) Params() []*Param {
+	if bn.params == nil {
+		bn.params = []*Param{bn.gamma, bn.beta}
+	}
+	return bn.params
+}
 
 // Forward implements Module.
 func (bn *BatchNorm2D) Forward(x *tensor.Tensor) *tensor.Tensor {
@@ -229,17 +269,26 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: BatchNorm2D got %d channels, want %d", c, bn.C))
 	}
 	bn.lastX = x
-	out := tensor.New(n, c, h, w)
-	xhat := tensor.New(n, c, h, w)
-	bn.lastXHat = xhat
-	bn.lastStd = make([]float64, c)
+	bn.outBuf = reuseBuf(bn.outBuf, n, c, h, w)
+	out := bn.outBuf
+	bn.lastXHat = reuseBuf(bn.lastXHat, n, c, h, w)
+	xhat := bn.lastXHat
+	if cap(bn.lastStd) < c {
+		bn.lastStd = make([]float64, c)
+	}
+	bn.lastStd = bn.lastStd[:c]
 
 	m := float64(n * h * w)
 	xd, od, xh := x.Data(), out.Data(), xhat.Data()
 	gd, bd := bn.gamma.Value.Data(), bn.beta.Value.Data()
 	var capStats BNStats
 	if bn.training && bn.capture {
-		capStats = BNStats{Mean: make([]float64, c), Var: make([]float64, c)}
+		if n := len(bn.statsFree); n > 0 {
+			capStats = bn.statsFree[n-1]
+			bn.statsFree = bn.statsFree[:n-1]
+		} else {
+			capStats = BNStats{Mean: make([]float64, c), Var: make([]float64, c)}
+		}
 	}
 	for ch := 0; ch < c; ch++ {
 		var mean, variance float64
@@ -272,13 +321,17 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 		}
 		std := math.Sqrt(variance + bn.Eps)
 		bn.lastStd[ch] = std
+		inv := 1 / std
 		g, bta := gd[ch], bd[ch]
 		for b := 0; b < n; b++ {
 			base := ((b*c + ch) * h) * w
-			for i := 0; i < h*w; i++ {
-				xhv := (xd[base+i] - mean) / std
-				xh[base+i] = xhv
-				od[base+i] = g*xhv + bta
+			xr := xd[base : base+h*w]
+			xhr := xh[base : base+h*w]
+			or := od[base : base+h*w]
+			for i, v := range xr {
+				xhv := (v - mean) * inv
+				xhr[i] = xhv
+				or[i] = g*xhv + bta
 			}
 		}
 	}
@@ -292,7 +345,8 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 // as constants; in training mode the full batch-statistics gradient is used.
 func (bn *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := mustDims4(grad, "BatchNorm2D.Backward")
-	gradX := tensor.New(n, c, h, w)
+	bn.gradXBuf = reuseBuf(bn.gradXBuf, n, c, h, w)
+	gradX := bn.gradXBuf
 	m := float64(n * h * w)
 	gd := grad.Data()
 	xh := bn.lastXHat.Data()

@@ -17,6 +17,14 @@ type LossResult struct {
 // CrossEntropy computes softmax cross-entropy between logits [N, classes]
 // and integer labels, along with top-1 accuracy and the logits gradient.
 func CrossEntropy(logits *tensor.Tensor, labels []int) (LossResult, error) {
+	return CrossEntropyInto(nil, logits, labels)
+}
+
+// CrossEntropyInto is CrossEntropy with a caller-provided gradient buffer:
+// gradBuf is reused as GradLogits when its shape matches (allocated
+// otherwise), letting hot loops evaluate the loss without per-step
+// allocations.
+func CrossEntropyInto(gradBuf *tensor.Tensor, logits *tensor.Tensor, labels []int) (LossResult, error) {
 	if logits.Dims() != 2 {
 		return LossResult{}, fmt.Errorf("cross-entropy: logits must be 2-D, got %v", logits.Shape())
 	}
@@ -24,7 +32,10 @@ func CrossEntropy(logits *tensor.Tensor, labels []int) (LossResult, error) {
 	if len(labels) != n {
 		return LossResult{}, fmt.Errorf("cross-entropy: %d labels for batch of %d", len(labels), n)
 	}
-	grad := tensor.New(n, classes)
+	grad := gradBuf
+	if grad == nil || !grad.ShapeIs(n, classes) {
+		grad = tensor.New(n, classes)
+	}
 	ld, gd := logits.Data(), grad.Data()
 	totalLoss := 0.0
 	correct := 0

@@ -10,6 +10,13 @@
 // module supports exactly one in-flight forward/backward pair. That matches
 // how the simulator drives training (strictly sequential per model replica)
 // and keeps the implementation simple and allocation-light.
+//
+// Buffer ownership: tensors returned by Forward and Backward are owned by
+// the module and remain valid only until that module's next Forward or
+// Backward call, which may overwrite them in place. Callers that need a
+// result to outlive the next call must Clone it. This is what makes the
+// steady-state training loop allocation-free: every layer reuses its
+// output and input-gradient buffers as long as shapes repeat.
 package nn
 
 import (
@@ -119,6 +126,30 @@ func SetTraining(training bool, ms ...Module) {
 			t.SetTraining(training)
 		}
 	}
+}
+
+// reuseBuf returns buf when its shape matches exactly, else a fresh zeroed
+// tensor. Reuse never resizes a tensor in place — a caller still holding
+// the previously returned tensor must keep seeing its old shape — and does
+// NOT clear the data: callers that accumulate (+=) into the buffer must
+// Zero it first.
+func reuseBuf(buf *tensor.Tensor, shape ...int) *tensor.Tensor {
+	if buf != nil && buf.ShapeIs(shape...) {
+		return buf
+	}
+	// Hand tensor.New its own copy so the variadic slice does not escape:
+	// steady-state calls must stay allocation-free.
+	fresh := make([]int, len(shape))
+	copy(fresh, shape)
+	return tensor.New(fresh...)
+}
+
+// reuseBufLike is reuseBuf matching src's shape, without the Shape() clone.
+func reuseBufLike(buf, src *tensor.Tensor) *tensor.Tensor {
+	if buf != nil && buf.SameShape(src) {
+		return buf
+	}
+	return tensor.New(src.Shape()...)
 }
 
 // conv output size helper shared by conv and pooling layers.

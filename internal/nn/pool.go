@@ -12,6 +12,8 @@ type MaxPool2D struct {
 
 	lastX   *tensor.Tensor
 	argmaxI []int // flat input index of each output's max
+
+	outBuf, gradXBuf *tensor.Tensor
 }
 
 var _ Module = (*MaxPool2D)(nil)
@@ -30,28 +32,33 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	p.lastX = x
 	oh := convOutDim(h, p.K, p.Stride, p.Pad, 1)
 	ow := convOutDim(w, p.K, p.Stride, p.Pad, 1)
-	out := tensor.New(n, c, oh, ow)
-	p.argmaxI = make([]int, out.Size())
+	p.outBuf = reuseBuf(p.outBuf, n, c, oh, ow)
+	out := p.outBuf
+	if cap(p.argmaxI) < out.Size() {
+		p.argmaxI = make([]int, out.Size())
+	}
+	p.argmaxI = p.argmaxI[:out.Size()]
+	// The window's in-bounds kernel range is clamped once per output row and
+	// column, so the scan itself is branch-free (first-max semantics: the
+	// strict > keeps the earliest maximum, matching the padded-window scan
+	// this replaced).
 	xd, od := x.Data(), out.Data()
 	for b := 0; b < n; b++ {
 		for ch := 0; ch < c; ch++ {
 			base := ((b*c + ch) * h) * w
 			for oy := 0; oy < oh; oy++ {
+				iy0 := oy*p.Stride - p.Pad
+				ky0, ky1 := clampWindow(iy0, p.K, h)
 				for ox := 0; ox < ow; ox++ {
+					ix0 := ox*p.Stride - p.Pad
+					kx0, kx1 := clampWindow(ix0, p.K, w)
 					best := math.Inf(-1)
 					bestI := -1
-					for ky := 0; ky < p.K; ky++ {
-						iy := oy*p.Stride - p.Pad + ky
-						if iy < 0 || iy >= h {
-							continue
-						}
-						for kx := 0; kx < p.K; kx++ {
-							ix := ox*p.Stride - p.Pad + kx
-							if ix < 0 || ix >= w {
-								continue
-							}
-							if v := xd[base+iy*w+ix]; v > best {
-								best, bestI = v, base+iy*w+ix
+					for ky := ky0; ky <= ky1; ky++ {
+						row := base + (iy0+ky)*w + ix0
+						for kx := kx0; kx <= kx1; kx++ {
+							if v := xd[row+kx]; v > best {
+								best, bestI = v, row+kx
 							}
 						}
 					}
@@ -68,9 +75,24 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
+// clampWindow returns the inclusive kernel-offset range [k0, k1] for which
+// i0+k stays inside [0, limit); k1 < k0 when the window misses entirely.
+func clampWindow(i0, k, limit int) (k0, k1 int) {
+	k0, k1 = 0, k-1
+	if i0 < 0 {
+		k0 = -i0
+	}
+	if i0+k1 >= limit {
+		k1 = limit - 1 - i0
+	}
+	return k0, k1
+}
+
 // Backward implements Module.
 func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	gradX := tensor.New(p.lastX.Shape()...)
+	p.gradXBuf = reuseBufLike(p.gradXBuf, p.lastX)
+	gradX := p.gradXBuf
+	gradX.Zero() // the argmax scatter accumulates
 	gd, gxd := grad.Data(), gradX.Data()
 	for oi, src := range p.argmaxI {
 		if src >= 0 {
@@ -86,6 +108,8 @@ type AvgPool2D struct {
 	K, Stride, Pad int
 
 	lastShape []int
+
+	outBuf, gradXBuf *tensor.Tensor
 }
 
 var _ Module = (*AvgPool2D)(nil)
@@ -104,26 +128,24 @@ func (p *AvgPool2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	p.lastShape = x.Shape()
 	oh := convOutDim(h, p.K, p.Stride, p.Pad, 1)
 	ow := convOutDim(w, p.K, p.Stride, p.Pad, 1)
-	out := tensor.New(n, c, oh, ow)
+	p.outBuf = reuseBuf(p.outBuf, n, c, oh, ow)
+	out := p.outBuf
 	inv := 1.0 / float64(p.K*p.K)
 	xd, od := x.Data(), out.Data()
 	for b := 0; b < n; b++ {
 		for ch := 0; ch < c; ch++ {
 			base := ((b*c + ch) * h) * w
 			for oy := 0; oy < oh; oy++ {
+				iy0 := oy*p.Stride - p.Pad
+				ky0, ky1 := clampWindow(iy0, p.K, h)
 				for ox := 0; ox < ow; ox++ {
+					ix0 := ox*p.Stride - p.Pad
+					kx0, kx1 := clampWindow(ix0, p.K, w)
 					acc := 0.0
-					for ky := 0; ky < p.K; ky++ {
-						iy := oy*p.Stride - p.Pad + ky
-						if iy < 0 || iy >= h {
-							continue
-						}
-						for kx := 0; kx < p.K; kx++ {
-							ix := ox*p.Stride - p.Pad + kx
-							if ix < 0 || ix >= w {
-								continue
-							}
-							acc += xd[base+iy*w+ix]
+					for ky := ky0; ky <= ky1; ky++ {
+						row := base + (iy0+ky)*w + ix0
+						for kx := kx0; kx <= kx1; kx++ {
+							acc += xd[row+kx]
 						}
 					}
 					od[((b*c+ch)*oh+oy)*ow+ox] = acc * inv
@@ -137,7 +159,9 @@ func (p *AvgPool2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 // Backward implements Module.
 func (p *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, c, oh, ow := mustDims4(grad, "AvgPool2D.Backward")
-	gradX := tensor.New(p.lastShape...)
+	p.gradXBuf = reuseBuf(p.gradXBuf, p.lastShape...)
+	gradX := p.gradXBuf
+	gradX.Zero() // overlapping windows accumulate
 	h, w := p.lastShape[2], p.lastShape[3]
 	inv := 1.0 / float64(p.K*p.K)
 	gd, gxd := grad.Data(), gradX.Data()
@@ -145,19 +169,16 @@ func (p *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		for ch := 0; ch < c; ch++ {
 			base := ((b*c + ch) * h) * w
 			for oy := 0; oy < oh; oy++ {
+				iy0 := oy*p.Stride - p.Pad
+				ky0, ky1 := clampWindow(iy0, p.K, h)
 				for ox := 0; ox < ow; ox++ {
+					ix0 := ox*p.Stride - p.Pad
+					kx0, kx1 := clampWindow(ix0, p.K, w)
 					gv := gd[((b*c+ch)*oh+oy)*ow+ox] * inv
-					for ky := 0; ky < p.K; ky++ {
-						iy := oy*p.Stride - p.Pad + ky
-						if iy < 0 || iy >= h {
-							continue
-						}
-						for kx := 0; kx < p.K; kx++ {
-							ix := ox*p.Stride - p.Pad + kx
-							if ix < 0 || ix >= w {
-								continue
-							}
-							gxd[base+iy*w+ix] += gv
+					for ky := ky0; ky <= ky1; ky++ {
+						row := base + (iy0+ky)*w + ix0
+						for kx := kx0; kx <= kx1; kx++ {
+							gxd[row+kx] += gv
 						}
 					}
 				}
@@ -171,6 +192,8 @@ func (p *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 // producing [N, C] output from [N, C, H, W] input.
 type GlobalAvgPool struct {
 	lastShape []int
+
+	outBuf, gradXBuf *tensor.Tensor
 }
 
 var _ Module = (*GlobalAvgPool)(nil)
@@ -185,7 +208,8 @@ func (p *GlobalAvgPool) Params() []*Param { return nil }
 func (p *GlobalAvgPool) Forward(x *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := mustDims4(x, "GlobalAvgPool")
 	p.lastShape = x.Shape()
-	out := tensor.New(n, c)
+	p.outBuf = reuseBuf(p.outBuf, n, c)
+	out := p.outBuf
 	inv := 1.0 / float64(h*w)
 	xd, od := x.Data(), out.Data()
 	for b := 0; b < n; b++ {
@@ -203,7 +227,8 @@ func (p *GlobalAvgPool) Forward(x *tensor.Tensor) *tensor.Tensor {
 
 // Backward implements Module.
 func (p *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	gradX := tensor.New(p.lastShape...)
+	p.gradXBuf = reuseBuf(p.gradXBuf, p.lastShape...)
+	gradX := p.gradXBuf // fully overwritten below, no zeroing needed
 	n, c, h, w := p.lastShape[0], p.lastShape[1], p.lastShape[2], p.lastShape[3]
 	inv := 1.0 / float64(h*w)
 	gd, gxd := grad.Data(), gradX.Data()
@@ -226,6 +251,8 @@ type SubSample struct {
 	Stride int
 
 	lastShape []int
+
+	outBuf, gradXBuf *tensor.Tensor
 }
 
 var _ Module = (*SubSample)(nil)
@@ -240,13 +267,16 @@ func (s *SubSample) Params() []*Param { return nil }
 func (s *SubSample) Forward(x *tensor.Tensor) *tensor.Tensor {
 	if s.Stride == 1 {
 		s.lastShape = x.Shape()
-		return x.Clone()
+		s.outBuf = reuseBuf(s.outBuf, s.lastShape...)
+		s.outBuf.CopyFrom(x)
+		return s.outBuf
 	}
 	n, c, h, w := mustDims4(x, "SubSample")
 	s.lastShape = x.Shape()
 	oh := (h + s.Stride - 1) / s.Stride
 	ow := (w + s.Stride - 1) / s.Stride
-	out := tensor.New(n, c, oh, ow)
+	s.outBuf = reuseBuf(s.outBuf, n, c, oh, ow)
+	out := s.outBuf
 	xd, od := x.Data(), out.Data()
 	for b := 0; b < n; b++ {
 		for ch := 0; ch < c; ch++ {
@@ -263,10 +293,13 @@ func (s *SubSample) Forward(x *tensor.Tensor) *tensor.Tensor {
 
 // Backward implements Module.
 func (s *SubSample) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	s.gradXBuf = reuseBuf(s.gradXBuf, s.lastShape...)
+	gradX := s.gradXBuf
 	if s.Stride == 1 {
-		return grad.Clone()
+		gradX.CopyFrom(grad)
+		return gradX
 	}
-	gradX := tensor.New(s.lastShape...)
+	gradX.Zero() // only the strided positions are written below
 	n, c, oh, ow := mustDims4(grad, "SubSample.Backward")
 	h, w := s.lastShape[2], s.lastShape[3]
 	gd, gxd := grad.Data(), gradX.Data()

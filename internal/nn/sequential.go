@@ -8,7 +8,8 @@ import (
 
 // Sequential chains modules, feeding each one's output to the next.
 type Sequential struct {
-	mods []Module
+	mods   []Module
+	params []*Param
 }
 
 var (
@@ -28,13 +29,15 @@ func (s *Sequential) Modules() []Module { return s.mods }
 // Children implements Container.
 func (s *Sequential) Children() []Module { return s.mods }
 
-// Params implements Module.
+// Params implements Module. The returned slice is cached (module structure
+// is fixed at construction) and must not be mutated.
 func (s *Sequential) Params() []*Param {
-	var ps []*Param
-	for _, m := range s.mods {
-		ps = append(ps, m.Params()...)
+	if s.params == nil {
+		for _, m := range s.mods {
+			s.params = append(s.params, m.Params()...)
+		}
 	}
-	return ps
+	return s.params
 }
 
 // Forward implements Module.

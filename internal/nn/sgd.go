@@ -13,6 +13,7 @@ type SGD struct {
 	WeightDecay  float64
 	GradClip     float64 // <= 0 disables clipping
 	velocity     map[*Param]*tensor.Tensor
+	clipScratch  []*tensor.Tensor
 	lastGradNorm float64
 }
 
@@ -29,30 +30,52 @@ func NewSGD(lr, momentum, weightDecay, gradClip float64) *SGD {
 
 // Step applies one update to ps using their accumulated gradients.
 // Gradients are not cleared; call ZeroGrads between steps.
+//
+// The update is fused into a single pass per parameter — no gradient clone —
+// with the multiplications and additions performed in the same order as the
+// textbook g = grad + wd·θ; v = μ·v + g; θ -= lr·v sequence, so the results
+// are bit-identical to the unfused form.
 func (s *SGD) Step(ps []*Param) {
 	if s.GradClip > 0 {
-		grads := make([]*tensor.Tensor, len(ps))
-		for i, p := range ps {
-			grads[i] = p.Grad
+		grads := s.clipScratch[:0]
+		for _, p := range ps {
+			grads = append(grads, p.Grad)
 		}
+		s.clipScratch = grads
 		s.lastGradNorm = tensor.ClipL2(s.GradClip, grads...)
 	}
 	for _, p := range ps {
-		g := p.Grad.Clone()
-		if s.WeightDecay > 0 {
-			g.AXPY(s.WeightDecay, p.Value)
-		}
-		if s.Momentum > 0 {
+		gd, pd := p.Grad.Data(), p.Value.Data()
+		switch {
+		case s.Momentum > 0:
 			v, ok := s.velocity[p]
 			if !ok {
 				v = tensor.New(p.Value.Shape()...)
 				s.velocity[p] = v
 			}
-			v.ScaleInPlace(s.Momentum)
-			v.AddInPlace(g)
-			g = v
+			vd := v.Data()
+			if s.WeightDecay > 0 {
+				for i, g := range gd {
+					vv := s.Momentum*vd[i] + (g + s.WeightDecay*pd[i])
+					vd[i] = vv
+					pd[i] += -s.LR * vv
+				}
+			} else {
+				for i, g := range gd {
+					vv := s.Momentum*vd[i] + g
+					vd[i] = vv
+					pd[i] += -s.LR * vv
+				}
+			}
+		case s.WeightDecay > 0:
+			for i, g := range gd {
+				pd[i] += -s.LR * (g + s.WeightDecay*pd[i])
+			}
+		default:
+			for i, g := range gd {
+				pd[i] += -s.LR * g
+			}
 		}
-		p.Value.AXPY(-s.LR, g)
 	}
 }
 

@@ -41,6 +41,9 @@ type workerReplica struct {
 	// bns are the replica's batch-norm layers, index-aligned with the
 	// primary network's, running in stat-capture mode.
 	bns []*nn.BatchNorm2D
+	// subScratch backs the sampled-params enumeration of whichever
+	// participant currently runs on this replica (one at a time).
+	subScratch []*nn.Param
 }
 
 // newWorkerReplicas builds one supernet replica per worker slot (capped at
@@ -81,6 +84,28 @@ const (
 	partContributed
 )
 
+// partScratch is participant-scoped storage that survives across rounds so
+// a steady-state round's merge payload needs no fresh allocations.
+// gradBufs is indexed by canonical parameter position; a buffer is allocated
+// the first time its parameter appears in the participant's sampled
+// sub-model and reused for every later round (the shape at a canonical index
+// never changes). The buffers stay valid through the ordered merge because
+// participant k only overwrites them during its own next local step, which
+// cannot begin before this round's merge has completed.
+type partScratch struct {
+	gradBufs []*tensor.Tensor
+	subIdx   []int
+	grads    []*tensor.Tensor
+	bnStats  [][]nn.BNStats
+	logGrad  controller.AlphaGrad
+	// Local-step buffers: the gathered batch, its labels, the augmented
+	// batch, and the loss gradient.
+	xBuf      *tensor.Tensor
+	labels    []int
+	augBuf    *tensor.Tensor
+	gradLogit *tensor.Tensor
+}
+
 // partResult carries everything a participant's local step produced, for
 // the ordered merge. Tensors are task-private; nothing aliases the primary
 // network or the snapshots.
@@ -118,6 +143,7 @@ type roundCtx struct {
 // staleness pools (Put/Evict happen outside the parallel phase), the
 // controller baseline, and the participant's private RNG/batcher.
 func (s *Search) runParticipant(rep *workerReplica, k int, in *roundCtx, res *partResult) error {
+	res.status = partSkipped // res is reused across rounds; clear last round's outcome
 	part := s.parts[k]
 	if s.cfg.ChurnProb > 0 && part.RNG.Float64() < s.cfg.ChurnProb {
 		res.status = partOffline
@@ -164,27 +190,46 @@ func (s *Search) runParticipant(rep *workerReplica, k int, in *roundCtx, res *pa
 		gk = oldGates[k]
 	}
 
-	// Local step against θ at round t', on this worker's replica.
+	// Local step against θ at round t', on this worker's replica. All
+	// round-to-round buffers come from this participant's scratch, so a
+	// steady-state local step allocates nothing.
+	sc := &s.scratch[k]
 	if err := nn.RestoreParamValues(rep.params, thetaAt); err != nil {
 		return err
 	}
 	batch := part.Batcher.Next(s.cfg.BatchSize)
-	x, y := s.ds.Gather(batch)
-	x = s.cfg.Augment.Apply(x, part.RNG)
+	x, y := s.ds.GatherInto(sc.xBuf, sc.labels, batch)
+	sc.xBuf, sc.labels = x, y
+	x = s.cfg.Augment.ApplyInto(sc.augBuf, x, part.RNG)
+	sc.augBuf = x
 	nn.ZeroGrads(rep.params)
-	lossRes, err := nn.CrossEntropy(rep.net.ForwardSampled(x, gk), y)
+	lossRes, err := nn.CrossEntropyInto(sc.gradLogit, rep.net.ForwardSampled(x, gk), y)
 	if err != nil {
 		return err
 	}
+	sc.gradLogit = lossRes.GradLogits
 	rep.net.BackwardSampled(lossRes.GradLogits)
 	res.acc = lossRes.Accuracy
 
-	subParams := rep.net.SampledParams(gk)
-	grads := nn.CloneParamGrads(subParams)
-	res.subIdx = make([]int, len(subParams))
-	for i, p := range subParams {
-		res.subIdx[i] = rep.index[p]
+	// Copy the sub-model's gradients out of the (shared) replica into this
+	// participant's persistent merge buffers.
+	subParams := rep.net.AppendSampledParams(rep.subScratch[:0], gk)
+	rep.subScratch = subParams
+	res.subIdx = sc.subIdx[:0]
+	res.grads = sc.grads[:0]
+	for _, p := range subParams {
+		idx := rep.index[p]
+		buf := sc.gradBufs[idx]
+		if buf == nil {
+			buf = tensor.New(p.Grad.Shape()...)
+			sc.gradBufs[idx] = buf
+		}
+		buf.CopyFrom(p.Grad)
+		res.subIdx = append(res.subIdx, idx)
+		res.grads = append(res.grads, buf)
 	}
+	sc.subIdx, sc.grads = res.subIdx, res.grads
+	grads := res.grads
 
 	// θ-gradient delay compensation (lines 18–27).
 	if delay > 0 && s.cfg.Strategy == staleness.DC {
@@ -205,7 +250,8 @@ func (s *Search) runParticipant(rep *workerReplica, k int, in *roundCtx, res *pa
 	// baseline, which is only updated after the merge, so it is stable for
 	// the whole parallel phase.
 	res.reward = s.ctrl.Reward(res.acc)
-	res.logGrad = controller.LogProbGradAt(alphaAt, gk)
+	controller.LogProbGradAtInto(&sc.logGrad, alphaAt, gk)
+	res.logGrad = sc.logGrad
 	if delay > 0 && s.cfg.Strategy == staleness.DC {
 		drift := alphaAt.Diff(in.alphaNow) // α_t − α_{t'}
 		corrected := res.logGrad.Clone()
@@ -213,11 +259,19 @@ func (s *Search) runParticipant(rep *workerReplica, k int, in *roundCtx, res *pa
 		res.logGrad = corrected
 	}
 
-	// Hand the captured batch-norm statistics to the merge phase.
-	res.bnStats = make([][]nn.BNStats, len(rep.bns))
-	for i, bn := range rep.bns {
-		res.bnStats[i] = bn.DrainCapturedStats()
+	// Hand the captured batch-norm statistics to the merge phase. The
+	// records this scratch still holds were replayed by an earlier round's
+	// merge, so their storage is recycled into the replica layer's freelist
+	// (layer index i has the same channel count on every replica).
+	if cap(sc.bnStats) < len(rep.bns) {
+		sc.bnStats = make([][]nn.BNStats, len(rep.bns))
 	}
+	res.bnStats = sc.bnStats[:len(rep.bns)]
+	for i, bn := range rep.bns {
+		bn.RecycleStats(res.bnStats[i])
+		res.bnStats[i] = bn.DrainCapturedStatsInto(res.bnStats[i][:0])
+	}
+	sc.bnStats = res.bnStats
 
 	res.delay = delay
 	res.status = partContributed

@@ -43,6 +43,21 @@ type Search struct {
 	alphaPool *staleness.Pool[controller.AlphaSnapshot]
 	gatesPool *staleness.Pool[[]nas.Gates]
 
+	// scratch holds per-participant persistent merge buffers (engine.go);
+	// the remaining fields are round-scoped slices reused across rounds so a
+	// steady-state round allocates no bookkeeping storage. thetaView is the
+	// zero-copy θ "snapshot" used when no stale read can ever occur (see
+	// canAliasTheta).
+	scratch     []partScratch
+	thetaView   []*tensor.Tensor
+	sampled     []nas.Gates
+	sizes       []int64
+	bw          []float64
+	assigned    []nas.Gates
+	results     []partResult
+	aggTheta    []*tensor.Tensor
+	aggAlphaBuf controller.AlphaGrad
+
 	round int
 
 	// tracer receives per-round span events; nil (the default) is a
@@ -115,9 +130,19 @@ func New(cfg Config) (*Search, error) {
 	s.alphaPool = staleness.NewPool[controller.AlphaSnapshot](delta)
 	s.gatesPool = staleness.NewPool[[]nas.Gates](delta)
 	s.paramIndex = make(map[*nn.Param]int)
-	for i, p := range net.Params() {
+	netParams := net.Params()
+	for i, p := range netParams {
 		s.paramIndex[p] = i
 	}
+	s.scratch = make([]partScratch, len(parts))
+	for k := range s.scratch {
+		s.scratch[k].gradBufs = make([]*tensor.Tensor, len(netParams))
+	}
+	s.sampled = make([]nas.Gates, len(parts))
+	s.sizes = make([]int64, len(parts))
+	s.bw = make([]float64, len(parts))
+	s.results = make([]partResult, len(parts))
+	s.aggTheta = make([]*tensor.Tensor, len(netParams))
 	s.met = telemetry.NewDisabledRoundMetrics()
 	net.SetTraining(true)
 
@@ -281,6 +306,15 @@ type RoundReport struct {
 	Stats        RoundStats // this round only
 }
 
+// noStaleReads reports whether a stale snapshot read can ever occur. Under
+// hard synchronization, or a schedule whose staleness threshold is zero,
+// every update is fresh or dropped, so the θ/α/gates memories are write-only
+// and their entries may alias live, round-scoped storage instead of deep
+// copies.
+func (s *Search) noStaleReads() bool {
+	return s.cfg.Strategy == staleness.Hard || s.cfg.Staleness.MaxDelay() == 0
+}
+
 // runRound executes one communication round of Alg. 1 and returns the mean
 // training accuracy of the participants' sub-models.
 func (s *Search) runRound(updateAlpha, updateTheta bool) (float64, error) {
@@ -294,15 +328,30 @@ func (s *Search) runRound(updateAlpha, updateTheta bool) (float64, error) {
 	dropped0 := s.met.RepliesDropped.Value()
 	offline0 := s.met.Offline.Value()
 
-	// Alg. 1 lines 4–7: snapshot θ, α and per-participant gates.
-	thetaNow := nn.CloneParamValues(params)
+	// Alg. 1 lines 4–7: snapshot θ, α and per-participant gates. When no
+	// stale read can ever occur (see noStaleReads) the θ and α "snapshots"
+	// alias the live state instead of deep-copying it: the parallel phase
+	// only reads them, and the optimizer steps only after the merge.
+	var thetaNow []*tensor.Tensor
+	var alphaNow controller.AlphaSnapshot
+	if s.noStaleReads() {
+		if len(s.thetaView) != len(params) {
+			s.thetaView = make([]*tensor.Tensor, len(params))
+			for i, p := range params {
+				s.thetaView[i] = p.Value
+			}
+		}
+		thetaNow = s.thetaView
+		alphaNow = s.ctrl.View()
+	} else {
+		thetaNow = nn.CloneParamValues(params)
+		alphaNow = s.ctrl.Snapshot()
+	}
 	s.thetaPool.Put(t, thetaNow)
-	alphaNow := s.ctrl.Snapshot()
 	s.alphaPool.Put(t, alphaNow)
 
 	// Lines 5–9: sample a binary mask per participant.
-	sampled := make([]nas.Gates, len(s.parts))
-	sizes := make([]int64, len(s.parts))
+	sampled, sizes := s.sampled, s.sizes
 	for k := range s.parts {
 		sampled[k] = s.ctrl.SampleGates(s.rng)
 		sizes[k] = s.net.SubModelBytes(sampled[k])
@@ -310,7 +359,7 @@ func (s *Search) runRound(updateAlpha, updateTheta bool) (float64, error) {
 	}
 
 	// Lines 10–11: adaptive transmission.
-	bw := make([]float64, len(s.parts))
+	bw := s.bw
 	for k, p := range s.parts {
 		bw[k] = bandwidthAt(p, t)
 	}
@@ -318,8 +367,14 @@ func (s *Search) runRound(updateAlpha, updateTheta bool) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	// assigned[k] is the sub-model participant k actually trains.
-	assigned := make([]nas.Gates, len(s.parts))
+	// assigned[k] is the sub-model participant k actually trains. The gates
+	// pool may serve this slice to a stale read in a later round, so it is
+	// only reused when no such read can occur.
+	assigned := s.assigned
+	if assigned == nil || !s.noStaleReads() {
+		assigned = make([]nas.Gates, len(s.parts))
+		s.assigned = assigned
+	}
 	for k := range s.parts {
 		assigned[k] = sampled[assign.ModelFor[k]]
 		sz := sizes[assign.ModelFor[k]]
@@ -334,7 +389,7 @@ func (s *Search) runRound(updateAlpha, updateTheta bool) (float64, error) {
 	// network's weights are never touched during the parallel phase (see
 	// engine.go for the determinism argument).
 	ctx := &roundCtx{t: t, thetaNow: thetaNow, alphaNow: alphaNow, assigned: assigned, assign: assign}
-	results := make([]partResult, len(s.parts))
+	results := s.results
 	if err := s.pool.Run(len(s.parts), func(worker, k int) error {
 		return s.runParticipant(s.replicas[worker], k, ctx, &results[k])
 	}); err != nil {
@@ -344,9 +399,17 @@ func (s *Search) runRound(updateAlpha, updateTheta bool) (float64, error) {
 	// Ordered merge (Alg. 1 lines 16–31): aggregate in participant-index
 	// order so every sum — and the replayed batch-norm statistics — is
 	// bit-identical regardless of task scheduling.
-	aggTheta := make([]*tensor.Tensor, len(params))
-	nE, rE := s.net.ArchSpace()
-	aggAlpha := controller.NewAlphaGrad(nE, rE, s.net.NumCandidates())
+	aggTheta := s.aggTheta
+	for i := range aggTheta {
+		aggTheta[i] = nil
+	}
+	if s.aggAlphaBuf.Normal == nil {
+		nE, rE := s.net.ArchSpace()
+		s.aggAlphaBuf = controller.NewAlphaGrad(nE, rE, s.net.NumCandidates())
+	} else {
+		s.aggAlphaBuf.Zero()
+	}
+	aggAlpha := s.aggAlphaBuf
 	contributors := 0
 	sumAcc := 0.0
 	roundSeconds := 0.0

@@ -1,0 +1,341 @@
+// GEMM kernel layer: one fast matmul under everything dense.
+//
+// The kernel follows the classic packed design (pack the operands into
+// panel-contiguous scratch, then drive a register-blocked micro-kernel over
+// the panels) with one deliberate deviation: the reduction dimension k is
+// never split. Each output element is produced by a single accumulator that
+// walks k in ascending order, so
+//
+//	C[i,j] = beta*C[i,j] + alpha * Σ_{p=0..k-1} op(A)[i,p]·op(B)[p,j]
+//
+// with exactly one rounding for the alpha/beta combination at the end. That
+// fixed "canonical summation order" makes the blocked kernel bit-identical
+// to the naive three-loop reference, to itself at every block size, and to
+// the row-sharded parallel path at every worker count — the repo-wide
+// determinism invariant (DESIGN.md §Kernels) falls out for free.
+//
+// Not splitting k costs workspace proportional to (m+n)·k floats instead of
+// a fixed cache block. At this repository's scale (im2col matrices of a few
+// thousand columns) the packed panels are a few MB at most, pooled and
+// reused across calls, so steady-state GEMM performs zero heap allocations.
+package tensor
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// gemmMR×gemmNR is the register block: the micro-kernel holds this many
+	// accumulators live across the whole k loop.
+	gemmMR = 4
+	gemmNR = 4
+	// gemmMC caps how many A strips (gemmMR rows each) are walked per B
+	// strip before moving on — the cache tile over output rows.
+	gemmMC = 32
+	// gemmParMinWork is the m·n·k below which the parallel path runs inline:
+	// smaller products finish faster than a pool dispatch.
+	gemmParMinWork = 64 * 1024
+)
+
+// gemmScratch holds the packed panels. Checked out of gemmPool per call so
+// concurrent GEMMs (one per round-engine worker) never share panels.
+type gemmScratch struct {
+	packA []float64
+	packB []float64
+}
+
+var gemmPool = sync.Pool{New: func() any { return new(gemmScratch) }}
+
+// gemmFlops counts floating-point operations (2·m·n·k per call) issued
+// through the kernel, for achieved-GFLOP/s reporting (cmd/benchrounds).
+var gemmFlops atomic.Int64
+
+// GemmFLOPs returns the cumulative floating-point operation count of every
+// Gemm call in this process. Benchmarks read it before and after a timed
+// region to report achieved GFLOP/s.
+func GemmFLOPs() int64 { return gemmFlops.Load() }
+
+// Runner abstracts the worker pool the parallel path shards over. It is
+// satisfied by *parallel.Pool (and by a nil-free serial stub in tests); the
+// tensor package stays dependency-free by naming only the shape.
+type Runner interface {
+	Workers() int
+	Run(n int, fn func(worker, task int) error) error
+}
+
+// Gemm computes dst = alpha·op(a)·op(b) + beta·dst for 2-D tensors, where
+// op(x) is x or its transpose. The transposed operand is read in place —
+// backward passes never materialize a transposed copy. dst must not alias a
+// or b.
+func Gemm(dst *Tensor, alpha float64, a *Tensor, transA bool, b *Tensor, transB bool, beta float64) {
+	m, n, k := gemmDims(dst, a, transA, b, transB)
+	GemmRaw(transA, transB, m, n, k, alpha, a.data, a.shape[1], b.data, b.shape[1], beta, dst.data, n)
+}
+
+// GemmInto computes dst = a·b (the plain matmul special case).
+func GemmInto(dst, a, b *Tensor) { Gemm(dst, 1, a, false, b, false, 0) }
+
+// GemmParallel is Gemm with output rows sharded over r. Results are
+// bit-identical to Gemm at every worker count (each output element is still
+// one ascending-k accumulator, owned by exactly one task). A nil Runner or
+// a single-worker pool runs inline.
+func GemmParallel(r Runner, dst *Tensor, alpha float64, a *Tensor, transA bool, b *Tensor, transB bool, beta float64) {
+	m, n, k := gemmDims(dst, a, transA, b, transB)
+	GemmRawParallel(r, transA, transB, m, n, k, alpha, a.data, a.shape[1], b.data, b.shape[1], beta, dst.data, n)
+}
+
+// gemmDims validates the tensor-level operand shapes and returns (m, n, k).
+func gemmDims(dst, a *Tensor, transA bool, b *Tensor, transB bool) (m, n, k int) {
+	if dst.Dims() != 2 || a.Dims() != 2 || b.Dims() != 2 {
+		panic("tensor: Gemm requires 2-D operands")
+	}
+	m, k = a.shape[0], a.shape[1]
+	if transA {
+		m, k = k, m
+	}
+	kb, n := b.shape[0], b.shape[1]
+	if transB {
+		kb, n = n, kb
+	}
+	if k != kb {
+		panic(fmt.Sprintf("tensor: Gemm inner dims %d vs %d", k, kb))
+	}
+	if dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: Gemm dst shape %v, want [%d %d]", dst.shape, m, n))
+	}
+	return m, n, k
+}
+
+// GemmRaw is the slice-level kernel: C = alpha·op(A)·op(B) + beta·C with C
+// of shape [m,n] at row stride ldc. lda/ldb are the row strides of A and B
+// as stored (so for a transposed operand they stride the pre-transpose
+// layout, exactly like BLAS). Empty problems (m, n or k zero) degenerate to
+// scaling C by beta.
+func GemmRaw(transA, transB bool, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	if gemmTrivial(m, n, k, beta, c, ldc) {
+		return
+	}
+	ws := gemmPool.Get().(*gemmScratch)
+	ms, ns := ws.pack(transA, transB, m, n, k, a, lda, b, ldb)
+	gemmKernel(ws.packA, ws.packB, 0, ms, ns, m, n, k, alpha, beta, c, ldc)
+	gemmPool.Put(ws)
+	gemmFlops.Add(2 * int64(m) * int64(n) * int64(k))
+}
+
+// GemmRawParallel is GemmRaw with contiguous row-strip blocks fanned out
+// over r. Packing happens once on the calling goroutine; tasks write
+// disjoint row ranges of C, so no synchronization is needed and the result
+// is bit-identical to the serial kernel.
+func GemmRawParallel(r Runner, transA, transB bool, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	workers := 1
+	if r != nil {
+		workers = r.Workers()
+	}
+	if workers <= 1 || m*n*k < gemmParMinWork {
+		GemmRaw(transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+		return
+	}
+	if gemmTrivial(m, n, k, beta, c, ldc) {
+		return
+	}
+	ws := gemmPool.Get().(*gemmScratch)
+	ms, ns := ws.pack(transA, transB, m, n, k, a, lda, b, ldb)
+	// One block of strips per task; a few tasks per worker so a straggling
+	// block cannot serialize the tail.
+	tasks := workers * 4
+	if tasks > ms {
+		tasks = ms
+	}
+	per := (ms + tasks - 1) / tasks
+	_ = r.Run(tasks, func(_, task int) error {
+		lo := task * per
+		hi := lo + per
+		if hi > ms {
+			hi = ms
+		}
+		if lo < hi {
+			gemmKernel(ws.packA, ws.packB, lo, hi, ns, m, n, k, alpha, beta, c, ldc)
+		}
+		return nil
+	})
+	gemmPool.Put(ws)
+	gemmFlops.Add(2 * int64(m) * int64(n) * int64(k))
+}
+
+// gemmTrivial handles empty problems; it reports whether the call is done.
+func gemmTrivial(m, n, k int, beta float64, c []float64, ldc int) bool {
+	if m <= 0 || n <= 0 {
+		return true
+	}
+	if k > 0 {
+		return false
+	}
+	for i := 0; i < m; i++ {
+		row := c[i*ldc : i*ldc+n]
+		if beta == 0 {
+			for j := range row {
+				row[j] = 0
+			}
+		} else {
+			for j := range row {
+				row[j] *= beta
+			}
+		}
+	}
+	return true
+}
+
+// pack fills the scratch panels and returns the strip counts (ms strips of
+// gemmMR rows, ns strips of gemmNR columns). Rows and columns beyond m and
+// n are zero-padded so the micro-kernel never branches on the edge; padding
+// never touches the k axis, keeping every real accumulator's operation
+// sequence identical to the naive loop.
+func (ws *gemmScratch) pack(transA, transB bool, m, n, k int, a []float64, lda int, b []float64, ldb int) (ms, ns int) {
+	ms = (m + gemmMR - 1) / gemmMR
+	ns = (n + gemmNR - 1) / gemmNR
+	ws.packA = growFloats(ws.packA, ms*gemmMR*k)
+	ws.packB = growFloats(ws.packB, ns*gemmNR*k)
+
+	pa := ws.packA
+	for s := 0; s < ms; s++ {
+		base := s * gemmMR * k
+		for r := 0; r < gemmMR; r++ {
+			i := s*gemmMR + r
+			if i >= m {
+				for p := 0; p < k; p++ {
+					pa[base+p*gemmMR+r] = 0
+				}
+				continue
+			}
+			if transA {
+				for p := 0; p < k; p++ {
+					pa[base+p*gemmMR+r] = a[p*lda+i]
+				}
+			} else {
+				row := a[i*lda : i*lda+k]
+				for p, v := range row {
+					pa[base+p*gemmMR+r] = v
+				}
+			}
+		}
+	}
+
+	pb := ws.packB
+	for t := 0; t < ns; t++ {
+		base := t * gemmNR * k
+		for col := 0; col < gemmNR; col++ {
+			j := t*gemmNR + col
+			if j >= n {
+				for p := 0; p < k; p++ {
+					pb[base+p*gemmNR+col] = 0
+				}
+				continue
+			}
+			if transB {
+				row := b[j*ldb : j*ldb+k]
+				for p, v := range row {
+					pb[base+p*gemmNR+col] = v
+				}
+			} else {
+				for p := 0; p < k; p++ {
+					pb[base+p*gemmNR+col] = b[p*ldb+j]
+				}
+			}
+		}
+	}
+	return ms, ns
+}
+
+// gemmKernel runs the macro-kernel over A strips [s0,s1) against every B
+// strip: cache-tiled over gemmMC strips of rows so a B strip stays hot
+// while the A strips of one tile stream past it.
+func gemmKernel(packA, packB []float64, s0, s1, ns, m, n, k int, alpha, beta float64, c []float64, ldc int) {
+	for sb := s0; sb < s1; sb += gemmMC {
+		sEnd := sb + gemmMC
+		if sEnd > s1 {
+			sEnd = s1
+		}
+		for t := 0; t < ns; t++ {
+			pb := packB[t*gemmNR*k : (t+1)*gemmNR*k]
+			for s := sb; s < sEnd; s++ {
+				pa := packA[s*gemmMR*k : (s+1)*gemmMR*k]
+				var acc [gemmMR * gemmNR]float64
+				gemmMicro(k, pa, pb, &acc)
+				gemmStore(&acc, s*gemmMR, t*gemmNR, m, n, alpha, beta, c, ldc)
+			}
+		}
+	}
+}
+
+// gemmMicro is the register-blocked 4×4 micro-kernel: 16 accumulators held
+// across the whole (unsplit) k loop, reading one packed column of A and one
+// packed row of B per step — every loaded element feeds four FMAs.
+func gemmMicro(k int, pa, pb []float64, acc *[gemmMR * gemmNR]float64) {
+	var c00, c01, c02, c03 float64
+	var c10, c11, c12, c13 float64
+	var c20, c21, c22, c23 float64
+	var c30, c31, c32, c33 float64
+	idx := 0
+	for p := 0; p < k; p++ {
+		a0, a1, a2, a3 := pa[idx], pa[idx+1], pa[idx+2], pa[idx+3]
+		b0, b1, b2, b3 := pb[idx], pb[idx+1], pb[idx+2], pb[idx+3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+		idx += 4
+	}
+	acc[0], acc[1], acc[2], acc[3] = c00, c01, c02, c03
+	acc[4], acc[5], acc[6], acc[7] = c10, c11, c12, c13
+	acc[8], acc[9], acc[10], acc[11] = c20, c21, c22, c23
+	acc[12], acc[13], acc[14], acc[15] = c30, c31, c32, c33
+}
+
+// gemmStore writes one micro-tile back with the alpha/beta combination,
+// masking the zero-padded edge rows/columns.
+func gemmStore(acc *[gemmMR * gemmNR]float64, i0, j0, m, n int, alpha, beta float64, c []float64, ldc int) {
+	rows := m - i0
+	if rows > gemmMR {
+		rows = gemmMR
+	}
+	cols := n - j0
+	if cols > gemmNR {
+		cols = gemmNR
+	}
+	for r := 0; r < rows; r++ {
+		crow := c[(i0+r)*ldc+j0 : (i0+r)*ldc+j0+cols]
+		arow := acc[r*gemmNR : r*gemmNR+cols]
+		if beta == 0 {
+			for j, v := range arow {
+				crow[j] = alpha * v
+			}
+		} else {
+			for j, v := range arow {
+				crow[j] = alpha*v + beta*crow[j]
+			}
+		}
+	}
+}
+
+// growFloats returns a length-n slice backed by buf when it is large enough,
+// allocating only on growth. Contents are unspecified.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}

@@ -144,31 +144,15 @@ func (t *Tensor) ApplyInPlace(f func(float64) float64) {
 	}
 }
 
-// MatMul multiplies two 2-D tensors: [m,k] x [k,n] -> [m,n].
+// MatMul multiplies two 2-D tensors: [m,k] x [k,n] -> [m,n]. It allocates
+// the result; hot paths should hold a persistent destination and call
+// GemmInto (or Gemm for trans/accumulate forms) instead.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Dims() != 2 || b.Dims() != 2 {
 		panic("tensor: MatMul requires 2-D operands")
 	}
-	m, k := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
-	}
-	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		orow := out.data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := b.data[p*n : (p+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] += av * brow[j]
-			}
-		}
-	}
+	out := New(a.shape[0], b.shape[1])
+	GemmInto(out, a, b)
 	return out
 }
 
@@ -198,6 +182,16 @@ func (t *Tensor) HasNaN() bool {
 // Softmax returns the softmax over a 1-D tensor (numerically stabilized).
 func Softmax(logits []float64) []float64 {
 	out := make([]float64, len(logits))
+	SoftmaxInto(out, logits)
+	return out
+}
+
+// SoftmaxInto writes the numerically stabilized softmax of logits into dst.
+// dst and logits may alias; per-step paths use this to avoid allocating.
+func SoftmaxInto(dst, logits []float64) {
+	if len(dst) != len(logits) {
+		panic(fmt.Sprintf("tensor: SoftmaxInto length mismatch %d vs %d", len(dst), len(logits)))
+	}
 	m := math.Inf(-1)
 	for _, v := range logits {
 		if v > m {
@@ -207,13 +201,12 @@ func Softmax(logits []float64) []float64 {
 	sum := 0.0
 	for i, v := range logits {
 		e := math.Exp(v - m)
-		out[i] = e
+		dst[i] = e
 		sum += e
 	}
-	for i := range out {
-		out[i] /= sum
+	for i := range dst {
+		dst[i] /= sum
 	}
-	return out
 }
 
 // ClipL2 scales the set of tensors in place so their joint L2 norm does not

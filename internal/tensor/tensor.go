@@ -155,6 +155,20 @@ func (t *Tensor) SameShape(o *Tensor) bool {
 	return true
 }
 
+// ShapeIs reports whether t's shape equals the given dims. Layers use it to
+// decide whether a persistent output buffer can be reused for this call.
+func (t *Tensor) ShapeIs(shape ...int) bool {
+	if len(t.shape) != len(shape) {
+		return false
+	}
+	for i := range shape {
+		if t.shape[i] != shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // String renders a short description (shape plus a few leading values).
 func (t *Tensor) String() string {
 	k := len(t.data)
