@@ -1,9 +1,11 @@
 # Tier-1 targets. `make check` is the PR gate: vet + gofmt + build + tests
 # + race detector over the concurrent paths (GEMM kernel, parallel engine,
 # trainers, telemetry, RPC) + a 1-iteration bench smoke over the tensor/nn
-# kernels. `make bench` measures round throughput across worker counts and
-# writes BENCH_rounds.json.
-.PHONY: check build test race fmt bench bench-smoke
+# kernels + a 1-round wire-protocol smoke. `make bench` measures round
+# throughput across worker counts and writes BENCH_rounds.json; `make
+# benchrpc` measures the RPC wire protocol across payload encodings and
+# writes BENCH_rpc.json.
+.PHONY: check build test race fmt bench bench-smoke benchrpc
 
 check:
 	./check.sh
@@ -27,3 +29,6 @@ fmt:
 
 bench:
 	go run ./cmd/benchrounds -out BENCH_rounds.json
+
+benchrpc:
+	go run ./cmd/benchrpc -out BENCH_rpc.json

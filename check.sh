@@ -30,4 +30,7 @@ go test -race ./internal/tensor/... ./internal/parallel/... ./internal/nn/... \
 echo "== bench smoke (tensor, nn kernels; 1 iteration, catches crashes/regressed shapes)"
 go test -run '^$' -bench . -benchtime 1x ./internal/tensor/... ./internal/nn/...
 
+echo "== benchrpc smoke (1 round over loopback per encoding; fails on theta-hash mismatch)"
+go run ./cmd/benchrpc -k 2 -rounds 1 -out ""
+
 echo "OK"

@@ -56,9 +56,10 @@ type report struct {
 	ParallelMeaningful bool        `json:"parallel_meaningful"`
 	Results            []runResult `json:"results"`
 	// SpeedupMaxVsSerial is rounds/sec at the largest worker count over
-	// rounds/sec at workers=1. On a single-core host this hovers near 1
-	// regardless of worker count; the CPUs field records that context.
-	SpeedupMaxVsSerial float64 `json:"speedup_max_vs_serial"`
+	// rounds/sec at workers=1. It is null/omitted when ParallelMeaningful is
+	// false: on a single-core host the ratio measures scheduling overhead,
+	// and publishing a number invites dashboards to plot noise as regression.
+	SpeedupMaxVsSerial *float64 `json:"speedup_max_vs_serial,omitempty"`
 }
 
 func main() {
@@ -127,11 +128,15 @@ func run(args []string) error {
 			best = r
 		}
 	}
-	if base.RoundsPerSec > 0 {
-		rep.SpeedupMaxVsSerial = best.RoundsPerSec / base.RoundsPerSec
+	if base.RoundsPerSec > 0 && rep.ParallelMeaningful {
+		speedup := best.RoundsPerSec / base.RoundsPerSec
+		rep.SpeedupMaxVsSerial = &speedup
+		fmt.Printf("speedup workers=%d vs workers=1: %.2fx (on %d CPUs)\n",
+			best.Workers, speedup, rep.CPUs)
+	} else {
+		fmt.Printf("speedup not reported: %d CPU visible, multi-worker runs only check determinism\n",
+			rep.CPUs)
 	}
-	fmt.Printf("speedup workers=%d vs workers=1: %.2fx (on %d CPUs)\n",
-		best.Workers, rep.SpeedupMaxVsSerial, rep.CPUs)
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -27,6 +27,7 @@ import (
 	"fedrlnas/internal/rpcfed"
 	"fedrlnas/internal/search"
 	"fedrlnas/internal/telemetry"
+	"fedrlnas/internal/wire"
 )
 
 // startDebug spins up the opt-in debug HTTP endpoint when addr is set.
@@ -144,6 +145,7 @@ func runServer(args []string) error {
 		batch     = fs.Int("batch", 16, "participant batch size")
 		quorum    = fs.Float64("quorum", 0.8, "fraction of replies that closes a round")
 		workers   = fs.Int("workers", 0, "concurrent payload serializations at dispatch (0 = NumCPU)")
+		wireMode  = fs.String("wire", "fp64", "payload encoding: gob|fp64|fp32|sparse (fp64 = binary framing, bit-identical to gob)")
 		seed      = fs.Int64("seed", 1, "shared deployment seed")
 		traceOut  = fs.String("trace", "", "write a JSONL span trace of every round to this file")
 		debugAddr = fs.String("debug-addr", "", "serve /metrics, /healthz, expvar and pprof on this address")
@@ -166,6 +168,9 @@ func runServer(args []string) error {
 	scfg.Quorum = *quorum
 	scfg.Workers = *workers
 	scfg.Seed = *seed
+	if scfg.Wire, err = wire.ParseMode(*wireMode); err != nil {
+		return err
+	}
 	srv, err := rpcfed.NewServer(scfg, addrs)
 	if err != nil {
 		return err

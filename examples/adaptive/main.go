@@ -42,7 +42,7 @@ func run() error {
 		for round := 0; round < rounds; round++ {
 			sizes := make([]int64, k)
 			for i := range sizes {
-				sizes[i] = s.Supernet().SubModelBytes(s.Controller().SampleGates(rng))
+				sizes[i] = s.Supernet().SubModelWireBytes(s.Controller().SampleGates(rng), cfg.Wire)
 			}
 			bw := make([]float64, k)
 			for i := range bw {

@@ -137,7 +137,7 @@ func Fig7AdaptiveLatency(scale Scale) (Output, error) {
 		for round := 0; round < rounds; round++ {
 			sizes := make([]int64, k)
 			for i := 0; i < k; i++ {
-				sizes[i] = s.Supernet().SubModelBytes(s.Controller().SampleGates(rng))
+				sizes[i] = s.Supernet().SubModelWireBytes(s.Controller().SampleGates(rng), cfg.Wire)
 			}
 			bw := make([]float64, k)
 			for i := 0; i < k; i++ {

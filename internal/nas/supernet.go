@@ -6,6 +6,7 @@ import (
 
 	"fedrlnas/internal/nn"
 	"fedrlnas/internal/tensor"
+	"fedrlnas/internal/wire"
 )
 
 // Config sizes a supernet (or a derived model when Candidates is one op per
@@ -85,6 +86,7 @@ type Supernet struct {
 	params       []*nn.Param
 	sharedParams []*nn.Param
 	sizeScratch  []*nn.Param
+	elemScratch  []int
 	cellGrads    []*tensor.Tensor
 	cellGradBufs []*tensor.Tensor
 	stemGradBuf  *tensor.Tensor
@@ -198,6 +200,32 @@ func (s *Supernet) SubModelBytes(g Gates) int64 {
 // FedNAS-style methods transmit every round.
 func (s *Supernet) SupernetBytes() int64 {
 	return nn.ParamBytes(s.Params())
+}
+
+// SubModelWireBytes returns the measured encoded size of the sub-model
+// selected by g under the given wire mode — the dense frame size the
+// rpcfed codec would put on a TCP connection (Sparse is value-dependent,
+// so it is sized at its lossless dense-f64 upper bound). This is the
+// quantity transmission policies rank by.
+func (s *Supernet) SubModelWireBytes(g Gates, m wire.Mode) int64 {
+	s.sizeScratch = s.AppendSampledParams(s.sizeScratch[:0], g)
+	s.elemScratch = s.elemScratch[:0]
+	for _, p := range s.sizeScratch {
+		s.elemScratch = append(s.elemScratch, p.Value.Size())
+	}
+	return wire.DenseGroupBytes(m, s.elemScratch)
+}
+
+// SupernetWireBytes returns the measured encoded size of the full
+// supernet under the given wire mode (the FedNAS-style full-model
+// transmission cost).
+func (s *Supernet) SupernetWireBytes(m wire.Mode) int64 {
+	params := s.Params()
+	counts := make([]int, len(params))
+	for i, p := range params {
+		counts[i] = p.Value.Size()
+	}
+	return wire.DenseGroupBytes(m, counts)
 }
 
 // BatchNorms returns every batch-norm layer in deterministic structural

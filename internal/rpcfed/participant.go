@@ -1,6 +1,7 @@
 package rpcfed
 
 import (
+	"bufio"
 	"fmt"
 	"math/rand"
 	"net"
@@ -11,6 +12,7 @@ import (
 	"fedrlnas/internal/data"
 	"fedrlnas/internal/nas"
 	"fedrlnas/internal/nn"
+	"fedrlnas/internal/telemetry"
 )
 
 // ParticipantService is the RPC service a federated client exposes. It
@@ -31,6 +33,9 @@ type ParticipantService struct {
 	// Delay artificially slows every call (straggler injection for soft
 	// synchronization tests and demos).
 	delay time.Duration
+
+	// wireMet receives per-connection codec counters (see SetWireMetrics).
+	wireMet telemetry.WireMetrics
 
 	numSamples int
 }
@@ -120,10 +125,22 @@ func (p *ParticipantService) Train(req *TrainRequest, reply *TrainReply) error {
 	return nil
 }
 
+// SetWireMetrics attaches wire-codec counters (bytes, encode/decode ns)
+// to every connection accepted after the call. Pass a bundle from
+// telemetry.NewWireMetrics; the default is unobserved.
+func (p *ParticipantService) SetWireMetrics(met telemetry.WireMetrics) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.wireMet = met
+}
+
 // Serve registers the service under a unique name and accepts connections
-// on a fresh TCP listener until the listener is closed. It returns the
-// listener (for its address and for shutdown) and a done channel closed
-// when the accept loop exits.
+// on a fresh TCP listener until the listener is closed. Each connection's
+// first bytes are sniffed: clients that sent the binary-protocol preamble
+// get the binary server codec, everything else falls back to stock gob —
+// so mixed-mode clients (and older servers) coexist on one listener. It
+// returns the listener (for its address and for shutdown) and a done
+// channel closed when the accept loop exits.
 func (p *ParticipantService) Serve(addr string) (net.Listener, <-chan struct{}, error) {
 	srv := rpc.NewServer()
 	if err := srv.RegisterName("Participant", p); err != nil {
@@ -141,8 +158,29 @@ func (p *ParticipantService) Serve(addr string) (net.Listener, <-chan struct{}, 
 			if err != nil {
 				return // listener closed
 			}
-			go srv.ServeConn(conn)
+			go p.serveConn(srv, conn)
 		}
 	}()
 	return ln, done, nil
+}
+
+// serveConn sniffs one connection's protocol and serves it to completion.
+func (p *ParticipantService) serveConn(srv *rpc.Server, conn net.Conn) {
+	p.mu.Lock()
+	met := p.wireMet
+	p.mu.Unlock()
+	counted := &countingConn{Conn: conn, met: &met}
+	br := bufio.NewReader(counted)
+	magic, err := br.Peek(len(wirePreamble))
+	if err == nil && string(magic) == wirePreamble {
+		if _, err := br.Discard(len(wirePreamble)); err != nil {
+			conn.Close()
+			return
+		}
+		srv.ServeCodec(newBinaryServerCodec(sniffedConn{r: br, Conn: counted}, &met))
+		return
+	}
+	// Not our preamble (or the peer closed before sending 4 bytes): hand
+	// the connection — with the peeked bytes replayed — to the gob codec.
+	srv.ServeConn(sniffedConn{r: br, Conn: counted})
 }

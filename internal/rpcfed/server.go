@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/rpc"
+	"sort"
 	"time"
 
 	"fedrlnas/internal/controller"
@@ -14,6 +15,7 @@ import (
 	"fedrlnas/internal/staleness"
 	"fedrlnas/internal/telemetry"
 	"fedrlnas/internal/tensor"
+	"fedrlnas/internal/wire"
 )
 
 // ServerConfig configures the RPC search server.
@@ -50,6 +52,18 @@ type ServerConfig struct {
 	// unaffected by the worker count.
 	Workers int
 
+	// Wire selects the tensor payload encoding (wire.FP64 default:
+	// binary framing, bit-identical results; wire.Gob is the reflection
+	// baseline; FP32/Sparse trade bytes for precision/scan time).
+	Wire wire.Mode
+
+	// DialAttempts bounds connection retries per participant at startup
+	// (a participant racing the server to its listener is normal); 0
+	// means the default. DialBackoff is the initial retry delay, doubled
+	// per attempt and capped at 2s.
+	DialAttempts int
+	DialBackoff  time.Duration
+
 	Seed int64
 }
 
@@ -63,7 +77,9 @@ func DefaultServerConfig(net nas.Config) ServerConfig {
 		ThetaLR: 0.2, ThetaMomentum: 0.9, ThetaWD: 3e-4, ThetaClip: 5,
 		Quorum: 0.8, StalenessThreshold: 2, Lambda: 1, Strategy: staleness.DC,
 		RoundTimeout: 30 * time.Second,
-		Seed:         1,
+		Wire:         wire.FP64,
+		DialAttempts: 5, DialBackoff: 50 * time.Millisecond,
+		Seed: 1,
 	}
 }
 
@@ -82,6 +98,12 @@ func (c ServerConfig) Validate() error {
 		return fmt.Errorf("rpcfed: RoundTimeout must be positive")
 	case c.Workers < 0:
 		return fmt.Errorf("rpcfed: Workers %d must be >= 0", c.Workers)
+	case !c.Wire.Valid():
+		return fmt.Errorf("rpcfed: invalid wire mode %d", c.Wire)
+	case c.DialAttempts < 0:
+		return fmt.Errorf("rpcfed: DialAttempts %d must be >= 0", c.DialAttempts)
+	case c.DialBackoff < 0:
+		return fmt.Errorf("rpcfed: DialBackoff must be >= 0")
 	}
 	return nil
 }
@@ -119,9 +141,12 @@ type Server struct {
 	pool *parallel.Pool
 
 	// tracer receives per-round span events (nil = disabled); met holds
-	// the registry-backed runtime counters.
-	tracer *telemetry.Tracer
-	met    telemetry.RoundMetrics
+	// the registry-backed runtime counters. wireMet is shared by pointer
+	// with the connection codecs, so SetTelemetry can swap the counters
+	// they feed after dialing.
+	tracer  *telemetry.Tracer
+	met     telemetry.RoundMetrics
+	wireMet *telemetry.WireMetrics
 }
 
 // NewServer dials the participant addresses and prepares the search state.
@@ -161,11 +186,13 @@ func NewServer(cfg ServerConfig, addrs []string) (*Server, error) {
 		s.paramIndex[p] = i
 	}
 	s.met = telemetry.NewDisabledRoundMetrics()
+	wm := telemetry.NewDisabledWireMetrics()
+	s.wireMet = &wm
 	for _, addr := range addrs {
-		client, err := rpc.Dial("tcp", addr)
+		client, err := dialParticipant(addr, cfg.Wire, s.wireMet, cfg.DialAttempts, cfg.DialBackoff)
 		if err != nil {
 			s.Close()
-			return nil, fmt.Errorf("rpcfed: dial %s: %w", addr, err)
+			return nil, err
 		}
 		s.clients = append(s.clients, client)
 	}
@@ -192,6 +219,7 @@ func (s *Server) SetTelemetry(tracer *telemetry.Tracer, reg *telemetry.Registry)
 	s.tracer = tracer
 	if reg != nil {
 		s.met = telemetry.NewRoundMetrics(reg)
+		*s.wireMet = telemetry.NewWireMetrics(reg)
 		s.pool.Observe(reg)
 	}
 }
@@ -235,6 +263,7 @@ func (s *Server) Run() (ServerResult, error) {
 			}
 		}
 		reqs := make([]*TrainRequest, len(todo))
+		reqBytes := make([]int64, len(todo))
 		if err := s.pool.Run(len(todo), func(_, i int) error {
 			p := todo[i]
 			sub := s.net.SampledParams(gates[p])
@@ -245,15 +274,19 @@ func (s *Server) Run() (ServerResult, error) {
 				Weights:   flattenValues(sub),
 				BatchSize: s.cfg.BatchSize,
 			}
+			// Measured encoded payload size under the active wire mode
+			// (for Gob, the FP64-equivalent analytic size), not the 4 B/
+			// param fiction — this is what transmission ranking and the
+			// submodel_bytes telemetry now report.
+			reqBytes[i] = wire.GroupBytes(s.cfg.Wire, reqs[i].Weights)
 			return nil
 		}); err != nil {
 			return res, err
 		}
 		dispatched := 0
 		for i, p := range todo {
-			bytes := s.net.SubModelBytes(gates[p])
-			s.met.SubModelBytes.Observe(float64(bytes))
-			s.tracer.SubModelSample(t, p, bytes)
+			s.met.SubModelBytes.Observe(float64(reqBytes[i]))
+			s.tracer.SubModelSample(t, p, reqBytes[i])
 			s.inFlight[p] = true
 			go s.call(p, reqs[i])
 			dispatched++
@@ -272,13 +305,20 @@ func (s *Server) Run() (ServerResult, error) {
 			target = dispatched
 		}
 
+		// Replies are only classified and buffered on arrival; the FP
+		// accumulation happens after the round closes, sorted by (Round,
+		// ParticipantID). Floating-point addition is not associative, so
+		// merging in nondeterministic arrival order would make results
+		// depend on network timing — sorted merging keeps a -wire fp64 run
+		// bit-identical to the gob baseline (and to itself).
+		var accepted []*TrainReply
 		handle := func(reply *TrainReply) error {
 			s.inFlight[reply.ParticipantID] = false
 			delay := 0
 			if reply.Round >= 0 && t > reply.Round {
 				delay = t - reply.Round
 			}
-			fresh, ok, err := s.absorb(reply, t, thetaNow, aggTheta, aggAlpha)
+			fresh, ok, err := s.classify(reply, t)
 			if err != nil {
 				return err
 			}
@@ -288,6 +328,7 @@ func (s *Server) Run() (ServerResult, error) {
 				s.tracer.ReplyDropped(t, reply.ParticipantID, delay)
 				return nil
 			}
+			accepted = append(accepted, reply)
 			contributors++
 			sumAcc += reply.Reward
 			if fresh {
@@ -345,6 +386,19 @@ func (s *Server) Run() (ServerResult, error) {
 			}
 		}
 
+		// Deterministic merge of this round's accepted replies.
+		sort.Slice(accepted, func(i, j int) bool {
+			if accepted[i].Round != accepted[j].Round {
+				return accepted[i].Round < accepted[j].Round
+			}
+			return accepted[i].ParticipantID < accepted[j].ParticipantID
+		})
+		for _, reply := range accepted {
+			if _, _, err := s.absorb(reply, t, thetaNow, aggTheta, aggAlpha); err != nil {
+				return res, err
+			}
+		}
+
 		if contributors > 0 {
 			inv := 1.0 / float64(contributors)
 			for i, p := range params {
@@ -392,11 +446,11 @@ func (s *Server) call(p int, req *TrainRequest) {
 	s.replies <- reply
 }
 
-// absorb folds one reply into the aggregation buffers, applying delay
-// compensation for late replies. It reports (fresh, accepted, err).
-func (s *Server) absorb(reply *TrainReply, t int, thetaNow []*tensor.Tensor,
-	aggTheta []*tensor.Tensor, aggAlpha controller.AlphaGrad) (bool, bool, error) {
-
+// classify applies Alg. 1's acceptance tests — transport failure,
+// staleness threshold, Throw strategy, retention-pool coverage — without
+// touching aggregation state, so replies can be counted on arrival yet
+// merged later in deterministic order. It reports (fresh, accepted, err).
+func (s *Server) classify(reply *TrainReply, t int) (bool, bool, error) {
 	if reply.Round < 0 {
 		return false, false, nil // transport failure: treat as dropped
 	}
@@ -410,6 +464,21 @@ func (s *Server) absorb(reply *TrainReply, t int, thetaNow []*tensor.Tensor,
 	if delay > 0 && s.cfg.Strategy == staleness.Throw {
 		return false, false, nil
 	}
+	if _, ok := s.gatesPool.Get(reply.Round); !ok {
+		return false, false, nil
+	}
+	return delay == 0, true, nil
+}
+
+// absorb folds one reply into the aggregation buffers, applying delay
+// compensation for late replies. It reports (fresh, accepted, err).
+func (s *Server) absorb(reply *TrainReply, t int, thetaNow []*tensor.Tensor,
+	aggTheta []*tensor.Tensor, aggAlpha controller.AlphaGrad) (bool, bool, error) {
+
+	if fresh, ok, err := s.classify(reply, t); !ok || err != nil {
+		return fresh, ok, err
+	}
+	delay := t - reply.Round
 	gatesAt, ok := s.gatesPool.Get(reply.Round)
 	if !ok {
 		return false, false, nil

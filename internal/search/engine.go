@@ -48,12 +48,12 @@ type workerReplica struct {
 
 // newWorkerReplicas builds one supernet replica per worker slot (capped at
 // the participant count — more replicas could never be in flight at once).
-func newWorkerReplicas(n int, seed int64, cfg nas.Config) ([]*workerReplica, error) {
+func newWorkerReplicas(n int, seed int64, cfg Config) ([]*workerReplica, error) {
 	reps := make([]*workerReplica, n)
 	for i := range reps {
 		// Structure is all that matters (weights are overwritten every
 		// round), so reuse the primary network's init seed.
-		net, err := nas.NewSupernet(rand.New(rand.NewSource(seed)), cfg)
+		net, err := nas.NewSupernet(rand.New(rand.NewSource(seed)), cfg.Net)
 		if err != nil {
 			return nil, fmt.Errorf("search: worker replica %d: %w", i, err)
 		}
@@ -68,8 +68,42 @@ func newWorkerReplicas(n int, seed int64, cfg nas.Config) ([]*workerReplica, err
 			index[p] = j
 		}
 		reps[i] = &workerReplica{net: net, params: params, index: index, bns: bns}
+		if err := reps[i].prewarm(cfg); err != nil {
+			return nil, fmt.Errorf("search: worker replica %d: %w", i, err)
+		}
 	}
 	return reps, nil
+}
+
+// prewarm runs one forward/backward pass per candidate operation through the
+// replica so every lazily sized op buffer exists before the first real round.
+// Without this, workers>1 runs keep allocating far into the search: a
+// (replica, edge, candidate) combination first-touches its buffers only when
+// some round's random gates land that candidate on that edge while the
+// participant happens to be scheduled on that replica — a coupon-collector
+// process whose long tail showed up as a steady-state alloc regression at
+// workers=4. Results of the warm passes are discarded: parameters are
+// restored from the θ snapshot before every real local step, captured BN
+// records are drained into the layer's freelist, and gradients are zeroed.
+func (rep *workerReplica) prewarm(cfg Config) error {
+	nE, rE := rep.net.ArchSpace()
+	g := nas.Gates{Normal: make([]int, nE), Reduce: make([]int, rE)}
+	x := tensor.New(cfg.BatchSize, cfg.Dataset.Channels, cfg.Dataset.Height, cfg.Dataset.Width)
+	for c := 0; c < rep.net.NumCandidates(); c++ {
+		for e := range g.Normal {
+			g.Normal[e] = c
+		}
+		for e := range g.Reduce {
+			g.Reduce[e] = c
+		}
+		logits := rep.net.ForwardSampled(x, g)
+		rep.net.BackwardSampled(tensor.New(logits.Shape()...))
+	}
+	for _, bn := range rep.bns {
+		bn.RecycleStats(bn.DrainCapturedStatsInto(nil))
+	}
+	nn.ZeroGrads(rep.params)
+	return nil
 }
 
 // partStatus records how a participant's round attempt ended.

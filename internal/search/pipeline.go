@@ -64,7 +64,7 @@ func RunPipeline(cfg Config, opts PipelineOptions) (PipelineResult, error) {
 		EntropyCurve:   s.EntropyCurve,
 		SearchSeconds:  s.TotalSeconds(),
 		MeanSubModelMB: float64(s.MeanSubModelBytes()) / (1024 * 1024),
-		SupernetMB:     float64(s.Supernet().SupernetBytes()) / (1024 * 1024),
+		SupernetMB:     float64(s.Supernet().SupernetWireBytes(cfg.Wire)) / (1024 * 1024),
 	}
 	if opts.Centralized != nil {
 		res.Centralized, err = RetrainCentralized(s.Dataset(), cfg.Net, res.Genotype, *opts.Centralized, cfg.Seed+33)

@@ -151,7 +151,7 @@ func New(cfg Config) (*Search, error) {
 	if nrep > len(parts) {
 		nrep = len(parts)
 	}
-	s.replicas, err = newWorkerReplicas(nrep, cfg.Seed+202, cfg.Net)
+	s.replicas, err = newWorkerReplicas(nrep, cfg.Seed+202, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -350,11 +350,14 @@ func (s *Search) runRound(updateAlpha, updateTheta bool) (float64, error) {
 	s.thetaPool.Put(t, thetaNow)
 	s.alphaPool.Put(t, alphaNow)
 
-	// Lines 5–9: sample a binary mask per participant.
+	// Lines 5–9: sample a binary mask per participant. Sizes are the
+	// measured wire-frame bytes each sub-model would occupy on the RPC
+	// transport under cfg.Wire — the quantity adaptive transmission
+	// actually saves — not the old 4-bytes-per-param estimate.
 	sampled, sizes := s.sampled, s.sizes
 	for k := range s.parts {
 		sampled[k] = s.ctrl.SampleGates(s.rng)
-		sizes[k] = s.net.SubModelBytes(sampled[k])
+		sizes[k] = s.net.SubModelWireBytes(sampled[k], s.cfg.Wire)
 		s.tracer.SubModelSample(t, k, sizes[k])
 	}
 

@@ -372,7 +372,9 @@ func TestSubModelSmallerThanSupernet(t *testing.T) {
 	if s.MeanSubModelBytes() <= 0 {
 		t.Fatal("no sub-model sizes recorded")
 	}
-	if s.MeanSubModelBytes() >= s.Supernet().SupernetBytes() {
+	// Compare like with like: shipped sub-model frames vs the full
+	// supernet under the same wire mode.
+	if s.MeanSubModelBytes() >= s.Supernet().SupernetWireBytes(cfg.Wire) {
 		t.Error("sub-model not smaller than supernet")
 	}
 }

@@ -340,6 +340,44 @@ func NewRoundMetrics(reg *Registry) RoundMetrics {
 	}
 }
 
+// WireMetrics bundles the typed handles the RPC wire codecs record into:
+// raw transport bytes both ways, pure serialization time (network I/O
+// excluded), and the per-message count. All handles are counters, so the
+// enabled and disabled paths are equally alloc-free.
+type WireMetrics struct {
+	// BytesSent / BytesReceived count raw bytes on the connection,
+	// including frame headers (wire_bytes_sent_total / _received_total).
+	BytesSent     *Counter
+	BytesReceived *Counter
+	// EncodeNs / DecodeNs accumulate time spent inside the codec
+	// serializing and parsing frames (wire_encode_ns_total / decode).
+	EncodeNs *Counter
+	DecodeNs *Counter
+	// MessagesSent / MessagesReceived count RPC messages either way
+	// (wire_messages_sent_total / _received_total).
+	MessagesSent     *Counter
+	MessagesReceived *Counter
+}
+
+// NewWireMetrics registers the wire-codec metrics on reg (a nil reg yields
+// all-no-op handles).
+func NewWireMetrics(reg *Registry) WireMetrics {
+	return WireMetrics{
+		BytesSent:        reg.Counter("wire_bytes_sent_total", "raw bytes written to RPC connections"),
+		BytesReceived:    reg.Counter("wire_bytes_received_total", "raw bytes read from RPC connections"),
+		EncodeNs:         reg.Counter("wire_encode_ns_total", "nanoseconds spent encoding RPC frames"),
+		DecodeNs:         reg.Counter("wire_decode_ns_total", "nanoseconds spent decoding RPC frames"),
+		MessagesSent:     reg.Counter("wire_messages_sent_total", "RPC messages written"),
+		MessagesReceived: reg.Counter("wire_messages_received_total", "RPC messages read"),
+	}
+}
+
+// NewDisabledWireMetrics returns real (atomic, alloc-free) counters not
+// attached to any registry, for runs nobody is scraping.
+func NewDisabledWireMetrics() WireMetrics {
+	return NewWireMetrics(NewRegistry())
+}
+
 // NewDisabledRoundMetrics returns the handle set for an unobserved run:
 // counters and gauges are real (atomic, alloc-free, and needed for
 // cumulative-stats façades) but the histograms are nil no-ops — observing

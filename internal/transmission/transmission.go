@@ -84,6 +84,11 @@ func (a Assignment) Mean() float64 {
 // Assign matches len(modelBytes) sub-models to len(bandwidthsMbps)
 // participants (the counts must match) under the given policy. rng is used
 // only by the Random policy.
+//
+// modelBytes is whatever the caller would actually transmit: the search
+// engine and the RPC server feed *measured* wire-frame sizes under the
+// active encoding (nas.SubModelWireBytes / wire.GroupBytes), not raw
+// parameter counts, so the ranking tracks real transfer cost.
 func Assign(policy Policy, modelBytes []int64, bandwidthsMbps []float64, rng *rand.Rand) (Assignment, error) {
 	k := len(bandwidthsMbps)
 	if len(modelBytes) != k {
