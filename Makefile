@@ -1,11 +1,14 @@
 # Tier-1 targets. `make check` is the PR gate: vet + gofmt + build + tests
 # + race detector over the concurrent paths (GEMM kernel, parallel engine,
 # trainers, telemetry, RPC) + a 1-iteration bench smoke over the tensor/nn
-# kernels + a 1-round wire-protocol smoke. `make bench` measures round
-# throughput across worker counts and writes BENCH_rounds.json; `make
-# benchrpc` measures the RPC wire protocol across payload encodings and
-# writes BENCH_rpc.json.
-.PHONY: check build test race fmt bench bench-smoke benchrpc
+# kernels + a 1-round wire-protocol smoke + a chaos smoke (one
+# participant killed and resurrected mid-run, fixed seed). `make bench`
+# measures round throughput across worker counts and writes
+# BENCH_rounds.json; `make benchrpc` measures the RPC wire protocol
+# across payload encodings and writes BENCH_rpc.json; `make benchchaos`
+# runs the full fault-injection soak (K=8, two kills, one resurrection)
+# and writes BENCH_chaos.json.
+.PHONY: check build test race fmt bench bench-smoke benchrpc benchchaos
 
 check:
 	./check.sh
@@ -32,3 +35,6 @@ bench:
 
 benchrpc:
 	go run ./cmd/benchrpc -out BENCH_rpc.json
+
+benchchaos:
+	go run ./cmd/benchchaos -out BENCH_chaos.json

@@ -33,4 +33,8 @@ go test -run '^$' -bench . -benchtime 1x ./internal/tensor/... ./internal/nn/...
 echo "== benchrpc smoke (1 round over loopback per encoding; fails on theta-hash mismatch)"
 go run ./cmd/benchrpc -k 2 -rounds 1 -out ""
 
+echo "== chaos smoke (kill 1 participant at round 2, resurrect at round 5; fixed seed)"
+go run ./cmd/benchchaos -out "" -k 3 -rounds 10 -kill 1 -kill-after 2 -recover-after 5 \
+	-round-timeout 300ms -call-timeout 200ms >/dev/null
+
 echo "OK"

@@ -227,9 +227,9 @@ func benchMode(mode wire.Mode, k, rounds, batch int, seed int64) (modeResult, er
 	scfg.Rounds = rounds
 	scfg.BatchSize = batch
 	scfg.Quorum = 1.0 // hard sync: every reply lands every round, all modes comparable
-	scfg.Workers = 1
+	scfg.Transport.Workers = 1
 	scfg.Seed = seed
-	scfg.Wire = mode
+	scfg.Transport.Wire = mode
 	srv, err := rpcfed.NewServer(scfg, addrs)
 	if err != nil {
 		return modeResult{}, err

@@ -17,12 +17,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
+	"fedrlnas/internal/chaos"
 	"fedrlnas/internal/data"
 	"fedrlnas/internal/rpcfed"
 	"fedrlnas/internal/search"
@@ -31,11 +38,11 @@ import (
 )
 
 // startDebug spins up the opt-in debug HTTP endpoint when addr is set.
-func startDebug(addr string, reg *telemetry.Registry) (*telemetry.DebugServer, error) {
+func startDebug(addr string, reg *telemetry.Registry, extras ...telemetry.Endpoint) (*telemetry.DebugServer, error) {
 	if addr == "" {
 		return nil, nil
 	}
-	dbg, err := telemetry.StartDebugServer(addr, reg)
+	dbg, err := telemetry.StartDebugServer(addr, reg, extras...)
 	if err != nil {
 		return nil, err
 	}
@@ -107,12 +114,14 @@ func runWorker(args []string) error {
 		listen    = fs.String("listen", "127.0.0.1:0", "TCP listen address")
 		dataset   = fs.String("dataset", "cifar10s", "dataset name")
 		seed      = fs.Int64("seed", 1, "shared deployment seed")
+		chaosSpec = fs.String("chaos", "", "fault-injection spec, e.g. latency=5ms,jitter=2ms,bw=20,kill=0.001,seed=7 (empty = faults off)")
 		debugAddr = fs.String("debug-addr", "", "serve /metrics, /healthz, expvar and pprof on this address")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	dbg, err := startDebug(*debugAddr, telemetry.NewRegistry())
+	registry := telemetry.NewRegistry()
+	dbg, err := startDebug(*debugAddr, registry)
 	if err != nil {
 		return err
 	}
@@ -126,8 +135,26 @@ func runWorker(args []string) error {
 	if err != nil {
 		return err
 	}
-	ln, done, err := svc.Serve(*listen)
+	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
+		return err
+	}
+	if *chaosSpec != "" {
+		ccfg, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			return err
+		}
+		inj, err := chaos.New(ccfg)
+		if err != nil {
+			return err
+		}
+		inj.Observe(registry)
+		ln = inj.Listener(ln)
+		fmt.Printf("worker %d: chaos enabled (%s)\n", *index, *chaosSpec)
+	}
+	done, err := svc.ServeListener(ln)
+	if err != nil {
+		_ = ln.Close()
 		return err
 	}
 	fmt.Printf("worker %d/%d serving %s shard (%d samples) on %s\n",
@@ -143,9 +170,10 @@ func runServer(args []string) error {
 		dataset   = fs.String("dataset", "cifar10s", "dataset name")
 		rounds    = fs.Int("rounds", 40, "search rounds")
 		batch     = fs.Int("batch", 16, "participant batch size")
-		quorum    = fs.Float64("quorum", 0.8, "fraction of replies that closes a round")
+		quorum    = fs.Float64("quorum", 0.8, "fraction of live participants whose replies close a round")
 		workers   = fs.Int("workers", 0, "concurrent payload serializations at dispatch (0 = NumCPU)")
 		wireMode  = fs.String("wire", "fp64", "payload encoding: gob|fp64|fp32|sparse (fp64 = binary framing, bit-identical to gob)")
+		callTO    = fs.Duration("call-timeout", 10*time.Second, "per-RPC deadline, distinct from the round timeout (0 disables)")
 		seed      = fs.Int64("seed", 1, "shared deployment seed")
 		traceOut  = fs.String("trace", "", "write a JSONL span trace of every round to this file")
 		debugAddr = fs.String("debug-addr", "", "serve /metrics, /healthz, expvar and pprof on this address")
@@ -166,9 +194,10 @@ func runServer(args []string) error {
 	scfg.Rounds = *rounds
 	scfg.BatchSize = *batch
 	scfg.Quorum = *quorum
-	scfg.Workers = *workers
+	scfg.Transport.Workers = *workers
+	scfg.Transport.CallTimeout = *callTO
 	scfg.Seed = *seed
-	if scfg.Wire, err = wire.ParseMode(*wireMode); err != nil {
+	if scfg.Transport.Wire, err = wire.ParseMode(*wireMode); err != nil {
 		return err
 	}
 	srv, err := rpcfed.NewServer(scfg, addrs)
@@ -190,15 +219,26 @@ func runServer(args []string) error {
 		}()
 	}
 	srv.SetTelemetry(tracer, registry)
-	dbg, err := startDebug(*debugAddr, registry)
+	dbg, err := startDebug(*debugAddr, registry,
+		telemetry.JSONEndpoint("/participants", func() any { return srv.ParticipantStates() }))
 	if err != nil {
 		return err
 	}
 	defer dbg.Close()
 
+	// SIGINT/SIGTERM cancel the run cooperatively: the round loop stops at
+	// its next select point and hands back the partial result.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	fmt.Printf("searching over %d workers for %d rounds (quorum %.0f%%)…\n",
 		len(addrs), *rounds, *quorum*100)
-	res, err := srv.Run()
+	res, err := srv.RunContext(ctx)
+	if errors.Is(err, context.Canceled) {
+		fmt.Printf("interrupted after %d/%d rounds — partial result:\n",
+			res.RoundsCompleted, *rounds)
+		err = nil
+	}
 	if err != nil {
 		return err
 	}

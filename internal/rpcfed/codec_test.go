@@ -313,7 +313,7 @@ func runSearchWithMode(t *testing.T, mode wire.Mode) uint64 {
 	cfg := DefaultServerConfig(testNet())
 	cfg.Rounds = 4
 	cfg.Quorum = 1.0
-	cfg.Wire = mode
+	cfg.Transport.Wire = mode
 	cfg.Seed = 21
 	s, err := NewServer(cfg, addrs)
 	if err != nil {
@@ -376,8 +376,8 @@ func TestDialRetryLateBindingListener(t *testing.T) {
 	}()
 
 	cfg := DefaultServerConfig(testNet())
-	cfg.DialAttempts = 10
-	cfg.DialBackoff = 50 * time.Millisecond
+	cfg.Transport.DialAttempts = 10
+	cfg.Transport.DialBackoff = 50 * time.Millisecond
 	s, err := NewServer(cfg, []string{addr})
 	if err != nil {
 		t.Fatalf("dial retry did not survive a late-binding listener: %v", err)

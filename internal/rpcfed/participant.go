@@ -142,13 +142,25 @@ func (p *ParticipantService) SetWireMetrics(met telemetry.WireMetrics) {
 // returns the listener (for its address and for shutdown) and a done
 // channel closed when the accept loop exits.
 func (p *ParticipantService) Serve(addr string) (net.Listener, <-chan struct{}, error) {
-	srv := rpc.NewServer()
-	if err := srv.RegisterName("Participant", p); err != nil {
-		return nil, nil, fmt.Errorf("rpcfed: register: %w", err)
-	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, fmt.Errorf("rpcfed: listen: %w", err)
+	}
+	done, err := p.ServeListener(ln)
+	if err != nil {
+		_ = ln.Close()
+		return nil, nil, err
+	}
+	return ln, done, nil
+}
+
+// ServeListener is Serve over a caller-supplied listener — e.g. one wrapped
+// by a fault injector (internal/chaos) or a custom transport. Closing the
+// listener stops the accept loop and closes the returned channel.
+func (p *ParticipantService) ServeListener(ln net.Listener) (<-chan struct{}, error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Participant", p); err != nil {
+		return nil, fmt.Errorf("rpcfed: register: %w", err)
 	}
 	done := make(chan struct{})
 	go func() {
@@ -161,7 +173,7 @@ func (p *ParticipantService) Serve(addr string) (net.Listener, <-chan struct{}, 
 			go p.serveConn(srv, conn)
 		}
 	}()
-	return ln, done, nil
+	return done, nil
 }
 
 // serveConn sniffs one connection's protocol and serves it to completion.

@@ -3,6 +3,7 @@ package rpcfed
 import (
 	"math/rand"
 	"net"
+	"net/rpc"
 	"testing"
 	"time"
 
@@ -71,6 +72,16 @@ func startCluster(t *testing.T, k int, slow map[int]time.Duration) ([]string, []
 	}
 }
 
+// clientOf grabs one participant's live rpc client (helper for tests that
+// speak to participants directly through the server's connections).
+func clientOf(s *Server, i int) *rpc.Client {
+	c := s.Clients()[i]
+	if c == nil {
+		panic("clientOf: participant is dead")
+	}
+	return c
+}
+
 func TestWireHelpers(t *testing.T) {
 	req := &TrainRequest{Normal: []int{1, 2}, Reduce: []int{3, 4}}
 	g := gatesOf(req)
@@ -100,7 +111,13 @@ func TestServerConfigValidation(t *testing.T) {
 		func(c *ServerConfig) { c.Quorum = 0 },
 		func(c *ServerConfig) { c.Quorum = 1.5 },
 		func(c *ServerConfig) { c.StalenessThreshold = -1 },
+		func(c *ServerConfig) { c.Lambda = -1 },
+		func(c *ServerConfig) { c.Strategy = staleness.Strategy(99) },
 		func(c *ServerConfig) { c.RoundTimeout = 0 },
+		func(c *ServerConfig) { c.Transport.Workers = -1 },
+		func(c *ServerConfig) { c.Transport.DialAttempts = -1 },
+		func(c *ServerConfig) { c.Transport.DialBackoff = -time.Second },
+		func(c *ServerConfig) { c.Transport.CallTimeout = -time.Second },
 	} {
 		cfg := good
 		mut(&cfg)
@@ -135,7 +152,7 @@ func TestParticipantHelloAndTrain(t *testing.T) {
 	defer s.Close()
 
 	var hello HelloReply
-	if err := s.clients[0].Call("Participant.Hello", &HelloRequest{}, &hello); err != nil {
+	if err := clientOf(s, 0).Call("Participant.Hello", &HelloRequest{}, &hello); err != nil {
 		t.Fatal(err)
 	}
 	if hello.NumSamples == 0 {
@@ -149,7 +166,7 @@ func TestParticipantHelloAndTrain(t *testing.T) {
 		Weights: flattenValues(sub), BatchSize: 8,
 	}
 	var reply TrainReply
-	if err := s.clients[0].Call("Participant.Train", req, &reply); err != nil {
+	if err := clientOf(s, 0).Call("Participant.Train", req, &reply); err != nil {
 		t.Fatal(err)
 	}
 	if len(reply.Grads) != len(sub) {
@@ -177,14 +194,14 @@ func TestTrainRejectsBadRequest(t *testing.T) {
 	g := s.ctrl.SampleGates(s.rng)
 	var reply TrainReply
 	// zero batch
-	err = s.clients[0].Call("Participant.Train", &TrainRequest{
+	err = clientOf(s, 0).Call("Participant.Train", &TrainRequest{
 		Round: 0, Normal: g.Normal, Reduce: g.Reduce, BatchSize: 0,
 	}, &reply)
 	if err == nil {
 		t.Error("expected error for zero batch")
 	}
 	// wrong weight shapes
-	err = s.clients[0].Call("Participant.Train", &TrainRequest{
+	err = clientOf(s, 0).Call("Participant.Train", &TrainRequest{
 		Round: 0, Normal: g.Normal, Reduce: g.Reduce, BatchSize: 4,
 		Weights: [][]float64{{1, 2, 3}},
 	}, &reply)
@@ -295,12 +312,14 @@ func TestRPCThrowDiscardsLateReplies(t *testing.T) {
 	}
 }
 
-// TestRoundTimeoutClosesRoundWithDeadParticipant is the RoundTimeout
-// regression test: one "participant" accepts TCP connections but closes
-// them immediately (a dead client whose calls fail), so with quorum 1.0
-// the fresh-reply target is never reached and every round must close at
-// the deadline instead of hanging. The telemetry counters must record the
-// timeouts and the dropped (transport-failed) replies.
+// TestRoundTimeoutClosesRoundWithDeadParticipant is the RoundTimeout +
+// lifecycle regression test: one "participant" accepts TCP connections but
+// closes them immediately (a dead client whose calls fail). With quorum
+// 1.0 the first rounds wait out the deadline while the lifecycle machine
+// walks the peer Alive → Suspect → Dead; once it is Dead the dynamic
+// quorum recomputes over the single live participant and every remaining
+// round closes on its fresh reply alone — the run must NOT pay the old
+// Rounds × RoundTimeout price.
 func TestRoundTimeoutClosesRoundWithDeadParticipant(t *testing.T) {
 	addrs, _, stop := startCluster(t, 1, nil)
 	defer stop()
@@ -321,9 +340,9 @@ func TestRoundTimeoutClosesRoundWithDeadParticipant(t *testing.T) {
 	}()
 
 	cfg := DefaultServerConfig(testNet())
-	cfg.Rounds = 3
+	cfg.Rounds = 6
 	cfg.BatchSize = 8
-	cfg.Quorum = 1.0 // both replies required: the dead one forces the timeout
+	cfg.Quorum = 1.0 // both replies required until the dead peer is demoted
 	cfg.RoundTimeout = 300 * time.Millisecond
 	s, err := NewServer(cfg, append(addrs, dead.Addr().String()))
 	if err != nil {
@@ -351,10 +370,15 @@ func TestRoundTimeoutClosesRoundWithDeadParticipant(t *testing.T) {
 		t.Fatal(out.err)
 	}
 	elapsed := time.Since(start)
-	// Each round waits out the full deadline (quorum unreachable), so the
-	// run takes at least Rounds × RoundTimeout but far less than a hang.
-	if min := time.Duration(cfg.Rounds) * cfg.RoundTimeout; elapsed < min {
-		t.Errorf("run finished in %v, before the %v of cumulative timeouts", elapsed, min)
+	// Exactly the first two rounds wait out the deadline (the failure
+	// demoting the peer to Suspect, then to Dead); afterwards the quorum
+	// shrinks to the live participant and rounds close on its reply.
+	const demotionRounds = deadAfterFailures
+	if min := demotionRounds * cfg.RoundTimeout; elapsed < min {
+		t.Errorf("run finished in %v, before the %v of demotion timeouts", elapsed, min)
+	}
+	if got := s.met.Timeouts.Value(); got != demotionRounds {
+		t.Errorf("round_timeouts_total = %d, want %d", got, demotionRounds)
 	}
 	if out.res.Curve.Len() != cfg.Rounds {
 		t.Errorf("curve has %d points, want %d", out.res.Curve.Len(), cfg.Rounds)
@@ -363,14 +387,13 @@ func TestRoundTimeoutClosesRoundWithDeadParticipant(t *testing.T) {
 	if out.res.FreshReplies != cfg.Rounds {
 		t.Errorf("fresh replies %d, want %d", out.res.FreshReplies, cfg.Rounds)
 	}
-	// Every round closed below quorum: the timeout counter says so.
-	if got := s.met.Timeouts.Value(); got != int64(cfg.Rounds) {
-		t.Errorf("round_timeouts_total = %d, want %d", got, cfg.Rounds)
+	// The dead peer ends the run Dead, with its failed calls accounted as
+	// drops in both the result façade and the registry counter.
+	if got := s.peers[1].State(); got != StateDead {
+		t.Errorf("dead participant ended in state %v, want %v", got, StateDead)
 	}
-	// The dead participant's failed calls are accounted as drops, in both
-	// the result façade and the registry counter.
-	if out.res.DroppedReplies == 0 {
-		t.Error("dead participant produced no dropped replies")
+	if out.res.DroppedReplies != demotionRounds {
+		t.Errorf("dropped replies %d, want %d", out.res.DroppedReplies, demotionRounds)
 	}
 	if got := s.met.RepliesDropped.Value(); got != int64(out.res.DroppedReplies) {
 		t.Errorf("replies_dropped_total = %d, want %d", got, out.res.DroppedReplies)
@@ -406,7 +429,7 @@ func TestFedAvgOverRPC(t *testing.T) {
 	fcfg := fed.DefaultFedAvgConfig()
 	fcfg.Rounds = 1 // rounds arg governs the loop below
 	fcfg.BatchSize = 8
-	curve, err := FedAvgOverRPC(s.clients, model, geno, fcfg, 6)
+	curve, err := FedAvgOverRPC(s.Clients(), model, geno, fcfg, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -428,7 +451,7 @@ func TestFedAvgOverRPC(t *testing.T) {
 	}
 	bad := fcfg
 	bad.BatchSize = 0
-	if _, err := FedAvgOverRPC(s.clients, model, geno, bad, 2); err == nil {
+	if _, err := FedAvgOverRPC(s.Clients(), model, geno, bad, 2); err == nil {
 		t.Error("expected error for invalid config")
 	}
 }

@@ -1,10 +1,13 @@
 package rpcfed
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net/rpc"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"fedrlnas/internal/controller"
@@ -17,6 +20,63 @@ import (
 	"fedrlnas/internal/tensor"
 	"fedrlnas/internal/wire"
 )
+
+// TransportConfig groups the RPC plumbing knobs: payload encoding, dispatch
+// parallelism, and connection management (startup dialing, mid-run
+// redialing, per-call deadlines).
+type TransportConfig struct {
+	// Wire selects the tensor payload encoding (wire.FP64 default:
+	// binary framing, bit-identical results; wire.Gob is the reflection
+	// baseline; FP32/Sparse trade bytes for precision/scan time).
+	Wire wire.Mode
+
+	// Workers caps how many participants' sub-model payloads are
+	// serialized concurrently at dispatch time (the server-side hot path);
+	// 0 selects runtime.NumCPU(). Dispatch order and results are
+	// unaffected by the worker count.
+	Workers int
+
+	// DialAttempts bounds connection retries per participant at startup
+	// (a participant racing the server to its listener is normal); 0
+	// means the default. DialBackoff is the initial retry delay, doubled
+	// per attempt and capped at 2s. Mid-run re-dials of dead participants
+	// reuse DialBackoff with the same doubling and cap, but retry forever.
+	DialAttempts int
+	DialBackoff  time.Duration
+
+	// CallTimeout bounds each individual RPC, distinct from RoundTimeout
+	// which bounds a whole collect phase: a hung connection surfaces as a
+	// per-call deadline (feeding the lifecycle state machine) instead of
+	// silently eating the round budget. 0 disables per-call deadlines.
+	CallTimeout time.Duration
+}
+
+// DefaultTransportConfig returns the transport defaults.
+func DefaultTransportConfig() TransportConfig {
+	return TransportConfig{
+		Wire:         wire.FP64,
+		DialAttempts: 5,
+		DialBackoff:  50 * time.Millisecond,
+		CallTimeout:  10 * time.Second,
+	}
+}
+
+// Validate checks the transport knobs.
+func (c TransportConfig) Validate() error {
+	switch {
+	case c.Workers < 0:
+		return fmt.Errorf("rpcfed: Workers %d must be >= 0", c.Workers)
+	case !c.Wire.Valid():
+		return fmt.Errorf("rpcfed: invalid wire mode %d", c.Wire)
+	case c.DialAttempts < 0:
+		return fmt.Errorf("rpcfed: DialAttempts %d must be >= 0", c.DialAttempts)
+	case c.DialBackoff < 0:
+		return fmt.Errorf("rpcfed: DialBackoff must be >= 0")
+	case c.CallTimeout < 0:
+		return fmt.Errorf("rpcfed: CallTimeout must be >= 0")
+	}
+	return nil
+}
 
 // ServerConfig configures the RPC search server.
 type ServerConfig struct {
@@ -31,38 +91,18 @@ type ServerConfig struct {
 	ThetaWD       float64
 	ThetaClip     float64
 
-	// Quorum is the fraction of participants whose replies close a round
-	// (the paper's "wait for most participants"); 1.0 is hard sync.
-	Quorum float64
-	// StalenessThreshold is Δ: replies older than this many rounds are
-	// dropped (Alg. 1 line 23).
-	StalenessThreshold int
-	// Lambda is the delay-compensation strength; Strategy selects how
-	// late replies are treated (DC, Use, or Throw).
-	Lambda   float64
-	Strategy staleness.Strategy
+	// SyncConfig carries the soft-synchronization knobs (Quorum,
+	// StalenessThreshold, Lambda, Strategy) shared with the in-process
+	// engine; the fields are promoted, so cfg.Quorum etc. read as before.
+	staleness.SyncConfig
 
 	// RoundTimeout bounds the wall-clock wait per round even below
 	// quorum (protection against dead participants).
 	RoundTimeout time.Duration
 
-	// Workers caps how many participants' sub-model payloads are
-	// serialized concurrently at dispatch time (the server-side hot path);
-	// 0 selects runtime.NumCPU(). Dispatch order and results are
-	// unaffected by the worker count.
-	Workers int
-
-	// Wire selects the tensor payload encoding (wire.FP64 default:
-	// binary framing, bit-identical results; wire.Gob is the reflection
-	// baseline; FP32/Sparse trade bytes for precision/scan time).
-	Wire wire.Mode
-
-	// DialAttempts bounds connection retries per participant at startup
-	// (a participant racing the server to its listener is normal); 0
-	// means the default. DialBackoff is the initial retry delay, doubled
-	// per attempt and capped at 2s.
-	DialAttempts int
-	DialBackoff  time.Duration
+	// Transport holds the RPC plumbing knobs (wire mode, dispatch workers,
+	// dial/redial policy, per-call deadline).
+	Transport TransportConfig
 
 	Seed int64
 }
@@ -75,11 +115,12 @@ func DefaultServerConfig(net nas.Config) ServerConfig {
 		Net: net, Alpha: alpha,
 		Rounds: 30, BatchSize: 16,
 		ThetaLR: 0.2, ThetaMomentum: 0.9, ThetaWD: 3e-4, ThetaClip: 5,
-		Quorum: 0.8, StalenessThreshold: 2, Lambda: 1, Strategy: staleness.DC,
+		SyncConfig: staleness.SyncConfig{
+			Quorum: 0.8, StalenessThreshold: 2, Lambda: 1, Strategy: staleness.DC,
+		},
 		RoundTimeout: 30 * time.Second,
-		Wire:         wire.FP64,
-		DialAttempts: 5, DialBackoff: 50 * time.Millisecond,
-		Seed: 1,
+		Transport:    DefaultTransportConfig(),
+		Seed:         1,
 	}
 }
 
@@ -90,22 +131,13 @@ func (c ServerConfig) Validate() error {
 		return fmt.Errorf("rpcfed: Rounds %d must be positive", c.Rounds)
 	case c.BatchSize <= 0:
 		return fmt.Errorf("rpcfed: BatchSize %d must be positive", c.BatchSize)
-	case c.Quorum <= 0 || c.Quorum > 1:
-		return fmt.Errorf("rpcfed: Quorum %v outside (0,1]", c.Quorum)
-	case c.StalenessThreshold < 0:
-		return fmt.Errorf("rpcfed: negative staleness threshold")
 	case c.RoundTimeout <= 0:
 		return fmt.Errorf("rpcfed: RoundTimeout must be positive")
-	case c.Workers < 0:
-		return fmt.Errorf("rpcfed: Workers %d must be >= 0", c.Workers)
-	case !c.Wire.Valid():
-		return fmt.Errorf("rpcfed: invalid wire mode %d", c.Wire)
-	case c.DialAttempts < 0:
-		return fmt.Errorf("rpcfed: DialAttempts %d must be >= 0", c.DialAttempts)
-	case c.DialBackoff < 0:
-		return fmt.Errorf("rpcfed: DialBackoff must be >= 0")
 	}
-	return nil
+	if err := c.SyncConfig.Validate(); err != nil {
+		return fmt.Errorf("rpcfed: %w", err)
+	}
+	return c.Transport.Validate()
 }
 
 // ServerResult summarizes an RPC search run.
@@ -115,6 +147,9 @@ type ServerResult struct {
 	Curve metrics.Curve
 	// FreshReplies / LateReplies / DroppedReplies count reply handling.
 	FreshReplies, LateReplies, DroppedReplies int
+	// RoundsCompleted counts rounds that ran to completion; it is short of
+	// the configured Rounds when RunContext was cancelled mid-run.
+	RoundsCompleted int
 	// RoundSeconds is the measured wall-clock per round.
 	RoundSeconds []float64
 }
@@ -127,7 +162,7 @@ type Server struct {
 	opt  *nn.SGD
 	rng  *rand.Rand
 
-	clients []*rpc.Client
+	peers []*peer
 
 	paramIndex map[*nn.Param]int
 	thetaPool  *staleness.Pool[[]*tensor.Tensor]
@@ -140,12 +175,22 @@ type Server struct {
 	// pool parallelizes per-participant payload serialization at dispatch.
 	pool *parallel.Pool
 
+	// done closes on the first Close and stops the redial loops.
+	done      chan struct{}
+	closeOnce sync.Once
+
+	// curRound is the round the loop is currently driving, read by
+	// lifecycle goroutines when they stamp trace events.
+	curRound atomic.Int64
+
 	// tracer receives per-round span events (nil = disabled); met holds
-	// the registry-backed runtime counters. wireMet is shared by pointer
-	// with the connection codecs, so SetTelemetry can swap the counters
-	// they feed after dialing.
+	// the registry-backed runtime counters and lcMet the participant
+	// lifecycle counters/gauges. wireMet is shared by pointer with the
+	// connection codecs, so SetTelemetry can swap the counters they feed
+	// after dialing.
 	tracer  *telemetry.Tracer
 	met     telemetry.RoundMetrics
+	lcMet   telemetry.LifecycleMetrics
 	wireMet *telemetry.WireMetrics
 }
 
@@ -179,30 +224,39 @@ func NewServer(cfg ServerConfig, addrs []string) (*Server, error) {
 
 		replies:  make(chan *TrainReply, 4*len(addrs)),
 		inFlight: make(map[int]bool, len(addrs)),
-		pool:     parallel.New(cfg.Workers),
+		pool:     parallel.New(cfg.Transport.Workers),
+		done:     make(chan struct{}),
 	}
 	s.paramIndex = make(map[*nn.Param]int)
 	for i, p := range net.Params() {
 		s.paramIndex[p] = i
 	}
 	s.met = telemetry.NewDisabledRoundMetrics()
+	s.lcMet = telemetry.NewDisabledLifecycleMetrics(len(addrs))
 	wm := telemetry.NewDisabledWireMetrics()
 	s.wireMet = &wm
-	for _, addr := range addrs {
-		client, err := dialParticipant(addr, cfg.Wire, s.wireMet, cfg.DialAttempts, cfg.DialBackoff)
+	for i, addr := range addrs {
+		client, err := dialParticipant(addr, cfg.Transport.Wire, s.wireMet,
+			cfg.Transport.DialAttempts, cfg.Transport.DialBackoff)
 		if err != nil {
 			s.Close()
 			return nil, err
 		}
-		s.clients = append(s.clients, client)
+		s.peers = append(s.peers, &peer{id: i, addr: addr, client: client})
 	}
 	s.net.SetTraining(true)
 	return s, nil
 }
 
-// Close tears down the participant connections.
+// Close tears down the participant connections and stops the background
+// redial loops. Safe to call more than once.
 func (s *Server) Close() {
-	for _, c := range s.clients {
+	s.closeOnce.Do(func() { close(s.done) })
+	for _, p := range s.peers {
+		p.mu.Lock()
+		c := p.client
+		p.client = nil
+		p.mu.Unlock()
 		if c != nil {
 			_ = c.Close()
 		}
@@ -212,6 +266,19 @@ func (s *Server) Close() {
 // Supernet exposes the server-side supernet (e.g. to warm-start θ).
 func (s *Server) Supernet() *nas.Supernet { return s.net }
 
+// Clients snapshots the live RPC client handles in participant order (nil
+// entries for dead peers). FedAvgOverRPC consumes it for the post-search
+// FL phase.
+func (s *Server) Clients() []*rpc.Client {
+	out := make([]*rpc.Client, len(s.peers))
+	for i, p := range s.peers {
+		p.mu.Lock()
+		out[i] = p.client
+		p.mu.Unlock()
+	}
+	return out
+}
+
 // SetTelemetry attaches a span tracer and a metric registry to the server.
 // Both may be nil: a nil tracer disables tracing, a nil registry keeps the
 // private one created by NewServer. Call it before Run.
@@ -219,6 +286,7 @@ func (s *Server) SetTelemetry(tracer *telemetry.Tracer, reg *telemetry.Registry)
 	s.tracer = tracer
 	if reg != nil {
 		s.met = telemetry.NewRoundMetrics(reg)
+		s.lcMet = telemetry.NewLifecycleMetrics(reg, len(s.peers))
 		*s.wireMet = telemetry.NewWireMetrics(reg)
 		s.pool.Observe(reg)
 	}
@@ -227,15 +295,24 @@ func (s *Server) SetTelemetry(tracer *telemetry.Tracer, reg *telemetry.Registry)
 // Run executes cfg.Rounds rounds of Alg. 1 over the RPC participants and
 // derives the final genotype.
 func (s *Server) Run() (ServerResult, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: when ctx is cancelled
+// the round loop stops at the next select point and returns the partial
+// result so far — curve, reply counts, and the genotype derived from the
+// current policy — together with ctx.Err(). A background context makes it
+// behave exactly like Run.
+func (s *Server) RunContext(ctx context.Context) (ServerResult, error) {
 	res := ServerResult{}
 	params := s.net.Params()
-	k := len(s.clients)
-	quorum := int(float64(k)*s.cfg.Quorum + 0.5)
-	if quorum < 1 {
-		quorum = 1
-	}
+	k := len(s.peers)
 
 	for t := 0; t < s.cfg.Rounds; t++ {
+		if err := ctx.Err(); err != nil {
+			return s.finishPartial(res), err
+		}
+		s.curRound.Store(int64(t))
 		roundStart := time.Now()
 		s.tracer.RoundStart(t)
 		thetaNow := nn.CloneParamValues(params)
@@ -243,14 +320,29 @@ func (s *Server) Run() (ServerResult, error) {
 		alphaNow := s.ctrl.Snapshot()
 		s.alphaPool.Put(t, alphaNow)
 
+		// Gates are sampled for every participant — dead ones included — so
+		// the controller RNG stream never depends on liveness and a
+		// no-fault run replays bit-identically.
 		gates := make([]nas.Gates, k)
 		for p := 0; p < k; p++ {
 			gates[p] = s.ctrl.SampleGates(s.rng)
 		}
 		s.gatesPool.Put(t, gates)
 
-		// Dispatch to every participant that is not still busy with an
-		// earlier round (genuine soft sync: stragglers skip rounds).
+		// The quorum is dynamic: the configured fraction applies to the
+		// participants currently believed live, so the round loop keeps
+		// making progress as peers die (and tightens again as redials bring
+		// them back). With every peer alive this reduces to the static
+		// ceil-ish quorum the engine always used.
+		live := s.liveCount()
+		quorum := int(float64(live)*s.cfg.Quorum + 0.5)
+		if quorum < 1 {
+			quorum = 1
+		}
+
+		// Dispatch to every live participant that is not still busy with an
+		// earlier round (genuine soft sync: stragglers skip rounds; dead
+		// peers are skipped until their redial loop revives them).
 		// Payload serialization — sampling and flattening each
 		// participant's sub-model weights, the server-side hot path — fans
 		// out across the worker pool; the supernet is read-only here (late
@@ -258,9 +350,14 @@ func (s *Server) Run() (ServerResult, error) {
 		// share it safely. Dispatch itself stays in participant order.
 		var todo []int
 		for p := 0; p < k; p++ {
-			if !s.inFlight[p] {
-				todo = append(todo, p)
+			if s.inFlight[p] {
+				continue
 			}
+			if s.peers[p].State() == StateDead {
+				s.tracer.ReplyOffline(t, p)
+				continue
+			}
+			todo = append(todo, p)
 		}
 		reqs := make([]*TrainRequest, len(todo))
 		reqBytes := make([]int64, len(todo))
@@ -278,7 +375,7 @@ func (s *Server) Run() (ServerResult, error) {
 			// (for Gob, the FP64-equivalent analytic size), not the 4 B/
 			// param fiction — this is what transmission ranking and the
 			// submodel_bytes telemetry now report.
-			reqBytes[i] = wire.GroupBytes(s.cfg.Wire, reqs[i].Weights)
+			reqBytes[i] = wire.GroupBytes(s.cfg.Transport.Wire, reqs[i].Weights)
 			return nil
 		}); err != nil {
 			return res, err
@@ -288,7 +385,7 @@ func (s *Server) Run() (ServerResult, error) {
 			s.met.SubModelBytes.Observe(float64(reqBytes[i]))
 			s.tracer.SubModelSample(t, p, reqBytes[i])
 			s.inFlight[p] = true
-			go s.call(p, reqs[i])
+			go s.call(s.peers[p], reqs[i])
 			dispatched++
 		}
 
@@ -345,8 +442,8 @@ func (s *Server) Run() (ServerResult, error) {
 			return nil
 		}
 
-		// If every participant is still busy with earlier rounds, block for
-		// one reply (or the timeout) so the server does not spin.
+		// If every participant is still busy with earlier rounds (or dead),
+		// block for one reply (or the timeout) so the server does not spin.
 		if dispatched == 0 {
 			select {
 			case reply := <-s.replies:
@@ -354,6 +451,8 @@ func (s *Server) Run() (ServerResult, error) {
 					return res, err
 				}
 			case <-deadline:
+			case <-ctx.Done():
+				return s.finishPartial(res), ctx.Err()
 			}
 		}
 
@@ -370,6 +469,8 @@ func (s *Server) Run() (ServerResult, error) {
 				s.met.Timeouts.Inc()
 				s.tracer.RoundTimeout(t, time.Since(roundStart).Seconds())
 				break collect
+			case <-ctx.Done():
+				return s.finishPartial(res), ctx.Err()
 			}
 		}
 		// Drain any further replies already queued (late arrivals from
@@ -420,6 +521,7 @@ func (s *Server) Run() (ServerResult, error) {
 		res.Curve.Add(t, meanFreshAcc)
 		elapsed := time.Since(roundStart).Seconds()
 		res.RoundSeconds = append(res.RoundSeconds, elapsed)
+		res.RoundsCompleted++
 		s.met.Rounds.Inc()
 		s.met.RoundSeconds.Observe(elapsed)
 		s.met.Accuracy.Set(meanFreshAcc)
@@ -434,14 +536,29 @@ func (s *Server) Run() (ServerResult, error) {
 	return res, nil
 }
 
-// call issues the RPC and forwards the reply (or a zeroed reply on error)
-// to the collection channel.
-func (s *Server) call(p int, req *TrainRequest) {
+// finishPartial derives a genotype from the current policy so a cancelled
+// run still yields a usable (if early) architecture.
+func (s *Server) finishPartial(res ServerResult) ServerResult {
+	res.Genotype = s.ctrl.Derive(s.cfg.Net.Candidates, s.cfg.Net.Nodes)
+	return res
+}
+
+// call issues the RPC under the per-call deadline, feeds the lifecycle
+// state machine, and forwards the reply (or a drop marker on error) to the
+// collection channel.
+func (s *Server) call(p *peer, req *TrainRequest) {
 	reply := &TrainReply{}
-	if err := s.clients[p].Call("Participant.Train", req, reply); err != nil {
+	err := p.do("Participant.Train", req, reply, s.cfg.Transport.CallTimeout)
+	if err != nil {
+		if isTransportFailure(err) {
+			s.noteCallFailure(p, err)
+		}
 		// Feed a drop marker so the dispatcher can clear the in-flight bit.
-		reply.Round = -1
-		reply.ParticipantID = p
+		// It must be a FRESH reply object: after a deadline expiry net/rpc
+		// may still write into the abandoned one.
+		reply = &TrainReply{Round: -1, ParticipantID: p.id}
+	} else {
+		s.noteCallSuccess(p)
 	}
 	s.replies <- reply
 }

@@ -77,11 +77,17 @@ type Config struct {
 	// Alpha configures the RL controller (Table I α block).
 	Alpha controller.Config
 
-	// Staleness is the delay distribution; Strategy how the server reacts;
-	// Lambda the delay-compensation strength (Eq. 13/15).
+	// Staleness is the delay distribution driving simulated reply delays.
 	Staleness staleness.Schedule
-	Strategy  staleness.Strategy
-	Lambda    float64
+
+	// SyncConfig carries the soft-synchronization knobs shared with the
+	// RPC server (Quorum, StalenessThreshold, Lambda, Strategy); the
+	// fields are promoted, so cfg.Strategy etc. read as before. The
+	// in-process engine derives delays from Staleness rather than real
+	// arrival times, so Quorum only participates in validation here, and
+	// the retention pools are sized by the larger of StalenessThreshold
+	// and the schedule's maximum delay.
+	staleness.SyncConfig
 
 	// Transmission selects the sub-model assignment policy.
 	Transmission transmission.Policy
@@ -143,12 +149,13 @@ func DefaultConfig() Config {
 		ThetaClip:     5,
 		Alpha:         defaultAlpha(),
 		Staleness:     staleness.NoStaleness(),
-		Strategy:      staleness.Hard,
-		Lambda:        1,
-		Transmission:  transmission.Adaptive,
-		Wire:          wire.FP64,
-		Augment:       data.DefaultAugment(),
-		Seed:          1,
+		SyncConfig: staleness.SyncConfig{
+			Quorum: 1, StalenessThreshold: 0, Lambda: 1, Strategy: staleness.Hard,
+		},
+		Transmission: transmission.Adaptive,
+		Wire:         wire.FP64,
+		Augment:      data.DefaultAugment(),
+		Seed:         1,
 	}
 }
 
@@ -162,6 +169,9 @@ func (c Config) Validate() error {
 	}
 	if err := c.Staleness.Validate(); err != nil {
 		return fmt.Errorf("search: staleness: %w", err)
+	}
+	if err := c.SyncConfig.Validate(); err != nil {
+		return fmt.Errorf("search: %w", err)
 	}
 	switch {
 	case c.K <= 0:
@@ -188,11 +198,6 @@ func (c Config) Validate() error {
 	case c.Net.InChannels != c.Dataset.Channels:
 		return fmt.Errorf("search: net channels %d != dataset channels %d",
 			c.Net.InChannels, c.Dataset.Channels)
-	}
-	switch c.Strategy {
-	case staleness.Hard, staleness.Use, staleness.Throw, staleness.DC:
-	default:
-		return fmt.Errorf("search: unknown strategy %d", int(c.Strategy))
 	}
 	return nil
 }

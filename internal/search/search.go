@@ -125,7 +125,14 @@ func New(cfg Config) (*Search, error) {
 		thetaOpt: nn.NewSGD(cfg.ThetaLR, cfg.ThetaMomentum, cfg.ThetaWD, cfg.ThetaClip),
 		rng:      rng,
 	}
-	delta := cfg.Staleness.MaxDelay()
+	// Retention covers whichever is larger: the configured threshold Δ or
+	// the worst delay the schedule can actually produce (the default
+	// StalenessThreshold of 0 leaves sizing entirely to the schedule,
+	// preserving pre-SyncConfig behavior bit for bit).
+	delta := cfg.StalenessThreshold
+	if d := cfg.Staleness.MaxDelay(); d > delta {
+		delta = d
+	}
 	s.thetaPool = staleness.NewPool[[]*tensor.Tensor](delta)
 	s.alphaPool = staleness.NewPool[controller.AlphaSnapshot](delta)
 	s.gatesPool = staleness.NewPool[[]nas.Gates](delta)

@@ -1,0 +1,46 @@
+package staleness
+
+import "fmt"
+
+// SyncConfig is the soft-synchronization knob set shared by every Alg. 1
+// round loop — the in-process engine (search.Config) and the RPC server
+// (rpcfed.ServerConfig) embed it, so the quorum/staleness/compensation
+// semantics are declared and validated exactly once.
+type SyncConfig struct {
+	// Quorum is the fraction of participants whose replies close a round
+	// (the paper's "wait for most participants"); 1.0 is hard sync. The
+	// RPC server recomputes the absolute quorum each round over the
+	// participants currently believed live, so the fraction keeps meaning
+	// "most of whoever is left" as nodes die and come back. The in-process
+	// engine drives staleness from a schedule instead of real arrival
+	// times, so there it only participates in validation.
+	Quorum float64
+	// StalenessThreshold is Δ: replies older than this many rounds are
+	// dropped (Alg. 1 line 23). The in-process engine additionally bounds
+	// Δ by its staleness schedule's maximum delay; the RPC server uses it
+	// directly to size the θ/α/gates retention pools.
+	StalenessThreshold int
+	// Lambda is the delay-compensation strength (Eq. 13/15).
+	Lambda float64
+	// Strategy selects how late replies are treated (Hard, Use, Throw,
+	// or DC).
+	Strategy Strategy
+}
+
+// Validate checks the shared soft-sync knobs.
+func (c SyncConfig) Validate() error {
+	switch {
+	case c.Quorum <= 0 || c.Quorum > 1:
+		return fmt.Errorf("staleness: Quorum %v outside (0,1]", c.Quorum)
+	case c.StalenessThreshold < 0:
+		return fmt.Errorf("staleness: StalenessThreshold %d must be >= 0", c.StalenessThreshold)
+	case c.Lambda < 0:
+		return fmt.Errorf("staleness: Lambda %v must be >= 0", c.Lambda)
+	}
+	switch c.Strategy {
+	case Hard, Use, Throw, DC:
+	default:
+		return fmt.Errorf("staleness: unknown strategy %d", int(c.Strategy))
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net"
@@ -8,13 +9,34 @@ import (
 	"net/http/pprof"
 )
 
+// Endpoint is an extra handler mounted on the debug mux, e.g. a
+// deployment-specific status page such as the RPC server's per-participant
+// lifecycle view.
+type Endpoint struct {
+	Path    string
+	Handler http.Handler
+}
+
+// JSONEndpoint mounts fn's return value as a JSON document at path. fn is
+// invoked per request, so it should snapshot live state cheaply.
+func JSONEndpoint(path string, fn func() any) Endpoint {
+	return Endpoint{Path: path, Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(fn())
+	})}
+}
+
 // NewDebugMux builds the debug HTTP handler tree:
 //
 //	/metrics       Prometheus text exposition of reg (empty body if nil)
 //	/healthz       liveness probe ("ok")
 //	/debug/vars    expvar (memstats, cmdline, …)
 //	/debug/pprof/  net/http/pprof profiles
-func NewDebugMux(reg *Registry) *http.ServeMux {
+//
+// plus any extra endpoints (e.g. JSONEndpoint views of live state).
+func NewDebugMux(reg *Registry, extras ...Endpoint) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -33,6 +55,9 @@ func NewDebugMux(reg *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, e := range extras {
+		mux.Handle(e.Path, e.Handler)
+	}
 	return mux
 }
 
@@ -44,12 +69,12 @@ type DebugServer struct {
 
 // StartDebugServer listens on addr (e.g. "127.0.0.1:6060", port 0 picks a
 // free port) and serves the debug mux in the background until Close.
-func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+func StartDebugServer(addr string, reg *Registry, extras ...Endpoint) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: debug listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: NewDebugMux(reg)}
+	srv := &http.Server{Handler: NewDebugMux(reg, extras...)}
 	go func() { _ = srv.Serve(ln) }()
 	return &DebugServer{srv: srv, ln: ln}, nil
 }

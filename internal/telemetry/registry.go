@@ -378,6 +378,73 @@ func NewDisabledWireMetrics() WireMetrics {
 	return NewWireMetrics(NewRegistry())
 }
 
+// LifecycleMetrics bundles the participant-lifecycle handles the RPC server
+// records into: mid-run reconnects, per-call deadline expiries, and one
+// state gauge per participant (0 = alive, 1 = suspect, 2 = dead), exported
+// as participant_state_<id>.
+type LifecycleMetrics struct {
+	// Redials counts successful mid-run reconnects to a dead participant
+	// (redials_total).
+	Redials *Counter
+	// RedialAttempts counts every dial try made by the redial loops,
+	// including failed ones (redial_attempts_total).
+	RedialAttempts *Counter
+	// DeadlineExceeded counts RPC calls abandoned at the per-call deadline
+	// (call_deadline_exceeded_total).
+	DeadlineExceeded *Counter
+	// States holds one gauge per participant (participant_state_<id>).
+	States []*Gauge
+}
+
+// NewLifecycleMetrics registers the lifecycle metrics for k participants on
+// reg (a nil reg yields all-no-op handles).
+func NewLifecycleMetrics(reg *Registry, k int) LifecycleMetrics {
+	m := LifecycleMetrics{
+		Redials:          reg.Counter("redials_total", "successful mid-run reconnects to dead participants"),
+		RedialAttempts:   reg.Counter("redial_attempts_total", "dial attempts made by participant redial loops"),
+		DeadlineExceeded: reg.Counter("call_deadline_exceeded_total", "RPC calls abandoned at the per-call deadline"),
+		States:           make([]*Gauge, k),
+	}
+	for i := range m.States {
+		m.States[i] = reg.Gauge(fmt.Sprintf("participant_state_%d", i),
+			"participant lifecycle state (0 alive, 1 suspect, 2 dead)")
+	}
+	return m
+}
+
+// NewDisabledLifecycleMetrics returns real handles not attached to any
+// registry, for runs nobody is scraping.
+func NewDisabledLifecycleMetrics(k int) LifecycleMetrics {
+	return NewLifecycleMetrics(NewRegistry(), k)
+}
+
+// ChaosMetrics bundles the handles the fault injector records into.
+type ChaosMetrics struct {
+	// Faults counts every injected fault — latency sleeps, throttle
+	// stalls, partial-write splits, and kills (faults_injected_total).
+	Faults *Counter
+	// Kills counts injected connection kills (chaos_kills_total).
+	Kills *Counter
+	// DelayNs accumulates artificial delay injected into connections
+	// (chaos_delay_ns_total).
+	DelayNs *Counter
+}
+
+// NewChaosMetrics registers the fault-injection metrics on reg (a nil reg
+// yields all-no-op handles).
+func NewChaosMetrics(reg *Registry) ChaosMetrics {
+	return ChaosMetrics{
+		Faults:  reg.Counter("faults_injected_total", "network faults injected by the chaos layer"),
+		Kills:   reg.Counter("chaos_kills_total", "connections killed by the chaos layer"),
+		DelayNs: reg.Counter("chaos_delay_ns_total", "artificial connection delay injected, in nanoseconds"),
+	}
+}
+
+// NewDisabledChaosMetrics returns real handles not attached to any registry.
+func NewDisabledChaosMetrics() ChaosMetrics {
+	return NewChaosMetrics(NewRegistry())
+}
+
 // NewDisabledRoundMetrics returns the handle set for an unobserved run:
 // counters and gauges are real (atomic, alloc-free, and needed for
 // cumulative-stats façades) but the histograms are nil no-ops — observing

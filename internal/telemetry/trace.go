@@ -32,6 +32,8 @@ const (
 	EventReplyDropped   = "reply.dropped"
 	EventReplyOffline   = "reply.offline"
 	EventAlphaUpdate    = "alpha.update"
+	EventPeerState      = "participant.state"
+	EventPeerRedial     = "participant.redial"
 )
 
 // Event is one trace record. A zero field is emitted as its zero value so
@@ -231,4 +233,19 @@ func (t *Tracer) ReplyOffline(round, participant int) {
 func (t *Tracer) AlphaUpdate(round int, entropy float64) {
 	t.Emit(Event{Name: EventAlphaUpdate, Round: round, Participant: -1,
 		Value: entropy})
+}
+
+// PeerState records a participant lifecycle transition; the state code
+// (0 alive, 1 suspect, 2 dead) rides in Value. Round is the round the
+// server was driving when the transition happened.
+func (t *Tracer) PeerState(round, participant int, state int) {
+	t.Emit(Event{Name: EventPeerState, Round: round, Participant: participant,
+		Value: float64(state)})
+}
+
+// PeerRedial records a successful mid-run reconnect, with the number of
+// dial attempts it took in Value.
+func (t *Tracer) PeerRedial(round, participant, attempts int) {
+	t.Emit(Event{Name: EventPeerRedial, Round: round, Participant: participant,
+		Value: float64(attempts)})
 }
