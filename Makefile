@@ -8,7 +8,7 @@
 # across payload encodings and writes BENCH_rpc.json; `make benchchaos`
 # runs the full fault-injection soak (K=8, two kills, one resurrection)
 # and writes BENCH_chaos.json.
-.PHONY: check build test race fmt bench bench-smoke benchrpc benchchaos
+.PHONY: check build test race fmt bench bench-smoke benchrpc benchchaos fedtrace
 
 check:
 	./check.sh
@@ -38,3 +38,8 @@ benchrpc:
 
 benchchaos:
 	go run ./cmd/benchchaos -out BENCH_chaos.json
+
+# Trace a short K=4 run into ./traces/ and print its critical-path profile.
+fedtrace:
+	go run ./cmd/benchrpc -k 4 -rounds 3 -modes fp64 -out "" -trace-dir traces
+	go run ./cmd/fedtrace -min-rounds 3 traces/*.jsonl

@@ -37,4 +37,11 @@ echo "== chaos smoke (kill 1 participant at round 2, resurrect at round 5; fixed
 go run ./cmd/benchchaos -out "" -k 3 -rounds 10 -kill 1 -kill-after 2 -recover-after 5 \
 	-round-timeout 300ms -call-timeout 200ms >/dev/null
 
+echo "== fedtrace smoke (traced K=4 run; every span must stitch, zero orphans)"
+go vet ./cmd/fedtrace
+tracedir=$(mktemp -d)
+trap 'rm -rf "$tracedir"' EXIT
+go run ./cmd/benchrpc -k 4 -rounds 2 -modes fp64 -out "" -trace-dir "$tracedir" >/dev/null
+go run ./cmd/fedtrace -min-rounds 1 "$tracedir"/*.jsonl
+
 echo "OK"

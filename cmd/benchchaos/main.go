@@ -57,6 +57,14 @@ type report struct {
 	ChaosKills           int64   `json:"chaos_kills_total"`
 	FinalStates          []any   `json:"final_participant_states"`
 
+	// Latency percentiles from the registry's lock-free histograms (upper
+	// bucket bounds, so within 2x of the true rank value). Zero when the
+	// histogram saw no samples.
+	RoundP50Ms float64 `json:"round_p50_ms"`
+	RoundP99Ms float64 `json:"round_p99_ms"`
+	CallP50Ms  float64 `json:"rpc_call_p50_ms"`
+	CallP99Ms  float64 `json:"rpc_call_p99_ms"`
+
 	ChaosTheta   string `json:"chaos_theta_hash"`
 	NoFaultTheta string `json:"no_fault_theta_hash"`
 
@@ -140,6 +148,10 @@ func run(args []string) error {
 	rep.CallDeadlineExceeded = soak.deadlineExceeded
 	rep.FaultsInjected = soak.faults
 	rep.ChaosKills = soak.kills
+	rep.RoundP50Ms = soak.roundP50
+	rep.RoundP99Ms = soak.roundP99
+	rep.CallP50Ms = soak.callP50
+	rep.CallP99Ms = soak.callP99
 	for _, st := range soak.states {
 		rep.FinalStates = append(rep.FinalStates, st)
 	}
@@ -149,6 +161,8 @@ func run(args []string) error {
 	fmt.Printf("chaos soak: %d/%d rounds in %.1fs | %d timeouts, %d redials (%d attempts), %d deadline-exceeded, %d kills\n",
 		soak.res.RoundsCompleted, *rounds, soak.elapsed.Seconds(),
 		soak.timeouts, soak.redials, soak.redialAttempts, soak.deadlineExceeded, soak.kills)
+	fmt.Printf("  latency: round p50 %.1fms p99 %.1fms | rpc p50 %.1fms p99 %.1fms\n",
+		soak.roundP50, soak.roundP99, soak.callP50, soak.callP99)
 	for _, st := range soak.states {
 		fmt.Printf("  participant %d (%s): %s\n", st.ID, st.Addr, st.State)
 	}
@@ -216,6 +230,19 @@ type runOutcome struct {
 
 	timeouts, redials, redialAttempts, deadlineExceeded int64
 	faults, kills                                       int64
+
+	roundP50, roundP99, callP50, callP99 float64
+}
+
+// pctMs reads one percentile off a histogram in milliseconds, mapping the
+// empty (NaN) and overflow (+Inf) sentinels to 0 so the value is always
+// JSON-encodable.
+func pctMs(h *telemetry.Histogram, p float64) float64 {
+	v := h.Percentile(p)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v * 1e3
 }
 
 // runOnce builds a fresh K-participant loopback cluster (every listener
@@ -353,6 +380,10 @@ func runOnce(k, rounds, batch int, seed int64, quorum float64,
 		deadlineExceeded: lm.DeadlineExceeded.Value(),
 		faults:           cm.Faults.Value(),
 		kills:            cm.Kills.Value(),
+		roundP50:         pctMs(rm.RoundSeconds, 50),
+		roundP99:         pctMs(rm.RoundSeconds, 99),
+		callP50:          pctMs(lm.CallSeconds, 50),
+		callP99:          pctMs(lm.CallSeconds, 99),
 	}, nil
 }
 

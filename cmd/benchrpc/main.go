@@ -23,6 +23,7 @@ import (
 	"math/rand"
 	"net"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -85,6 +86,7 @@ func run(args []string) error {
 		batch    = fs.Int("batch", 8, "participant batch size")
 		modesArg = fs.String("modes", "gob,fp64,fp32,sparse", "comma-separated payload encodings to benchmark")
 		seed     = fs.Int64("seed", 1, "shared deployment seed")
+		traceDir = fs.String("trace-dir", "", "write JSONL span traces here: server-<mode>.jsonl plus worker<i>-<mode>.jsonl per participant (empty = tracing off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,8 +111,13 @@ func run(args []string) error {
 		CPUs:     runtime.NumCPU(),
 	}
 	hashes := map[wire.Mode]string{}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			return err
+		}
+	}
 	for _, m := range modes {
-		r, err := benchMode(m, *k, *rounds, *batch, *seed)
+		r, err := benchMode(m, *k, *rounds, *batch, *seed, *traceDir)
 		if err != nil {
 			return fmt.Errorf("mode %s: %w", m, err)
 		}
@@ -191,8 +198,10 @@ func benchDataset(seed int64) (*data.Dataset, error) {
 
 // benchMode runs one full federated search over loopback TCP with the given
 // payload encoding. Every mode gets an identical fresh cluster (same
-// dataset, shards and seeds) so final-theta hashes are comparable.
-func benchMode(mode wire.Mode, k, rounds, batch int, seed int64) (modeResult, error) {
+// dataset, shards and seeds) so final-theta hashes are comparable. With a
+// non-empty traceDir each side writes its own JSONL span file, exactly as a
+// multi-process deployment would — the inputs `fedtrace` stitches.
+func benchMode(mode wire.Mode, k, rounds, batch int, seed int64, traceDir string) (modeResult, error) {
 	ds, err := benchDataset(seed + 12)
 	if err != nil {
 		return modeResult{}, err
@@ -204,17 +213,40 @@ func benchMode(mode wire.Mode, k, rounds, batch int, seed int64) (modeResult, er
 	var (
 		addrs     []string
 		listeners []net.Listener
+		tracers   []*telemetry.Tracer
 	)
-	defer func() {
+	closeCluster := func() {
 		for _, ln := range listeners {
 			_ = ln.Close()
 		}
-	}()
+		listeners = nil
+		for _, tr := range tracers {
+			_ = tr.Close()
+		}
+		tracers = nil
+	}
+	defer closeCluster()
+	openTracer := func(name string) (*telemetry.Tracer, error) {
+		if traceDir == "" {
+			return nil, nil
+		}
+		tr, err := telemetry.OpenJSONL(filepath.Join(traceDir, fmt.Sprintf("%s-%s.jsonl", name, mode)))
+		if err != nil {
+			return nil, err
+		}
+		tracers = append(tracers, tr)
+		return tr, nil
+	}
 	for i := 0; i < k; i++ {
 		svc, err := rpcfed.NewParticipantService(i, ds, part.Indices[i], benchNet(), seed+int64(100+i))
 		if err != nil {
 			return modeResult{}, err
 		}
+		tr, err := openTracer(fmt.Sprintf("worker%d", i))
+		if err != nil {
+			return modeResult{}, err
+		}
+		svc.SetTracer(tr)
 		ln, _, err := svc.Serve("127.0.0.1:0")
 		if err != nil {
 			return modeResult{}, err
@@ -236,7 +268,11 @@ func benchMode(mode wire.Mode, k, rounds, batch int, seed int64) (modeResult, er
 	}
 	defer srv.Close()
 	reg := telemetry.NewRegistry()
-	srv.SetTelemetry(nil, reg)
+	serverTracer, err := openTracer("server")
+	if err != nil {
+		return modeResult{}, err
+	}
+	srv.SetTelemetry(serverTracer, reg)
 
 	start := time.Now()
 	res, err := srv.Run()
@@ -244,6 +280,10 @@ func benchMode(mode wire.Mode, k, rounds, batch int, seed int64) (modeResult, er
 		return modeResult{}, err
 	}
 	elapsed := time.Since(start)
+	// Tear the cluster down before the tracers close so every in-flight
+	// worker span is flushed into its file.
+	srv.Close()
+	closeCluster()
 
 	wm := telemetry.NewWireMetrics(reg) // same handles SetTelemetry registered
 	sent, recv := wm.BytesSent.Value(), wm.BytesReceived.Value()

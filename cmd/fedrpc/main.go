@@ -115,6 +115,7 @@ func runWorker(args []string) error {
 		dataset   = fs.String("dataset", "cifar10s", "dataset name")
 		seed      = fs.Int64("seed", 1, "shared deployment seed")
 		chaosSpec = fs.String("chaos", "", "fault-injection spec, e.g. latency=5ms,jitter=2ms,bw=20,kill=0.001,seed=7 (empty = faults off)")
+		traceOut  = fs.String("trace", "", "write a JSONL span trace of handled calls to this file (spans parent under the server's rounds)")
 		debugAddr = fs.String("debug-addr", "", "serve /metrics, /healthz, expvar and pprof on this address")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -135,6 +136,20 @@ func runWorker(args []string) error {
 	if err != nil {
 		return err
 	}
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		if tracer, err = telemetry.OpenJSONL(*traceOut); err != nil {
+			return err
+		}
+		tracer.SetDropCounter(registry.Counter("trace_dropped_total",
+			"trace events dropped after a trace-file write failure"))
+		svc.SetTracer(tracer)
+		defer func() {
+			if err := tracer.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "fedrpc: trace:", err)
+			}
+		}()
+	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
@@ -149,6 +164,9 @@ func runWorker(args []string) error {
 			return err
 		}
 		inj.Observe(registry)
+		// Injected faults land in the worker's trace under the round they
+		// disrupted, so fedtrace can correlate kills with slow rounds.
+		inj.TraceWith(tracer, svc.CurrentSpan)
 		ln = inj.Listener(ln)
 		fmt.Printf("worker %d: chaos enabled (%s)\n", *index, *chaosSpec)
 	}
@@ -212,6 +230,8 @@ func runServer(args []string) error {
 		if tracer, err = telemetry.OpenJSONL(*traceOut); err != nil {
 			return err
 		}
+		tracer.SetDropCounter(registry.Counter("trace_dropped_total",
+			"trace events dropped after a trace-file write failure"))
 		defer func() {
 			if err := tracer.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "fedrpc: trace:", err)

@@ -146,6 +146,8 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		tracer.SetDropCounter(registry.Counter("trace_dropped_total",
+			"trace events dropped after a trace-file write failure"))
 		opts.Tracer = tracer
 		defer func() {
 			if err := tracer.Close(); err != nil {

@@ -1,0 +1,399 @@
+// Command fedtrace is the offline critical-path profiler for traced
+// federated runs. It reads the JSONL span timelines written by the server
+// and by each worker (separate files, separate processes), stitches them
+// into rounds by the wire-propagated trace context, and reports where each
+// round's wall-clock actually went:
+//
+//	dispatch -> slowest participant (decode + train + encode + wire) ->
+//	merge -> controller update
+//
+// Usage:
+//
+//	fedtrace [-round R] [-slowest N] [-json] [-min-rounds N] trace.jsonl...
+//
+// Any number of files may be given; server and worker events are told apart
+// by their event names, not by which file they came from, so one combined
+// stream works too. A span is an orphan when it carries a trace ID but its
+// parent does not resolve to any known round span — a traced run must
+// stitch with zero orphans, and -min-rounds turns that invariant plus a
+// minimum count of complete rounds into a non-zero exit for CI.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"fedrlnas/internal/telemetry"
+)
+
+// event mirrors one telemetry JSONL line. Participant is a pointer because
+// 0 is a real participant ID while the field is omitted for server-scoped
+// events.
+type event struct {
+	TS          int64   `json:"ts"`
+	Event       string  `json:"event"`
+	Round       int     `json:"round"`
+	Participant *int    `json:"participant"`
+	Bytes       int64   `json:"bytes"`
+	Seconds     float64 `json:"seconds"`
+	Value       float64 `json:"value"`
+	Trace       string  `json:"trace"`
+	Span        string  `json:"span"`
+	Parent      string  `json:"parent"`
+
+	file string
+	line int
+}
+
+func (e *event) participant() int {
+	if e.Participant == nil {
+		return -1
+	}
+	return *e.Participant
+}
+
+// partStats collects the per-participant spans of one round. The server's
+// rpc.call measures issue-to-reply; the worker's decode/train/encode spans
+// break that same interval down from the other side of the wire.
+type partStats struct {
+	Participant int     `json:"participant"`
+	CallSec     float64 `json:"call_seconds"`
+	CallOK      bool    `json:"call_ok"`
+	CallBytes   int64   `json:"call_bytes"`
+	DecodeSec   float64 `json:"decode_seconds"`
+	TrainSec    float64 `json:"train_seconds"`
+	EncodeSec   float64 `json:"encode_seconds"`
+	hasCall     bool
+}
+
+// wireSec is the part of the RPC the worker never saw: framing, kernel
+// buffers, the network, and server-side reply decode.
+func (p *partStats) wireSec() float64 {
+	w := p.CallSec - p.DecodeSec - p.TrainSec - p.EncodeSec
+	if w < 0 {
+		return 0
+	}
+	return w
+}
+
+// roundPath is one stitched round with its critical-path breakdown.
+type roundPath struct {
+	Trace string `json:"trace"`
+	Round int    `json:"round"`
+	// Complete means the round has a start, an end, and at least one
+	// stitched worker.train span — enough to attribute its wall-clock.
+	Complete bool    `json:"complete"`
+	TotalSec float64 `json:"total_seconds"`
+	MeanAcc  float64 `json:"mean_accuracy"`
+
+	DispatchSec   float64 `json:"dispatch_seconds"`
+	DispatchBytes int64   `json:"dispatch_bytes"`
+	MergeSec      float64 `json:"merge_seconds"`
+	Contributors  int     `json:"contributors"`
+	UpdateSec     float64 `json:"update_seconds"`
+
+	// Critical is the slowest rpc.call of the round — the participant the
+	// synchronous barrier actually waited on.
+	Critical *partStats `json:"critical_path,omitempty"`
+	// OtherSec is wall-clock the spans do not explain (scheduling,
+	// evaluation, sampling). Negative values are clamped to 0 and happen
+	// only when calls overlap the next round (async staleness).
+	OtherSec float64 `json:"other_seconds"`
+
+	Faults int `json:"chaos_faults"`
+
+	parts map[int]*partStats
+}
+
+func (r *roundPath) finish() {
+	for _, p := range r.parts {
+		if r.Critical == nil || p.CallSec > r.Critical.CallSec {
+			r.Critical = p
+		}
+	}
+	r.Complete = r.TotalSec > 0
+	if r.Critical == nil || r.Critical.TrainSec == 0 {
+		r.Complete = false
+	}
+	if r.Critical != nil {
+		r.OtherSec = r.TotalSec - r.DispatchSec - r.Critical.CallSec -
+			r.MergeSec - r.UpdateSec
+		if r.OtherSec < 0 {
+			r.OtherSec = 0
+		}
+	}
+}
+
+func (r *roundPath) part(id int) *partStats {
+	p, ok := r.parts[id]
+	if !ok {
+		p = &partStats{Participant: id}
+		r.parts[id] = p
+	}
+	return p
+}
+
+// orphan is a span that claims a trace but no known round span parents it.
+type orphan struct {
+	File  string `json:"file"`
+	Line  int    `json:"line"`
+	Event string `json:"event"`
+	Trace string `json:"trace"`
+	Span  string `json:"parent"`
+}
+
+type profile struct {
+	Files   []string     `json:"files"`
+	Events  int          `json:"events"`
+	Traces  []string     `json:"traces"`
+	Rounds  []*roundPath `json:"rounds"`
+	Orphans []orphan     `json:"orphans"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fedtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("fedtrace", flag.ContinueOnError)
+	var (
+		roundArg  = fs.Int("round", -1, "show only this round (-1 = all)")
+		slowest   = fs.Int("slowest", 0, "show only the N slowest rounds (0 = all)")
+		asJSON    = fs.Bool("json", false, "emit the full profile as JSON instead of a table")
+		minRounds = fs.Int("min-rounds", 0, "fail unless >= N complete rounds stitched with zero orphans (CI gate)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("no trace files given (want server/worker JSONL paths)")
+	}
+
+	events, err := readAll(fs.Args())
+	if err != nil {
+		return err
+	}
+	prof := stitch(events)
+	prof.Files = fs.Args()
+
+	rounds := prof.Rounds
+	if *roundArg >= 0 {
+		var keep []*roundPath
+		for _, r := range rounds {
+			if r.Round == *roundArg {
+				keep = append(keep, r)
+			}
+		}
+		rounds = keep
+	}
+	if *slowest > 0 {
+		sorted := append([]*roundPath(nil), rounds...)
+		sort.SliceStable(sorted, func(i, j int) bool {
+			return sorted[i].TotalSec > sorted[j].TotalSec
+		})
+		if len(sorted) > *slowest {
+			sorted = sorted[:*slowest]
+		}
+		rounds = sorted
+	}
+
+	if *asJSON {
+		view := *prof
+		view.Rounds = rounds
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(&view); err != nil {
+			return err
+		}
+	} else {
+		printTable(w, prof, rounds)
+	}
+
+	if *minRounds > 0 {
+		if n := len(prof.Orphans); n > 0 {
+			o := prof.Orphans[0]
+			return fmt.Errorf("%d orphan spans (first: %s %s:%d, parent %q)",
+				n, o.Event, o.File, o.Line, o.Span)
+		}
+		complete := 0
+		for _, r := range prof.Rounds {
+			if r.Complete {
+				complete++
+			}
+		}
+		if complete < *minRounds {
+			return fmt.Errorf("%d complete rounds stitched, want >= %d", complete, *minRounds)
+		}
+	}
+	return nil
+}
+
+func readAll(paths []string) ([]*event, error) {
+	var events []*event
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		line := 0
+		for sc.Scan() {
+			line++
+			if len(strings.TrimSpace(sc.Text())) == 0 {
+				continue
+			}
+			e := &event{file: path, line: line}
+			if err := json.Unmarshal(sc.Bytes(), e); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+			}
+			events = append(events, e)
+		}
+		err = sc.Err()
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return events, nil
+}
+
+type roundKey struct {
+	trace string
+	round int
+}
+
+// stitch joins every stream into per-round critical paths. round.start
+// spans define the set of valid parents; everything else either attaches
+// to one of them or is an orphan.
+func stitch(events []*event) *profile {
+	prof := &profile{Events: len(events)}
+
+	// Pass 1: index the round spans the servers opened.
+	spanRound := map[string]roundKey{}
+	traces := map[string]bool{}
+	rounds := map[roundKey]*roundPath{}
+	get := func(k roundKey) *roundPath {
+		r, ok := rounds[k]
+		if !ok {
+			r = &roundPath{Trace: k.trace, Round: k.round, parts: map[int]*partStats{}}
+			rounds[k] = r
+		}
+		return r
+	}
+	for _, e := range events {
+		if e.Event == telemetry.EventRoundStart && e.Trace != "" && e.Span != "" {
+			k := roundKey{e.Trace, e.Round}
+			spanRound[e.Span] = k
+			traces[e.Trace] = true
+			get(k)
+		}
+	}
+
+	// Pass 2: attach every traced span to its round.
+	for _, e := range events {
+		if e.Trace == "" || e.Event == telemetry.EventRoundStart {
+			continue
+		}
+		k, ok := spanRound[e.Parent]
+		if !ok || k.trace != e.Trace {
+			prof.Orphans = append(prof.Orphans, orphan{
+				File: e.file, Line: e.line, Event: e.Event, Trace: e.Trace, Span: e.Parent,
+			})
+			continue
+		}
+		r := get(k)
+		switch e.Event {
+		case telemetry.EventRoundEnd:
+			r.TotalSec = e.Seconds
+			r.MeanAcc = e.Value
+		case telemetry.EventRoundDispatch:
+			r.DispatchSec = e.Seconds
+			r.DispatchBytes = e.Bytes
+		case telemetry.EventRoundMerge:
+			r.MergeSec = e.Seconds
+			r.Contributors = int(e.Value)
+		case telemetry.EventCtrlUpdate:
+			r.UpdateSec = e.Seconds
+		case telemetry.EventRPCCall:
+			p := r.part(e.participant())
+			p.CallSec = e.Seconds
+			p.CallOK = e.Value != 0
+			p.CallBytes = e.Bytes
+			p.hasCall = true
+		case telemetry.EventWorkerTrain:
+			r.part(e.participant()).TrainSec = e.Seconds
+		case telemetry.EventWorkerDecode:
+			r.part(e.participant()).DecodeSec = e.Seconds
+		case telemetry.EventWorkerEncode:
+			r.part(e.participant()).EncodeSec = e.Seconds
+		case telemetry.EventChaosFault:
+			r.Faults++
+		}
+	}
+
+	for t := range traces {
+		prof.Traces = append(prof.Traces, t)
+	}
+	sort.Strings(prof.Traces)
+	for _, r := range rounds {
+		r.finish()
+		prof.Rounds = append(prof.Rounds, r)
+	}
+	sort.Slice(prof.Rounds, func(i, j int) bool {
+		a, b := prof.Rounds[i], prof.Rounds[j]
+		if a.Trace != b.Trace {
+			return a.Trace < b.Trace
+		}
+		return a.Round < b.Round
+	})
+	return prof
+}
+
+func ms(s float64) string { return fmt.Sprintf("%.2f", s*1e3) }
+
+func printTable(w io.Writer, prof *profile, rounds []*roundPath) {
+	fmt.Fprintf(w, "fedtrace: %d events, %d trace(s), %d round(s), %d orphan span(s)\n",
+		prof.Events, len(prof.Traces), len(prof.Rounds), len(prof.Orphans))
+	fmt.Fprintf(w, "%-6s %-9s %-10s %-6s %-9s %-9s %-9s %-9s %-8s %-8s %-8s %-7s\n",
+		"round", "total_ms", "dispatch", "crit", "call_ms", "train_ms",
+		"codec_ms", "wire_ms", "merge", "update", "other", "faults")
+	for _, r := range rounds {
+		crit, call, train, codec, wire := "-", "-", "-", "-", "-"
+		if p := r.Critical; p != nil {
+			crit = fmt.Sprintf("p%d", p.Participant)
+			if !p.CallOK && p.hasCall {
+				crit += "!"
+			}
+			call, train = ms(p.CallSec), ms(p.TrainSec)
+			codec = ms(p.DecodeSec + p.EncodeSec)
+			wire = ms(p.wireSec())
+		}
+		mark := ""
+		if !r.Complete {
+			mark = " (incomplete)"
+		}
+		fmt.Fprintf(w, "%-6d %-9s %-10s %-6s %-9s %-9s %-9s %-9s %-8s %-8s %-8s %-7d%s\n",
+			r.Round, ms(r.TotalSec), ms(r.DispatchSec), crit, call, train,
+			codec, wire, ms(r.MergeSec), ms(r.UpdateSec), ms(r.OtherSec),
+			r.Faults, mark)
+	}
+	for i, o := range prof.Orphans {
+		if i == 5 {
+			fmt.Fprintf(w, "orphan: ... and %d more\n", len(prof.Orphans)-5)
+			break
+		}
+		fmt.Fprintf(w, "orphan: %s at %s:%d (trace %s, parent %q)\n",
+			o.Event, o.File, o.Line, o.Trace, o.Span)
+	}
+}

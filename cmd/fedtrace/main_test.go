@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Two rounds of a K=2 run split across a server file and two worker files,
+// the way a real deployment writes them. Round 0's span is "aa", round 1's
+// is "bb"; participant 1 is the straggler both rounds.
+const serverTrace = `{"ts":1,"event":"round.start","round":0,"bytes":0,"staleness":0,"seconds":0,"value":0,"trace":"f00","span":"aa"}
+{"ts":2,"event":"round.dispatch","round":0,"bytes":1000,"staleness":0,"seconds":0.001,"value":0,"trace":"f00","parent":"aa"}
+{"ts":3,"event":"rpc.call","round":0,"participant":0,"bytes":500,"staleness":0,"seconds":0.02,"value":1,"trace":"f00","parent":"aa"}
+{"ts":4,"event":"rpc.call","round":0,"participant":1,"bytes":500,"staleness":0,"seconds":0.05,"value":1,"trace":"f00","parent":"aa"}
+{"ts":5,"event":"round.merge","round":0,"bytes":0,"staleness":0,"seconds":0.002,"value":2,"trace":"f00","parent":"aa"}
+{"ts":6,"event":"controller.update","round":0,"bytes":0,"staleness":0,"seconds":0.003,"value":0,"trace":"f00","parent":"aa"}
+{"ts":7,"event":"round.end","round":0,"bytes":0,"staleness":0,"seconds":0.08,"value":0.5,"trace":"f00","parent":"aa"}
+{"ts":8,"event":"round.start","round":1,"bytes":0,"staleness":0,"seconds":0,"value":0,"trace":"f00","span":"bb"}
+{"ts":9,"event":"round.dispatch","round":1,"bytes":1000,"staleness":0,"seconds":0.001,"value":0,"trace":"f00","parent":"bb"}
+{"ts":10,"event":"rpc.call","round":1,"participant":0,"bytes":500,"staleness":0,"seconds":0.02,"value":1,"trace":"f00","parent":"bb"}
+{"ts":11,"event":"rpc.call","round":1,"participant":1,"bytes":500,"staleness":0,"seconds":0.09,"value":1,"trace":"f00","parent":"bb"}
+{"ts":12,"event":"round.merge","round":1,"bytes":0,"staleness":0,"seconds":0.002,"value":2,"trace":"f00","parent":"bb"}
+{"ts":13,"event":"controller.update","round":1,"bytes":0,"staleness":0,"seconds":0.003,"value":0,"trace":"f00","parent":"bb"}
+{"ts":14,"event":"round.end","round":1,"bytes":0,"staleness":0,"seconds":0.12,"value":0.6,"trace":"f00","parent":"bb"}
+`
+
+const worker0Trace = `{"ts":3,"event":"worker.decode","round":0,"participant":0,"bytes":400,"staleness":0,"seconds":0.001,"value":0,"trace":"f00","parent":"aa"}
+{"ts":3,"event":"worker.train","round":0,"participant":0,"bytes":0,"staleness":0,"seconds":0.015,"value":0,"trace":"f00","parent":"aa"}
+{"ts":3,"event":"worker.encode","round":0,"participant":0,"bytes":450,"staleness":0,"seconds":0.001,"value":0,"trace":"f00","parent":"aa"}
+{"ts":10,"event":"worker.train","round":1,"participant":0,"bytes":0,"staleness":0,"seconds":0.015,"value":0,"trace":"f00","parent":"bb"}
+`
+
+const worker1Trace = `{"ts":4,"event":"worker.train","round":0,"participant":1,"bytes":0,"staleness":0,"seconds":0.04,"value":0,"trace":"f00","parent":"aa"}
+{"ts":11,"event":"worker.decode","round":1,"participant":1,"bytes":400,"staleness":0,"seconds":0.002,"value":0,"trace":"f00","parent":"bb"}
+{"ts":11,"event":"worker.train","round":1,"participant":1,"bytes":0,"staleness":0,"seconds":0.07,"value":0,"trace":"f00","parent":"bb"}
+{"ts":11,"event":"worker.encode","round":1,"participant":1,"bytes":450,"staleness":0,"seconds":0.003,"value":0,"trace":"f00","parent":"bb"}
+{"ts":12,"event":"chaos.fault","round":1,"participant":1,"bytes":0,"staleness":0,"seconds":0,"value":1,"trace":"f00","parent":"bb"}
+`
+
+func writeTraces(t *testing.T) []string {
+	t.Helper()
+	dir := t.TempDir()
+	paths := []string{}
+	for name, body := range map[string]string{
+		"server.jsonl":  serverTrace,
+		"worker0.jsonl": worker0Trace,
+		"worker1.jsonl": worker1Trace,
+	} {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	return paths
+}
+
+func TestStitchCriticalPath(t *testing.T) {
+	paths := writeTraces(t)
+	events, err := readAll(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := stitch(events)
+	if len(prof.Orphans) != 0 {
+		t.Fatalf("orphans in a clean trace: %+v", prof.Orphans)
+	}
+	if len(prof.Rounds) != 2 || len(prof.Traces) != 1 {
+		t.Fatalf("stitched %d rounds / %d traces, want 2 / 1", len(prof.Rounds), len(prof.Traces))
+	}
+	for i, r := range prof.Rounds {
+		if r.Round != i || !r.Complete {
+			t.Fatalf("round %d: got round=%d complete=%v", i, r.Round, r.Complete)
+		}
+		if r.Critical == nil || r.Critical.Participant != 1 {
+			t.Fatalf("round %d critical path should be participant 1: %+v", i, r.Critical)
+		}
+	}
+	r1 := prof.Rounds[1]
+	if r1.Critical.CallSec != 0.09 || r1.Critical.TrainSec != 0.07 {
+		t.Fatalf("round 1 critical call/train = %v/%v", r1.Critical.CallSec, r1.Critical.TrainSec)
+	}
+	// wire = call - decode - train - encode = 0.09 - 0.002 - 0.07 - 0.003
+	if got := r1.Critical.wireSec(); got < 0.0149 || got > 0.0151 {
+		t.Fatalf("round 1 wire seconds = %v, want ~0.015", got)
+	}
+	// other = total - dispatch - call - merge - update = 0.12-0.001-0.09-0.002-0.003
+	if r1.OtherSec < 0.0239 || r1.OtherSec > 0.0241 {
+		t.Fatalf("round 1 other seconds = %v, want ~0.024", r1.OtherSec)
+	}
+	if r1.Faults != 1 {
+		t.Fatalf("round 1 chaos faults = %d, want 1", r1.Faults)
+	}
+	if r0 := prof.Rounds[0]; r0.Faults != 0 || r0.Contributors != 2 {
+		t.Fatalf("round 0 faults/contributors = %d/%d", r0.Faults, r0.Contributors)
+	}
+}
+
+func TestOrphanDetectionAndGate(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "bad.jsonl")
+	body := serverTrace +
+		`{"ts":99,"event":"worker.train","round":7,"participant":0,"bytes":0,"staleness":0,"seconds":0.1,"value":0,"trace":"f00","parent":"dead"}` + "\n"
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	events, err := readAll([]string{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := stitch(events)
+	if len(prof.Orphans) != 1 || prof.Orphans[0].Event != "worker.train" {
+		t.Fatalf("orphans = %+v, want exactly the dead-parent train span", prof.Orphans)
+	}
+	// The CI gate must fail on orphans even with enough rounds.
+	var buf bytes.Buffer
+	err = run([]string{"-min-rounds", "1", p}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "orphan") {
+		t.Fatalf("gate accepted an orphaned trace: %v", err)
+	}
+}
+
+func TestRunFiltersAndJSON(t *testing.T) {
+	paths := writeTraces(t)
+
+	var table bytes.Buffer
+	if err := run(append([]string{"-min-rounds", "2"}, paths...), &table); err != nil {
+		t.Fatalf("table run: %v", err)
+	}
+	out := table.String()
+	for _, want := range []string{"2 round(s)", "0 orphan span(s)", "p1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+
+	// -slowest 1 keeps only round 1 (0.12s > 0.08s).
+	var slow bytes.Buffer
+	if err := run(append([]string{"-slowest", "1", "-json"}, paths...), &slow); err != nil {
+		t.Fatal(err)
+	}
+	if s := slow.String(); !strings.Contains(s, `"round": 1`) || strings.Contains(s, `"round": 0,`) {
+		t.Fatalf("-slowest 1 did not isolate round 1:\n%s", s)
+	}
+
+	// -round 0 keeps only round 0.
+	var one bytes.Buffer
+	if err := run(append([]string{"-round", "0", "-json"}, paths...), &one); err != nil {
+		t.Fatal(err)
+	}
+	if s := one.String(); !strings.Contains(s, `"round": 0`) || strings.Contains(s, `"round": 1,`) {
+		t.Fatalf("-round 0 did not isolate round 0:\n%s", s)
+	}
+
+	// A gate above what the trace holds fails.
+	var buf bytes.Buffer
+	if err := run(append([]string{"-min-rounds", "3"}, paths...), &buf); err == nil {
+		t.Fatal("-min-rounds 3 passed on a 2-round trace")
+	}
+}

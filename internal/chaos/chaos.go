@@ -23,6 +23,18 @@ import (
 
 	"fedrlnas/internal/nettrace"
 	"fedrlnas/internal/telemetry"
+	"fedrlnas/internal/wire"
+)
+
+// Kill-site codes carried in a chaos.fault event's value field, so
+// cmd/fedtrace can attribute a fault to where in the stack it fired.
+const (
+	// FaultSiteOutage: SetDown(true) killed the live connections.
+	FaultSiteOutage = 0
+	// FaultSiteWrite: KillProb closed a connection mid-write.
+	FaultSiteWrite = 1
+	// FaultSiteAccept: a connection was accepted and dropped while down.
+	FaultSiteAccept = 2
 )
 
 // Config selects which faults an Injector applies.
@@ -149,6 +161,11 @@ type Injector struct {
 	seq   int64
 	conns map[*faultConn]struct{}
 	met   telemetry.ChaosMetrics
+
+	// tracer + spanOf tag injected faults with the trace context of the
+	// round they disrupted (see TraceWith).
+	tracer *telemetry.Tracer
+	spanOf func() wire.SpanContext
 }
 
 // New builds an injector for cfg. Metrics default to unobserved; attach a
@@ -175,6 +192,33 @@ func (in *Injector) Observe(reg *telemetry.Registry) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.met = telemetry.NewChaosMetrics(reg)
+}
+
+// TraceWith attaches a tracer so every injected fault also emits a
+// chaos.fault span event. spanOf (optional) supplies the trace context of
+// the round being disrupted — typically ParticipantService.CurrentSpan — so
+// the fault lands under that round's span in a stitched timeline; a nil
+// spanOf (or a zero context) logs the fault without correlation fields.
+func (in *Injector) TraceWith(tracer *telemetry.Tracer, spanOf func() wire.SpanContext) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.tracer = tracer
+	in.spanOf = spanOf
+}
+
+// traceFault emits one chaos.fault event tagged with the active round span.
+func (in *Injector) traceFault(site int) {
+	in.mu.Lock()
+	tracer, spanOf := in.tracer, in.spanOf
+	in.mu.Unlock()
+	if tracer == nil {
+		return
+	}
+	var ctx wire.SpanContext
+	if spanOf != nil {
+		ctx = spanOf()
+	}
+	tracer.ChaosFault(ctx, site)
 }
 
 // Metrics returns the injector's current counter handles.
@@ -210,6 +254,7 @@ func (in *Injector) SetDown(down bool) {
 		c.kill()
 		met.Kills.Inc()
 		met.Faults.Inc()
+		in.traceFault(FaultSiteOutage)
 	}
 }
 
@@ -276,6 +321,7 @@ func (l *faultListener) Accept() (net.Conn, error) {
 			met := l.in.counters()
 			met.Kills.Inc()
 			met.Faults.Inc()
+			l.in.traceFault(FaultSiteAccept)
 			continue
 		}
 		return l.in.adopt(conn), nil
@@ -352,6 +398,7 @@ func (c *faultConn) Write(p []byte) (int, error) {
 			met := c.in.counters()
 			met.Kills.Inc()
 			met.Faults.Inc()
+			c.in.traceFault(FaultSiteWrite)
 			return 0, fmt.Errorf("chaos: connection killed")
 		}
 	}

@@ -1,7 +1,9 @@
 package chaos
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
 	"io"
 	"net"
 	"strings"
@@ -10,6 +12,7 @@ import (
 
 	"fedrlnas/internal/nettrace"
 	"fedrlnas/internal/telemetry"
+	"fedrlnas/internal/wire"
 )
 
 func TestConfigValidate(t *testing.T) {
@@ -209,5 +212,49 @@ func TestLatencyDelaysWrites(t *testing.T) {
 	}
 	if n := in.Metrics().DelayNs.Value(); n == 0 {
 		t.Error("chaos_delay_ns_total = 0 despite injected latency")
+	}
+}
+
+func TestTraceWithTagsInjectedFaults(t *testing.T) {
+	in, err := New(Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	ctx := wire.SpanContext{TraceID: 0xa1, SpanID: 0xb2, Round: 7, Participant: 3}
+	in.TraceWith(telemetry.NewJSONLTracer(&buf), func() wire.SpanContext { return ctx })
+
+	conn := echoPair(t, in)
+	defer conn.Close()
+	payload := []byte("ping")
+	if got := roundTrip(t, conn, payload); !bytes.Equal(got, payload) {
+		t.Fatal("healthy round-trip failed")
+	}
+	in.SetDown(true)
+
+	var faults []map[string]any
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("invalid trace line %q: %v", sc.Text(), err)
+		}
+		if m["event"] == telemetry.EventChaosFault {
+			faults = append(faults, m)
+		}
+	}
+	if len(faults) == 0 {
+		t.Fatal("SetDown(true) emitted no chaos.fault events")
+	}
+	for _, m := range faults {
+		if m["value"].(float64) != FaultSiteOutage {
+			t.Errorf("fault site = %v, want %d (outage)", m["value"], FaultSiteOutage)
+		}
+		if m["round"].(float64) != 7 || m["participant"].(float64) != 3 {
+			t.Errorf("fault lost round/participant context: %v", m)
+		}
+		if m["trace"] != "a1" || m["parent"] != "b2" {
+			t.Errorf("fault not correlated to the round span: %v", m)
+		}
 	}
 }

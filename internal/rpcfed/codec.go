@@ -56,6 +56,16 @@ const (
 	bodyFedAvgReply  = 5
 )
 
+// headerTagSpan is the optional header-extension tag carrying a 24-byte
+// trace span context (wire.SpanContext) between the error string and
+// bodyKind. Extension tags have the high bit set, so a tag byte can never
+// be mistaken for a body kind. Unknown tags are a parse error (their length
+// is unknown), but untraced frames carry no tags at all and stay
+// byte-identical to the original protocol — so v1 peers interoperate as
+// long as tracing is off, and gob-mode clients are unaffected either way
+// because gob framing never takes this path.
+const headerTagSpan = 0x80
+
 // countingConn wraps a net.Conn, feeding raw byte counts both ways into
 // wire metrics counters (nil-safe, so an unobserved run costs two atomic
 // adds per syscall).
@@ -88,8 +98,10 @@ func (c sniffedConn) Read(p []byte) (int, error) { return c.r.Read(p) }
 // --- frame primitives -------------------------------------------------
 
 // appendFrameHeader emits everything up to and including bodyKind; the
-// caller appends the body and then patches the length prefix.
-func appendFrameHeader(dst []byte, mode wire.Mode, method string, seq uint64, errStr string, kind byte) ([]byte, error) {
+// caller appends the body and then patches the length prefix. A valid span
+// context is carried as a header-extension tag; an invalid one adds no
+// bytes, keeping untraced frames identical to the tag-free format.
+func appendFrameHeader(dst []byte, mode wire.Mode, method string, seq uint64, errStr string, span wire.SpanContext, kind byte) ([]byte, error) {
 	if len(method) > 255 {
 		return nil, fmt.Errorf("rpcfed: method name %q too long", method)
 	}
@@ -102,6 +114,10 @@ func appendFrameHeader(dst []byte, mode wire.Mode, method string, seq uint64, er
 	dst = binary.LittleEndian.AppendUint64(dst, seq)
 	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(errStr)))
 	dst = append(dst, errStr...)
+	if span.Valid() {
+		dst = append(dst, headerTagSpan)
+		dst = wire.AppendSpanContext(dst, span)
+	}
 	dst = append(dst, kind)
 	return dst, nil
 }
@@ -118,7 +134,10 @@ type frameHeader struct {
 	method string
 	seq    uint64
 	errStr string
-	kind   byte
+	// span is the trace context from the headerTagSpan extension (zero
+	// when the frame carried none).
+	span wire.SpanContext
+	kind byte
 }
 
 // readFrame reads one length-prefixed frame into buf (grown as needed) and
@@ -182,9 +201,24 @@ func parseFrameHeader(r *wire.Reader) (frameHeader, error) {
 		return h, err
 	}
 	h.errStr = string(eb)
-	if h.kind, err = r.U8(); err != nil {
+	b, err := r.U8()
+	if err != nil {
 		return h, err
 	}
+	for b&0x80 != 0 {
+		switch b {
+		case headerTagSpan:
+			if h.span, err = wire.DecodeSpanContext(r); err != nil {
+				return h, err
+			}
+		default:
+			return h, fmt.Errorf("rpcfed: unknown frame header tag %#x", b)
+		}
+		if b, err = r.U8(); err != nil {
+			return h, err
+		}
+	}
+	h.kind = b
 	return h, nil
 }
 
@@ -467,9 +501,22 @@ func newBinaryClientCodec(conn io.ReadWriteCloser, mode wire.Mode, met *telemetr
 	return &binaryClientCodec{conn: conn, mode: mode, met: met}, nil
 }
 
+// requestSpan lifts the trace context out of the typed request bodies the
+// server dispatches, so the binary framing can carry it in the header
+// (the typed body encoders deliberately skip it).
+func requestSpan(body any) wire.SpanContext {
+	switch b := body.(type) {
+	case *TrainRequest:
+		return b.Span
+	case *FedAvgRequest:
+		return b.Span
+	}
+	return wire.SpanContext{}
+}
+
 func (c *binaryClientCodec) WriteRequest(req *rpc.Request, body any) error {
 	t0 := time.Now()
-	buf, err := appendFrameHeader(c.encBuf[:0], c.mode, req.ServiceMethod, req.Seq, "", bodyNone)
+	buf, err := appendFrameHeader(c.encBuf[:0], c.mode, req.ServiceMethod, req.Seq, "", requestSpan(body), bodyNone)
 	if err != nil {
 		return err
 	}
@@ -481,7 +528,10 @@ func (c *binaryClientCodec) WriteRequest(req *rpc.Request, body any) error {
 	buf[kindAt] = kind
 	buf = finishFrame(buf, 0)
 	c.encBuf = buf
-	c.met.EncodeNs.Add(time.Since(t0).Nanoseconds())
+	enc := time.Since(t0)
+	c.met.EncodeNs.Add(enc.Nanoseconds())
+	c.met.EncodeSeconds.Observe(enc.Seconds())
+	c.met.FrameBytes.Observe(float64(len(buf)))
 	if _, err := c.conn.Write(buf); err != nil {
 		return err
 	}
@@ -506,6 +556,7 @@ func (c *binaryClientCodec) ReadResponseHeader(resp *rpc.Response) error {
 	resp.Seq = h.seq
 	resp.Error = h.errStr
 	c.met.DecodeNs.Add(time.Since(t0).Nanoseconds())
+	c.met.FrameBytes.Observe(float64(len(frame) + 4))
 	c.met.MessagesReceived.Inc()
 	return nil
 }
@@ -513,7 +564,9 @@ func (c *binaryClientCodec) ReadResponseHeader(resp *rpc.Response) error {
 func (c *binaryClientCodec) ReadResponseBody(body any) error {
 	t0 := time.Now()
 	err := decodeBody(c.body, c.pending.kind, body)
-	c.met.DecodeNs.Add(time.Since(t0).Nanoseconds())
+	dec := time.Since(t0)
+	c.met.DecodeNs.Add(dec.Nanoseconds())
+	c.met.DecodeSeconds.Observe(dec.Seconds())
 	return err
 }
 
@@ -521,13 +574,22 @@ func (c *binaryClientCodec) Close() error { return c.conn.Close() }
 
 // --- server codec -----------------------------------------------------
 
+// requestEcho is what a response must echo from its request: the wire mode
+// the client asked for and the trace context its worker-side spans (and the
+// response frame header) parent under.
+type requestEcho struct {
+	mode wire.Mode
+	span wire.SpanContext
+}
+
 // binaryServerCodec implements rpc.ServerCodec. The read methods run from
 // the server's single read loop; WriteResponse runs from service
 // goroutines (serialized by net/rpc's per-connection sending lock, but
-// concurrent with reads), so the seq→mode echo map needs its own lock.
+// concurrent with reads), so the seq→echo map needs its own lock.
 type binaryServerCodec struct {
-	conn io.ReadWriteCloser
-	met  *telemetry.WireMetrics
+	conn   io.ReadWriteCloser
+	met    *telemetry.WireMetrics
+	tracer *telemetry.Tracer
 
 	decBuf  []byte
 	pending frameHeader
@@ -535,11 +597,12 @@ type binaryServerCodec struct {
 
 	mu        sync.Mutex
 	encBuf    []byte
-	modeBySeq map[uint64]wire.Mode
+	echoBySeq map[uint64]requestEcho
 }
 
-func newBinaryServerCodec(conn io.ReadWriteCloser, met *telemetry.WireMetrics) *binaryServerCodec {
-	return &binaryServerCodec{conn: conn, met: met, modeBySeq: make(map[uint64]wire.Mode)}
+func newBinaryServerCodec(conn io.ReadWriteCloser, met *telemetry.WireMetrics, tracer *telemetry.Tracer) *binaryServerCodec {
+	return &binaryServerCodec{conn: conn, met: met, tracer: tracer,
+		echoBySeq: make(map[uint64]requestEcho)}
 }
 
 func (c *binaryServerCodec) ReadRequestHeader(req *rpc.Request) error {
@@ -558,9 +621,10 @@ func (c *binaryServerCodec) ReadRequestHeader(req *rpc.Request) error {
 	req.ServiceMethod = h.method
 	req.Seq = h.seq
 	c.mu.Lock()
-	c.modeBySeq[h.seq] = h.mode
+	c.echoBySeq[h.seq] = requestEcho{mode: h.mode, span: h.span}
 	c.mu.Unlock()
 	c.met.DecodeNs.Add(time.Since(t0).Nanoseconds())
+	c.met.FrameBytes.Observe(float64(len(frame) + 4))
 	c.met.MessagesReceived.Inc()
 	return nil
 }
@@ -568,28 +632,46 @@ func (c *binaryServerCodec) ReadRequestHeader(req *rpc.Request) error {
 func (c *binaryServerCodec) ReadRequestBody(body any) error {
 	t0 := time.Now()
 	err := decodeBody(c.body, c.pending.kind, body)
-	c.met.DecodeNs.Add(time.Since(t0).Nanoseconds())
-	return err
+	dec := time.Since(t0)
+	c.met.DecodeNs.Add(dec.Nanoseconds())
+	c.met.DecodeSeconds.Observe(dec.Seconds())
+	if err != nil {
+		return err
+	}
+	// The binary body layouts skip the span; restore it from the frame
+	// header so the service sees the same request a gob client would send,
+	// and record the decode as a worker-side span under the round.
+	if c.pending.span.Valid() {
+		switch b := body.(type) {
+		case *TrainRequest:
+			b.Span = c.pending.span
+		case *FedAvgRequest:
+			b.Span = c.pending.span
+		}
+		c.tracer.WorkerSpan(telemetry.EventWorkerDecode, c.pending.span,
+			int64(len(c.decBuf)+4), dec.Seconds())
+	}
+	return nil
 }
 
 func (c *binaryServerCodec) WriteResponse(resp *rpc.Response, body any) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	mode, ok := c.modeBySeq[resp.Seq]
+	echo, ok := c.echoBySeq[resp.Seq]
 	if !ok {
-		mode = wire.FP64
+		echo = requestEcho{mode: wire.FP64}
 	}
-	delete(c.modeBySeq, resp.Seq)
+	delete(c.echoBySeq, resp.Seq)
 
 	t0 := time.Now()
-	buf, err := appendFrameHeader(c.encBuf[:0], mode, resp.ServiceMethod, resp.Seq, resp.Error, bodyNone)
+	buf, err := appendFrameHeader(c.encBuf[:0], echo.mode, resp.ServiceMethod, resp.Seq, resp.Error, echo.span, bodyNone)
 	if err != nil {
 		return err
 	}
 	kindAt := len(buf) - 1
 	if resp.Error == "" {
 		var kind byte
-		buf, kind, err = appendBody(buf, mode, body)
+		buf, kind, err = appendBody(buf, echo.mode, body)
 		if err != nil {
 			return err
 		}
@@ -597,7 +679,14 @@ func (c *binaryServerCodec) WriteResponse(resp *rpc.Response, body any) error {
 	}
 	buf = finishFrame(buf, 0)
 	c.encBuf = buf
-	c.met.EncodeNs.Add(time.Since(t0).Nanoseconds())
+	enc := time.Since(t0)
+	c.met.EncodeNs.Add(enc.Nanoseconds())
+	c.met.EncodeSeconds.Observe(enc.Seconds())
+	c.met.FrameBytes.Observe(float64(len(buf)))
+	if echo.span.Valid() {
+		c.tracer.WorkerSpan(telemetry.EventWorkerEncode, echo.span,
+			int64(len(buf)), enc.Seconds())
+	}
 	if _, err := c.conn.Write(buf); err != nil {
 		return err
 	}
@@ -643,7 +732,9 @@ func (c *gobClientCodec) WriteRequest(req *rpc.Request, body any) error {
 		return err
 	}
 	err := c.encBuf.Flush()
-	c.met.EncodeNs.Add(time.Since(t0).Nanoseconds())
+	enc := time.Since(t0)
+	c.met.EncodeNs.Add(enc.Nanoseconds())
+	c.met.EncodeSeconds.Observe(enc.Seconds())
 	if err == nil {
 		c.met.MessagesSent.Inc()
 	}
@@ -661,7 +752,9 @@ func (c *gobClientCodec) ReadResponseHeader(resp *rpc.Response) error {
 func (c *gobClientCodec) ReadResponseBody(body any) error {
 	t0 := time.Now()
 	err := c.dec.Decode(body)
-	c.met.DecodeNs.Add(time.Since(t0).Nanoseconds())
+	dec := time.Since(t0)
+	c.met.DecodeNs.Add(dec.Nanoseconds())
+	c.met.DecodeSeconds.Observe(dec.Seconds())
 	return err
 }
 

@@ -166,7 +166,7 @@ func TestFP32PayloadSmallerThanGob(t *testing.T) {
 
 // TestEnvelopeGoldenBytes freezes the message envelope layout.
 func TestEnvelopeGoldenBytes(t *testing.T) {
-	buf, err := appendFrameHeader(nil, wire.FP32, "Participant.Train", 7, "boom", bodyTrainReply)
+	buf, err := appendFrameHeader(nil, wire.FP32, "Participant.Train", 7, "boom", wire.SpanContext{}, bodyTrainReply)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +258,7 @@ func TestGateIntsRejectOutOfRange(t *testing.T) {
 // typed body decoders: they must reject garbage with an error, never
 // panic.
 func FuzzParseFrame(f *testing.F) {
-	seed, _ := appendFrameHeader(nil, wire.FP64, "Participant.Train", 1, "", bodyTrainRequest)
+	seed, _ := appendFrameHeader(nil, wire.FP64, "Participant.Train", 1, "", wire.SpanContext{}, bodyTrainRequest)
 	seed, _ = appendTrainRequest(seed, wire.FP64, &TrainRequest{
 		Round: 0, Normal: []int{0}, Reduce: []int{1},
 		Weights: [][]float64{{1, 2}}, BatchSize: 4,

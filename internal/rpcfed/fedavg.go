@@ -11,6 +11,7 @@ import (
 	"fedrlnas/internal/nas"
 	"fedrlnas/internal/nn"
 	"fedrlnas/internal/tensor"
+	"fedrlnas/internal/wire"
 )
 
 // FedAvgRequest asks a participant to run LocalSteps of SGD on a fixed
@@ -28,6 +29,9 @@ type FedAvgRequest struct {
 	Momentum    float64
 	WeightDecay float64
 	GradClip    float64
+	// Span is the trace context of the issuing round (see
+	// TrainRequest.Span).
+	Span wire.SpanContext
 }
 
 // FedAvgReply returns the locally updated weights and shard size for

@@ -13,6 +13,7 @@ import (
 	"fedrlnas/internal/nas"
 	"fedrlnas/internal/nn"
 	"fedrlnas/internal/telemetry"
+	"fedrlnas/internal/wire"
 )
 
 // ParticipantService is the RPC service a federated client exposes. It
@@ -36,6 +37,13 @@ type ParticipantService struct {
 
 	// wireMet receives per-connection codec counters (see SetWireMetrics).
 	wireMet telemetry.WireMetrics
+
+	// tracer receives worker-side spans (worker.train plus the codec's
+	// worker.decode/worker.encode); nil disables them. curSpan snapshots
+	// the trace context of the request currently (or most recently)
+	// training, so a chaos injector can tag faults with the active round.
+	tracer  *telemetry.Tracer
+	curSpan wire.SpanContext
 
 	numSamples int
 }
@@ -74,14 +82,22 @@ func (p *ParticipantService) Hello(_ *HelloRequest, reply *HelloReply) error {
 
 // Train implements Alg. 1's participant update (lines 37–42) over RPC.
 func (p *ParticipantService) Train(req *TrainRequest, reply *TrainReply) error {
+	t0 := time.Now()
 	p.mu.Lock()
 	delay := p.delay
+	p.curSpan = req.Span
+	tracer := p.tracer
 	p.mu.Unlock()
 	if delay > 0 {
 		time.Sleep(delay)
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	// The span covers the whole call including any injected straggler
+	// delay — that is exactly the latency the server's critical path sees.
+	defer func() {
+		tracer.WorkerSpan(telemetry.EventWorkerTrain, req.Span, 0, time.Since(t0).Seconds())
+	}()
 
 	if req.BatchSize <= 0 {
 		return fmt.Errorf("rpcfed: batch size %d", req.BatchSize)
@@ -134,6 +150,25 @@ func (p *ParticipantService) SetWireMetrics(met telemetry.WireMetrics) {
 	p.wireMet = met
 }
 
+// SetTracer attaches a worker-side span tracer. Connections accepted after
+// the call emit worker.decode/worker.encode codec spans, and Train emits a
+// worker.train span, all parented under the server round span carried in
+// each request. A nil tracer (the default) disables worker spans.
+func (p *ParticipantService) SetTracer(t *telemetry.Tracer) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tracer = t
+}
+
+// CurrentSpan snapshots the trace context of the request this participant
+// is (or was most recently) training — the hook a fault injector uses to
+// tag chaos.fault events with the round they disrupted.
+func (p *ParticipantService) CurrentSpan() wire.SpanContext {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.curSpan
+}
+
 // Serve registers the service under a unique name and accepts connections
 // on a fresh TCP listener until the listener is closed. Each connection's
 // first bytes are sniffed: clients that sent the binary-protocol preamble
@@ -180,6 +215,7 @@ func (p *ParticipantService) ServeListener(ln net.Listener) (<-chan struct{}, er
 func (p *ParticipantService) serveConn(srv *rpc.Server, conn net.Conn) {
 	p.mu.Lock()
 	met := p.wireMet
+	tracer := p.tracer
 	p.mu.Unlock()
 	counted := &countingConn{Conn: conn, met: &met}
 	br := bufio.NewReader(counted)
@@ -189,7 +225,7 @@ func (p *ParticipantService) serveConn(srv *rpc.Server, conn net.Conn) {
 			conn.Close()
 			return
 		}
-		srv.ServeCodec(newBinaryServerCodec(sniffedConn{r: br, Conn: counted}, &met))
+		srv.ServeCodec(newBinaryServerCodec(sniffedConn{r: br, Conn: counted}, &met, tracer))
 		return
 	}
 	// Not our preamble (or the peer closed before sending 4 bytes): hand

@@ -284,6 +284,9 @@ func (s *Server) Clients() []*rpc.Client {
 // private one created by NewServer. Call it before Run.
 func (s *Server) SetTelemetry(tracer *telemetry.Tracer, reg *telemetry.Registry) {
 	s.tracer = tracer
+	// A traced server always has a trace ID, so every round opens a span
+	// and dispatched requests carry wire context to the workers.
+	s.tracer.EnsureTraceID()
 	if reg != nil {
 		s.met = telemetry.NewRoundMetrics(reg)
 		s.lcMet = telemetry.NewLifecycleMetrics(reg, len(s.peers))
@@ -315,6 +318,7 @@ func (s *Server) RunContext(ctx context.Context) (ServerResult, error) {
 		s.curRound.Store(int64(t))
 		roundStart := time.Now()
 		s.tracer.RoundStart(t)
+		spanCtx := s.tracer.RoundContext(t)
 		thetaNow := nn.CloneParamValues(params)
 		s.thetaPool.Put(t, thetaNow)
 		alphaNow := s.ctrl.Snapshot()
@@ -361,15 +365,19 @@ func (s *Server) RunContext(ctx context.Context) (ServerResult, error) {
 		}
 		reqs := make([]*TrainRequest, len(todo))
 		reqBytes := make([]int64, len(todo))
+		dispatchStart := time.Now()
 		if err := s.pool.Run(len(todo), func(_, i int) error {
 			p := todo[i]
 			sub := s.net.SampledParams(gates[p])
+			span := spanCtx
+			span.Participant = int32(p)
 			reqs[i] = &TrainRequest{
 				Round:     t,
 				Normal:    append([]int(nil), gates[p].Normal...),
 				Reduce:    append([]int(nil), gates[p].Reduce...),
 				Weights:   flattenValues(sub),
 				BatchSize: s.cfg.BatchSize,
+				Span:      span,
 			}
 			// Measured encoded payload size under the active wire mode
 			// (for Gob, the FP64-equivalent analytic size), not the 4 B/
@@ -381,13 +389,16 @@ func (s *Server) RunContext(ctx context.Context) (ServerResult, error) {
 			return res, err
 		}
 		dispatched := 0
+		var dispatchBytes int64
 		for i, p := range todo {
 			s.met.SubModelBytes.Observe(float64(reqBytes[i]))
 			s.tracer.SubModelSample(t, p, reqBytes[i])
+			dispatchBytes += reqBytes[i]
 			s.inFlight[p] = true
 			go s.call(s.peers[p], reqs[i])
 			dispatched++
 		}
+		s.tracer.RoundDispatch(t, dispatchBytes, time.Since(dispatchStart).Seconds())
 
 		// Collect until quorum of THIS round's replies (late replies from
 		// earlier rounds count toward the aggregate but not the quorum).
@@ -488,6 +499,7 @@ func (s *Server) RunContext(ctx context.Context) (ServerResult, error) {
 		}
 
 		// Deterministic merge of this round's accepted replies.
+		mergeStart := time.Now()
 		sort.Slice(accepted, func(i, j int) bool {
 			if accepted[i].Round != accepted[j].Round {
 				return accepted[i].Round < accepted[j].Round
@@ -499,7 +511,9 @@ func (s *Server) RunContext(ctx context.Context) (ServerResult, error) {
 				return res, err
 			}
 		}
+		s.tracer.RoundMerge(t, contributors, time.Since(mergeStart).Seconds())
 
+		updateStart := time.Now()
 		if contributors > 0 {
 			inv := 1.0 / float64(contributors)
 			for i, p := range params {
@@ -514,6 +528,7 @@ func (s *Server) RunContext(ctx context.Context) (ServerResult, error) {
 			s.ctrl.UpdateBaseline(sumAcc * inv)
 			s.tracer.AlphaUpdate(t, s.ctrl.Entropy())
 		}
+		s.tracer.ControllerUpdate(t, time.Since(updateStart).Seconds())
 		meanFreshAcc := 0.0
 		if freshCount > 0 {
 			meanFreshAcc = sumFreshAcc / float64(freshCount)
@@ -547,8 +562,11 @@ func (s *Server) finishPartial(res ServerResult) ServerResult {
 // state machine, and forwards the reply (or a drop marker on error) to the
 // collection channel.
 func (s *Server) call(p *peer, req *TrainRequest) {
+	t0 := time.Now()
 	reply := &TrainReply{}
 	err := p.do("Participant.Train", req, reply, s.cfg.Transport.CallTimeout)
+	elapsed := time.Since(t0).Seconds()
+	var replyBytes int64
 	if err != nil {
 		if isTransportFailure(err) {
 			s.noteCallFailure(p, err)
@@ -559,7 +577,13 @@ func (s *Server) call(p *peer, req *TrainRequest) {
 		reply = &TrainReply{Round: -1, ParticipantID: p.id}
 	} else {
 		s.noteCallSuccess(p)
+		replyBytes = wire.GroupBytes(s.cfg.Transport.Wire, reply.Grads)
 	}
+	s.lcMet.CallSeconds.Observe(elapsed)
+	if p.id < len(s.lcMet.RoundSeconds) {
+		s.lcMet.RoundSeconds[p.id].Set(elapsed)
+	}
+	s.tracer.RPCCall(req.Span, req.Round, p.id, replyBytes, elapsed, err == nil)
 	s.replies <- reply
 }
 

@@ -1,0 +1,310 @@
+package rpcfed
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"fedrlnas/internal/telemetry"
+	"fedrlnas/internal/wire"
+)
+
+func TestFrameHeaderSpanRoundTrip(t *testing.T) {
+	span := wire.SpanContext{TraceID: 0xabc, SpanID: 0xdef, Round: 5, Participant: 2}
+	buf, err := appendFrameHeader(nil, wire.FP64, "Participant.Train", 9, "", span, bodyTrainRequest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = finishFrame(buf, 0)
+
+	// The span block costs exactly tag + SpanContextBytes over an
+	// untraced header.
+	plain, err := appendFrameHeader(nil, wire.FP64, "Participant.Train", 9, "", wire.SpanContext{}, bodyTrainRequest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain = finishFrame(plain, 0)
+	if len(buf) != len(plain)+1+wire.SpanContextBytes {
+		t.Fatalf("traced header is %d bytes, untraced %d (want +%d)",
+			len(buf), len(plain), 1+wire.SpanContextBytes)
+	}
+
+	h, err := parseFrameHeader(wire.NewReader(buf[4:]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.span != span {
+		t.Fatalf("span round trip: got %+v want %+v", h.span, span)
+	}
+	if h.mode != wire.FP64 || h.method != "Participant.Train" || h.seq != 9 || h.kind != bodyTrainRequest {
+		t.Fatalf("header fields mangled around the span block: %+v", h)
+	}
+
+	// An untraced frame parses with a zero (invalid) span.
+	hp, err := parseFrameHeader(wire.NewReader(plain[4:]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hp.span.Valid() {
+		t.Fatalf("untraced frame decoded a span: %+v", hp.span)
+	}
+}
+
+func TestFrameHeaderRejectsUnknownTag(t *testing.T) {
+	buf, err := appendFrameHeader(nil, wire.FP64, "M", 1, "", wire.SpanContext{}, bodyNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the kind byte with an unknown extension tag.
+	buf[len(buf)-1] = 0x81
+	if _, err := parseFrameHeader(wire.NewReader(buf[4:])); err == nil {
+		t.Fatal("unknown header tag accepted")
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for collecting worker traces.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) lines(t *testing.T) []map[string]any {
+	t.Helper()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []map[string]any
+	sc := bufio.NewScanner(bytes.NewReader(b.buf.Bytes()))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("invalid trace line %q: %v", sc.Text(), err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// runTracedSearch runs a short search with server- and worker-side tracers
+// attached and returns the parsed event streams.
+func runTracedSearch(t *testing.T, mode wire.Mode) (server []map[string]any, workers [][]map[string]any) {
+	t.Helper()
+	const k = 4
+	addrs, services, stop := startCluster(t, k, nil)
+	defer stop()
+
+	workerBufs := make([]*syncBuffer, k)
+	for i, svc := range services {
+		workerBufs[i] = &syncBuffer{}
+		svc.SetTracer(telemetry.NewJSONLTracer(workerBufs[i]))
+	}
+
+	cfg := DefaultServerConfig(testNet())
+	cfg.Rounds = 3
+	cfg.BatchSize = 4
+	cfg.Quorum = 1
+	cfg.Transport.Wire = mode
+	s, err := NewServer(cfg, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	serverBuf := &syncBuffer{}
+	s.SetTelemetry(telemetry.NewJSONLTracer(serverBuf), telemetry.NewRegistry())
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Close the cluster before reading worker buffers so in-flight
+	// responses are flushed.
+	stop()
+
+	workers = make([][]map[string]any, k)
+	for i := range workerBufs {
+		workers[i] = workerBufs[i].lines(t)
+	}
+	return serverBuf.lines(t), workers
+}
+
+// TestTracedRoundStitchesAcrossProcessBoundary is the tentpole invariant:
+// every worker-side span carries the server's trace ID and parents under a
+// round span the server opened — zero orphans.
+func TestTracedRoundStitchesAcrossProcessBoundary(t *testing.T) {
+	for _, mode := range []wire.Mode{wire.FP64, wire.Gob} {
+		t.Run(mode.String(), func(t *testing.T) {
+			server, workers := runTracedSearch(t, mode)
+
+			var traceID string
+			roundSpans := map[string]bool{}
+			for _, m := range server {
+				if m["event"] == telemetry.EventRoundStart {
+					tid, _ := m["trace"].(string)
+					sid, _ := m["span"].(string)
+					if tid == "" || sid == "" {
+						t.Fatalf("round.start without trace/span: %v", m)
+					}
+					if traceID == "" {
+						traceID = tid
+					} else if tid != traceID {
+						t.Fatalf("trace ID changed mid-run: %s then %s", traceID, tid)
+					}
+					roundSpans[sid] = true
+				}
+			}
+			if len(roundSpans) != 3 {
+				t.Fatalf("%d round spans, want 3", len(roundSpans))
+			}
+
+			// Server-side phase events and rpc.call all parent under a
+			// known round span.
+			for _, m := range server {
+				ev := m["event"].(string)
+				if ev == telemetry.EventRoundStart {
+					continue
+				}
+				if m["trace"] != traceID {
+					t.Fatalf("server event %s has trace %v, want %s", ev, m["trace"], traceID)
+				}
+				parent, _ := m["parent"].(string)
+				if !roundSpans[parent] {
+					t.Fatalf("server event %s is an orphan (parent %q): %v", ev, parent, m)
+				}
+			}
+
+			// Worker spans stitch into the same trace with zero orphans.
+			trains := 0
+			for w, lines := range workers {
+				for _, m := range lines {
+					ev := m["event"].(string)
+					if m["trace"] != traceID {
+						t.Fatalf("worker %d event %s has trace %v, want %s", w, ev, m["trace"], traceID)
+					}
+					parent, _ := m["parent"].(string)
+					if !roundSpans[parent] {
+						t.Fatalf("worker %d event %s is an orphan (parent %q)", w, ev, parent)
+					}
+					if ev == telemetry.EventWorkerTrain {
+						trains++
+						if int(m["participant"].(float64)) != w {
+							t.Fatalf("worker %d train span claims participant %v", w, m["participant"])
+						}
+					}
+				}
+			}
+			if trains != 3*4 {
+				t.Errorf("%d worker.train spans, want %d", trains, 3*4)
+			}
+			// Binary framing also traces the codec itself.
+			if mode == wire.FP64 {
+				decodes, encodes := 0, 0
+				for _, lines := range workers {
+					for _, m := range lines {
+						switch m["event"] {
+						case telemetry.EventWorkerDecode:
+							decodes++
+						case telemetry.EventWorkerEncode:
+							encodes++
+						}
+					}
+				}
+				if decodes < 3*4 || encodes < 3*4 {
+					t.Errorf("codec spans missing: %d decodes, %d encodes", decodes, encodes)
+				}
+			}
+		})
+	}
+}
+
+// TestUntracedRunCarriesNoSpanBytes pins backward compatibility: without
+// SetTelemetry the dispatched requests have a zero span, so binary frames
+// stay tag-free and gob peers see a zero-valued struct field.
+func TestUntracedRunCarriesNoSpanBytes(t *testing.T) {
+	addrs, services, stop := startCluster(t, 2, nil)
+	defer stop()
+	buf := &syncBuffer{}
+	services[0].SetTracer(telemetry.NewJSONLTracer(buf))
+	cfg := DefaultServerConfig(testNet())
+	cfg.Rounds = 1
+	cfg.BatchSize = 4
+	cfg.Quorum = 1
+	s, err := NewServer(cfg, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	for _, m := range buf.lines(t) {
+		if _, ok := m["trace"]; ok {
+			t.Fatalf("untraced run produced a traced worker event: %v", m)
+		}
+	}
+}
+
+// TestParticipantsEndpointJSON pins the /participants debug endpoint: JSON
+// content type, the documented field shape, and lifecycle transitions
+// showing up in the payload.
+func TestParticipantsEndpointJSON(t *testing.T) {
+	addrs, _, stop := startCluster(t, 2, nil)
+	defer stop()
+	cfg := DefaultServerConfig(testNet())
+	s, err := NewServer(cfg, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	mux := telemetry.NewDebugMux(telemetry.NewRegistry(),
+		telemetry.JSONEndpoint("/participants", func() any { return s.ParticipantStates() }))
+	get := func() []ParticipantStatus {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", "/participants", nil))
+		if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Fatalf("Content-Type = %q, want application/json", ct)
+		}
+		var got []ParticipantStatus
+		if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+			t.Fatalf("invalid JSON body %q: %v", rec.Body.String(), err)
+		}
+		// The raw body must use the documented field names.
+		for _, key := range []string{`"id"`, `"addr"`, `"state"`, `"consecutive_failures"`} {
+			if !strings.Contains(rec.Body.String(), key) {
+				t.Fatalf("body missing %s field: %s", key, rec.Body.String())
+			}
+		}
+		return got
+	}
+
+	got := get()
+	if len(got) != 2 {
+		t.Fatalf("%d participants, want 2", len(got))
+	}
+	for i, p := range got {
+		if p.ID != i || p.Addr != addrs[i] || p.State != "alive" || p.Failures != 0 {
+			t.Fatalf("participant %d = %+v, want alive at %s", i, p, addrs[i])
+		}
+	}
+
+	// Drive the lifecycle state machine: one failure -> suspect, a second
+	// -> dead; both must be visible through the endpoint.
+	s.noteCallFailure(s.peers[1], errCallTimeout)
+	if got := get(); got[1].State != "suspect" || got[1].Failures != 1 {
+		t.Fatalf("after one failure: %+v", got[1])
+	}
+	s.noteCallFailure(s.peers[1], errCallTimeout)
+	if got := get(); got[1].State != "dead" || got[1].Failures != 2 || got[0].State != "alive" {
+		t.Fatalf("after two failures: %+v", got)
+	}
+}

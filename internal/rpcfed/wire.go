@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"fedrlnas/internal/nas"
+	"fedrlnas/internal/wire"
 )
 
 // TrainRequest asks a participant to run one local update (Alg. 1 lines
@@ -29,6 +30,11 @@ type TrainRequest struct {
 	Weights [][]float64
 	// BatchSize is the mini-batch size for the local step.
 	BatchSize int
+	// Span carries the distributed-trace context of the round that issued
+	// this request, so worker-side spans parent under the server's round
+	// span. The binary framing lifts it into the frame header; gob mode
+	// carries it in the body. Zero means the run is untraced.
+	Span wire.SpanContext
 }
 
 // TrainReply returns the participant's reward and gradients.

@@ -3,6 +3,7 @@ package search
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"fedrlnas/internal/controller"
 	"fedrlnas/internal/data"
@@ -173,6 +174,9 @@ func New(cfg Config) (*Search, error) {
 // counter values.
 func (s *Search) SetTelemetry(tracer *telemetry.Tracer, reg *telemetry.Registry) {
 	s.tracer = tracer
+	// A traced search gets a trace ID up front so every round opens a span
+	// and phase events correlate in cmd/fedtrace.
+	s.tracer.EnsureTraceID()
 	if reg != nil {
 		s.met = telemetry.NewRoundMetrics(reg)
 		s.Stats = s.statsFromCounters()
@@ -400,15 +404,22 @@ func (s *Search) runRound(updateAlpha, updateTheta bool) (float64, error) {
 	// engine.go for the determinism argument).
 	ctx := &roundCtx{t: t, thetaNow: thetaNow, alphaNow: alphaNow, assigned: assigned, assign: assign}
 	results := s.results
+	dispatchStart := time.Now()
 	if err := s.pool.Run(len(s.parts), func(worker, k int) error {
 		return s.runParticipant(s.replicas[worker], k, ctx, &results[k])
 	}); err != nil {
 		return 0, err
 	}
+	var dispatchBytes int64
+	for k := range s.parts {
+		dispatchBytes += sizes[assign.ModelFor[k]]
+	}
+	s.tracer.RoundDispatch(t, dispatchBytes, time.Since(dispatchStart).Seconds())
 
 	// Ordered merge (Alg. 1 lines 16–31): aggregate in participant-index
 	// order so every sum — and the replayed batch-norm statistics — is
 	// bit-identical regardless of task scheduling.
+	mergeStart := time.Now()
 	aggTheta := s.aggTheta
 	for i := range aggTheta {
 		aggTheta[i] = nil
@@ -447,7 +458,9 @@ func (s *Search) runRound(updateAlpha, updateTheta bool) (float64, error) {
 			roundSeconds = res.rt
 		}
 	}
+	s.tracer.RoundMerge(t, contributors, time.Since(mergeStart).Seconds())
 
+	updateStart := time.Now()
 	meanAcc := 0.0
 	if contributors > 0 {
 		meanAcc = sumAcc / float64(contributors)
@@ -468,6 +481,7 @@ func (s *Search) runRound(updateAlpha, updateTheta bool) (float64, error) {
 			s.tracer.AlphaUpdate(t, s.ctrl.Entropy())
 		}
 	}
+	s.tracer.ControllerUpdate(t, time.Since(updateStart).Seconds())
 
 	s.RoundSeconds = append(s.RoundSeconds, roundSeconds)
 	s.met.Rounds.Inc()

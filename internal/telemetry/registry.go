@@ -7,8 +7,6 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
-
-	"fedrlnas/internal/metrics"
 )
 
 // Counter is a monotonically increasing metric. A nil *Counter is a no-op,
@@ -57,56 +55,6 @@ func (g *Gauge) Value() float64 {
 		return 0
 	}
 	return math.Float64frombits(g.bits.Load())
-}
-
-// Histogram is a concurrency-safe latency/size distribution reusing
-// metrics.Histogram for percentile readout. A nil *Histogram is a no-op.
-type Histogram struct {
-	mu  sync.Mutex
-	h   metrics.Histogram
-	sum float64
-}
-
-// Observe records a value.
-func (h *Histogram) Observe(v float64) {
-	if h == nil {
-		return
-	}
-	h.mu.Lock()
-	h.h.Observe(v)
-	h.sum += v
-	h.mu.Unlock()
-}
-
-// N returns the number of observations.
-func (h *Histogram) N() int {
-	if h == nil {
-		return 0
-	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.h.N()
-}
-
-// Sum returns the sum of all observations.
-func (h *Histogram) Sum() float64 {
-	if h == nil {
-		return 0
-	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.sum
-}
-
-// Percentile returns the p-th percentile (0 ≤ p ≤ 100) by nearest rank,
-// NaN when empty.
-func (h *Histogram) Percentile(p float64) float64 {
-	if h == nil {
-		return math.NaN()
-	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.h.Percentile(p)
 }
 
 // Registry is a process-wide metric namespace. Handles are created (or
@@ -234,11 +182,9 @@ func (r *Registry) Histogram(name, help string) *Histogram {
 	return h
 }
 
-// summaryQuantiles are the quantile labels exported for histograms.
-var summaryQuantiles = []float64{50, 90, 99}
-
 // WritePrometheus renders every metric in the Prometheus text exposition
-// format (histograms as summaries), sorted by name for stable output.
+// format (histograms with cumulative _bucket/_sum/_count series), sorted by
+// name for stable output.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
@@ -276,18 +222,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				return err
 			}
 		case hists[n] != nil:
-			h := hists[n]
-			if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", n); err != nil {
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
 				return err
 			}
-			if h.N() > 0 {
-				for _, q := range summaryQuantiles {
-					if _, err := fmt.Fprintf(w, "%s{quantile=\"%g\"} %g\n", n, q/100, h.Percentile(q)); err != nil {
-						return err
-					}
-				}
-			}
-			if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", n, h.Sum(), n, h.N()); err != nil {
+			if err := hists[n].writePrometheus(w, n); err != nil {
 				return err
 			}
 		}
@@ -357,6 +295,16 @@ type WireMetrics struct {
 	// (wire_messages_sent_total / _received_total).
 	MessagesSent     *Counter
 	MessagesReceived *Counter
+	// EncodeSeconds / DecodeSeconds are per-message serialization latency
+	// distributions (wire_encode_seconds / wire_decode_seconds) — the
+	// counters above keep the cumulative totals, the histograms expose the
+	// shape (a single slow frame vs. uniformly slow codec).
+	EncodeSeconds *Histogram
+	DecodeSeconds *Histogram
+	// FrameBytes is the per-frame size distribution in bytes, both
+	// directions (wire_frame_bytes). Binary-framed connections only: the
+	// gob baseline has no frame boundary to measure.
+	FrameBytes *Histogram
 }
 
 // NewWireMetrics registers the wire-codec metrics on reg (a nil reg yields
@@ -369,6 +317,9 @@ func NewWireMetrics(reg *Registry) WireMetrics {
 		DecodeNs:         reg.Counter("wire_decode_ns_total", "nanoseconds spent decoding RPC frames"),
 		MessagesSent:     reg.Counter("wire_messages_sent_total", "RPC messages written"),
 		MessagesReceived: reg.Counter("wire_messages_received_total", "RPC messages read"),
+		EncodeSeconds:    reg.Histogram("wire_encode_seconds", "per-message RPC frame serialization time in seconds"),
+		DecodeSeconds:    reg.Histogram("wire_decode_seconds", "per-message RPC frame parse time in seconds"),
+		FrameBytes:       reg.Histogram("wire_frame_bytes", "per-frame wire size in bytes, both directions (binary framing only)"),
 	}
 }
 
@@ -392,8 +343,16 @@ type LifecycleMetrics struct {
 	// DeadlineExceeded counts RPC calls abandoned at the per-call deadline
 	// (call_deadline_exceeded_total).
 	DeadlineExceeded *Counter
+	// CallSeconds is the per-RPC latency distribution measured from
+	// dispatch to reply or failure (rpc_call_seconds) — the straggler view
+	// the flat round counters cannot give.
+	CallSeconds *Histogram
 	// States holds one gauge per participant (participant_state_<id>).
 	States []*Gauge
+	// RoundSeconds holds one gauge per participant with the wall-clock of
+	// its latest completed call (participant_round_seconds_<id>), so a
+	// scrape shows which peer is dragging the current round.
+	RoundSeconds []*Gauge
 }
 
 // NewLifecycleMetrics registers the lifecycle metrics for k participants on
@@ -403,11 +362,15 @@ func NewLifecycleMetrics(reg *Registry, k int) LifecycleMetrics {
 		Redials:          reg.Counter("redials_total", "successful mid-run reconnects to dead participants"),
 		RedialAttempts:   reg.Counter("redial_attempts_total", "dial attempts made by participant redial loops"),
 		DeadlineExceeded: reg.Counter("call_deadline_exceeded_total", "RPC calls abandoned at the per-call deadline"),
+		CallSeconds:      reg.Histogram("rpc_call_seconds", "per-RPC wall-clock from dispatch to reply or failure"),
 		States:           make([]*Gauge, k),
+		RoundSeconds:     make([]*Gauge, k),
 	}
 	for i := range m.States {
 		m.States[i] = reg.Gauge(fmt.Sprintf("participant_state_%d", i),
 			"participant lifecycle state (0 alive, 1 suspect, 2 dead)")
+		m.RoundSeconds[i] = reg.Gauge(fmt.Sprintf("participant_round_seconds_%d", i),
+			"wall-clock of this participant's latest completed call")
 	}
 	return m
 }
@@ -447,9 +410,9 @@ func NewDisabledChaosMetrics() ChaosMetrics {
 
 // NewDisabledRoundMetrics returns the handle set for an unobserved run:
 // counters and gauges are real (atomic, alloc-free, and needed for
-// cumulative-stats façades) but the histograms are nil no-ops — observing
-// an unbounded distribution allocates, and a run nobody is scraping should
-// not pay that on the hot path.
+// cumulative-stats façades) but the histograms are nil no-ops — nobody
+// reads a distribution in an unscraped run, and nil handles keep the
+// disabled path observably inert for the zero-overhead regression tests.
 func NewDisabledRoundMetrics() RoundMetrics {
 	met := NewRoundMetrics(NewRegistry())
 	met.RoundSeconds = nil

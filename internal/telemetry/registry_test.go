@@ -120,8 +120,11 @@ func TestWritePrometheusFormat(t *testing.T) {
 		"replies_dropped_total 7",
 		"# TYPE alpha_entropy gauge",
 		"alpha_entropy 1.5",
-		"# TYPE round_seconds summary",
-		`round_seconds{quantile="0.5"}`,
+		"# TYPE round_seconds histogram",
+		`round_seconds_bucket{le="0.5"} 1`,
+		`round_seconds_bucket{le="1"} 1`,
+		`round_seconds_bucket{le="2"} 2`,
+		`round_seconds_bucket{le="+Inf"} 2`,
 		"round_seconds_sum 2",
 		"round_seconds_count 2",
 	} {
@@ -137,15 +140,106 @@ func TestWritePrometheusFormat(t *testing.T) {
 	if b2.String() != out {
 		t.Error("WritePrometheus output not deterministic")
 	}
-	// Empty histograms render sum/count but no quantiles (NaN is invalid).
+	// Empty histograms render the +Inf bucket, sum and count only.
 	reg2 := NewRegistry()
 	reg2.Histogram("empty_h", "")
 	var b3 strings.Builder
 	if err := reg2.WritePrometheus(&b3); err != nil {
 		t.Fatal(err)
 	}
-	if strings.Contains(b3.String(), "quantile") || !strings.Contains(b3.String(), "empty_h_count 0") {
-		t.Errorf("empty histogram rendering wrong:\n%s", b3.String())
+	got := b3.String()
+	if !strings.Contains(got, `empty_h_bucket{le="+Inf"} 0`) || !strings.Contains(got, "empty_h_count 0") ||
+		strings.Contains(got, `le="1"`) {
+		t.Errorf("empty histogram rendering wrong:\n%s", got)
+	}
+}
+
+// TestHistogramBuckets pins the log2 bucketing: a value lands in the
+// smallest bucket whose upper bound contains it, exact powers of two sit on
+// their own bound, and out-of-range values fall into the edge buckets.
+func TestHistogramBuckets(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []float64{-3, 0, 1e-12, 0.5, 0.75, 1, 3, 4, 1e12} {
+		h.Observe(v)
+	}
+	if h.N() != 9 {
+		t.Fatalf("N = %d, want 9", h.N())
+	}
+	var b strings.Builder
+	if err := h.writePrometheus(&b, "h"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`h_bucket{le="0.5"} 4`,  // -3, 0, 1e-12 (bucket 0 via cum) + 0.5
+		`h_bucket{le="1"} 6`,    // + 0.75, 1
+		`h_bucket{le="4"} 8`,    // + 3, 4 (le="2" covers nothing extra)
+		`h_bucket{le="+Inf"} 9`, // + 1e12 overflow
+		"h_count 9",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if p := h.Percentile(100); !math.IsInf(p, 1) {
+		t.Errorf("p100 with overflow = %v, want +Inf", p)
+	}
+}
+
+// TestHistogramConcurrentObserve hammers one histogram from many
+// goroutines (run under -race by make race) and asserts no observation is
+// lost and the CAS-accumulated sum is exact.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", "")
+	const workers = 8
+	const per = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%7) + 0.25)
+			}
+		}(w)
+	}
+	// Concurrent readers must never see torn state.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			var b strings.Builder
+			if err := reg.WritePrometheus(&b); err != nil {
+				t.Error(err)
+			}
+			h.Percentile(99)
+		}
+	}()
+	wg.Wait()
+	if h.N() != workers*per {
+		t.Errorf("N = %d, want %d (lost observations)", h.N(), workers*per)
+	}
+	wantSum := 0.0
+	for i := 0; i < per; i++ {
+		wantSum += float64(i%7) + 0.25
+	}
+	wantSum *= workers
+	if h.Sum() != wantSum {
+		t.Errorf("Sum = %v, want %v", h.Sum(), wantSum)
+	}
+}
+
+// TestHistogramObserveAllocFree pins the hot-path property that lets
+// histograms replace counters on the round and codec paths.
+func TestHistogramObserveAllocFree(t *testing.T) {
+	h := NewRegistry().Histogram("h", "")
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(0.0375)
+		h.Observe(123456)
+	})
+	if allocs != 0 {
+		t.Errorf("Observe allocated %.1f times", allocs)
 	}
 }
 

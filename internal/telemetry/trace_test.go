@@ -13,6 +13,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"fedrlnas/internal/wire"
 )
 
 // fixedClock makes trace output deterministic.
@@ -270,5 +272,189 @@ func TestTracerConcurrentEmitsAreLineAtomic(t *testing.T) {
 		if counts[k] != perParticipant {
 			t.Errorf("participant %d has %d events, want %d", k, counts[k], perParticipant)
 		}
+	}
+}
+
+// parseLines decodes every JSONL line in buf.
+func parseLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("invalid line %q: %v", sc.Text(), err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestTracerSpanStamping(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONLTracer(&buf)
+	fixedClock(tr)
+
+	// Untraced: no correlation fields at all.
+	tr.RoundStart(0)
+	tr.ReplyFresh(0, 1)
+	for _, m := range parseLines(t, &buf) {
+		for _, k := range []string{"trace", "span", "parent"} {
+			if _, ok := m[k]; ok {
+				t.Errorf("untraced event has %q: %v", k, m)
+			}
+		}
+	}
+
+	buf.Reset()
+	tr.SetTraceID(0xabc)
+	tr.RoundStart(1)
+	tr.ReplyFresh(1, 2)
+	tr.RoundDispatch(1, 100, 0.5)
+	lines := parseLines(t, &buf)
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want 3", len(lines))
+	}
+	start := lines[0]
+	if start["trace"] != "abc" {
+		t.Errorf("round.start trace = %v, want abc", start["trace"])
+	}
+	span, ok := start["span"].(string)
+	if !ok || span == "" {
+		t.Fatalf("round.start missing span: %v", start)
+	}
+	if _, hasParent := start["parent"]; hasParent {
+		t.Errorf("round.start must be a root span: %v", start)
+	}
+	for _, m := range lines[1:] {
+		if m["trace"] != "abc" {
+			t.Errorf("%v trace = %v, want abc", m["event"], m["trace"])
+		}
+		if m["parent"] != span {
+			t.Errorf("%v parent = %v, want round span %s", m["event"], m["parent"], span)
+		}
+	}
+
+	// A new round opens a new span; children follow it.
+	buf.Reset()
+	tr.RoundStart(2)
+	tr.ReplyFresh(2, 0)
+	lines = parseLines(t, &buf)
+	span2 := lines[0]["span"].(string)
+	if span2 == span {
+		t.Error("round span not rotated between rounds")
+	}
+	if lines[1]["parent"] != span2 {
+		t.Errorf("event parents under stale round span: %v", lines[1])
+	}
+}
+
+func TestWorkerSpanParenting(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONLTracer(&buf) // worker tracer: no local trace ID
+	fixedClock(tr)
+	ctx := wire.SpanContext{TraceID: 0xf00d, SpanID: 0xbeef, Round: 3, Participant: 1}
+	tr.WorkerSpan(EventWorkerTrain, ctx, 512, 0.25)
+	tr.WorkerSpan(EventWorkerDecode, wire.SpanContext{Round: 3, Participant: 1}, 0, 0.1)
+	lines := parseLines(t, &buf)
+	if lines[0]["trace"] != "f00d" || lines[0]["parent"] != "beef" {
+		t.Errorf("worker span not parented from wire context: %v", lines[0])
+	}
+	if lines[0]["round"].(float64) != 3 || lines[0]["participant"].(float64) != 1 {
+		t.Errorf("worker span lost round/participant: %v", lines[0])
+	}
+	// An untraced wire context degrades to a plain event.
+	if _, ok := lines[1]["trace"]; ok {
+		t.Errorf("invalid context must not invent a trace: %v", lines[1])
+	}
+}
+
+func TestTracerCountsDrops(t *testing.T) {
+	tr := NewJSONLTracer(&failWriter{n: 1})
+	fixedClock(tr)
+	reg := NewRegistry()
+	c := reg.Counter("trace_dropped_total", "")
+	tr.SetDropCounter(c)
+	tr.RoundStart(0)
+	tr.RoundStart(1) // write fails: dropped
+	tr.RoundStart(2) // short-circuited: dropped
+	if tr.Events() != 1 {
+		t.Errorf("Events() = %d, want 1", tr.Events())
+	}
+	if tr.Dropped() != 2 {
+		t.Errorf("Dropped() = %d, want 2", tr.Dropped())
+	}
+	if c.Value() != 2 {
+		t.Errorf("trace_dropped_total = %d, want 2", c.Value())
+	}
+	// Without a counter wired, drops are still tracked locally.
+	tr2 := NewJSONLTracer(&failWriter{n: 0})
+	fixedClock(tr2)
+	tr2.RoundStart(0)
+	if tr2.Dropped() != 1 {
+		t.Errorf("uncounted Dropped() = %d, want 1", tr2.Dropped())
+	}
+}
+
+func TestEnsureTraceIDAndRoundContext(t *testing.T) {
+	var nilTr *Tracer
+	if nilTr.EnsureTraceID() != 0 {
+		t.Error("nil tracer must report trace ID 0")
+	}
+	if ctx := nilTr.RoundContext(5); ctx.Valid() {
+		t.Error("nil tracer must yield an invalid context")
+	}
+
+	tr := NewJSONLTracer(discard{})
+	fixedClock(tr)
+	if ctx := tr.RoundContext(0); ctx.Valid() {
+		t.Error("untraced tracer must yield an invalid context")
+	}
+	id := tr.EnsureTraceID()
+	if id == 0 {
+		t.Fatal("EnsureTraceID returned 0")
+	}
+	if tr.EnsureTraceID() != id {
+		t.Error("EnsureTraceID not idempotent")
+	}
+	tr.RoundStart(7)
+	ctx := tr.RoundContext(7)
+	if !ctx.Valid() || ctx.TraceID != id || ctx.SpanID == 0 {
+		t.Errorf("round context = %+v, want trace %#x with open span", ctx, id)
+	}
+	if ctx.Round != 7 || ctx.Participant != -1 {
+		t.Errorf("round context round/participant = %d/%d", ctx.Round, ctx.Participant)
+	}
+}
+
+func TestNewSpanIDsAreUnique(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 10000; i++ {
+		id := NewSpanID()
+		if id == 0 {
+			t.Fatal("NewSpanID returned 0")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate span ID %#x after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+// TestTracedTracerSteadyStateAllocFree extends the alloc-free guarantee to
+// traced runs: hex correlation fields reuse the line buffer.
+func TestTracedTracerSteadyStateAllocFree(t *testing.T) {
+	tr := NewJSONLTracer(discard{})
+	fixedClock(tr)
+	tr.SetTraceID(NewTraceID())
+	tr.RoundStart(0) // warm the buffer, open a span
+	ctx := tr.RoundContext(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.ReplyFresh(1, 2)
+		tr.RPCCall(ctx, 1, 2, 4096, 0.01, true)
+		tr.WorkerSpan(EventWorkerTrain, ctx, 512, 0.02)
+	})
+	if allocs != 0 {
+		t.Errorf("traced tracer allocated %.1f times per event", allocs)
 	}
 }

@@ -1,0 +1,70 @@
+package wire
+
+import "fmt"
+
+// SpanContext is the compact distributed-trace context carried across the
+// RPC boundary so worker-side spans can parent under the server's round
+// span in one stitched timeline. It lives in this package — the stdlib-only
+// leaf under both the codec and the telemetry layer — because the binary
+// frame header is its wire format and internal/telemetry stamps it into
+// JSONL trace events.
+//
+// The encoded form is a fixed 24-byte little-endian block:
+//
+//	u64 traceID      (0 = no trace; a frame never carries a zero context)
+//	u64 spanID       (the parent span for work done on behalf of this call)
+//	i32 round        (communication round the call belongs to)
+//	i32 participant  (destination participant id, -1 when not applicable)
+type SpanContext struct {
+	// TraceID groups every span of one run (server + all workers).
+	TraceID uint64
+	// SpanID names the span this context points at — for a dispatched RPC,
+	// the server's round span, which worker-side spans adopt as parent.
+	SpanID uint64
+	// Round is the communication round of the call.
+	Round int32
+	// Participant is the destination participant id (-1 if none).
+	Participant int32
+}
+
+// Valid reports whether the context carries a trace (a zero TraceID means
+// tracing is off and nothing should be emitted or encoded for it).
+func (c SpanContext) Valid() bool { return c.TraceID != 0 }
+
+// SpanContextBytes is the encoded size of one SpanContext.
+const SpanContextBytes = 24
+
+// AppendSpanContext appends the 24-byte encoding of c to dst.
+func AppendSpanContext(dst []byte, c SpanContext) []byte {
+	dst = appendU64(dst, c.TraceID)
+	dst = appendU64(dst, c.SpanID)
+	dst = appendU32(dst, uint32(c.Round))
+	dst = appendU32(dst, uint32(c.Participant))
+	return dst
+}
+
+// DecodeSpanContext reads one SpanContext from r. Like every wire decoder
+// it is bounds-checked: truncated input yields an error, never a panic.
+func DecodeSpanContext(r *Reader) (SpanContext, error) {
+	var c SpanContext
+	if r.Len() < SpanContextBytes {
+		return c, fmt.Errorf("wire: truncated span context: need %d bytes, have %d", SpanContextBytes, r.Len())
+	}
+	var err error
+	if c.TraceID, err = r.U64(); err != nil {
+		return c, err
+	}
+	if c.SpanID, err = r.U64(); err != nil {
+		return c, err
+	}
+	var v int
+	if v, err = r.I32(); err != nil {
+		return c, err
+	}
+	c.Round = int32(v)
+	if v, err = r.I32(); err != nil {
+		return c, err
+	}
+	c.Participant = int32(v)
+	return c, nil
+}

@@ -1,0 +1,89 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSpanContextRoundTrip(t *testing.T) {
+	cases := []SpanContext{
+		{},
+		{TraceID: 1},
+		{TraceID: 0xdeadbeefcafebabe, SpanID: 0x0123456789abcdef, Round: 42, Participant: 7},
+		{TraceID: ^uint64(0), SpanID: ^uint64(0), Round: -1, Participant: -1},
+		{TraceID: 5, SpanID: 0, Round: 1<<31 - 1, Participant: -(1 << 31)},
+	}
+	for _, c := range cases {
+		enc := AppendSpanContext(nil, c)
+		if len(enc) != SpanContextBytes {
+			t.Fatalf("encoded %d bytes, want %d", len(enc), SpanContextBytes)
+		}
+		got, err := DecodeSpanContext(NewReader(enc))
+		if err != nil {
+			t.Fatalf("decode %+v: %v", c, err)
+		}
+		if got != c {
+			t.Errorf("round trip %+v -> %+v", c, got)
+		}
+	}
+}
+
+// TestSpanContextGolden pins the byte layout so cross-version stitching
+// keeps working: a header written by one build must parse in another.
+func TestSpanContextGolden(t *testing.T) {
+	c := SpanContext{
+		TraceID:     0x0102030405060708,
+		SpanID:      0x1112131415161718,
+		Round:       3,
+		Participant: -1,
+	}
+	want := []byte{
+		0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, // traceID LE
+		0x18, 0x17, 0x16, 0x15, 0x14, 0x13, 0x12, 0x11, // spanID LE
+		0x03, 0x00, 0x00, 0x00, // round
+		0xff, 0xff, 0xff, 0xff, // participant -1
+	}
+	got := AppendSpanContext(nil, c)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("golden mismatch:\n got %x\nwant %x", got, want)
+	}
+}
+
+func TestSpanContextTruncated(t *testing.T) {
+	full := AppendSpanContext(nil, SpanContext{TraceID: 9, SpanID: 8, Round: 1, Participant: 2})
+	for n := 0; n < len(full); n++ {
+		if _, err := DecodeSpanContext(NewReader(full[:n])); err == nil {
+			t.Errorf("truncation to %d bytes decoded without error", n)
+		}
+	}
+}
+
+func TestSpanContextValid(t *testing.T) {
+	if (SpanContext{}).Valid() {
+		t.Error("zero context must be invalid")
+	}
+	if (SpanContext{SpanID: 1}).Valid() {
+		t.Error("context without trace ID must be invalid")
+	}
+	if !(SpanContext{TraceID: 1}).Valid() {
+		t.Error("context with trace ID must be valid")
+	}
+}
+
+// FuzzDecodeSpanContext asserts the decoder never panics and that anything
+// it accepts re-encodes to the bytes it consumed.
+func FuzzDecodeSpanContext(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, SpanContextBytes-1))
+	f.Add(AppendSpanContext(nil, SpanContext{TraceID: 1, SpanID: 2, Round: 3, Participant: 4}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(data)
+		c, err := DecodeSpanContext(r)
+		if err != nil {
+			return
+		}
+		if got := AppendSpanContext(nil, c); !bytes.Equal(got, data[:SpanContextBytes]) {
+			t.Fatalf("re-encode mismatch: got %x want %x", got, data[:SpanContextBytes])
+		}
+	})
+}
