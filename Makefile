@@ -7,8 +7,11 @@
 # BENCH_rounds.json; `make benchrpc` measures the RPC wire protocol
 # across payload encodings and writes BENCH_rpc.json; `make benchchaos`
 # runs the full fault-injection soak (K=8, two kills, one resurrection)
-# and writes BENCH_chaos.json.
-.PHONY: check build test race fmt bench bench-smoke benchrpc benchchaos fedtrace
+# and writes BENCH_chaos.json; `make benchscale` sweeps the enrolled
+# population (10 → 10,000 at a fixed sampled cohort), gates on flat
+# per-round cost and sharded-merge bit-identity, and writes
+# BENCH_scale.json.
+.PHONY: check build test race fmt bench bench-smoke benchrpc benchchaos benchscale fedtrace
 
 check:
 	./check.sh
@@ -22,7 +25,7 @@ test:
 race:
 	go test -race ./internal/tensor/... ./internal/parallel/... ./internal/nn/... \
 		./internal/fed/... ./internal/search/... ./internal/baselines/... \
-		./internal/rpcfed/... ./internal/telemetry/...
+		./internal/rpcfed/... ./internal/telemetry/... ./internal/cohort/...
 
 bench-smoke:
 	go test -run '^$$' -bench . -benchtime 1x ./internal/tensor/... ./internal/nn/...
@@ -38,6 +41,9 @@ benchrpc:
 
 benchchaos:
 	go run ./cmd/benchchaos -out BENCH_chaos.json
+
+benchscale:
+	go run ./cmd/benchscale -out BENCH_scale.json
 
 # Trace a short K=4 run into ./traces/ and print its critical-path profile.
 fedtrace:

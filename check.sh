@@ -22,10 +22,10 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (tensor, parallel, nn, fed, search, baselines, rpcfed, telemetry)"
+echo "== go test -race (tensor, parallel, nn, fed, search, baselines, rpcfed, telemetry, cohort)"
 go test -race ./internal/tensor/... ./internal/parallel/... ./internal/nn/... \
 	./internal/fed/... ./internal/search/... ./internal/baselines/... \
-	./internal/rpcfed/... ./internal/telemetry/...
+	./internal/rpcfed/... ./internal/telemetry/... ./internal/cohort/...
 
 echo "== bench smoke (tensor, nn kernels; 1 iteration, catches crashes/regressed shapes)"
 go test -run '^$' -bench . -benchtime 1x ./internal/tensor/... ./internal/nn/...
@@ -36,6 +36,11 @@ go run ./cmd/benchrpc -k 2 -rounds 1 -out ""
 echo "== chaos smoke (kill 1 participant at round 2, resurrect at round 5; fixed seed)"
 go run ./cmd/benchchaos -out "" -k 3 -rounds 10 -kill 1 -kill-after 2 -recover-after 5 \
 	-round-timeout 300ms -call-timeout 200ms >/dev/null
+
+echo "== benchscale smoke (K=1000 enrolled, cohort 8, 2 rounds; gates on memory bound + shard bit-identity)"
+go vet ./cmd/benchscale
+go run ./cmd/benchscale -out "" -enrolled 1000 -cohort 8 -warmup 1 -rounds 2 \
+	-shards 1,4 -max-round-ratio 10 -max-bytes-ratio 10 >/dev/null
 
 echo "== fedtrace smoke (traced K=4 run; every span must stitch, zero orphans)"
 go vet ./cmd/fedtrace

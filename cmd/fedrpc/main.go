@@ -189,6 +189,9 @@ func runServer(args []string) error {
 		rounds    = fs.Int("rounds", 40, "search rounds")
 		batch     = fs.Int("batch", 16, "participant batch size")
 		quorum    = fs.Float64("quorum", 0.8, "fraction of live participants whose replies close a round")
+		cohortSz  = fs.Int("cohort", 0, "participants sampled per round (0 = everyone; schedule is seeded and fault-independent)")
+		shards    = fs.Int("shards", 0, "aggregation-tree shards for the θ merge (0/1 = single root; any count is bit-identical)")
+		lazyDial  = fs.Bool("lazy-dial", false, "defer participant connections to first dispatch (only sampled participants ever connect)")
 		workers   = fs.Int("workers", 0, "concurrent payload serializations at dispatch (0 = NumCPU)")
 		wireMode  = fs.String("wire", "fp64", "payload encoding: gob|fp64|fp32|sparse (fp64 = binary framing, bit-identical to gob)")
 		callTO    = fs.Duration("call-timeout", 10*time.Second, "per-RPC deadline, distinct from the round timeout (0 disables)")
@@ -212,8 +215,11 @@ func runServer(args []string) error {
 	scfg.Rounds = *rounds
 	scfg.BatchSize = *batch
 	scfg.Quorum = *quorum
+	scfg.CohortSize = *cohortSz
+	scfg.Shards = *shards
 	scfg.Transport.Workers = *workers
 	scfg.Transport.CallTimeout = *callTO
+	scfg.Transport.LazyDial = *lazyDial
 	scfg.Seed = *seed
 	if scfg.Transport.Wire, err = wire.ParseMode(*wireMode); err != nil {
 		return err
@@ -240,7 +246,7 @@ func runServer(args []string) error {
 	}
 	srv.SetTelemetry(tracer, registry)
 	dbg, err := startDebug(*debugAddr, registry,
-		telemetry.JSONEndpoint("/participants", func() any { return srv.ParticipantStates() }))
+		telemetry.Endpoint{Path: "/participants", Handler: srv.ParticipantsHandler()})
 	if err != nil {
 		return err
 	}

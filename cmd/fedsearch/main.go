@@ -34,6 +34,9 @@ func run(args []string) error {
 	var (
 		dataset   = fs.String("dataset", "cifar10s", "dataset: cifar10s, svhns, cifar100s")
 		k         = fs.Int("k", 10, "number of participants")
+		enrolled  = fs.Int("enrolled", 0, "enrolled population size (0 = -k); only sampled participants materialize model state")
+		cohortSz  = fs.Int("cohort", 0, "participants sampled per round (0 = everyone); also sets the federated-retrain client fraction")
+		shards    = fs.Int("shards", 0, "aggregation-tree shards for the theta merge (0 or 1 = single root; results are bit-identical at any value)")
 		partition = fs.String("partition", "iid", "data split: iid or dirichlet")
 		dirAlpha  = fs.Float64("dirichlet-alpha", 0.5, "Dirichlet concentration for non-iid splits")
 		warmup    = fs.Int("warmup", 30, "warm-up rounds (P1)")
@@ -71,6 +74,16 @@ func run(args []string) error {
 	cfg.Net.NumClasses = cfg.Dataset.NumClasses
 	cfg.Net.InChannels = cfg.Dataset.Channels
 	cfg.K = *k
+	if *enrolled > 0 {
+		cfg.K = *enrolled
+	}
+	cfg.CohortSize = *cohortSz
+	cfg.Shards = *shards
+	// Large enrollments need enough training data for every participant to
+	// hold at least one sample after partitioning.
+	if need := (cfg.K + cfg.Dataset.NumClasses - 1) / cfg.Dataset.NumClasses; need > cfg.Dataset.TrainPerClass {
+		cfg.Dataset.TrainPerClass = need
+	}
 	switch *partition {
 	case "iid":
 		cfg.Partition = search.IID
@@ -128,6 +141,11 @@ func run(args []string) error {
 		fcfg := fed.DefaultFedAvgConfig()
 		fcfg.Rounds = *fedRounds
 		fcfg.Workers = *workers
+		if *cohortSz > 0 && *cohortSz < cfg.K {
+			// One cohort knob across phases: the P3 federated retrain
+			// samples the same share of the population per round.
+			fcfg.ClientFraction = float64(*cohortSz) / float64(cfg.K)
+		}
 		opts.Federated = &fcfg
 	}
 
@@ -158,8 +176,12 @@ func run(args []string) error {
 		}()
 	}
 
-	fmt.Printf("P1 warm-up (%d rounds) + P2 search (%d rounds), K=%d, %s/%s…\n",
-		cfg.WarmupSteps, cfg.SearchSteps, cfg.K, cfg.Dataset.Name, *partition)
+	cohortNote := ""
+	if *cohortSz > 0 && *cohortSz < cfg.K {
+		cohortNote = fmt.Sprintf(" (cohort %d/round)", *cohortSz)
+	}
+	fmt.Printf("P1 warm-up (%d rounds) + P2 search (%d rounds), K=%d%s, %s/%s…\n",
+		cfg.WarmupSteps, cfg.SearchSteps, cfg.K, cohortNote, cfg.Dataset.Name, *partition)
 	if *ckptOut != "" {
 		// Run the phases explicitly so the live state can be checkpointed.
 		s, err := search.New(cfg)

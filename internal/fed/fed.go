@@ -67,25 +67,21 @@ type Participant struct {
 	NumSamples int
 }
 
+// newParticipantRNG derives participant k's private deterministic RNG.
+// The derivation depends only on (seed, k), never on materialization
+// order, which is what lets Population build participants lazily without
+// perturbing any stream.
+func newParticipantRNG(seed int64, k int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(k)*7919))
+}
+
 // BuildParticipants constructs K participants over a partition of ds. Every
-// participant gets an independent deterministic RNG derived from seed.
+// participant gets an independent deterministic RNG derived from seed. It
+// is the eager façade over Population — callers that sample per-round
+// cohorts should hold the Population instead and let it materialize only
+// sampled clients.
 func BuildParticipants(ds *data.Dataset, part data.Partition, seed int64) ([]*Participant, error) {
-	out := make([]*Participant, part.NumParticipants())
-	for k, indices := range part.Indices {
-		rng := rand.New(rand.NewSource(seed + int64(k)*7919))
-		b, err := data.NewBatcher(indices, rng)
-		if err != nil {
-			return nil, fmt.Errorf("participant %d: %w", k, err)
-		}
-		out[k] = &Participant{
-			ID:          k,
-			Batcher:     b,
-			RNG:         rng,
-			SpeedFactor: 1,
-			NumSamples:  len(indices),
-		}
-	}
-	return out, nil
+	return NewPopulation(part, seed).All()
 }
 
 // AttachTraces assigns bandwidth traces to participants (positionally).

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"fedrlnas/internal/cohort"
 	"fedrlnas/internal/data"
 	"fedrlnas/internal/nettrace"
 	"fedrlnas/internal/nn"
@@ -288,31 +289,135 @@ func seq(n int) []int {
 	return out
 }
 
-func TestSelectClients(t *testing.T) {
+func TestSelectCohort(t *testing.T) {
 	parts := make([]*Participant, 10)
 	for i := range parts {
 		parts[i] = &Participant{ID: i, NumSamples: 1}
 	}
-	rng := rand.New(rand.NewSource(1))
-	if got := selectClients(parts, 0, rng); len(got) != 10 {
+	newSampler := func(fraction float64) *cohort.Sampler {
+		s, err := cohort.New(1, len(parts), cohort.FractionSize(len(parts), fraction))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	if got := selectCohort(parts, newSampler(0), 0); len(got) != 10 {
 		t.Errorf("fraction 0 selected %d, want all", len(got))
 	}
-	if got := selectClients(parts, 1, rng); len(got) != 10 {
+	if got := selectCohort(parts, newSampler(1), 0); len(got) != 10 {
 		t.Errorf("fraction 1 selected %d, want all", len(got))
 	}
-	got := selectClients(parts, 0.3, rng)
+	got := selectCohort(parts, newSampler(0.3), 0)
 	if len(got) != 3 {
 		t.Errorf("fraction 0.3 selected %d, want 3", len(got))
 	}
-	seen := map[int]bool{}
+	lastID := -1
 	for _, p := range got {
-		if seen[p.ID] {
-			t.Fatal("duplicate participant selected")
+		if p.ID <= lastID {
+			t.Fatalf("selection not ascending/unique: %v then %v", lastID, p.ID)
 		}
-		seen[p.ID] = true
+		lastID = p.ID
 	}
-	if got := selectClients(parts[:2], 0.1, rng); len(got) != 1 {
+	// The schedule is a pure function of (seed, round): rounds differ,
+	// re-queries agree.
+	s := newSampler(0.3)
+	a, b := selectCohort(parts, s, 4), selectCohort(parts, s, 4)
+	if len(a) != len(b) {
+		t.Fatal("re-query changed cohort size")
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatal("re-querying a round changed its cohort")
+		}
+	}
+	tiny, err := cohort.New(1, 2, cohort.FractionSize(2, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := selectCohort(parts[:2], tiny, 0); len(got) != 1 {
 		t.Errorf("tiny fraction selected %d, want at least 1", len(got))
+	}
+}
+
+func TestPopulationLazyMaterialization(t *testing.T) {
+	ds := testDataset(t)
+	rng := rand.New(rand.NewSource(3))
+	part, err := data.IIDPartition(ds.NumTrain(), 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := NewPopulation(part, 9)
+	if pop.Len() != 8 || pop.Materialized() != 0 {
+		t.Fatalf("fresh population: len %d materialized %d", pop.Len(), pop.Materialized())
+	}
+	p5, err := pop.Get(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p5.ID != 5 || pop.Materialized() != 1 {
+		t.Fatalf("Get(5): id %d materialized %d", p5.ID, pop.Materialized())
+	}
+	if again, _ := pop.Get(5); again != p5 {
+		t.Fatal("Get(5) rebuilt an existing participant")
+	}
+	if _, err := pop.Get(8); err == nil {
+		t.Fatal("out-of-range Get accepted")
+	}
+	if _, err := pop.Get(-1); err == nil {
+		t.Fatal("negative Get accepted")
+	}
+
+	// A lazily built participant must be stream-identical to its eagerly
+	// built twin: same first batches, same RNG draws.
+	eager, err := BuildParticipants(ds, part, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		a, b := p5.Batcher.Next(4), eager[5].Batcher.Next(4)
+		if len(a) != len(b) {
+			t.Fatal("batch size mismatch")
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("batch %d diverges: %v vs %v", i, a, b)
+			}
+		}
+	}
+	if p5.RNG.Int63() != eager[5].RNG.Int63() {
+		t.Fatal("lazy RNG stream diverges from eager")
+	}
+
+	if all, err := pop.All(); err != nil || len(all) != 8 || pop.Materialized() != 8 {
+		t.Fatalf("All: err %v len %d materialized %d", err, len(all), pop.Materialized())
+	}
+}
+
+func TestPopulationSpeedAndTraceHooks(t *testing.T) {
+	ds := testDataset(t)
+	rng := rand.New(rand.NewSource(3))
+	part, err := data.IIDPartition(ds.NumTrain(), 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := NewPopulation(part, 9)
+	early, err := pop.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop.SetSpeedFn(func(k int) float64 { return float64(k) + 2 })
+	pop.SetTraceFn(func(k int) nettrace.Trace {
+		return nettrace.Trace{Mbps: []float64{float64(k) + 1}}
+	})
+	if early.SpeedFactor != 2 {
+		t.Fatalf("hook not applied retroactively: speed %v", early.SpeedFactor)
+	}
+	late, err := pop.Get(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if late.SpeedFactor != 5 || late.Trace.At(0) != 4 {
+		t.Fatalf("hook not applied lazily: speed %v trace %v", late.SpeedFactor, late.Trace.At(0))
 	}
 }
 

@@ -2,8 +2,8 @@ package fed
 
 import (
 	"fmt"
-	"math/rand"
 
+	"fedrlnas/internal/cohort"
 	"fedrlnas/internal/data"
 	"fedrlnas/internal/metrics"
 	"fedrlnas/internal/nettrace"
@@ -106,7 +106,15 @@ func FedAvg(model Model, ds *data.Dataset, parts []*Participant, cfg FedAvgConfi
 	paramCount := nn.ParamCount(params)
 	payloadBytes := nn.ParamBytes(params)
 	model.SetTraining(true)
-	selRNG := rand.New(rand.NewSource(int64(len(parts))*7907 + 13))
+	// Client selection goes through the shared per-round seeded sampler
+	// (the same machinery the search engine and RPC server use for cohort
+	// draws), so the schedule is a pure function of the population size and
+	// round index, independent of everything else that consumes randomness.
+	sampler, err := cohort.New(int64(len(parts))*7907+13, len(parts),
+		cohort.FractionSize(len(parts), cfg.ClientFraction))
+	if err != nil {
+		return res, err
+	}
 	run, err := newRunner(model, cfg.Workers, len(parts), cfg.NewReplica)
 	if err != nil {
 		return res, err
@@ -121,7 +129,7 @@ func FedAvg(model Model, ds *data.Dataset, parts []*Participant, cfg FedAvgConfi
 	}
 
 	for round := 0; round < cfg.Rounds; round++ {
-		selected := selectClients(parts, cfg.ClientFraction, selRNG)
+		selected := selectCohort(parts, sampler, round)
 		totalSamples := 0
 		for _, p := range selected {
 			totalSamples += p.NumSamples
@@ -260,20 +268,17 @@ func bwAt(p *Participant, round int) float64 {
 	return p.Trace.At(round)
 }
 
-// selectClients returns the round's participant subset: everyone when the
-// fraction is 0 or 1, otherwise a uniform sample of max(1, C·K) clients.
-func selectClients(parts []*Participant, fraction float64, rng *rand.Rand) []*Participant {
-	if fraction <= 0 || fraction >= 1 {
+// selectCohort returns round's participant subset per the shared sampler:
+// everyone when the sampler is full, otherwise the round's seeded cohort
+// in ascending ID order (the canonical merge order).
+func selectCohort(parts []*Participant, sampler *cohort.Sampler, round int) []*Participant {
+	if sampler.Full() {
 		return parts
 	}
-	n := int(fraction*float64(len(parts)) + 0.5)
-	if n < 1 {
-		n = 1
-	}
-	perm := rng.Perm(len(parts))
-	out := make([]*Participant, 0, n)
-	for _, i := range perm[:n] {
-		out = append(out, parts[i])
+	ids := sampler.Cohort(round)
+	out := make([]*Participant, len(ids))
+	for i, id := range ids {
+		out[i] = parts[id]
 	}
 	return out
 }

@@ -1,0 +1,128 @@
+package fed
+
+import (
+	"fmt"
+
+	"fedrlnas/internal/data"
+	"fedrlnas/internal/nettrace"
+)
+
+// Population is a lazy participant registry: it enrolls every shard of a
+// partition up front but materializes a Participant (its RNG, its copied
+// and shuffled batch pool) only when that participant is first requested.
+// With per-round cohort sampling, an enrolled-but-never-sampled client
+// costs one nil pointer — the registry holds 10,000 enrollments as cheaply
+// as 10 — while a sampled client's state persists once built, so its
+// batcher epoch position and RNG stream advance across the rounds it
+// participates in exactly as an eagerly built participant's would.
+//
+// Determinism: participant k's RNG is seeded by seed + k·7919 regardless
+// of when (or whether) k is materialized, and the batcher shuffle draws
+// only from that private RNG, so lazily built populations are
+// participant-for-participant identical to eager ones. BuildParticipants
+// is now a thin wrapper that materializes everything immediately.
+type Population struct {
+	partition data.Partition
+	seed      int64
+	parts     []*Participant
+	built     int
+
+	speedFn func(k int) float64
+	traceFn func(k int) nettrace.Trace
+}
+
+// NewPopulation enrolls one participant per partition shard without
+// materializing any of them.
+func NewPopulation(partition data.Partition, seed int64) *Population {
+	return &Population{
+		partition: partition,
+		seed:      seed,
+		parts:     make([]*Participant, partition.NumParticipants()),
+	}
+}
+
+// Len returns the enrolled population size K.
+func (p *Population) Len() int { return len(p.parts) }
+
+// Materialized returns how many participants have been built so far (a
+// memory-model observable: it must track cohort coverage, not K).
+func (p *Population) Materialized() int { return p.built }
+
+// Get returns participant k, building it on first access.
+func (p *Population) Get(k int) (*Participant, error) {
+	if k < 0 || k >= len(p.parts) {
+		return nil, fmt.Errorf("fed: participant %d outside population of %d", k, len(p.parts))
+	}
+	if p.parts[k] != nil {
+		return p.parts[k], nil
+	}
+	part, err := buildParticipant(p.partition.Indices[k], k, p.seed)
+	if err != nil {
+		return nil, err
+	}
+	if p.speedFn != nil {
+		part.SpeedFactor = p.speedFn(k)
+	}
+	if p.traceFn != nil {
+		part.Trace = p.traceFn(k)
+	}
+	p.parts[k] = part
+	p.built++
+	return part, nil
+}
+
+// All materializes and returns the full population in ID order (the
+// legacy eager path; callers that can iterate a cohort instead should).
+func (p *Population) All() ([]*Participant, error) {
+	for k := range p.parts {
+		if _, err := p.Get(k); err != nil {
+			return nil, err
+		}
+	}
+	return p.parts, nil
+}
+
+// SetSpeedFn installs a per-participant compute speed factor, applied to
+// every already-materialized participant and to all future ones. A nil fn
+// restores the default factor of 1 for future builds only.
+func (p *Population) SetSpeedFn(fn func(k int) float64) {
+	p.speedFn = fn
+	if fn == nil {
+		return
+	}
+	for k, part := range p.parts {
+		if part != nil {
+			part.SpeedFactor = fn(k)
+		}
+	}
+}
+
+// SetTraceFn installs a per-participant bandwidth trace source, applied
+// like SetSpeedFn.
+func (p *Population) SetTraceFn(fn func(k int) nettrace.Trace) {
+	p.traceFn = fn
+	if fn == nil {
+		return
+	}
+	for k, part := range p.parts {
+		if part != nil {
+			part.Trace = fn(k)
+		}
+	}
+}
+
+// buildParticipant constructs participant k's state from its shard.
+func buildParticipant(indices []int, k int, seed int64) (*Participant, error) {
+	rng := newParticipantRNG(seed, k)
+	b, err := data.NewBatcher(indices, rng)
+	if err != nil {
+		return nil, fmt.Errorf("participant %d: %w", k, err)
+	}
+	return &Participant{
+		ID:          k,
+		Batcher:     b,
+		RNG:         rng,
+		SpeedFactor: 1,
+		NumSamples:  len(indices),
+	}, nil
+}

@@ -1,0 +1,83 @@
+package parallel
+
+import "fmt"
+
+// Range is a half-open index interval [Lo, Hi) assigned to one shard of a
+// sharded merge.
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of indices in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// ShardRanges partitions [0, n) into at most `shards` contiguous,
+// non-overlapping, ascending ranges of near-equal length (sizes differ by
+// at most one, larger shards first). shards <= 1 yields the single range
+// [0, n); n <= 0 yields nil. Empty trailing shards are omitted, so every
+// returned range is non-empty.
+//
+// The contiguous-ascending property is what makes sharded merges safe
+// under the repo's bit-identity discipline: when a merge is sharded by
+// destination index rather than by source, every accumulator still
+// receives its additions in exactly the canonical order, so the result is
+// bit-identical at every shard count — including shards=1, which is the
+// legacy single-loop merge expressed as one range.
+func ShardRanges(n, shards int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	if shards <= 1 {
+		return []Range{{0, n}}
+	}
+	if shards > n {
+		shards = n
+	}
+	ranges := make([]Range, 0, shards)
+	base, rem := n/shards, n%shards
+	lo := 0
+	for s := 0; s < shards; s++ {
+		size := base
+		if s < rem {
+			size++
+		}
+		ranges = append(ranges, Range{lo, lo + size})
+		lo += size
+	}
+	return ranges
+}
+
+// RunShards partitions [0, n) into `shards` ranges and executes
+// fn(shard, r) for each on the pool, blocking until all complete. Each
+// shard owns its index range exclusively, so fn may write destination
+// state for indices in r without locking. Errors are reported in shard
+// order, matching Run's discipline.
+func (p *Pool) RunShards(n, shards int, fn func(shard int, r Range) error) error {
+	ranges := ShardRanges(n, shards)
+	if len(ranges) == 0 {
+		return nil
+	}
+	if len(ranges) == 1 {
+		// Single shard: run inline regardless of pool width.
+		if err := runShardTask(fn, 0, ranges[0]); err != nil {
+			return fmt.Errorf("parallel: shard 0 %v: %w", ranges[0], err)
+		}
+		return nil
+	}
+	err := p.Run(len(ranges), func(_, shard int) error {
+		return runShardTask(fn, shard, ranges[shard])
+	})
+	if err != nil {
+		return fmt.Errorf("parallel: sharded run: %w", err)
+	}
+	return nil
+}
+
+func runShardTask(fn func(shard int, r Range) error, shard int, r Range) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("shard %d panicked: %v", shard, rec)
+		}
+	}()
+	return fn(shard, r)
+}

@@ -1,0 +1,157 @@
+package parallel
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestShardRangesPartition(t *testing.T) {
+	cases := []struct {
+		n, shards int
+		want      []Range
+	}{
+		{0, 4, nil},
+		{-1, 4, nil},
+		{5, 0, []Range{{0, 5}}},
+		{5, 1, []Range{{0, 5}}},
+		{6, 2, []Range{{0, 3}, {3, 6}}},
+		{7, 2, []Range{{0, 4}, {4, 7}}},
+		{7, 3, []Range{{0, 3}, {3, 5}, {5, 7}}},
+		{3, 8, []Range{{0, 1}, {1, 2}, {2, 3}}}, // more shards than items
+		{1, 4, []Range{{0, 1}}},
+	}
+	for _, c := range cases {
+		got := ShardRanges(c.n, c.shards)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Fatalf("ShardRanges(%d, %d) = %v, want %v", c.n, c.shards, got, c.want)
+		}
+	}
+}
+
+// Exhaustive structural check: ranges must exactly tile [0, n), ascending,
+// non-empty, with sizes differing by at most one.
+func TestShardRangesTile(t *testing.T) {
+	for n := 1; n <= 40; n++ {
+		for shards := 1; shards <= 10; shards++ {
+			ranges := ShardRanges(n, shards)
+			lo, minLen, maxLen := 0, n+1, 0
+			for _, r := range ranges {
+				if r.Lo != lo || r.Hi <= r.Lo {
+					t.Fatalf("n=%d shards=%d: bad range %v after lo=%d", n, shards, r, lo)
+				}
+				if l := r.Len(); l < minLen {
+					minLen = l
+				}
+				if l := r.Len(); l > maxLen {
+					maxLen = l
+				}
+				lo = r.Hi
+			}
+			if lo != n {
+				t.Fatalf("n=%d shards=%d: ranges end at %d", n, shards, lo)
+			}
+			if maxLen-minLen > 1 {
+				t.Fatalf("n=%d shards=%d: unbalanced ranges %v", n, shards, ranges)
+			}
+		}
+	}
+}
+
+// A sharded sum over fixed per-index inputs must be bit-identical to the
+// sequential sum at every shard count, because each destination index is
+// owned by exactly one shard and accumulated in the same order.
+func TestRunShardsBitIdenticalSum(t *testing.T) {
+	const n = 1003
+	const replies = 7
+	// Adversarial float inputs: wide magnitude spread so any reordering
+	// of additions would change the rounding.
+	in := make([][]float64, replies)
+	for rep := range in {
+		in[rep] = make([]float64, n)
+		for i := range in[rep] {
+			in[rep][i] = float64((rep+1)*(i+1)) * 1e-3 * float64(uint64(1)<<(uint(i)%40))
+		}
+	}
+	sum := func(shards, workers int) []float64 {
+		out := make([]float64, n)
+		p := New(workers)
+		if err := p.RunShards(n, shards, func(_ int, r Range) error {
+			for rep := 0; rep < replies; rep++ {
+				for i := r.Lo; i < r.Hi; i++ {
+					out[i] += in[rep][i]
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	ref := sum(1, 1)
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, workers := range []int{1, 2, 4} {
+			got := sum(shards, workers)
+			if !reflect.DeepEqual(got, ref) {
+				t.Fatalf("shards=%d workers=%d differs from reference", shards, workers)
+			}
+		}
+	}
+}
+
+func TestRunShardsCoversEveryIndexOnce(t *testing.T) {
+	const n = 57
+	var touched [n]atomic.Int32
+	p := New(4)
+	if err := p.RunShards(n, 4, func(_ int, r Range) error {
+		for i := r.Lo; i < r.Hi; i++ {
+			touched[i].Add(1)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range touched {
+		if got := touched[i].Load(); got != 1 {
+			t.Fatalf("index %d touched %d times", i, got)
+		}
+	}
+}
+
+func TestRunShardsErrorAndPanic(t *testing.T) {
+	p := New(2)
+	sentinel := errors.New("boom")
+	err := p.RunShards(10, 4, func(shard int, _ Range) error {
+		if shard == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	err = p.RunShards(10, 4, func(shard int, _ Range) error {
+		if shard == 1 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic not converted to error")
+	}
+}
+
+func TestRunShardsNilPool(t *testing.T) {
+	var p *Pool
+	total := 0
+	if err := p.RunShards(9, 3, func(_ int, r Range) error {
+		total += r.Len()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if total != 9 {
+		t.Fatalf("nil pool covered %d of 9", total)
+	}
+}

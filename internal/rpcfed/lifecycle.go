@@ -132,28 +132,13 @@ type ParticipantStatus struct {
 	Failures int    `json:"consecutive_failures"`
 }
 
-// ParticipantStates snapshots every participant's lifecycle state.
-func (s *Server) ParticipantStates() []ParticipantStatus {
-	out := make([]ParticipantStatus, len(s.peers))
-	for i, p := range s.peers {
-		p.mu.Lock()
-		out[i] = ParticipantStatus{
-			ID:       p.id,
-			Addr:     p.addr,
-			State:    p.state.String(),
-			Failures: p.failures,
-		}
-		p.mu.Unlock()
-	}
-	return out
-}
-
-// liveCount returns how many participants are not Dead — the population
-// the dynamic quorum is computed over.
-func (s *Server) liveCount() int {
+// liveCountIn returns how many of the given participants are not Dead —
+// the population the round's dynamic quorum is computed over (the current
+// cohort, or everyone when sampling is off).
+func (s *Server) liveCountIn(ids []int) int {
 	n := 0
-	for _, p := range s.peers {
-		if p.State() != StateDead {
+	for _, id := range ids {
+		if s.peers[id].State() != StateDead {
 			n++
 		}
 	}
@@ -219,9 +204,7 @@ func (s *Server) noteCallFailure(p *peer, err error) {
 
 // publishState mirrors a transition into the gauge and the tracer.
 func (s *Server) publishState(p *peer, state ParticipantState) {
-	if p.id < len(s.lcMet.States) {
-		s.lcMet.States[p.id].Set(float64(state))
-	}
+	s.lcMet.SetState(p.id, int(state))
 	s.tracer.PeerState(int(s.curRound.Load()), p.id, int(state))
 }
 

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fedrlnas/internal/cohort"
 	"fedrlnas/internal/controller"
 	"fedrlnas/internal/metrics"
 	"fedrlnas/internal/nas"
@@ -49,6 +50,15 @@ type TransportConfig struct {
 	// per-call deadline (feeding the lifecycle state machine) instead of
 	// silently eating the round budget. 0 disables per-call deadlines.
 	CallTimeout time.Duration
+
+	// LazyDial defers participant connections to first dispatch: NewServer
+	// enrolls every address as an undialed registry stub and the call path
+	// dials on demand. Combined with cohort sampling this keeps a
+	// 10,000-strong enrollment from opening 10,000 sockets up front — only
+	// participants that are actually sampled ever hold a connection. A
+	// failed lazy dial feeds the lifecycle state machine exactly like a
+	// failed call.
+	LazyDial bool
 }
 
 // DefaultTransportConfig returns the transport defaults.
@@ -162,7 +172,18 @@ type Server struct {
 	opt  *nn.SGD
 	rng  *rand.Rand
 
+	// reg owns the participant roster; peers aliases its slice so the
+	// lifecycle machinery keeps indexing by participant id directly.
+	reg   *Registry
 	peers []*peer
+
+	// sampler draws the per-round cohort (everyone when CohortSize is 0);
+	// allIDs caches the identity cohort in that full mode. cohortPool
+	// retains recent cohorts alongside the gates so a late reply's gates
+	// can be recovered by the straggler's position in its dispatch round.
+	sampler    *cohort.Sampler
+	allIDs     []int
+	cohortPool *staleness.Pool[[]int]
 
 	paramIndex map[*nn.Param]int
 	thetaPool  *staleness.Pool[[]*tensor.Tensor]
@@ -211,6 +232,10 @@ func NewServer(cfg ServerConfig, addrs []string) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	sampler, err := cohort.New(cfg.Seed+303, len(addrs), cfg.CohortSize)
+	if err != nil {
+		return nil, fmt.Errorf("rpcfed: %w", err)
+	}
 	s := &Server{
 		cfg:  cfg,
 		net:  net,
@@ -218,14 +243,22 @@ func NewServer(cfg ServerConfig, addrs []string) (*Server, error) {
 		opt:  nn.NewSGD(cfg.ThetaLR, cfg.ThetaMomentum, cfg.ThetaWD, cfg.ThetaClip),
 		rng:  rand.New(rand.NewSource(cfg.Seed)),
 
-		thetaPool: staleness.NewPool[[]*tensor.Tensor](cfg.StalenessThreshold),
-		alphaPool: staleness.NewPool[controller.AlphaSnapshot](cfg.StalenessThreshold),
-		gatesPool: staleness.NewPool[[]nas.Gates](cfg.StalenessThreshold),
+		reg:     newRegistry(addrs),
+		sampler: sampler,
+
+		cohortPool: staleness.NewPool[[]int](cfg.StalenessThreshold),
+		thetaPool:  staleness.NewPool[[]*tensor.Tensor](cfg.StalenessThreshold),
+		alphaPool:  staleness.NewPool[controller.AlphaSnapshot](cfg.StalenessThreshold),
+		gatesPool:  staleness.NewPool[[]nas.Gates](cfg.StalenessThreshold),
 
 		replies:  make(chan *TrainReply, 4*len(addrs)),
 		inFlight: make(map[int]bool, len(addrs)),
 		pool:     parallel.New(cfg.Transport.Workers),
 		done:     make(chan struct{}),
+	}
+	s.peers = s.reg.peers
+	if sampler.Full() {
+		s.allIDs = sampler.Cohort(0)
 	}
 	s.paramIndex = make(map[*nn.Param]int)
 	for i, p := range net.Params() {
@@ -235,14 +268,18 @@ func NewServer(cfg ServerConfig, addrs []string) (*Server, error) {
 	s.lcMet = telemetry.NewDisabledLifecycleMetrics(len(addrs))
 	wm := telemetry.NewDisabledWireMetrics()
 	s.wireMet = &wm
-	for i, addr := range addrs {
-		client, err := dialParticipant(addr, cfg.Transport.Wire, s.wireMet,
-			cfg.Transport.DialAttempts, cfg.Transport.DialBackoff)
-		if err != nil {
-			s.Close()
-			return nil, err
+	if !cfg.Transport.LazyDial {
+		for _, p := range s.peers {
+			client, err := dialParticipant(p.addr, cfg.Transport.Wire, s.wireMet,
+				cfg.Transport.DialAttempts, cfg.Transport.DialBackoff)
+			if err != nil {
+				s.Close()
+				return nil, err
+			}
+			p.mu.Lock()
+			p.client = client
+			p.mu.Unlock()
 		}
-		s.peers = append(s.peers, &peer{id: i, addr: addr, client: client})
 	}
 	s.net.SetTraining(true)
 	return s, nil
@@ -265,6 +302,10 @@ func (s *Server) Close() {
 
 // Supernet exposes the server-side supernet (e.g. to warm-start θ).
 func (s *Server) Supernet() *nas.Supernet { return s.net }
+
+// CohortFor reports the cohort the sampler draws for a round — a pure
+// function of the configured seed, usable before, during, or after a run.
+func (s *Server) CohortFor(round int) []int { return s.sampler.Cohort(round) }
 
 // Clients snapshots the live RPC client handles in participant order (nil
 // entries for dead peers). FedAvgOverRPC consumes it for the post-search
@@ -309,7 +350,6 @@ func (s *Server) Run() (ServerResult, error) {
 func (s *Server) RunContext(ctx context.Context) (ServerResult, error) {
 	res := ServerResult{}
 	params := s.net.Params()
-	k := len(s.peers)
 
 	for t := 0; t < s.cfg.Rounds; t++ {
 		if err := ctx.Err(); err != nil {
@@ -324,57 +364,70 @@ func (s *Server) RunContext(ctx context.Context) (ServerResult, error) {
 		alphaNow := s.ctrl.Snapshot()
 		s.alphaPool.Put(t, alphaNow)
 
-		// Gates are sampled for every participant — dead ones included — so
-		// the controller RNG stream never depends on liveness and a
-		// no-fault run replays bit-identically.
-		gates := make([]nas.Gates, k)
-		for p := 0; p < k; p++ {
-			gates[p] = s.ctrl.SampleGates(s.rng)
+		// The round's cohort is a pure function of (seed, round) —
+		// independent of liveness, reply timing, and every other fault — so
+		// the sampling schedule replays bit-identically under chaos. The
+		// pool retains recent cohorts so a straggler's gates can be looked
+		// up by its position in the round it was dispatched.
+		members := s.allIDs
+		if !s.sampler.Full() {
+			members = s.sampler.Cohort(t)
+		}
+		s.cohortPool.Put(t, members)
+
+		// Gates are sampled per cohort position in ascending participant
+		// order — dead members included — so the controller RNG stream
+		// never depends on liveness and a no-fault run replays
+		// bit-identically. With sampling off the cohort is the identity,
+		// reproducing the legacy all-participants stream.
+		gates := make([]nas.Gates, len(members))
+		for j := range members {
+			gates[j] = s.ctrl.SampleGates(s.rng)
 		}
 		s.gatesPool.Put(t, gates)
 
 		// The quorum is dynamic: the configured fraction applies to the
-		// participants currently believed live, so the round loop keeps
+		// cohort members currently believed live, so the round loop keeps
 		// making progress as peers die (and tightens again as redials bring
 		// them back). With every peer alive this reduces to the static
 		// ceil-ish quorum the engine always used.
-		live := s.liveCount()
+		live := s.liveCountIn(members)
 		quorum := int(float64(live)*s.cfg.Quorum + 0.5)
 		if quorum < 1 {
 			quorum = 1
 		}
 
-		// Dispatch to every live participant that is not still busy with an
-		// earlier round (genuine soft sync: stragglers skip rounds; dead
+		// Dispatch to every live cohort member that is not still busy with
+		// an earlier round (genuine soft sync: stragglers skip rounds; dead
 		// peers are skipped until their redial loop revives them).
 		// Payload serialization — sampling and flattening each
 		// participant's sub-model weights, the server-side hot path — fans
 		// out across the worker pool; the supernet is read-only here (late
 		// replies are only absorbed in the collect phase below), so tasks
 		// share it safely. Dispatch itself stays in participant order.
-		var todo []int
-		for p := 0; p < k; p++ {
-			if s.inFlight[p] {
+		var todo []int // cohort positions
+		for j, pid := range members {
+			if s.inFlight[pid] {
 				continue
 			}
-			if s.peers[p].State() == StateDead {
-				s.tracer.ReplyOffline(t, p)
+			if s.peers[pid].State() == StateDead {
+				s.tracer.ReplyOffline(t, pid)
 				continue
 			}
-			todo = append(todo, p)
+			todo = append(todo, j)
 		}
 		reqs := make([]*TrainRequest, len(todo))
 		reqBytes := make([]int64, len(todo))
 		dispatchStart := time.Now()
 		if err := s.pool.Run(len(todo), func(_, i int) error {
-			p := todo[i]
-			sub := s.net.SampledParams(gates[p])
+			j := todo[i]
+			sub := s.net.SampledParams(gates[j])
 			span := spanCtx
-			span.Participant = int32(p)
+			span.Participant = int32(members[j])
 			reqs[i] = &TrainRequest{
 				Round:     t,
-				Normal:    append([]int(nil), gates[p].Normal...),
-				Reduce:    append([]int(nil), gates[p].Reduce...),
+				Normal:    append([]int(nil), gates[j].Normal...),
+				Reduce:    append([]int(nil), gates[j].Reduce...),
 				Weights:   flattenValues(sub),
 				BatchSize: s.cfg.BatchSize,
 				Span:      span,
@@ -390,12 +443,13 @@ func (s *Server) RunContext(ctx context.Context) (ServerResult, error) {
 		}
 		dispatched := 0
 		var dispatchBytes int64
-		for i, p := range todo {
+		for i, j := range todo {
+			pid := members[j]
 			s.met.SubModelBytes.Observe(float64(reqBytes[i]))
-			s.tracer.SubModelSample(t, p, reqBytes[i])
+			s.tracer.SubModelSample(t, pid, reqBytes[i])
 			dispatchBytes += reqBytes[i]
-			s.inFlight[p] = true
-			go s.call(s.peers[p], reqs[i])
+			s.inFlight[pid] = true
+			go s.call(s.peers[pid], reqs[i])
 			dispatched++
 		}
 		s.tracer.RoundDispatch(t, dispatchBytes, time.Since(dispatchStart).Seconds())
@@ -498,7 +552,9 @@ func (s *Server) RunContext(ctx context.Context) (ServerResult, error) {
 			}
 		}
 
-		// Deterministic merge of this round's accepted replies.
+		// Deterministic merge of this round's accepted replies: decode and
+		// delay-compensate each in canonical (Round, ParticipantID) order,
+		// then fold θ through the sharded tree and α sequentially.
 		mergeStart := time.Now()
 		sort.Slice(accepted, func(i, j int) bool {
 			if accepted[i].Round != accepted[j].Round {
@@ -506,10 +562,43 @@ func (s *Server) RunContext(ctx context.Context) (ServerResult, error) {
 			}
 			return accepted[i].ParticipantID < accepted[j].ParticipantID
 		})
+		preps := make([]replyPrep, 0, len(accepted))
 		for _, reply := range accepted {
-			if _, _, err := s.absorb(reply, t, thetaNow, aggTheta, aggAlpha); err != nil {
+			pr, err := s.prepareReply(reply, t, thetaNow)
+			if err != nil {
 				return res, err
 			}
+			if pr.ok {
+				preps = append(preps, pr)
+			}
+		}
+		// The tree shards by destination parameter index, never by reply:
+		// each aggTheta[idx] receives its additions in the same sorted-reply
+		// order at every shard and worker count, so the merged θ is
+		// bit-identical to the single-shard (and pre-sharding) sum.
+		shards := s.cfg.Shards
+		if shards < 1 {
+			shards = 1
+		}
+		if err := s.pool.RunShards(len(params), shards, func(_ int, r parallel.Range) error {
+			for _, pr := range preps {
+				for i, idx := range pr.subIdx {
+					if idx < r.Lo || idx >= r.Hi {
+						continue
+					}
+					if aggTheta[idx] == nil {
+						aggTheta[idx] = pr.grads[i]
+					} else {
+						aggTheta[idx].AddInPlace(pr.grads[i])
+					}
+				}
+			}
+			return nil
+		}); err != nil {
+			return res, err
+		}
+		for _, pr := range preps {
+			s.absorbAlpha(pr, aggAlpha)
 		}
 		s.tracer.RoundMerge(t, contributors, time.Since(mergeStart).Seconds())
 
@@ -546,6 +635,7 @@ func (s *Server) RunContext(ctx context.Context) (ServerResult, error) {
 		s.thetaPool.Evict(t + 1)
 		s.alphaPool.Evict(t + 1)
 		s.gatesPool.Evict(t + 1)
+		s.cohortPool.Evict(t + 1)
 	}
 	res.Genotype = s.ctrl.Derive(s.cfg.Net.Candidates, s.cfg.Net.Nodes)
 	return res, nil
@@ -564,7 +654,10 @@ func (s *Server) finishPartial(res ServerResult) ServerResult {
 func (s *Server) call(p *peer, req *TrainRequest) {
 	t0 := time.Now()
 	reply := &TrainReply{}
-	err := p.do("Participant.Train", req, reply, s.cfg.Transport.CallTimeout)
+	err := s.ensureClient(p)
+	if err == nil {
+		err = p.do("Participant.Train", req, reply, s.cfg.Transport.CallTimeout)
+	}
 	elapsed := time.Since(t0).Seconds()
 	var replyBytes int64
 	if err != nil {
@@ -580,11 +673,43 @@ func (s *Server) call(p *peer, req *TrainRequest) {
 		replyBytes = wire.GroupBytes(s.cfg.Transport.Wire, reply.Grads)
 	}
 	s.lcMet.CallSeconds.Observe(elapsed)
-	if p.id < len(s.lcMet.RoundSeconds) {
-		s.lcMet.RoundSeconds[p.id].Set(elapsed)
-	}
+	s.lcMet.ObserveRoundSeconds(p.id, elapsed)
 	s.tracer.RPCCall(req.Span, req.Round, p.id, replyBytes, elapsed, err == nil)
 	s.replies <- reply
+}
+
+// ensureClient dials the peer's connection on first use — the lazy-dial
+// path; a no-op when a connection is already up. The caller owns the
+// peer's dispatch slot (its in-flight bit), so at most one ensureClient
+// runs per peer, and redial loops only touch dead peers, which are never
+// dispatched.
+func (s *Server) ensureClient(p *peer) error {
+	p.mu.Lock()
+	have := p.client != nil
+	p.mu.Unlock()
+	if have {
+		return nil
+	}
+	select {
+	case <-s.done:
+		return errPeerDown
+	default:
+	}
+	client, err := dialParticipant(p.addr, s.cfg.Transport.Wire, s.wireMet,
+		s.cfg.Transport.DialAttempts, s.cfg.Transport.DialBackoff)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	if p.client == nil {
+		p.client = client
+		client = nil
+	}
+	p.mu.Unlock()
+	if client != nil {
+		_ = client.Close() // lost a race with a redial; keep the winner
+	}
+	return nil
 }
 
 // classify applies Alg. 1's acceptance tests — transport failure,
@@ -611,73 +736,94 @@ func (s *Server) classify(reply *TrainReply, t int) (bool, bool, error) {
 	return delay == 0, true, nil
 }
 
-// absorb folds one reply into the aggregation buffers, applying delay
-// compensation for late replies. It reports (fresh, accepted, err).
-func (s *Server) absorb(reply *TrainReply, t int, thetaNow []*tensor.Tensor,
-	aggTheta []*tensor.Tensor, aggAlpha controller.AlphaGrad) (bool, bool, error) {
+// replyPrep is one accepted reply decoded, located in its dispatch-round
+// cohort, and delay-compensated: ready for the sharded θ pass and the α
+// pass. ok=false marks a reply whose retained context (gates, cohort,
+// stale θ) was already evicted — it contributes nothing.
+type replyPrep struct {
+	ok     bool
+	round  int
+	delay  int
+	reward float64
+	gk     nas.Gates
+	subIdx []int
+	grads  []*tensor.Tensor
+}
 
-	if fresh, ok, err := s.classify(reply, t); !ok || err != nil {
-		return fresh, ok, err
-	}
-	delay := t - reply.Round
+// prepareReply recovers the reply's gates by the participant's position in
+// its dispatch round's cohort, decodes the gradients, and applies θ delay
+// compensation for late replies. Retention-pool misses skip the reply
+// without error, matching the acceptance tests in classify.
+func (s *Server) prepareReply(reply *TrainReply, t int, thetaNow []*tensor.Tensor) (replyPrep, error) {
+	pr := replyPrep{round: reply.Round, delay: t - reply.Round, reward: reply.Reward}
 	gatesAt, ok := s.gatesPool.Get(reply.Round)
 	if !ok {
-		return false, false, nil
+		return pr, nil
 	}
-	gk := gatesAt[reply.ParticipantID]
+	membersAt, ok := s.cohortPool.Get(reply.Round)
+	if !ok {
+		return pr, nil
+	}
+	// Only cohort members were dispatched at reply.Round, so a miss here
+	// is a protocol violation by the participant; drop it.
+	pos, ok := cohort.Position(membersAt, reply.ParticipantID)
+	if !ok {
+		return pr, nil
+	}
+	gk := gatesAt[pos]
 	sub := s.net.SampledParams(gk)
 	sizes := make([]int, len(sub))
 	for i, p := range sub {
 		sizes[i] = p.Value.Size()
 	}
 	if err := checkWeightShapes(reply.Grads, sizes); err != nil {
-		return false, false, err
+		return pr, err
 	}
 	grads := make([]*tensor.Tensor, len(sub))
+	subIdx := make([]int, len(sub))
 	for i, p := range sub {
 		grads[i] = tensor.FromSlice(reply.Grads[i], p.Value.Shape()...)
+		subIdx[i] = s.paramIndex[p]
 	}
 
-	if delay > 0 && s.cfg.Strategy == staleness.DC {
+	if pr.delay > 0 && s.cfg.Strategy == staleness.DC {
 		thetaAt, ok := s.thetaPool.Get(reply.Round)
 		if !ok {
-			return false, false, nil
+			return pr, nil
 		}
 		freshVals := make([]*tensor.Tensor, len(sub))
 		staleVals := make([]*tensor.Tensor, len(sub))
-		for i, p := range sub {
-			idx := s.paramIndex[p]
+		for i, idx := range subIdx {
 			freshVals[i] = thetaNow[idx]
 			staleVals[i] = thetaAt[idx]
 		}
 		var err error
 		grads, err = staleness.CompensateTheta(grads, freshVals, staleVals, s.cfg.Lambda)
 		if err != nil {
-			return false, false, err
+			return pr, err
 		}
 	}
-	for i, p := range sub {
-		idx := s.paramIndex[p]
-		if aggTheta[idx] == nil {
-			aggTheta[idx] = grads[i].Clone()
-		} else {
-			aggTheta[idx].AddInPlace(grads[i])
-		}
-	}
+	pr.ok, pr.gk, pr.subIdx, pr.grads = true, gk, subIdx, grads
+	return pr, nil
+}
 
-	alphaAt, ok := s.alphaPool.Get(reply.Round)
+// absorbAlpha folds one prepared reply's policy-gradient contribution into
+// the α aggregate, with drift correction for late replies. An alpha-pool
+// miss skips α while keeping the reply's already-merged θ contribution —
+// the same asymmetry the pre-sharding absorb path had.
+func (s *Server) absorbAlpha(pr replyPrep, aggAlpha controller.AlphaGrad) {
+	alphaAt, ok := s.alphaPool.Get(pr.round)
 	if !ok {
-		return false, false, nil
+		return
 	}
-	logGrad := controller.LogProbGradAt(alphaAt, gk)
-	if delay > 0 && s.cfg.Strategy == staleness.DC {
+	logGrad := controller.LogProbGradAt(alphaAt, pr.gk)
+	if pr.delay > 0 && s.cfg.Strategy == staleness.DC {
 		drift := alphaAt.Diff(s.ctrl.Snapshot())
 		corrected := logGrad.Clone()
 		corrected.MulAdd3(s.cfg.Lambda, logGrad, drift)
 		logGrad = corrected
 	}
-	aggAlpha.AXPY(s.ctrl.Reward(reply.Reward), logGrad)
-	return delay == 0, true, nil
+	aggAlpha.AXPY(s.ctrl.Reward(pr.reward), logGrad)
 }
 
 func flattenValues(params []*nn.Param) [][]float64 {

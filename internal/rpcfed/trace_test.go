@@ -253,8 +253,8 @@ func TestUntracedRunCarriesNoSpanBytes(t *testing.T) {
 }
 
 // TestParticipantsEndpointJSON pins the /participants debug endpoint: JSON
-// content type, the documented field shape, and lifecycle transitions
-// showing up in the payload.
+// content type, the documented summary shape (with the full status list
+// inlined at small K), and lifecycle transitions showing up in the payload.
 func TestParticipantsEndpointJSON(t *testing.T) {
 	addrs, _, stop := startCluster(t, 2, nil)
 	defer stop()
@@ -266,45 +266,67 @@ func TestParticipantsEndpointJSON(t *testing.T) {
 	defer s.Close()
 
 	mux := telemetry.NewDebugMux(telemetry.NewRegistry(),
-		telemetry.JSONEndpoint("/participants", func() any { return s.ParticipantStates() }))
-	get := func() []ParticipantStatus {
+		telemetry.Endpoint{Path: "/participants", Handler: s.ParticipantsHandler()})
+	get := func(url string) ParticipantsSummary {
 		t.Helper()
 		rec := httptest.NewRecorder()
-		mux.ServeHTTP(rec, httptest.NewRequest("GET", "/participants", nil))
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
 		if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
 			t.Fatalf("Content-Type = %q, want application/json", ct)
 		}
-		var got []ParticipantStatus
+		var got ParticipantsSummary
 		if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
 			t.Fatalf("invalid JSON body %q: %v", rec.Body.String(), err)
-		}
-		// The raw body must use the documented field names.
-		for _, key := range []string{`"id"`, `"addr"`, `"state"`, `"consecutive_failures"`} {
-			if !strings.Contains(rec.Body.String(), key) {
-				t.Fatalf("body missing %s field: %s", key, rec.Body.String())
-			}
 		}
 		return got
 	}
 
-	got := get()
-	if len(got) != 2 {
-		t.Fatalf("%d participants, want 2", len(got))
+	sum := get("/participants")
+	if sum.Enrolled != 2 || sum.Alive != 2 || sum.Suspect != 0 || sum.Dead != 0 {
+		t.Fatalf("summary = %+v, want 2 enrolled alive", sum)
 	}
-	for i, p := range got {
+	if len(sum.Cohort) != 2 || sum.CohortSize != 2 {
+		t.Fatalf("full-mode cohort = %v (size %d), want identity of 2", sum.Cohort, sum.CohortSize)
+	}
+	// K = 2 <= 32: the per-participant list is still inlined by default,
+	// with the documented field names on the wire.
+	if len(sum.Participants) != 2 {
+		t.Fatalf("%d participants inlined, want 2", len(sum.Participants))
+	}
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/participants", nil))
+	for _, key := range []string{`"id"`, `"addr"`, `"state"`, `"consecutive_failures"`,
+		`"enrolled"`, `"cohort"`, `"alive"`, `"connected"`} {
+		if !strings.Contains(rec.Body.String(), key) {
+			t.Fatalf("body missing %s field: %s", key, rec.Body.String())
+		}
+	}
+	for i, p := range sum.Participants {
 		if p.ID != i || p.Addr != addrs[i] || p.State != "alive" || p.Failures != 0 {
 			t.Fatalf("participant %d = %+v, want alive at %s", i, p, addrs[i])
 		}
 	}
 
+	// Pagination slices the roster; ?all=1 returns everyone.
+	page := get("/participants?offset=1&limit=1")
+	if len(page.Participants) != 1 || page.Participants[0].ID != 1 || page.Offset != 1 {
+		t.Fatalf("page = %+v, want participant 1 at offset 1", page)
+	}
+	if all := get("/participants?all=1"); len(all.Participants) != 2 {
+		t.Fatalf("?all=1 returned %d participants, want 2", len(all.Participants))
+	}
+
 	// Drive the lifecycle state machine: one failure -> suspect, a second
-	// -> dead; both must be visible through the endpoint.
+	// -> dead; both must be visible through the endpoint, in the counts
+	// and in the inlined list.
 	s.noteCallFailure(s.peers[1], errCallTimeout)
-	if got := get(); got[1].State != "suspect" || got[1].Failures != 1 {
-		t.Fatalf("after one failure: %+v", got[1])
+	if got := get("/participants"); got.Suspect != 1 ||
+		got.Participants[1].State != "suspect" || got.Participants[1].Failures != 1 {
+		t.Fatalf("after one failure: %+v", got)
 	}
 	s.noteCallFailure(s.peers[1], errCallTimeout)
-	if got := get(); got[1].State != "dead" || got[1].Failures != 2 || got[0].State != "alive" {
+	if got := get("/participants"); got.Dead != 1 || got.Alive != 1 ||
+		got.Participants[1].State != "dead" || got.Participants[0].State != "alive" {
 		t.Fatalf("after two failures: %+v", got)
 	}
 }

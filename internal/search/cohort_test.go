@@ -1,0 +1,213 @@
+package search
+
+import (
+	"reflect"
+	"testing"
+
+	"fedrlnas/internal/staleness"
+)
+
+// cohortConfig is tinyConfig with per-round cohort sampling on: 8 enrolled,
+// 3 sampled per round.
+func cohortConfig() Config {
+	cfg := tinyConfig()
+	cfg.K = 8
+	cfg.CohortSize = 3
+	cfg.WarmupSteps = 4
+	cfg.SearchSteps = 8
+	return cfg
+}
+
+// Sharded-merge bit-identity at the full population: shard counts
+// {1,2,4,8} (and the default 0) must all produce identical fingerprints,
+// because sharding is by destination parameter index and each accumulator
+// keeps its canonical addition order.
+func TestShardedMergeBitIdenticalFullPopulation(t *testing.T) {
+	base := tinyConfig()
+	base.WarmupSteps = 4
+	base.SearchSteps = 8
+	base.Seed = 11
+	base.Workers = 4
+
+	ref := fingerprint(t, base) // Shards = 0, the single-range legacy merge
+	for _, shards := range []int{1, 2, 4, 8} {
+		cfg := base
+		cfg.Shards = shards
+		fp := fingerprint(t, cfg)
+		if fp.genotype != ref.genotype {
+			t.Fatalf("shards=%d: genotype %s vs %s", shards, fp.genotype, ref.genotype)
+		}
+		if fp.thetaSum != ref.thetaSum {
+			t.Fatalf("shards=%d: θ checksum %v vs %v", shards, fp.thetaSum, ref.thetaSum)
+		}
+		assertIdentical(t, "search curve", fp.search, ref.search)
+	}
+}
+
+// The same sweep with cohort sampling on, across worker counts: the
+// combination of position-keyed scratch, lazy materialization, and the
+// sharded tree must preserve the bit-identity contract.
+func TestCohortShardBitIdentity(t *testing.T) {
+	base := cohortConfig()
+	base.Seed = 23
+
+	var ref searchFingerprint
+	first := true
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, workers := range []int{1, 4} {
+			cfg := base
+			cfg.Shards = shards
+			cfg.Workers = workers
+			fp := fingerprint(t, cfg)
+			if first {
+				ref, first = fp, false
+				continue
+			}
+			if fp.genotype != ref.genotype {
+				t.Fatalf("shards=%d workers=%d: genotype diverges", shards, workers)
+			}
+			if fp.thetaSum != ref.thetaSum {
+				t.Fatalf("shards=%d workers=%d: θ checksum %v vs %v",
+					shards, workers, fp.thetaSum, ref.thetaSum)
+			}
+			assertIdentical(t, "search curve", fp.search, ref.search)
+			assertIdentical(t, "round seconds", fp.seconds, ref.seconds)
+			if fp.stats != ref.stats {
+				t.Fatalf("shards=%d workers=%d: stats %+v vs %+v", shards, workers, fp.stats, ref.stats)
+			}
+		}
+	}
+}
+
+// Same seed → identical cohort schedule and identical results across runs.
+func TestCohortDeterministicAcrossRuns(t *testing.T) {
+	cfg := cohortConfig()
+	cfg.Seed = 31
+	a := fingerprint(t, cfg)
+	b := fingerprint(t, cfg)
+	if a.genotype != b.genotype || a.thetaSum != b.thetaSum {
+		t.Fatalf("same-seed cohort runs diverge: %s/%v vs %s/%v",
+			a.genotype, a.thetaSum, b.genotype, b.thetaSum)
+	}
+	assertIdentical(t, "search curve", a.search, b.search)
+}
+
+// The cohort schedule must be independent of injected faults: a run with
+// heavy churn and one with none see the same per-round cohorts (the
+// search-engine mirror of PR 5's RNG-stream-is-fault-independent
+// invariant — churn draws come from participant RNGs, never the sampler).
+func TestCohortScheduleChaosIndependent(t *testing.T) {
+	calm := cohortConfig()
+	calm.Seed = 47
+	stormy := calm
+	stormy.ChurnProb = 0.5
+	stormy.Staleness = staleness.Severe()
+	stormy.Strategy = staleness.DC
+
+	sCalm, err := New(calm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sStormy, err := New(stormy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sStormy.Warmup(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sStormy.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Compare schedules after the stormy run actually consumed its rounds;
+	// the calm search never ran at all, which is the point: the schedule
+	// is a pure function of the seed.
+	for round := 0; round < calm.WarmupSteps+calm.SearchSteps; round++ {
+		if !reflect.DeepEqual(sCalm.CohortFor(round), sStormy.CohortFor(round)) {
+			t.Fatalf("round %d: cohort schedule changed under faults: %v vs %v",
+				round, sCalm.CohortFor(round), sStormy.CohortFor(round))
+		}
+	}
+}
+
+// Cohort mode under the adversarial staleness/churn mix must stay
+// deterministic across worker counts — this exercises the
+// straggler-outside-old-cohort fallback path concurrently.
+func TestCohortDeterministicUnderStalenessAndChurn(t *testing.T) {
+	base := cohortConfig()
+	base.Seed = 53
+	base.SearchSteps = 12
+	base.Staleness = staleness.Severe()
+	base.Strategy = staleness.DC
+	base.ChurnProb = 0.2
+
+	cfg1 := base
+	cfg1.Workers = 1
+	cfgN := base
+	cfgN.Workers = 4
+
+	fp1 := fingerprint(t, cfg1)
+	fpN := fingerprint(t, cfgN)
+	if fp1.genotype != fpN.genotype || fp1.thetaSum != fpN.thetaSum {
+		t.Fatalf("cohort+staleness diverges across workers: %v vs %v", fp1.thetaSum, fpN.thetaSum)
+	}
+	assertIdentical(t, "search curve", fp1.search, fpN.search)
+	if fp1.stats != fpN.stats {
+		t.Fatalf("stats diverge: %+v vs %+v", fp1.stats, fpN.stats)
+	}
+}
+
+// The memory model: enrolled participants cost nothing until sampled, so
+// after a short run only cohort-touched clients are materialized.
+func TestCohortLazyMaterializationBounded(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.K = 100
+	cfg.CohortSize = 4
+	cfg.WarmupSteps = 3
+	cfg.SearchSteps = 3
+	cfg.Seed = 61
+
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Population().Materialized(); got != 0 {
+		t.Fatalf("materialized %d before any round", got)
+	}
+	if err := s.Warmup(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rounds := cfg.WarmupSteps + cfg.SearchSteps
+	got := s.Population().Materialized()
+	if got == 0 || got > cfg.CohortSize*rounds {
+		t.Fatalf("materialized %d participants, want in (0, %d]", got, cfg.CohortSize*rounds)
+	}
+	if got >= cfg.K {
+		t.Fatalf("materialized the whole population (%d of %d): lazy path broken", got, cfg.K)
+	}
+	if s.CohortSize() != cfg.CohortSize {
+		t.Fatalf("CohortSize %d, want %d", s.CohortSize(), cfg.CohortSize)
+	}
+}
+
+// CohortSize larger than K clamps to the full population and behaves
+// exactly like cohort-off.
+func TestCohortOversizedClampsToFull(t *testing.T) {
+	base := tinyConfig()
+	base.WarmupSteps = 3
+	base.SearchSteps = 5
+	base.Seed = 67
+
+	over := base
+	over.CohortSize = base.K + 10
+
+	fpOff := fingerprint(t, base)
+	fpOver := fingerprint(t, over)
+	if fpOff.thetaSum != fpOver.thetaSum || fpOff.genotype != fpOver.genotype {
+		t.Fatalf("oversized cohort diverges from full population: %v vs %v",
+			fpOff.thetaSum, fpOver.thetaSum)
+	}
+	assertIdentical(t, "search curve", fpOff.search, fpOver.search)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"fedrlnas/internal/cohort"
 	"fedrlnas/internal/controller"
 	"fedrlnas/internal/nas"
 	"fedrlnas/internal/nn"
@@ -170,19 +171,26 @@ type roundCtx struct {
 	assign   transmission.Assignment
 }
 
-// runParticipant executes participant k's side of the round (Alg. 1 lines
-// 37–42 plus the server-side staleness bookkeeping for its reply) on the
-// given worker replica, writing the outcome into res. It only reads shared
-// state that is immutable for the duration of the round: the snapshots, the
-// staleness pools (Put/Evict happen outside the parallel phase), the
-// controller baseline, and the participant's private RNG/batcher.
-func (s *Search) runParticipant(rep *workerReplica, k int, in *roundCtx, res *partResult) error {
+// runParticipant executes one cohort member's side of the round (Alg. 1
+// lines 37–42 plus the server-side staleness bookkeeping for its reply) on
+// the given worker replica, writing the outcome into res. pos is the
+// member's cohort position (which keys all round-scoped buffers) and pid
+// its stable participant id (which keys its data shard and RNG; pos == pid
+// when cohort sampling is off). It only reads shared state that is
+// immutable for the duration of the round: the snapshots, the staleness
+// pools (Put/Evict happen outside the parallel phase), the controller
+// baseline, and the participant's private RNG/batcher — the participant
+// itself was materialized before the parallel phase began.
+func (s *Search) runParticipant(rep *workerReplica, pos, pid int, in *roundCtx, res *partResult) error {
 	res.status = partSkipped // res is reused across rounds; clear last round's outcome
-	part := s.parts[k]
+	part, err := s.pop.Get(pid)
+	if err != nil {
+		return err
+	}
 	if s.cfg.ChurnProb > 0 && part.RNG.Float64() < s.cfg.ChurnProb {
 		res.status = partOffline
 		s.met.Offline.Inc()
-		s.tracer.ReplyOffline(in.t, k)
+		s.tracer.ReplyOffline(in.t, pid)
 		return nil
 	}
 	delay, dropped := 0, false
@@ -192,7 +200,7 @@ func (s *Search) runParticipant(rep *workerReplica, k int, in *roundCtx, res *pa
 	if dropped {
 		res.status = partDropped
 		s.met.RepliesDropped.Inc()
-		s.tracer.ReplyDropped(in.t, k, delay)
+		s.tracer.ReplyDropped(in.t, pid, delay)
 		return nil
 	}
 	tPrime := in.t - delay
@@ -202,11 +210,11 @@ func (s *Search) runParticipant(rep *workerReplica, k int, in *roundCtx, res *pa
 	if delay > 0 && s.cfg.Strategy == staleness.Throw {
 		res.status = partDropped
 		s.met.RepliesDropped.Inc()
-		s.tracer.ReplyDropped(in.t, k, delay)
+		s.tracer.ReplyDropped(in.t, pid, delay)
 		return nil
 	}
 
-	gk := in.assigned[k]
+	gk := in.assigned[pos]
 	thetaAt := in.thetaNow
 	alphaAt := in.alphaNow
 	if delay > 0 {
@@ -221,13 +229,32 @@ func (s *Search) runParticipant(rep *workerReplica, k int, in *roundCtx, res *pa
 		if !ok {
 			return nil
 		}
-		gk = oldGates[k]
+		if s.sampler.Full() {
+			gk = oldGates[pid]
+		} else {
+			// A straggler's delayed reply only exists if it was sampled at
+			// t′; a participant outside that round's cohort has no stale
+			// sub-model to have trained, so it trains fresh instead (the
+			// staleness draw above still consumed the same RNG values, so
+			// the schedule stays fault- and cohort-independent).
+			oldCohort, ok := s.cohortPool.Get(tPrime)
+			if !ok {
+				return nil
+			}
+			if oldPos, member := cohort.Position(oldCohort, pid); member {
+				gk = oldGates[oldPos]
+			} else {
+				delay = 0
+				thetaAt, alphaAt = in.thetaNow, in.alphaNow
+				gk = in.assigned[pos]
+			}
+		}
 	}
 
 	// Local step against θ at round t', on this worker's replica. All
-	// round-to-round buffers come from this participant's scratch, so a
-	// steady-state local step allocates nothing.
-	sc := &s.scratch[k]
+	// round-to-round buffers come from this cohort position's scratch, so
+	// a steady-state local step allocates nothing.
+	sc := &s.scratch[pos]
 	if err := nn.RestoreParamValues(rep.params, thetaAt); err != nil {
 		return err
 	}
@@ -311,14 +338,14 @@ func (s *Search) runParticipant(rep *workerReplica, k int, in *roundCtx, res *pa
 	res.status = partContributed
 	if delay == 0 {
 		s.met.RepliesFresh.Inc()
-		s.tracer.ReplyFresh(in.t, k)
+		s.tracer.ReplyFresh(in.t, pid)
 		// Soft synchronization: only fresh participants gate the round's
 		// wall clock; stragglers' time was paid in earlier rounds.
-		res.rt = 2*in.assign.LatencySeconds[k] +
+		res.rt = 2*in.assign.LatencySeconds[pos] +
 			part.ComputeSeconds(nn.ParamCount(subParams), s.cfg.BatchSize)
 	} else {
 		s.met.RepliesLate.Inc()
-		s.tracer.ReplyLate(in.t, k, delay)
+		s.tracer.ReplyLate(in.t, pid, delay)
 	}
 	return nil
 }

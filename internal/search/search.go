@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"fedrlnas/internal/cohort"
 	"fedrlnas/internal/controller"
 	"fedrlnas/internal/data"
 	"fedrlnas/internal/fed"
@@ -21,11 +22,17 @@ import (
 
 // Search holds the live state of one federated model search.
 type Search struct {
-	cfg   Config
-	ds    *data.Dataset
-	parts []*fed.Participant
-	net   *nas.Supernet
-	ctrl  *controller.Controller
+	cfg Config
+	ds  *data.Dataset
+	// pop is the lazy participant registry: enrolled clients cost nothing
+	// until first sampled into a cohort. sampler draws each round's cohort
+	// deterministically from the run seed; when it is full (CohortSize 0)
+	// every round runs the whole population and the engine behaves — bit
+	// for bit — like the pre-population code.
+	pop     *fed.Population
+	sampler *cohort.Sampler
+	net     *nas.Supernet
+	ctrl    *controller.Controller
 
 	thetaOpt *nn.SGD
 	rng      *rand.Rand
@@ -40,9 +47,10 @@ type Search struct {
 	replicas   []*workerReplica
 	primaryBNs []*nn.BatchNorm2D
 
-	thetaPool *staleness.Pool[[]*tensor.Tensor]
-	alphaPool *staleness.Pool[controller.AlphaSnapshot]
-	gatesPool *staleness.Pool[[]nas.Gates]
+	thetaPool  *staleness.Pool[[]*tensor.Tensor]
+	alphaPool  *staleness.Pool[controller.AlphaSnapshot]
+	gatesPool  *staleness.Pool[[]nas.Gates]
+	cohortPool *staleness.Pool[[]int]
 
 	// scratch holds per-participant persistent merge buffers (engine.go);
 	// the remaining fields are round-scoped slices reused across rounds so a
@@ -51,6 +59,7 @@ type Search struct {
 	// canAliasTheta).
 	scratch     []partScratch
 	thetaView   []*tensor.Tensor
+	cohortIDs   []int
 	sampled     []nas.Gates
 	sizes       []int64
 	bw          []float64
@@ -104,7 +113,15 @@ func New(cfg Config) (*Search, error) {
 	if err != nil {
 		return nil, fmt.Errorf("search: %w", err)
 	}
-	parts, err := fed.BuildParticipants(ds, part, cfg.Seed+101)
+	// Every shard must be non-empty before the population is trusted to
+	// materialize lazily: checking here keeps later Get calls infallible.
+	for k, indices := range part.Indices {
+		if len(indices) == 0 {
+			return nil, fmt.Errorf("search: participant %d has an empty shard", k)
+		}
+	}
+	pop := fed.NewPopulation(part, cfg.Seed+101)
+	sampler, err := cohort.New(cfg.Seed+303, cfg.K, cfg.CohortSize)
 	if err != nil {
 		return nil, fmt.Errorf("search: %w", err)
 	}
@@ -120,11 +137,20 @@ func New(cfg Config) (*Search, error) {
 	s := &Search{
 		cfg:      cfg,
 		ds:       ds,
-		parts:    parts,
+		pop:      pop,
+		sampler:  sampler,
 		net:      net,
 		ctrl:     ctrl,
 		thetaOpt: nn.NewSGD(cfg.ThetaLR, cfg.ThetaMomentum, cfg.ThetaWD, cfg.ThetaClip),
 		rng:      rng,
+	}
+	if sampler.Full() {
+		// Full-population mode materializes everyone up front (the legacy
+		// behavior) and uses a fixed identity cohort.
+		if _, err := pop.All(); err != nil {
+			return nil, fmt.Errorf("search: %w", err)
+		}
+		s.cohortIDs = sampler.Cohort(0)
 	}
 	// Retention covers whichever is larger: the configured threshold Δ or
 	// the worst delay the schedule can actually produce (the default
@@ -137,27 +163,33 @@ func New(cfg Config) (*Search, error) {
 	s.thetaPool = staleness.NewPool[[]*tensor.Tensor](delta)
 	s.alphaPool = staleness.NewPool[controller.AlphaSnapshot](delta)
 	s.gatesPool = staleness.NewPool[[]nas.Gates](delta)
+	s.cohortPool = staleness.NewPool[[]int](delta)
 	s.paramIndex = make(map[*nn.Param]int)
 	netParams := net.Params()
 	for i, p := range netParams {
 		s.paramIndex[p] = i
 	}
-	s.scratch = make([]partScratch, len(parts))
-	for k := range s.scratch {
-		s.scratch[k].gradBufs = make([]*tensor.Tensor, len(netParams))
+	// All round-scoped state is sized by the cohort, not the population:
+	// scratch/merge buffers are keyed by cohort position and handed to
+	// whichever participant occupies that position each round, so enrolled
+	// K can grow 1000× without growing resident memory.
+	cohortLen := sampler.Size()
+	s.scratch = make([]partScratch, cohortLen)
+	for j := range s.scratch {
+		s.scratch[j].gradBufs = make([]*tensor.Tensor, len(netParams))
 	}
-	s.sampled = make([]nas.Gates, len(parts))
-	s.sizes = make([]int64, len(parts))
-	s.bw = make([]float64, len(parts))
-	s.results = make([]partResult, len(parts))
+	s.sampled = make([]nas.Gates, cohortLen)
+	s.sizes = make([]int64, cohortLen)
+	s.bw = make([]float64, cohortLen)
+	s.results = make([]partResult, cohortLen)
 	s.aggTheta = make([]*tensor.Tensor, len(netParams))
 	s.met = telemetry.NewDisabledRoundMetrics()
 	net.SetTraining(true)
 
 	s.pool = parallel.New(cfg.Workers)
 	nrep := s.pool.Workers()
-	if nrep > len(parts) {
-		nrep = len(parts)
+	if nrep > cohortLen {
+		nrep = cohortLen
 	}
 	s.replicas, err = newWorkerReplicas(nrep, cfg.Seed+202, cfg)
 	if err != nil {
@@ -197,8 +229,28 @@ func (s *Search) statsFromCounters() RoundStats {
 // Dataset exposes the generated dataset (for retraining and evaluation).
 func (s *Search) Dataset() *data.Dataset { return s.ds }
 
-// Participants exposes the participant population.
-func (s *Search) Participants() []*fed.Participant { return s.parts }
+// Participants exposes the participant population, materializing any not
+// yet built. Cohort-mode callers that only need counts should prefer
+// Population to keep the registry lazy.
+func (s *Search) Participants() []*fed.Participant {
+	// New validated every shard non-empty, so materialization cannot fail.
+	parts, _ := s.pop.All()
+	return parts
+}
+
+// Population exposes the lazy participant registry.
+func (s *Search) Population() *fed.Population { return s.pop }
+
+// CohortSize returns the number of participants sampled each round (K
+// when cohort sampling is off).
+func (s *Search) CohortSize() int { return s.sampler.Size() }
+
+// CohortFor returns the cohort the sampler assigns to a round, sorted
+// ascending. The schedule is a pure function of the run seed, so the
+// result is the same whether the round has run, will run, or never runs —
+// and in particular is independent of churn, staleness, and every other
+// consumer of randomness.
+func (s *Search) CohortFor(round int) []int { return s.sampler.Cohort(round) }
 
 // Supernet exposes the supernet under search.
 func (s *Search) Supernet() *nas.Supernet { return s.net }
@@ -206,9 +258,14 @@ func (s *Search) Supernet() *nas.Supernet { return s.net }
 // Controller exposes the RL controller.
 func (s *Search) Controller() *controller.Controller { return s.ctrl }
 
-// AttachTraces assigns bandwidth traces to the participant population.
+// AttachTraces assigns bandwidth traces to the participant population
+// (positionally, applied lazily as participants materialize).
 func (s *Search) AttachTraces(traces []nettrace.Trace) error {
-	return fed.AttachTraces(s.parts, traces)
+	if len(traces) != s.pop.Len() {
+		return fmt.Errorf("fed: %d traces for %d participants", len(traces), s.pop.Len())
+	}
+	s.pop.SetTraceFn(func(k int) nettrace.Trace { return traces[k] })
+	return nil
 }
 
 // SetSpeedFactors assigns per-participant compute speed factors (Table V's
@@ -216,15 +273,11 @@ func (s *Search) AttachTraces(traces []nettrace.Trace) error {
 func (s *Search) SetSpeedFactors(factors ...float64) error {
 	switch len(factors) {
 	case 1:
-		for _, p := range s.parts {
-			p.SpeedFactor = factors[0]
-		}
-	case len(s.parts):
-		for i, p := range s.parts {
-			p.SpeedFactor = factors[i]
-		}
+		s.pop.SetSpeedFn(func(int) float64 { return factors[0] })
+	case s.pop.Len():
+		s.pop.SetSpeedFn(func(k int) float64 { return factors[k] })
 	default:
-		return fmt.Errorf("search: %d speed factors for %d participants", len(factors), len(s.parts))
+		return fmt.Errorf("search: %d speed factors for %d participants", len(factors), s.pop.Len())
 	}
 	return nil
 }
@@ -361,40 +414,61 @@ func (s *Search) runRound(updateAlpha, updateTheta bool) (float64, error) {
 	s.thetaPool.Put(t, thetaNow)
 	s.alphaPool.Put(t, alphaNow)
 
-	// Lines 5–9: sample a binary mask per participant. Sizes are the
+	// Draw the round's cohort (identity when sampling is off). The sorted
+	// id slice is what late rounds consult to locate a straggler's old
+	// cohort position, so like the gates it is only reused as a buffer
+	// when no stale read can ever occur.
+	cohortIDs := s.cohortIDs
+	if !s.sampler.Full() {
+		if s.noStaleReads() {
+			cohortIDs = s.sampler.AppendCohort(s.cohortIDs[:0], t)
+			s.cohortIDs = cohortIDs
+		} else {
+			cohortIDs = s.sampler.Cohort(t)
+		}
+		s.cohortPool.Put(t, cohortIDs)
+	}
+
+	// Lines 5–9: sample a binary mask per cohort member. Sizes are the
 	// measured wire-frame bytes each sub-model would occupy on the RPC
 	// transport under cfg.Wire — the quantity adaptive transmission
 	// actually saves — not the old 4-bytes-per-param estimate.
 	sampled, sizes := s.sampled, s.sizes
-	for k := range s.parts {
-		sampled[k] = s.ctrl.SampleGates(s.rng)
-		sizes[k] = s.net.SubModelWireBytes(sampled[k], s.cfg.Wire)
-		s.tracer.SubModelSample(t, k, sizes[k])
+	for j, pid := range cohortIDs {
+		sampled[j] = s.ctrl.SampleGates(s.rng)
+		sizes[j] = s.net.SubModelWireBytes(sampled[j], s.cfg.Wire)
+		s.tracer.SubModelSample(t, pid, sizes[j])
 	}
 
-	// Lines 10–11: adaptive transmission.
+	// Lines 10–11: adaptive transmission. This loop also materializes any
+	// cohort member not yet built — before the parallel phase, so lazy
+	// construction stays single-threaded.
 	bw := s.bw
-	for k, p := range s.parts {
-		bw[k] = bandwidthAt(p, t)
+	for j, pid := range cohortIDs {
+		p, err := s.pop.Get(pid)
+		if err != nil {
+			return 0, err
+		}
+		bw[j] = bandwidthAt(p, t)
 	}
 	assign, err := transmission.Assign(s.cfg.Transmission, sizes, bw, s.rng)
 	if err != nil {
 		return 0, err
 	}
-	// assigned[k] is the sub-model participant k actually trains. The gates
-	// pool may serve this slice to a stale read in a later round, so it is
-	// only reused when no such read can occur.
+	// assigned[j] is the sub-model cohort position j actually trains. The
+	// gates pool may serve this slice to a stale read in a later round, so
+	// it is only reused when no such read can occur.
 	assigned := s.assigned
 	if assigned == nil || !s.noStaleReads() {
-		assigned = make([]nas.Gates, len(s.parts))
+		assigned = make([]nas.Gates, len(cohortIDs))
 		s.assigned = assigned
 	}
-	for k := range s.parts {
-		assigned[k] = sampled[assign.ModelFor[k]]
-		sz := sizes[assign.ModelFor[k]]
+	for j, pid := range cohortIDs {
+		assigned[j] = sampled[assign.ModelFor[j]]
+		sz := sizes[assign.ModelFor[j]]
 		s.SubModelBytes = append(s.SubModelBytes, sz)
 		s.met.SubModelBytes.Observe(float64(sz))
-		s.tracer.TxAssign(t, k, sz, assign.LatencySeconds[k])
+		s.tracer.TxAssign(t, pid, sz, assign.LatencySeconds[j])
 	}
 	s.gatesPool.Put(t, assigned)
 
@@ -405,20 +479,22 @@ func (s *Search) runRound(updateAlpha, updateTheta bool) (float64, error) {
 	ctx := &roundCtx{t: t, thetaNow: thetaNow, alphaNow: alphaNow, assigned: assigned, assign: assign}
 	results := s.results
 	dispatchStart := time.Now()
-	if err := s.pool.Run(len(s.parts), func(worker, k int) error {
-		return s.runParticipant(s.replicas[worker], k, ctx, &results[k])
+	if err := s.pool.Run(len(cohortIDs), func(worker, j int) error {
+		return s.runParticipant(s.replicas[worker], j, cohortIDs[j], ctx, &results[j])
 	}); err != nil {
 		return 0, err
 	}
 	var dispatchBytes int64
-	for k := range s.parts {
-		dispatchBytes += sizes[assign.ModelFor[k]]
+	for j := range cohortIDs {
+		dispatchBytes += sizes[assign.ModelFor[j]]
 	}
 	s.tracer.RoundDispatch(t, dispatchBytes, time.Since(dispatchStart).Seconds())
 
-	// Ordered merge (Alg. 1 lines 16–31): aggregate in participant-index
-	// order so every sum — and the replayed batch-norm statistics — is
-	// bit-identical regardless of task scheduling.
+	// Ordered merge (Alg. 1 lines 16–31): aggregate in cohort-position
+	// (ascending participant id) order so every sum — and the replayed
+	// batch-norm statistics — is bit-identical regardless of task
+	// scheduling. The scalar/α/batch-norm accumulators merge sequentially
+	// here; θ merges in the sharded pass below.
 	mergeStart := time.Now()
 	aggTheta := s.aggTheta
 	for i := range aggTheta {
@@ -434,17 +510,10 @@ func (s *Search) runRound(updateAlpha, updateTheta bool) (float64, error) {
 	contributors := 0
 	sumAcc := 0.0
 	roundSeconds := 0.0
-	for k := range s.parts {
-		res := &results[k]
+	for j := range cohortIDs {
+		res := &results[j]
 		if res.status != partContributed {
 			continue
-		}
-		for i, idx := range res.subIdx {
-			if aggTheta[idx] == nil {
-				aggTheta[idx] = res.grads[i]
-			} else {
-				aggTheta[idx].AddInPlace(res.grads[i])
-			}
 		}
 		aggAlpha.AXPY(res.reward, res.logGrad)
 		for layer, recs := range res.bnStats {
@@ -457,6 +526,38 @@ func (s *Search) runRound(updateAlpha, updateTheta bool) (float64, error) {
 		if res.delay == 0 && res.rt > roundSeconds {
 			roundSeconds = res.rt
 		}
+	}
+	// Sharded θ aggregation tree: the parameter index space is split into
+	// contiguous ranges and each shard folds every contributing reply —
+	// still in cohort-position order — into its own range. Because
+	// sharding is by destination index, each accumulator receives exactly
+	// the additions, in exactly the order, of the single-shard merge, so
+	// the result is bit-identical at every shard count (shards=1 IS the
+	// legacy sequential merge).
+	shards := s.cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if err := s.pool.RunShards(len(params), shards, func(_ int, r parallel.Range) error {
+		for j := range cohortIDs {
+			res := &results[j]
+			if res.status != partContributed {
+				continue
+			}
+			for i, idx := range res.subIdx {
+				if idx < r.Lo || idx >= r.Hi {
+					continue
+				}
+				if aggTheta[idx] == nil {
+					aggTheta[idx] = res.grads[i]
+				} else {
+					aggTheta[idx].AddInPlace(res.grads[i])
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		return 0, err
 	}
 	s.tracer.RoundMerge(t, contributors, time.Since(mergeStart).Seconds())
 
@@ -510,6 +611,7 @@ func (s *Search) runRound(updateAlpha, updateTheta bool) (float64, error) {
 	s.thetaPool.Evict(s.round)
 	s.alphaPool.Evict(s.round)
 	s.gatesPool.Evict(s.round)
+	s.cohortPool.Evict(s.round)
 	return meanAcc, nil
 }
 

@@ -25,6 +25,19 @@ type SyncConfig struct {
 	// Strategy selects how late replies are treated (Hard, Use, Throw,
 	// or DC).
 	Strategy Strategy
+	// CohortSize is the number of participants sampled into each round's
+	// cohort from the enrolled population (production FL's
+	// clients-per-round). 0 (or >= the population) runs everyone every
+	// round — the pre-population behavior. The cohort schedule is a pure
+	// function of the run seed and round index, independent of the fault
+	// schedule.
+	CohortSize int
+	// Shards is the number of parameter-range shards the θ merge is split
+	// into. Sharding is by destination parameter index, not by
+	// participant, so every accumulator still sums replies in canonical
+	// ascending order and the result is bit-identical at every shard
+	// count. 0 or 1 keeps a single root merge.
+	Shards int
 }
 
 // Validate checks the shared soft-sync knobs.
@@ -36,6 +49,10 @@ func (c SyncConfig) Validate() error {
 		return fmt.Errorf("staleness: StalenessThreshold %d must be >= 0", c.StalenessThreshold)
 	case c.Lambda < 0:
 		return fmt.Errorf("staleness: Lambda %v must be >= 0", c.Lambda)
+	case c.CohortSize < 0:
+		return fmt.Errorf("staleness: CohortSize %d must be >= 0", c.CohortSize)
+	case c.Shards < 0:
+		return fmt.Errorf("staleness: Shards %d must be >= 0", c.Shards)
 	}
 	switch c.Strategy {
 	case Hard, Use, Throw, DC:

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLifecycleMetricsPerIDMode pins the small-enrollment behavior: one
+// state/latency gauge pair per participant under the legacy names, driven
+// through the SetState/ObserveRoundSeconds façade.
+func TestLifecycleMetricsPerIDMode(t *testing.T) {
+	reg := NewRegistry()
+	m := NewLifecycleMetrics(reg, 3)
+	if len(m.States) != 3 || len(m.RoundSeconds) != 3 {
+		t.Fatalf("per-ID slices sized %d/%d, want 3/3", len(m.States), len(m.RoundSeconds))
+	}
+	if m.agg != nil {
+		t.Fatal("aggregate mode active at K=3")
+	}
+	m.SetState(1, 2)
+	m.ObserveRoundSeconds(2, 0.25)
+	if got := m.States[1].Value(); got != 2 {
+		t.Fatalf("participant_state_1 = %v, want 2", got)
+	}
+	if got := m.RoundSeconds[2].Value(); got != 0.25 {
+		t.Fatalf("participant_round_seconds_2 = %v, want 0.25", got)
+	}
+	// Out-of-range ids must be ignored, not panic.
+	m.SetState(7, 1)
+	m.ObserveRoundSeconds(-1, 1)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"participant_state_0", "participant_round_seconds_2"} {
+		if !strings.Contains(b.String(), name) {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+}
+
+// TestLifecycleMetricsAggregateMode pins the cardinality fix: past the
+// per-participant limit the registry must expose fixed-cardinality
+// state-count gauges, a shared log2 histogram, and the straggler
+// leaderboard — and no per-ID series at all.
+func TestLifecycleMetricsAggregateMode(t *testing.T) {
+	const k = PerParticipantGaugeLimit + 68 // 100 enrolled
+	reg := NewRegistry()
+	m := NewLifecycleMetrics(reg, k)
+	if m.States != nil || m.RoundSeconds != nil {
+		t.Fatal("per-ID gauges allocated above the cardinality limit")
+	}
+	if m.agg == nil {
+		t.Fatal("aggregate mode not active")
+	}
+	if got := m.agg.alive.Value(); got != k {
+		t.Fatalf("participants_alive starts at %v, want %d", got, k)
+	}
+
+	// Transitions move the counts: 40 suspect, one of those on to dead.
+	m.SetState(40, 1)
+	m.SetState(40, 2)
+	m.SetState(41, 1)
+	if a, s, d := m.agg.alive.Value(), m.agg.suspect.Value(), m.agg.dead.Value(); a != k-2 || s != 1 || d != 1 {
+		t.Fatalf("counts = %v/%v/%v, want %d/1/1", a, s, d, k-2)
+	}
+	// Recovery returns the suspect to alive.
+	m.SetState(41, 0)
+	if a, s := m.agg.alive.Value(), m.agg.suspect.Value(); a != k-1 || s != 0 {
+		t.Fatalf("after recovery: %v alive %v suspect, want %d/0", a, s, k-1)
+	}
+
+	// The straggler board keeps the slowest latest calls, slowest first.
+	m.ObserveRoundSeconds(5, 0.1)
+	m.ObserveRoundSeconds(6, 0.9)
+	m.ObserveRoundSeconds(7, 0.5)
+	m.ObserveRoundSeconds(8, 0.05) // too fast to enter a full board
+	if id := m.agg.stragglerID[0].Value(); id != 6 {
+		t.Fatalf("top straggler id = %v, want 6", id)
+	}
+	if sec := m.agg.stragglerSeconds[0].Value(); sec != 0.9 {
+		t.Fatalf("top straggler seconds = %v, want 0.9", sec)
+	}
+	if id := m.agg.stragglerID[2].Value(); id != 5 {
+		t.Fatalf("rank-2 straggler id = %v, want 5", id)
+	}
+	// A board member's later (slower) call updates it in place.
+	m.ObserveRoundSeconds(7, 2.0)
+	if id := m.agg.stragglerID[0].Value(); id != 7 {
+		t.Fatalf("after update: top straggler id = %v, want 7", id)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, name := range []string{
+		"participants_alive", "participants_suspect", "participants_dead",
+		"participant_round_seconds_bucket", "straggler_0_participant_id",
+		"straggler_2_round_seconds",
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+	if strings.Contains(out, "participant_state_0") ||
+		strings.Contains(out, "participant_round_seconds_0") {
+		t.Error("aggregate mode still exports per-ID series")
+	}
+}

@@ -329,10 +329,24 @@ func NewDisabledWireMetrics() WireMetrics {
 	return NewWireMetrics(NewRegistry())
 }
 
+// PerParticipantGaugeLimit is the enrollment size up to which the
+// lifecycle metrics export one state/latency gauge pair per participant
+// (participant_state_<id>, participant_round_seconds_<id>), the shape
+// small-fleet dashboards were built on. Above it, per-ID series would blow
+// up scrape cardinality — 10,000 enrolled means 20,000 series — so the
+// registry switches to aggregate state-count gauges, one shared log2
+// latency histogram, and a fixed set of top-N straggler gauges.
+const PerParticipantGaugeLimit = 32
+
+// stragglerRanks is how many of the slowest recently observed participants
+// keep dedicated gauges in aggregate mode.
+const stragglerRanks = 3
+
 // LifecycleMetrics bundles the participant-lifecycle handles the RPC server
-// records into: mid-run reconnects, per-call deadline expiries, and one
-// state gauge per participant (0 = alive, 1 = suspect, 2 = dead), exported
-// as participant_state_<id>.
+// records into: mid-run reconnects, per-call deadline expiries, and the
+// per-participant state/latency view. Record through SetState and
+// ObserveRoundSeconds — they pick the per-ID or aggregate representation
+// by enrollment size.
 type LifecycleMetrics struct {
 	// Redials counts successful mid-run reconnects to a dead participant
 	// (redials_total).
@@ -347,32 +361,158 @@ type LifecycleMetrics struct {
 	// dispatch to reply or failure (rpc_call_seconds) — the straggler view
 	// the flat round counters cannot give.
 	CallSeconds *Histogram
-	// States holds one gauge per participant (participant_state_<id>).
+	// States holds one gauge per participant (participant_state_<id>,
+	// 0 alive / 1 suspect / 2 dead). Populated only when the enrollment is
+	// at most PerParticipantGaugeLimit; nil in aggregate mode.
 	States []*Gauge
 	// RoundSeconds holds one gauge per participant with the wall-clock of
 	// its latest completed call (participant_round_seconds_<id>), so a
-	// scrape shows which peer is dragging the current round.
+	// scrape shows which peer is dragging the current round. Nil in
+	// aggregate mode.
 	RoundSeconds []*Gauge
+
+	// agg carries the fixed-cardinality representation for enrollments
+	// above the per-participant limit.
+	agg *lifecycleAgg
+}
+
+// lifecycleAgg is the fixed-cardinality lifecycle view: however many
+// participants are enrolled, it exports 3 state-count gauges, one log2
+// histogram, and 2×stragglerRanks straggler gauges.
+type lifecycleAgg struct {
+	alive, suspect, dead *Gauge
+	// roundSeconds replaces the per-ID latest-call gauges with one shared
+	// log2 distribution (participant_round_seconds).
+	roundSeconds *Histogram
+	// stragglerID[r] / stragglerSeconds[r] name and time the r-th slowest
+	// recently observed participant (straggler_<r>_participant_id is -1
+	// until rank r has been filled).
+	stragglerID      [stragglerRanks]*Gauge
+	stragglerSeconds [stragglerRanks]*Gauge
+
+	mu sync.Mutex
+	// states caches each participant's last published state so transitions
+	// can adjust the three count gauges.
+	states []int8
+	counts [3]int
+	top    []stragglerEntry // sorted slowest-first, at most stragglerRanks
+}
+
+type stragglerEntry struct {
+	id      int
+	seconds float64
 }
 
 // NewLifecycleMetrics registers the lifecycle metrics for k participants on
-// reg (a nil reg yields all-no-op handles).
+// reg (a nil reg yields all-no-op handles). Enrollments larger than
+// PerParticipantGaugeLimit get the aggregate representation.
 func NewLifecycleMetrics(reg *Registry, k int) LifecycleMetrics {
 	m := LifecycleMetrics{
 		Redials:          reg.Counter("redials_total", "successful mid-run reconnects to dead participants"),
 		RedialAttempts:   reg.Counter("redial_attempts_total", "dial attempts made by participant redial loops"),
 		DeadlineExceeded: reg.Counter("call_deadline_exceeded_total", "RPC calls abandoned at the per-call deadline"),
 		CallSeconds:      reg.Histogram("rpc_call_seconds", "per-RPC wall-clock from dispatch to reply or failure"),
-		States:           make([]*Gauge, k),
-		RoundSeconds:     make([]*Gauge, k),
 	}
-	for i := range m.States {
-		m.States[i] = reg.Gauge(fmt.Sprintf("participant_state_%d", i),
-			"participant lifecycle state (0 alive, 1 suspect, 2 dead)")
-		m.RoundSeconds[i] = reg.Gauge(fmt.Sprintf("participant_round_seconds_%d", i),
-			"wall-clock of this participant's latest completed call")
+	if k <= PerParticipantGaugeLimit {
+		m.States = make([]*Gauge, k)
+		m.RoundSeconds = make([]*Gauge, k)
+		for i := range m.States {
+			m.States[i] = reg.Gauge(fmt.Sprintf("participant_state_%d", i),
+				"participant lifecycle state (0 alive, 1 suspect, 2 dead)")
+			m.RoundSeconds[i] = reg.Gauge(fmt.Sprintf("participant_round_seconds_%d", i),
+				"wall-clock of this participant's latest completed call")
+		}
+		return m
 	}
+	agg := &lifecycleAgg{
+		alive:   reg.Gauge("participants_alive", "participants currently in the alive lifecycle state"),
+		suspect: reg.Gauge("participants_suspect", "participants currently in the suspect lifecycle state"),
+		dead:    reg.Gauge("participants_dead", "participants currently in the dead lifecycle state"),
+		roundSeconds: reg.Histogram("participant_round_seconds",
+			"wall-clock of participants' completed calls (aggregate form of the per-ID gauges)"),
+		states: make([]int8, k),
+	}
+	for r := 0; r < stragglerRanks; r++ {
+		agg.stragglerID[r] = reg.Gauge(fmt.Sprintf("straggler_%d_participant_id", r),
+			"participant id of the rank-th slowest recently observed call (-1 = unfilled)")
+		agg.stragglerSeconds[r] = reg.Gauge(fmt.Sprintf("straggler_%d_round_seconds", r),
+			"latest call wall-clock of the rank-th slowest recently observed participant")
+		agg.stragglerID[r].Set(-1)
+	}
+	// Every participant starts alive.
+	agg.counts[0] = k
+	agg.alive.Set(float64(k))
+	m.agg = agg
 	return m
+}
+
+// SetState mirrors a lifecycle transition into the metrics: the per-ID
+// gauge at small enrollments, the alive/suspect/dead count gauges above
+// the cardinality limit. state is the numeric lifecycle state (0 alive,
+// 1 suspect, 2 dead); out-of-range ids and states are ignored.
+func (m LifecycleMetrics) SetState(id, state int) {
+	if m.agg == nil {
+		if id >= 0 && id < len(m.States) {
+			m.States[id].Set(float64(state))
+		}
+		return
+	}
+	a := m.agg
+	if id < 0 || id >= len(a.states) || state < 0 || state >= len(a.counts) {
+		return
+	}
+	a.mu.Lock()
+	old := int(a.states[id])
+	a.states[id] = int8(state)
+	a.counts[old]--
+	a.counts[state]++
+	alive, suspect, dead := a.counts[0], a.counts[1], a.counts[2]
+	a.mu.Unlock()
+	a.alive.Set(float64(alive))
+	a.suspect.Set(float64(suspect))
+	a.dead.Set(float64(dead))
+}
+
+// ObserveRoundSeconds records the wall-clock of a participant's latest
+// completed call: a per-ID gauge at small enrollments; above the limit,
+// one shared log2 histogram plus the top-N straggler gauges (an
+// approximate latest-call leaderboard — an id already on the board has its
+// time updated in place, otherwise it must beat the current slowest-N to
+// enter).
+func (m LifecycleMetrics) ObserveRoundSeconds(id int, seconds float64) {
+	if m.agg == nil {
+		if id >= 0 && id < len(m.RoundSeconds) {
+			m.RoundSeconds[id].Set(seconds)
+		}
+		return
+	}
+	a := m.agg
+	a.roundSeconds.Observe(seconds)
+
+	a.mu.Lock()
+	found := false
+	for i := range a.top {
+		if a.top[i].id == id {
+			a.top[i].seconds = seconds
+			found = true
+			break
+		}
+	}
+	if !found {
+		if len(a.top) < stragglerRanks {
+			a.top = append(a.top, stragglerEntry{id: id, seconds: seconds})
+		} else if last := &a.top[len(a.top)-1]; seconds > last.seconds {
+			*last = stragglerEntry{id: id, seconds: seconds}
+		}
+	}
+	sort.Slice(a.top, func(i, j int) bool { return a.top[i].seconds > a.top[j].seconds })
+	board := append([]stragglerEntry(nil), a.top...)
+	a.mu.Unlock()
+
+	for r, e := range board {
+		a.stragglerID[r].Set(float64(e.id))
+		a.stragglerSeconds[r].Set(e.seconds)
+	}
 }
 
 // NewDisabledLifecycleMetrics returns real handles not attached to any
