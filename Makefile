@@ -34,10 +34,11 @@ fmt:
 	gofmt -w .
 
 bench:
+	go test ./internal/tensor -run TestKernelVariantsBitIdentical -count=1
 	go run ./cmd/benchrounds -out BENCH_rounds.json
 
 benchrpc:
-	go run ./cmd/benchrpc -out BENCH_rpc.json
+	go run ./cmd/benchrpc -rounds 30 -out BENCH_rpc.json
 
 benchchaos:
 	go run ./cmd/benchchaos -out BENCH_chaos.json

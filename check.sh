@@ -22,6 +22,13 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
+echo "== noasm fallback (pure-Go kernels must build and pass the same suite)"
+go build -tags noasm ./...
+go test -tags noasm ./internal/tensor/... ./internal/nn/...
+
+echo "== cross-compile arm64 (no amd64 assembly may leak outside its build tags)"
+GOARCH=arm64 go build ./...
+
 echo "== go test -race (tensor, parallel, nn, fed, search, baselines, rpcfed, telemetry, cohort)"
 go test -race ./internal/tensor/... ./internal/parallel/... ./internal/nn/... \
 	./internal/fed/... ./internal/search/... ./internal/baselines/... \

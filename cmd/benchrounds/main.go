@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"fedrlnas/internal/nn"
 	"fedrlnas/internal/search"
 	"fedrlnas/internal/tensor"
 )
@@ -37,9 +38,14 @@ type runResult struct {
 	NsPerRound     int64  `json:"ns_per_round"`
 	AllocsPerRound uint64 `json:"allocs_per_round"`
 	BytesPerRound  uint64 `json:"bytes_per_round"`
-	// GemmGflops is the achieved GEMM kernel throughput over the timed
-	// region (2·m·n·k flops per matmul, summed via tensor.GemmFLOPs).
-	GemmGflops float64 `json:"gemm_gflops"`
+	// GemmGflops is the kernel-achieved GEMM throughput: FLOPs done inside
+	// Gemm calls (2·m·n·k per matmul, via tensor.GemmFLOPs) over the
+	// wall-clock spent inside those calls (tensor.GemmKernelNanos, packing
+	// included). GemmGflopsWall divides the same FLOPs by the whole timed
+	// region instead, diluting the kernel with everything around it — the
+	// historical meaning of gemm_gflops.
+	GemmGflops     float64 `json:"gemm_gflops"`
+	GemmGflopsWall float64 `json:"gemm_gflops_wall"`
 	// Checksum fingerprints the final reward curve; it must be identical
 	// across every worker count.
 	Checksum float64 `json:"checksum"`
@@ -50,6 +56,12 @@ type report struct {
 	K          int    `json:"k"`
 	CPUs       int    `json:"cpus"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Precision is the compute precision the runs used ("fp64" bit-exact
+	// default, "fp32" SIMD-width-doubled shadow path). Kernel records the
+	// CPU features detected at init and the GEMM micro-kernel variants
+	// selected, so throughput numbers are comparable across hosts.
+	Precision string                `json:"precision"`
+	Kernel    tensor.KernelFeatures `json:"kernel"`
 	// ParallelMeaningful is false when the host exposes fewer than 2 CPUs:
 	// multi-worker numbers then measure scheduling overhead, not speedup,
 	// and SpeedupMaxVsSerial should be read as a determinism check only.
@@ -77,8 +89,13 @@ func run(args []string) error {
 		k          = fs.Int("k", 10, "participants (Fig. 4 uses K=10)")
 		workersArg = fs.String("workers", "1,4", "comma-separated worker counts to benchmark")
 		seed       = fs.Int64("seed", 1, "search seed")
+		precArg    = fs.String("precision", "fp64", "compute precision: fp64 (bit-identical runs) or fp32 (convergence parity)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prec, err := nn.ParsePrecision(*precArg)
+	if err != nil {
 		return err
 	}
 	var workerCounts []int
@@ -99,13 +116,15 @@ func run(args []string) error {
 		CPUs:               runtime.NumCPU(),
 		GOMAXPROCS:         runtime.GOMAXPROCS(0),
 		ParallelMeaningful: runtime.NumCPU() >= 2,
+		Precision:          prec.String(),
+		Kernel:             tensor.KernelInfo(),
 	}
 	if !rep.ParallelMeaningful {
 		fmt.Fprintf(os.Stderr, "benchrounds: warning: %d CPU visible — multi-worker results measure scheduling overhead, not parallel speedup\n",
 			rep.CPUs)
 	}
 	for _, w := range workerCounts {
-		r, err := benchOne(*k, w, *rounds, *seed)
+		r, err := benchOne(*k, w, *rounds, *seed, prec)
 		if err != nil {
 			return err
 		}
@@ -157,11 +176,12 @@ func run(args []string) error {
 // benchOne times `rounds` search rounds of the Fig. 4 workload at the given
 // worker count. A short untimed warm-up (P1) precedes the measurement so
 // buffer pools and batch norms are in steady state.
-func benchOne(k, workers, rounds int, seed int64) (runResult, error) {
+func benchOne(k, workers, rounds int, seed int64, prec nn.Precision) (runResult, error) {
 	cfg := search.DefaultConfig()
 	cfg.K = k
 	cfg.Workers = workers
 	cfg.Seed = seed
+	cfg.Precision = prec
 	cfg.WarmupSteps = 2
 	cfg.SearchSteps = rounds
 	s, err := search.New(cfg)
@@ -175,13 +195,13 @@ func benchOne(k, workers, rounds int, seed int64) (runResult, error) {
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
-	flops0 := tensor.GemmFLOPs()
+	flops0, knanos0 := tensor.GemmFLOPs(), tensor.GemmKernelNanos()
 	start := time.Now()
 	if err := s.Run(); err != nil {
 		return runResult{}, err
 	}
 	elapsed := time.Since(start)
-	flops1 := tensor.GemmFLOPs()
+	flops1, knanos1 := tensor.GemmFLOPs(), tensor.GemmKernelNanos()
 	runtime.ReadMemStats(&after)
 
 	checksum := 0.0
@@ -201,7 +221,11 @@ func benchOne(k, workers, rounds int, seed int64) (runResult, error) {
 	}
 	if secs > 0 {
 		res.RoundsPerSec = float64(rounds) / secs
-		res.GemmGflops = float64(flops1-flops0) / secs / 1e9
+		res.GemmGflopsWall = float64(flops1-flops0) / secs / 1e9
+	}
+	if kn := knanos1 - knanos0; kn > 0 {
+		// flops per nanosecond IS GFLOP/s — no unit factor needed.
+		res.GemmGflops = float64(flops1-flops0) / float64(kn)
 	}
 	return res, nil
 }

@@ -6,13 +6,16 @@
 //
 // Usage:
 //
-//	benchrpc [-out BENCH_rpc.json] [-k 8] [-rounds 5] [-modes gob,fp64,fp32,sparse]
+//	benchrpc [-out BENCH_rpc.json] [-k 8] [-rounds 5] [-modes gob,fp64,fp32,sparse,topk]
 //
 // Every mode runs the identical workload (same dataset, shards, seeds), so
 // the final supernet parameters double as a correctness fingerprint: gob,
 // fp64 and sparse must land on bit-identical theta, fp32 must not (it
 // rounds mantissas in transit). A hash mismatch where identity is required
-// is a protocol bug and the run fails.
+// is a protocol bug and the run fails. The topk mode (error-feedback top-k
+// sparsification) is gated on convergence parity instead: its theta must
+// differ from gob (it is lossy by construction) while its tail-mean
+// training accuracy stays within -acc-tolerance of the gob baseline.
 package main
 
 import (
@@ -40,15 +43,19 @@ type modeResult struct {
 	Rounds int    `json:"rounds"`
 	// BytesPerRound is total wire traffic (both directions, measured at the
 	// server's sockets) divided by rounds.
-	BytesPerRound     int64   `json:"bytes_per_round"`
-	BytesSentTotal    int64   `json:"bytes_sent_total"`
-	BytesRecvTotal    int64   `json:"bytes_received_total"`
-	MessagesTotal     int64   `json:"messages_total"`
-	MsPerRound        float64 `json:"ms_per_round"`
-	EncodeMsTotal     float64 `json:"encode_ms_total"`
-	DecodeMsTotal     float64 `json:"decode_ms_total"`
-	ThetaHash         string  `json:"theta_hash"`
-	BytesRatioVsGob   float64 `json:"bytes_ratio_vs_gob,omitempty"`
+	BytesPerRound   int64   `json:"bytes_per_round"`
+	BytesSentTotal  int64   `json:"bytes_sent_total"`
+	BytesRecvTotal  int64   `json:"bytes_received_total"`
+	MessagesTotal   int64   `json:"messages_total"`
+	MsPerRound      float64 `json:"ms_per_round"`
+	EncodeMsTotal   float64 `json:"encode_ms_total"`
+	DecodeMsTotal   float64 `json:"decode_ms_total"`
+	ThetaHash       string  `json:"theta_hash"`
+	BytesRatioVsGob float64 `json:"bytes_ratio_vs_gob,omitempty"`
+	// FinalAccuracy is the tail mean (last 2 rounds) of the fresh-reply
+	// training accuracy curve — the convergence-parity metric for lossy
+	// modes.
+	FinalAccuracy     float64 `json:"final_accuracy"`
 	FreshReplies      int     `json:"fresh_replies"`
 	DroppedReplies    int     `json:"dropped_replies"`
 	GenotypeAvailable bool    `json:"genotype_available"`
@@ -68,6 +75,12 @@ type report struct {
 	// FP64BitIdentical records the protocol's core safety property: the
 	// binary fp64 codec reaches the same final theta as gob, bit for bit.
 	FP64BitIdentical bool `json:"fp64_bit_identical"`
+	// TopKBytesRatioVsGob is gob bytes/round over topk bytes/round (the
+	// compression win of error-feedback sparsification), and
+	// TopKConvergenceParity records that topk's final accuracy stayed
+	// within tolerance of gob's. Both zero-valued when topk did not run.
+	TopKBytesRatioVsGob   float64 `json:"topk_bytes_ratio_vs_gob,omitempty"`
+	TopKConvergenceParity bool    `json:"topk_convergence_parity,omitempty"`
 }
 
 func main() {
@@ -80,13 +93,16 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchrpc", flag.ContinueOnError)
 	var (
-		out      = fs.String("out", "BENCH_rpc.json", "write the JSON report here (empty = stdout only)")
-		k        = fs.Int("k", 8, "participants on loopback")
-		rounds   = fs.Int("rounds", 5, "search rounds per mode")
-		batch    = fs.Int("batch", 8, "participant batch size")
-		modesArg = fs.String("modes", "gob,fp64,fp32,sparse", "comma-separated payload encodings to benchmark")
-		seed     = fs.Int64("seed", 1, "shared deployment seed")
-		traceDir = fs.String("trace-dir", "", "write JSONL span traces here: server-<mode>.jsonl plus worker<i>-<mode>.jsonl per participant (empty = tracing off)")
+		out       = fs.String("out", "BENCH_rpc.json", "write the JSON report here (empty = stdout only)")
+		k         = fs.Int("k", 8, "participants on loopback")
+		rounds    = fs.Int("rounds", 5, "search rounds per mode")
+		batch     = fs.Int("batch", 8, "participant batch size")
+		modesArg  = fs.String("modes", "gob,fp64,fp32,sparse,topk", "comma-separated payload encodings to benchmark")
+		seed      = fs.Int64("seed", 1, "shared deployment seed")
+		topkRatio = fs.Float64("topk-ratio", 0.1, "downlink fraction of weight-delta coordinates shipped per tensor in topk mode")
+		topkGrad  = fs.Float64("topk-grad-ratio", 0.025, "uplink fraction of gradient coordinates shipped per tensor in topk mode")
+		accTol    = fs.Float64("acc-tolerance", 0.25, "max |final accuracy - gob| accepted from lossy topk mode")
+		traceDir  = fs.String("trace-dir", "", "write JSONL span traces here: server-<mode>.jsonl plus worker<i>-<mode>.jsonl per participant (empty = tracing off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -111,20 +127,22 @@ func run(args []string) error {
 		CPUs:     runtime.NumCPU(),
 	}
 	hashes := map[wire.Mode]string{}
+	accs := map[wire.Mode]float64{}
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
 			return err
 		}
 	}
 	for _, m := range modes {
-		r, err := benchMode(m, *k, *rounds, *batch, *seed, *traceDir)
+		r, err := benchMode(m, *k, *rounds, *batch, *seed, *topkRatio, *topkGrad, *traceDir)
 		if err != nil {
 			return fmt.Errorf("mode %s: %w", m, err)
 		}
 		hashes[m] = r.ThetaHash
+		accs[m] = r.FinalAccuracy
 		rep.Results = append(rep.Results, r)
-		fmt.Printf("%-6s %8d bytes/round  %7.1f ms/round  enc %6.2fms dec %6.2fms  theta %s\n",
-			r.Mode, r.BytesPerRound, r.MsPerRound, r.EncodeMsTotal, r.DecodeMsTotal, r.ThetaHash)
+		fmt.Printf("%-6s %8d bytes/round  %7.1f ms/round  enc %6.2fms dec %6.2fms  acc %.3f  theta %s\n",
+			r.Mode, r.BytesPerRound, r.MsPerRound, r.EncodeMsTotal, r.DecodeMsTotal, r.FinalAccuracy, r.ThetaHash)
 	}
 
 	var gobBytes int64
@@ -158,9 +176,31 @@ func run(args []string) error {
 		if h, ok := hashes[wire.FP32]; ok && h == gh {
 			return fmt.Errorf("fp32 theta matches gob exactly — quantization is not being applied")
 		}
+		// The topk transport is gated on convergence parity, not identity:
+		// it must visibly sparsify (different theta) yet train to the same
+		// neighborhood as the dense baseline.
+		if h, ok := hashes[wire.TopK]; ok {
+			if h == gh {
+				return fmt.Errorf("topk theta matches gob exactly — sparsification is not being applied")
+			}
+			// Accuracy parity is only meaningful once training has actually
+			// moved: 1-round smoke runs compare chance-level noise.
+			if *rounds >= 5 {
+				if diff := math.Abs(accs[wire.TopK] - accs[wire.Gob]); diff > *accTol {
+					return fmt.Errorf("topk final accuracy %.3f vs gob %.3f differs by %.3f > tolerance %.3f — error feedback is not preserving convergence",
+						accs[wire.TopK], accs[wire.Gob], diff, *accTol)
+				}
+				rep.TopKConvergenceParity = true
+			}
+		}
 	}
 	if h64, ok := hashes[wire.FP64]; ok {
 		rep.FP64BitIdentical = hashes[wire.Gob] == "" || h64 == hashes[wire.Gob]
+	}
+	for _, r := range rep.Results {
+		if r.Mode == wire.TopK.String() {
+			rep.TopKBytesRatioVsGob = r.BytesRatioVsGob
+		}
 	}
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
@@ -201,7 +241,7 @@ func benchDataset(seed int64) (*data.Dataset, error) {
 // dataset, shards and seeds) so final-theta hashes are comparable. With a
 // non-empty traceDir each side writes its own JSONL span file, exactly as a
 // multi-process deployment would — the inputs `fedtrace` stitches.
-func benchMode(mode wire.Mode, k, rounds, batch int, seed int64, traceDir string) (modeResult, error) {
+func benchMode(mode wire.Mode, k, rounds, batch int, seed int64, topkRatio, topkGradRatio float64, traceDir string) (modeResult, error) {
 	ds, err := benchDataset(seed + 12)
 	if err != nil {
 		return modeResult{}, err
@@ -262,6 +302,8 @@ func benchMode(mode wire.Mode, k, rounds, batch int, seed int64, traceDir string
 	scfg.Transport.Workers = 1
 	scfg.Seed = seed
 	scfg.Transport.Wire = mode
+	scfg.Transport.TopKRatio = topkRatio
+	scfg.Transport.TopKGradRatio = topkGradRatio
 	srv, err := rpcfed.NewServer(scfg, addrs)
 	if err != nil {
 		return modeResult{}, err
@@ -298,6 +340,7 @@ func benchMode(mode wire.Mode, k, rounds, batch int, seed int64, traceDir string
 		EncodeMsTotal:     float64(wm.EncodeNs.Value()) / 1e6,
 		DecodeMsTotal:     float64(wm.DecodeNs.Value()) / 1e6,
 		ThetaHash:         thetaHash(srv),
+		FinalAccuracy:     res.Curve.TailMean(2),
 		FreshReplies:      res.FreshReplies,
 		DroppedReplies:    res.DroppedReplies,
 		GenotypeAvailable: res.Genotype.String() != "",

@@ -41,6 +41,7 @@ import (
 	"fedrlnas/internal/data"
 	"fedrlnas/internal/nas"
 	"fedrlnas/internal/search"
+	"fedrlnas/internal/tensor"
 )
 
 type runResult struct {
@@ -80,14 +81,17 @@ type gates struct {
 }
 
 type report struct {
-	Workload   string      `json:"workload"`
-	CohortSize int         `json:"cohort_size"`
-	CPUs       int         `json:"cpus"`
-	GOMAXPROCS int         `json:"gomaxprocs"`
-	Gates      gates       `json:"gates"`
-	Results    []runResult `json:"results"`
-	ShardCheck shardCheck  `json:"shard_check"`
-	Pass       bool        `json:"pass"`
+	Workload   string `json:"workload"`
+	CohortSize int    `json:"cohort_size"`
+	CPUs       int    `json:"cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Kernel records the CPU features detected at init and the GEMM
+	// micro-kernel variants selected, so numbers are comparable across hosts.
+	Kernel     tensor.KernelFeatures `json:"kernel"`
+	Gates      gates                 `json:"gates"`
+	Results    []runResult           `json:"results"`
+	ShardCheck shardCheck            `json:"shard_check"`
+	Pass       bool                  `json:"pass"`
 }
 
 func main() {
@@ -129,6 +133,7 @@ func run(args []string) error {
 		CohortSize: *cohortSz,
 		CPUs:       runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Kernel:     tensor.KernelInfo(),
 		Gates:      gates{MaxRoundRatio: *maxRound, MaxBytesRatio: *maxBytes, MaxHeapMB: *maxHeapMB},
 		Pass:       true,
 	}

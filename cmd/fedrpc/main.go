@@ -31,6 +31,7 @@ import (
 
 	"fedrlnas/internal/chaos"
 	"fedrlnas/internal/data"
+	"fedrlnas/internal/nn"
 	"fedrlnas/internal/rpcfed"
 	"fedrlnas/internal/search"
 	"fedrlnas/internal/telemetry"
@@ -117,10 +118,16 @@ func runWorker(args []string) error {
 		chaosSpec = fs.String("chaos", "", "fault-injection spec, e.g. latency=5ms,jitter=2ms,bw=20,kill=0.001,seed=7 (empty = faults off)")
 		traceOut  = fs.String("trace", "", "write a JSONL span trace of handled calls to this file (spans parent under the server's rounds)")
 		debugAddr = fs.String("debug-addr", "", "serve /metrics, /healthz, expvar and pprof on this address")
+		precArg   = fs.String("precision", "fp64", "compute precision: fp64 (bit-identical) or fp32 (faster SIMD path); set the same value on every process")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	prec, err := nn.ParsePrecision(*precArg)
+	if err != nil {
+		return err
+	}
+	nn.SetPrecision(prec)
 	registry := telemetry.NewRegistry()
 	dbg, err := startDebug(*debugAddr, registry)
 	if err != nil {
@@ -193,15 +200,23 @@ func runServer(args []string) error {
 		shards    = fs.Int("shards", 0, "aggregation-tree shards for the θ merge (0/1 = single root; any count is bit-identical)")
 		lazyDial  = fs.Bool("lazy-dial", false, "defer participant connections to first dispatch (only sampled participants ever connect)")
 		workers   = fs.Int("workers", 0, "concurrent payload serializations at dispatch (0 = NumCPU)")
-		wireMode  = fs.String("wire", "fp64", "payload encoding: gob|fp64|fp32|sparse (fp64 = binary framing, bit-identical to gob)")
+		wireMode  = fs.String("wire", "fp64", "payload encoding: gob|fp64|fp32|sparse|topk (fp64/sparse = bit-identical to gob; topk = error-feedback sparsification, convergence parity)")
+		topkRatio = fs.Float64("topk-ratio", 0, "topk wire mode: fraction of weight-delta coordinates shipped downlink (0 = default 0.1)")
+		topkGrad  = fs.Float64("topk-grad-ratio", 0, "topk wire mode: fraction of gradient coordinates shipped uplink (0 = default 0.025)")
 		callTO    = fs.Duration("call-timeout", 10*time.Second, "per-RPC deadline, distinct from the round timeout (0 disables)")
 		seed      = fs.Int64("seed", 1, "shared deployment seed")
 		traceOut  = fs.String("trace", "", "write a JSONL span trace of every round to this file")
 		debugAddr = fs.String("debug-addr", "", "serve /metrics, /healthz, expvar and pprof on this address")
+		precArg   = fs.String("precision", "fp64", "compute precision: fp64 (bit-identical) or fp32 (faster SIMD path); set the same value on every process")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	prec, err := nn.ParsePrecision(*precArg)
+	if err != nil {
+		return err
+	}
+	nn.SetPrecision(prec)
 	addrs := strings.Split(*addrList, ",")
 	if *addrList == "" || len(addrs) == 0 {
 		return fmt.Errorf("need -addrs")
@@ -220,6 +235,8 @@ func runServer(args []string) error {
 	scfg.Transport.Workers = *workers
 	scfg.Transport.CallTimeout = *callTO
 	scfg.Transport.LazyDial = *lazyDial
+	scfg.Transport.TopKRatio = *topkRatio
+	scfg.Transport.TopKGradRatio = *topkGrad
 	scfg.Seed = *seed
 	if scfg.Transport.Wire, err = wire.ParseMode(*wireMode); err != nil {
 		return err

@@ -16,6 +16,7 @@ import (
 	"fedrlnas/internal/data"
 	"fedrlnas/internal/fed"
 	"fedrlnas/internal/nas"
+	"fedrlnas/internal/nn"
 	"fedrlnas/internal/search"
 	"fedrlnas/internal/staleness"
 	"fedrlnas/internal/telemetry"
@@ -55,12 +56,19 @@ func run(args []string) error {
 		ckptOut   = fs.String("checkpoint-out", "", "write a search checkpoint (theta+alpha) to this file")
 		traceOut  = fs.String("trace", "", "write a JSONL span trace of every search round to this file")
 		debugAddr = fs.String("debug-addr", "", "serve /metrics, /healthz, expvar and pprof on this address (e.g. 127.0.0.1:6060)")
+		precArg   = fs.String("precision", "fp64", "compute precision: fp64 (bit-identical runs) or fp32 (faster SIMD path, convergence parity only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	prec, err := nn.ParsePrecision(*precArg)
+	if err != nil {
+		return err
+	}
+
 	cfg := search.DefaultConfig()
+	cfg.Precision = prec
 	switch *dataset {
 	case "cifar10s":
 		cfg.Dataset = data.CIFAR10S()

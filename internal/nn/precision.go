@@ -1,0 +1,68 @@
+package nn
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Compute precision: the GEMM-backed layers (Linear, and Conv2D's im2col
+// path) can run their matrix products in float32, halving memory traffic
+// and doubling SIMD lanes. Parameters, optimizer state, activations at
+// layer boundaries, and the wire layer stay float64 — the fp32 mode shadows
+// the GEMM operands in per-layer float32 scratch and widens the product
+// back out. Reductions that are cheap and precision-sensitive (bias sums,
+// batch-norm statistics) remain float64, as does the grouped/depthwise
+// convolution path (memory-bound AXPY loops, nothing to vectorize wider).
+//
+// FP64 is the default and the precision every bit-identity gate runs
+// against; FP32 results are gated on convergence parity instead
+// (DESIGN.md §Kernels).
+
+// Precision selects the arithmetic used inside GEMM-backed layers.
+type Precision int32
+
+// Supported compute precisions.
+const (
+	// FP64 computes everything in float64 (the default).
+	FP64 Precision = iota
+	// FP32 computes GEMM-backed layer products in float32.
+	FP32
+)
+
+// String implements fmt.Stringer.
+func (p Precision) String() string {
+	switch p {
+	case FP64:
+		return "fp64"
+	case FP32:
+		return "fp32"
+	default:
+		return fmt.Sprintf("precision(%d)", int32(p))
+	}
+}
+
+// ParsePrecision parses "fp64" or "fp32".
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "fp64", "":
+		return FP64, nil
+	case "fp32":
+		return FP32, nil
+	default:
+		return 0, fmt.Errorf("nn: unknown precision %q (want fp64 or fp32)", s)
+	}
+}
+
+// computePrecision is process-wide: every model replica in a process trains
+// with the same arithmetic, which keeps the per-worker replica merges
+// comparable. Stored atomically so telemetry can read it concurrently, but
+// intended to be set once at startup, before any Forward call.
+var computePrecision atomic.Int32
+
+// SetPrecision selects the process-wide compute precision. Call it before
+// training starts; switching mid-run is safe (layers re-shadow on the next
+// pass) but changes results from that step on.
+func SetPrecision(p Precision) { computePrecision.Store(int32(p)) }
+
+// ActivePrecision returns the current process-wide compute precision.
+func ActivePrecision() Precision { return Precision(computePrecision.Load()) }

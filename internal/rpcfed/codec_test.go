@@ -273,13 +273,13 @@ func FuzzParseFrame(f *testing.F) {
 		}
 		switch h.kind {
 		case bodyTrainRequest:
-			_ = decodeBody(r, h.kind, &TrainRequest{})
+			_ = decodeBody(r, h.kind, h.mode, &TrainRequest{})
 		case bodyTrainReply:
-			_ = decodeBody(r, h.kind, &TrainReply{})
+			_ = decodeBody(r, h.kind, h.mode, &TrainReply{})
 		case bodyFedAvgReq:
-			_ = decodeBody(r, h.kind, &FedAvgRequest{})
+			_ = decodeBody(r, h.kind, h.mode, &FedAvgRequest{})
 		case bodyFedAvgReply:
-			_ = decodeBody(r, h.kind, &FedAvgReply{})
+			_ = decodeBody(r, h.kind, h.mode, &FedAvgReply{})
 		}
 	})
 }

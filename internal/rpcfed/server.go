@@ -59,6 +59,15 @@ type TransportConfig struct {
 	// failed lazy dial feeds the lifecycle state machine exactly like a
 	// failed call.
 	LazyDial bool
+
+	// TopKRatio is the fraction of weight-delta coordinates shipped per
+	// tensor on the downlink under wire.TopK (see topk.go for the
+	// error-feedback scheme); 0 selects the default (0.1). TopKGradRatio is
+	// the uplink fraction for gradients, which tolerate much sharper
+	// sparsification under error feedback; 0 selects the default (0.025).
+	// Both ignored by every other wire mode.
+	TopKRatio     float64
+	TopKGradRatio float64
 }
 
 // DefaultTransportConfig returns the transport defaults.
@@ -84,6 +93,10 @@ func (c TransportConfig) Validate() error {
 		return fmt.Errorf("rpcfed: DialBackoff must be >= 0")
 	case c.CallTimeout < 0:
 		return fmt.Errorf("rpcfed: CallTimeout must be >= 0")
+	case c.TopKRatio < 0 || c.TopKRatio > 1:
+		return fmt.Errorf("rpcfed: TopKRatio %v must be in [0, 1]", c.TopKRatio)
+	case c.TopKGradRatio < 0 || c.TopKGradRatio > 1:
+		return fmt.Errorf("rpcfed: TopKGradRatio %v must be in [0, 1]", c.TopKGradRatio)
 	}
 	return nil
 }
@@ -193,6 +206,14 @@ type Server struct {
 	replies  chan *TrainReply
 	inFlight map[int]bool // participants with an outstanding call
 
+	// downlink holds per-participant top-k weight mirrors (wire.TopK only;
+	// nil otherwise), indexed by participant id. topkRatio is the effective
+	// downlink (weight-delta) selection fraction, topkGradRatio the uplink
+	// (gradient) fraction requested from participants.
+	downlink      []*peerMirror
+	topkRatio     float64
+	topkGradRatio float64
+
 	// pool parallelizes per-participant payload serialization at dispatch.
 	pool *parallel.Pool
 
@@ -263,6 +284,20 @@ func NewServer(cfg ServerConfig, addrs []string) (*Server, error) {
 	s.paramIndex = make(map[*nn.Param]int)
 	for i, p := range net.Params() {
 		s.paramIndex[p] = i
+	}
+	if cfg.Transport.Wire == wire.TopK {
+		s.topkRatio = cfg.Transport.TopKRatio
+		if s.topkRatio == 0 {
+			s.topkRatio = defaultTopKRatio
+		}
+		s.topkGradRatio = cfg.Transport.TopKGradRatio
+		if s.topkGradRatio == 0 {
+			s.topkGradRatio = defaultTopKGradRatio
+		}
+		s.downlink = make([]*peerMirror, len(addrs))
+		for i := range s.downlink {
+			s.downlink[i] = &peerMirror{params: make(map[int][]float64)}
+		}
 	}
 	s.met = telemetry.NewDisabledRoundMetrics()
 	s.lcMet = telemetry.NewDisabledLifecycleMetrics(len(addrs))
@@ -421,17 +456,32 @@ func (s *Server) RunContext(ctx context.Context) (ServerResult, error) {
 		dispatchStart := time.Now()
 		if err := s.pool.Run(len(todo), func(_, i int) error {
 			j := todo[i]
+			pid := members[j]
 			sub := s.net.SampledParams(gates[j])
 			span := spanCtx
-			span.Participant = int32(members[j])
+			span.Participant = int32(pid)
 			reqs[i] = &TrainRequest{
 				Round:     t,
 				Normal:    append([]int(nil), gates[j].Normal...),
 				Reduce:    append([]int(nil), gates[j].Reduce...),
-				Weights:   flattenValues(sub),
 				BatchSize: s.cfg.BatchSize,
 				Span:      span,
 			}
+			if s.cfg.Transport.Wire == wire.TopK {
+				// Top-k transport: ship mirror deltas instead of dense
+				// weights. Each worker touches only its own participant's
+				// mirror, so the fan-out stays race-free.
+				subIdx := make([]int, len(sub))
+				for si, p := range sub {
+					subIdx[si] = s.paramIndex[p]
+				}
+				reqs[i].ParamIDs = subIdx
+				reqs[i].TopKRatio = s.topkGradRatio
+				reqs[i].Packed = s.downlink[pid].encodeDownlink(sub, subIdx, s.topkRatio)
+				reqBytes[i] = int64(len(reqs[i].Packed))
+				return nil
+			}
+			reqs[i].Weights = flattenValues(sub)
 			// Measured encoded payload size under the active wire mode
 			// (for Gob, the FP64-equivalent analytic size), not the 4 B/
 			// param fiction — this is what transmission ranking and the
@@ -664,13 +714,25 @@ func (s *Server) call(p *peer, req *TrainRequest) {
 		if isTransportFailure(err) {
 			s.noteCallFailure(p, err)
 		}
+		if s.downlink != nil {
+			// The participant may or may not have applied the delta we sent
+			// (a timeout can fire after delivery), so its mirror state is
+			// unknown: mark it for a dense resync. The dispatcher only reads
+			// the flag after this goroutine's drop marker clears the
+			// in-flight bit, so the write is ordered by the replies channel.
+			s.downlink[p.id].valid = false
+		}
 		// Feed a drop marker so the dispatcher can clear the in-flight bit.
 		// It must be a FRESH reply object: after a deadline expiry net/rpc
 		// may still write into the abandoned one.
 		reply = &TrainReply{Round: -1, ParticipantID: p.id}
 	} else {
 		s.noteCallSuccess(p)
-		replyBytes = wire.GroupBytes(s.cfg.Transport.Wire, reply.Grads)
+		if len(reply.Packed) > 0 {
+			replyBytes = int64(len(reply.Packed))
+		} else {
+			replyBytes = wire.GroupBytes(s.cfg.Transport.Wire, reply.Grads)
+		}
 	}
 	s.lcMet.CallSeconds.Observe(elapsed)
 	s.lcMet.ObserveRoundSeconds(p.id, elapsed)
@@ -772,17 +834,31 @@ func (s *Server) prepareReply(reply *TrainReply, t int, thetaNow []*tensor.Tenso
 	}
 	gk := gatesAt[pos]
 	sub := s.net.SampledParams(gk)
-	sizes := make([]int, len(sub))
-	for i, p := range sub {
-		sizes[i] = p.Value.Size()
+	var grads []*tensor.Tensor
+	if len(reply.Packed) > 0 {
+		// Top-k transport: the payload carries tag-4 deltas of the k
+		// largest gradient+residual coordinates per tensor; decoding against
+		// zeros recovers them as a dense (mostly zero) gradient.
+		var err error
+		grads, err = decodePackedGrads(reply.Packed, sub)
+		if err != nil {
+			return pr, err
+		}
+	} else {
+		sizes := make([]int, len(sub))
+		for i, p := range sub {
+			sizes[i] = p.Value.Size()
+		}
+		if err := checkWeightShapes(reply.Grads, sizes); err != nil {
+			return pr, err
+		}
+		grads = make([]*tensor.Tensor, len(sub))
+		for i, p := range sub {
+			grads[i] = tensor.FromSlice(reply.Grads[i], p.Value.Shape()...)
+		}
 	}
-	if err := checkWeightShapes(reply.Grads, sizes); err != nil {
-		return pr, err
-	}
-	grads := make([]*tensor.Tensor, len(sub))
 	subIdx := make([]int, len(sub))
 	for i, p := range sub {
-		grads[i] = tensor.FromSlice(reply.Grads[i], p.Value.Shape()...)
 		subIdx[i] = s.paramIndex[p]
 	}
 

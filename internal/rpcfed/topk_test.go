@@ -1,0 +1,173 @@
+package rpcfed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedrlnas/internal/nn"
+	"fedrlnas/internal/tensor"
+	"fedrlnas/internal/wire"
+)
+
+// TestPeerMirrorSyncStaysBitIdentical drives several rounds of weight drift
+// through the downlink encoder and a simulated participant decoder: the two
+// mirror copies must agree bit for bit every round, the first round must
+// resync dense, and later rounds must ship a fraction of the dense bytes.
+func TestPeerMirrorSyncStaysBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 400
+	w := tensor.New(n)
+	for i := range w.Data() {
+		w.Data()[i] = rng.NormFloat64()
+	}
+	p := &nn.Param{Value: w, Grad: tensor.New(n)}
+	sub := []*nn.Param{p}
+	subIdx := []int{3}
+
+	m := &peerMirror{params: make(map[int][]float64)}
+	var partMirror []float64 // the participant's copy, keyed base
+	denseBytes := wire.GroupBytes(wire.FP64, [][]float64{w.Data()})
+
+	for round := 0; round < 6; round++ {
+		packed := m.encodeDownlink(sub, subIdx, 0.1)
+		base := [][]float64{partMirror}
+		if _, err := wire.DecodeGroupDelta(packed, base); err != nil {
+			t.Fatalf("round %d: decode: %v", round, err)
+		}
+		partMirror = base[0]
+		serverMirror := m.params[3]
+		for i := range serverMirror {
+			if math.Float64bits(serverMirror[i]) != math.Float64bits(partMirror[i]) {
+				t.Fatalf("round %d: mirrors diverged at %d: %v vs %v",
+					round, i, serverMirror[i], partMirror[i])
+			}
+		}
+		if round == 0 && len(packed) < 4*n {
+			t.Fatalf("round 0 should resync dense f32 (>= %d bytes): %d bytes", 4*n, len(packed))
+		}
+		if round > 0 && int64(len(packed))*4 > denseBytes {
+			t.Fatalf("round %d: delta frame %d bytes not < 1/4 of dense %d",
+				round, len(packed), denseBytes)
+		}
+		// Drift the weights like an optimizer step would.
+		for i := range w.Data() {
+			w.Data()[i] += 0.01 * rng.NormFloat64()
+		}
+	}
+
+	// Invalidation (a failed call) must force a dense resync that re-aligns
+	// both ends even after the participant lost its state entirely.
+	m.valid = false
+	partMirror = nil
+	packed := m.encodeDownlink(sub, subIdx, 0.1)
+	base := [][]float64{nil}
+	if _, err := wire.DecodeGroupDelta(packed, base); err != nil {
+		t.Fatalf("resync decode: %v", err)
+	}
+	for i, v := range m.params[3] {
+		if math.Float64bits(v) != math.Float64bits(base[0][i]) {
+			t.Fatalf("post-resync mirrors diverged at %d", i)
+		}
+	}
+}
+
+// TestDeltaAgainstMissingBaseRejected pins the restart-safety property: a
+// tag-4 delta aimed at state the receiver does not have must error out (the
+// failed call is what triggers the server's dense resync) instead of
+// silently applying increments to zeros.
+func TestDeltaAgainstMissingBaseRejected(t *testing.T) {
+	d := []float64{1, 2, 3, 4}
+	packed := wire.AppendTensorTopK(wire.AppendGroupHeader(nil, 1), d, wire.TopKIndices(d, 2, nil))
+	if _, err := wire.DecodeGroupDelta(packed, [][]float64{nil}); err == nil {
+		t.Fatal("top-k delta against nil base accepted")
+	}
+}
+
+// TestTopKTrainCodecRoundTrip exercises the mode-conditional body layout:
+// under wire.TopK the Train messages carry ParamIDs/TopKRatio/Packed and
+// must survive the binary codec byte-exactly.
+func TestTopKTrainCodecRoundTrip(t *testing.T) {
+	req := &TrainRequest{
+		Round: 5, Normal: []int{1, 0}, Reduce: []int{2, 3}, BatchSize: 8,
+		ParamIDs:  []int{4, 9},
+		TopKRatio: 0.25,
+		Packed:    []byte{2, 0, 0, 0, 7, 7, 7},
+	}
+	buf, err := appendTrainRequest(nil, wire.TopK, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got TrainRequest
+	if err := decodeTrainRequest(wire.NewReader(buf), wire.TopK, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Round != 5 || got.TopKRatio != 0.25 ||
+		len(got.ParamIDs) != 2 || got.ParamIDs[0] != 4 || got.ParamIDs[1] != 9 ||
+		string(got.Packed) != string(req.Packed) ||
+		len(got.Weights) != 0 {
+		t.Fatalf("TrainRequest mangled: %+v", got)
+	}
+
+	rep := &TrainReply{
+		Round: 5, ParticipantID: 1, Reward: 0.5, Loss: 1.25,
+		Packed: []byte{1, 0, 0, 0, 9},
+	}
+	rbuf, err := appendTrainReply(nil, wire.TopK, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rgot TrainReply
+	if err := decodeTrainReply(wire.NewReader(rbuf), wire.TopK, &rgot); err != nil {
+		t.Fatal(err)
+	}
+	if rgot.Round != 5 || rgot.Reward != 0.5 || string(rgot.Packed) != string(rep.Packed) {
+		t.Fatalf("TrainReply mangled: %+v", rgot)
+	}
+}
+
+// TestTopKSearchEndToEnd runs a short search over the TopK transport:
+// the run must complete on fresh replies, learn something (non-degenerate
+// curve), and — being lossy by construction — land on different final
+// parameters than the gob baseline. If the hashes ever matched, the mode
+// plumbing would be dead and the run silently dense.
+func TestTopKSearchEndToEnd(t *testing.T) {
+	gob := runSearchWithMode(t, wire.Gob)
+	topk := runSearchWithMode(t, wire.TopK)
+	if topk == gob {
+		t.Errorf("topk hash equals gob hash %#x — sparsification not happening", gob)
+	}
+}
+
+// TestTopKSearchProgress checks reply accounting under the sparse
+// transport: every round's quorum must be met by fresh replies (the lossy
+// payloads must decode cleanly call after call, or replies would drop).
+func TestTopKSearchProgress(t *testing.T) {
+	addrs, _, stop := startCluster(t, 3, nil)
+	defer stop()
+	cfg := DefaultServerConfig(testNet())
+	cfg.Rounds = 5
+	cfg.Quorum = 1.0
+	cfg.Transport.Wire = wire.TopK
+	cfg.Transport.TopKRatio = 0.2
+	cfg.Seed = 33
+	s, err := NewServer(cfg, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RoundsCompleted != cfg.Rounds {
+		t.Fatalf("completed %d rounds, want %d", res.RoundsCompleted, cfg.Rounds)
+	}
+	if res.FreshReplies < cfg.Rounds*3 {
+		t.Fatalf("fresh replies %d < %d — sparse payloads being dropped",
+			res.FreshReplies, cfg.Rounds*3)
+	}
+	if res.DroppedReplies != 0 {
+		t.Fatalf("%d dropped replies under a healthy cluster", res.DroppedReplies)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+
+	"fedrlnas/internal/tensor"
 )
 
 // Endpoint is an extra handler mounted on the debug mux, e.g. a
@@ -31,7 +33,9 @@ func JSONEndpoint(path string, fn func() any) Endpoint {
 // NewDebugMux builds the debug HTTP handler tree:
 //
 //	/metrics       Prometheus text exposition of reg (empty body if nil)
-//	/healthz       liveness probe ("ok")
+//	/healthz       liveness probe: {"status":"ok","kernel":{…}} with the
+//	               detected CPU features and selected GEMM kernel variants,
+//	               so a fleet's hosts can be compared at a glance
 //	/debug/vars    expvar (memstats, cmdline, …)
 //	/debug/pprof/  net/http/pprof profiles
 //
@@ -46,8 +50,13 @@ func NewDebugMux(reg *Registry, extras ...Endpoint) *http.ServeMux {
 		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Status string                `json:"status"`
+			Kernel tensor.KernelFeatures `json:"kernel"`
+		}{Status: "ok", Kernel: tensor.KernelInfo()})
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -33,7 +33,8 @@ func TestDebugMuxServesMetricsHealthzExpvarPprof(t *testing.T) {
 		t.Errorf("/metrics = %d %q", code, body)
 	}
 	if code, body := get(t, ts.URL+"/healthz"); code != http.StatusOK ||
-		strings.TrimSpace(body) != "ok" {
+		!strings.Contains(body, `"status": "ok"`) ||
+		!strings.Contains(body, `"kernel_f64"`) {
 		t.Errorf("/healthz = %d %q", code, body)
 	}
 	if code, body := get(t, ts.URL+"/debug/vars"); code != http.StatusOK ||

@@ -1,0 +1,32 @@
+package tensor
+
+// float64↔float32 bridge helpers for the fp32 compute mode: nn layers keep
+// float64 master storage (optimizer state, wire framing, determinism gates
+// all speak float64) and shadow the GEMM operands in float32 scratch.
+
+// Narrow converts src into float32, reusing dst's backing array when large
+// enough, and returns the converted slice.
+func Narrow(dst []float32, src []float64) []float32 {
+	dst = growFloats32(dst, len(src))
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+	return dst
+}
+
+// Widen overwrites dst with src widened to float64 (exact — every float32
+// is representable). len(src) must not exceed len(dst).
+func Widen(dst []float64, src []float32) {
+	for i, v := range src {
+		dst[i] = float64(v)
+	}
+}
+
+// WidenAdd accumulates src into dst: dst[i] += float64(src[i]). Used for
+// gradient accumulation where the float64 master gradient collects
+// contributions from an fp32 backward pass.
+func WidenAdd(dst []float64, src []float32) {
+	for i, v := range src {
+		dst[i] += float64(v)
+	}
+}

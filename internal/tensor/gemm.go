@@ -14,6 +14,14 @@
 // the row-sharded parallel path at every worker count — the repo-wide
 // determinism invariant (DESIGN.md §Kernels) falls out for free.
 //
+// The micro-kernel itself is pluggable: gemmActiveF64 names the variant the
+// package dispatches to, selected once at init. On amd64 with AVX2 an
+// assembly 8×8 kernel (gemm_amd64.s) replaces the pure-Go 4×4 one; both
+// vectorize only across independent output elements and keep a separate
+// multiply and add per k step (never a fused multiply-add), so every
+// variant produces bit-identical output. The pure-Go kernel remains the
+// always-compiled reference (`-tags noasm` or any non-amd64 GOARCH).
+//
 // Not splitting k costs workspace proportional to (m+n)·k floats instead of
 // a fixed cache block. At this repository's scale (im2col matrices of a few
 // thousand columns) the packed panels are a few MB at most, pooled and
@@ -23,21 +31,56 @@ package tensor
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
+	"time"
+	"unsafe"
 )
 
 const (
-	// gemmMR×gemmNR is the register block: the micro-kernel holds this many
-	// accumulators live across the whole k loop.
-	gemmMR = 4
-	gemmNR = 4
-	// gemmMC caps how many A strips (gemmMR rows each) are walked per B
-	// strip before moving on — the cache tile over output rows.
+	// gemmMaxMR×gemmMaxNR bounds the register block across every kernel
+	// variant: micro-kernels write their tile into a fixed [64]-element
+	// accumulator so variants can be swapped without resizing scratch.
+	gemmMaxMR = 8
+	gemmMaxNR = 8
+	// gemmMC caps how many A strips (mr rows each) are walked per B strip
+	// before moving on — the cache tile over output rows.
 	gemmMC = 32
 	// gemmParMinWork is the m·n·k below which the parallel path runs inline:
 	// smaller products finish faster than a pool dispatch.
 	gemmParMinWork = 64 * 1024
 )
+
+// gemmKernelF64 is one register-blocked micro-kernel variant: mr×nr
+// accumulators held across the whole (unsplit) k loop. micro reads mr·k
+// packed A values and nr·k packed B values and writes the tile into
+// acc[r*nr+c].
+type gemmKernelF64 struct {
+	name   string
+	mr, nr int
+	micro  func(k int, pa, pb []float64, acc *[gemmMaxMR * gemmMaxNR]float64)
+}
+
+// gemmGo4x4 is the portable reference kernel — always compiled, on every
+// architecture, and the fallback when no SIMD variant is selected.
+var gemmGo4x4 = gemmKernelF64{name: "go-4x4", mr: 4, nr: 4, micro: gemmMicro4x4}
+
+// gemmActiveF64 is the kernel every float64 Gemm call dispatches to. It is
+// written exactly once, by init (gemm_amd64.go swaps in the AVX2 variant
+// when the CPU supports it), and read-only afterwards.
+var gemmActiveF64 = &gemmGo4x4
+
+// gemmShortF64, when non-nil, handles problems of at most 4 output rows
+// (where a wide tile would spend half its arithmetic on zero padding).
+// Kernel choice never changes results — padding rows never contribute to a
+// stored element — so this is purely a throughput dispatch.
+var gemmShortF64 *gemmKernelF64
+
+// gemmKernelFor picks the variant for an m-row problem.
+func gemmKernelFor(m int) *gemmKernelF64 {
+	if gemmShortF64 != nil && m <= 4 {
+		return gemmShortF64
+	}
+	return gemmActiveF64
+}
 
 // gemmScratch holds the packed panels. Checked out of gemmPool per call so
 // concurrent GEMMs (one per round-engine worker) never share panels.
@@ -48,14 +91,11 @@ type gemmScratch struct {
 
 var gemmPool = sync.Pool{New: func() any { return new(gemmScratch) }}
 
-// gemmFlops counts floating-point operations (2·m·n·k per call) issued
-// through the kernel, for achieved-GFLOP/s reporting (cmd/benchrounds).
-var gemmFlops atomic.Int64
-
-// GemmFLOPs returns the cumulative floating-point operation count of every
-// Gemm call in this process. Benchmarks read it before and after a timed
-// region to report achieved GFLOP/s.
-func GemmFLOPs() int64 { return gemmFlops.Load() }
+// gemmAccPool recycles micro-tile accumulators. The micro-kernel is reached
+// through a function value, so a stack-declared tile would be forced to
+// escape (one heap allocation per tile); pooling keeps the steady state
+// allocation-free.
+var gemmAccPool = sync.Pool{New: func() any { return new([gemmMaxMR * gemmMaxNR]float64) }}
 
 // Runner abstracts the worker pool the parallel path shards over. It is
 // satisfied by *parallel.Pool (and by a nil-free serial stub in tests); the
@@ -114,14 +154,22 @@ func gemmDims(dst, a *Tensor, transA bool, b *Tensor, transB bool) (m, n, k int)
 // layout, exactly like BLAS). Empty problems (m, n or k zero) degenerate to
 // scaling C by beta.
 func GemmRaw(transA, transB bool, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	gemmRawWith(gemmKernelFor(m), transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+}
+
+// gemmRawWith is GemmRaw pinned to one kernel variant (the seam the
+// asm-vs-fallback parity tests drive).
+func gemmRawWith(kv *gemmKernelF64, transA, transB bool, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
 	if gemmTrivial(m, n, k, beta, c, ldc) {
 		return
 	}
+	start := time.Now()
 	ws := gemmPool.Get().(*gemmScratch)
-	ms, ns := ws.pack(transA, transB, m, n, k, a, lda, b, ldb)
-	gemmKernel(ws.packA, ws.packB, 0, ms, ns, m, n, k, alpha, beta, c, ldc)
+	ms, ns := ws.pack(kv.mr, kv.nr, transA, transB, m, n, k, a, lda, b, ldb)
+	gemmMacro(kv, ws.packA, ws.packB, 0, ms, ns, m, n, k, alpha, beta, c, ldc)
+	hint := uintptr(unsafe.Pointer(ws))
 	gemmPool.Put(ws)
-	gemmFlops.Add(2 * int64(m) * int64(n) * int64(k))
+	gemmAddStats(2*int64(m)*int64(n)*int64(k), time.Since(start).Nanoseconds(), hint)
 }
 
 // GemmRawParallel is GemmRaw with contiguous row-strip blocks fanned out
@@ -140,8 +188,10 @@ func GemmRawParallel(r Runner, transA, transB bool, m, n, k int, alpha float64, 
 	if gemmTrivial(m, n, k, beta, c, ldc) {
 		return
 	}
+	kv := gemmKernelFor(m)
+	start := time.Now()
 	ws := gemmPool.Get().(*gemmScratch)
-	ms, ns := ws.pack(transA, transB, m, n, k, a, lda, b, ldb)
+	ms, ns := ws.pack(kv.mr, kv.nr, transA, transB, m, n, k, a, lda, b, ldb)
 	// One block of strips per task; a few tasks per worker so a straggling
 	// block cannot serialize the tail.
 	tasks := workers * 4
@@ -156,12 +206,13 @@ func GemmRawParallel(r Runner, transA, transB bool, m, n, k int, alpha float64, 
 			hi = ms
 		}
 		if lo < hi {
-			gemmKernel(ws.packA, ws.packB, lo, hi, ns, m, n, k, alpha, beta, c, ldc)
+			gemmMacro(kv, ws.packA, ws.packB, lo, hi, ns, m, n, k, alpha, beta, c, ldc)
 		}
 		return nil
 	})
+	hint := uintptr(unsafe.Pointer(ws))
 	gemmPool.Put(ws)
-	gemmFlops.Add(2 * int64(m) * int64(n) * int64(k))
+	gemmAddStats(2*int64(m)*int64(n)*int64(k), time.Since(start).Nanoseconds(), hint)
 }
 
 // gemmTrivial handles empty problems; it reports whether the call is done.
@@ -188,35 +239,76 @@ func gemmTrivial(m, n, k int, beta float64, c []float64, ldc int) bool {
 }
 
 // pack fills the scratch panels and returns the strip counts (ms strips of
-// gemmMR rows, ns strips of gemmNR columns). Rows and columns beyond m and
-// n are zero-padded so the micro-kernel never branches on the edge; padding
-// never touches the k axis, keeping every real accumulator's operation
-// sequence identical to the naive loop.
-func (ws *gemmScratch) pack(transA, transB bool, m, n, k int, a []float64, lda int, b []float64, ldb int) (ms, ns int) {
-	ms = (m + gemmMR - 1) / gemmMR
-	ns = (n + gemmNR - 1) / gemmNR
-	ws.packA = growFloats(ws.packA, ms*gemmMR*k)
-	ws.packB = growFloats(ws.packB, ns*gemmNR*k)
+// mr rows, ns strips of nr columns). Rows and columns beyond m and n are
+// zero-padded so the micro-kernel never branches on the edge; padding never
+// touches the k axis, keeping every real accumulator's operation sequence
+// identical to the naive loop at any mr/nr.
+func (ws *gemmScratch) pack(mr, nr int, transA, transB bool, m, n, k int, a []float64, lda int, b []float64, ldb int) (ms, ns int) {
+	ms = (m + mr - 1) / mr
+	ns = (n + nr - 1) / nr
+	ws.packA = growFloats(ws.packA, ms*mr*k)
+	ws.packB = growFloats(ws.packB, ns*nr*k)
 
+	// Loop order per case is chosen so the strided direction walks the
+	// source contiguously: transposed A and plain B are gathered row-by-row
+	// (contiguous reads, contiguous mr/nr-element writes) instead of
+	// column-by-column (one cacheline touch per element).
 	pa := ws.packA
 	for s := 0; s < ms; s++ {
-		base := s * gemmMR * k
-		for r := 0; r < gemmMR; r++ {
-			i := s*gemmMR + r
-			if i >= m {
-				for p := 0; p < k; p++ {
-					pa[base+p*gemmMR+r] = 0
-				}
-				continue
+		base := s * mr * k
+		rlim := m - s*mr
+		if rlim > mr {
+			rlim = mr
+		}
+		if transA && rlim == 8 && mr == 8 {
+			// Unrolled 8-element moves: a variable-length copy() of 64
+			// bytes is mostly memmove call overhead at this size.
+			for p := 0; p < k; p++ {
+				src := a[p*lda+s*mr : p*lda+s*mr+8]
+				dst := pa[base+p*8 : base+p*8+8]
+				dst[0], dst[1], dst[2], dst[3] = src[0], src[1], src[2], src[3]
+				dst[4], dst[5], dst[6], dst[7] = src[4], src[5], src[6], src[7]
 			}
-			if transA {
-				for p := 0; p < k; p++ {
-					pa[base+p*gemmMR+r] = a[p*lda+i]
+		} else if transA {
+			for p := 0; p < k; p++ {
+				src := a[p*lda+s*mr : p*lda+s*mr+rlim]
+				dst := pa[base+p*mr : base+p*mr+mr]
+				copy(dst, src)
+				for r := rlim; r < mr; r++ {
+					dst[r] = 0
 				}
-			} else {
-				row := a[i*lda : i*lda+k]
-				for p, v := range row {
-					pa[base+p*gemmMR+r] = v
+			}
+		} else if rlim == 8 && mr == 8 {
+			// Full 8-row strip: walk all rows in one pass so every packed
+			// write fills a contiguous 8-element (one cacheline) block,
+			// instead of revisiting each destination cacheline per row.
+			r0 := a[(s*mr+0)*lda:]
+			r1 := a[(s*mr+1)*lda:]
+			r2 := a[(s*mr+2)*lda:]
+			r3 := a[(s*mr+3)*lda:]
+			r4 := a[(s*mr+4)*lda:]
+			r5 := a[(s*mr+5)*lda:]
+			r6 := a[(s*mr+6)*lda:]
+			r7 := a[(s*mr+7)*lda:]
+			for p := 0; p < k; p++ {
+				d := pa[base+p*8 : base+p*8+8]
+				d[0], d[1], d[2], d[3] = r0[p], r1[p], r2[p], r3[p]
+				d[4], d[5], d[6], d[7] = r4[p], r5[p], r6[p], r7[p]
+			}
+		} else {
+			// Partial (or 4-wide) strip: same single-pass layout, with the
+			// zero-padding folded into the contiguous write.
+			var rows [gemmMaxMR][]float64
+			for r := 0; r < rlim; r++ {
+				rows[r] = a[(s*mr+r)*lda:]
+			}
+			for p := 0; p < k; p++ {
+				d := pa[base+p*mr : base+p*mr+mr]
+				for r := 0; r < rlim; r++ {
+					d[r] = rows[r][p]
+				}
+				for r := rlim; r < mr; r++ {
+					d[r] = 0
 				}
 			}
 		}
@@ -224,23 +316,55 @@ func (ws *gemmScratch) pack(transA, transB bool, m, n, k int, a []float64, lda i
 
 	pb := ws.packB
 	for t := 0; t < ns; t++ {
-		base := t * gemmNR * k
-		for col := 0; col < gemmNR; col++ {
-			j := t*gemmNR + col
-			if j >= n {
-				for p := 0; p < k; p++ {
-					pb[base+p*gemmNR+col] = 0
-				}
-				continue
+		base := t * nr * k
+		clim := n - t*nr
+		if clim > nr {
+			clim = nr
+		}
+		if transB && clim == 8 && nr == 8 {
+			// Same single-pass transpose as the full A strip above.
+			r0 := b[(t*nr+0)*ldb:]
+			r1 := b[(t*nr+1)*ldb:]
+			r2 := b[(t*nr+2)*ldb:]
+			r3 := b[(t*nr+3)*ldb:]
+			r4 := b[(t*nr+4)*ldb:]
+			r5 := b[(t*nr+5)*ldb:]
+			r6 := b[(t*nr+6)*ldb:]
+			r7 := b[(t*nr+7)*ldb:]
+			for p := 0; p < k; p++ {
+				d := pb[base+p*8 : base+p*8+8]
+				d[0], d[1], d[2], d[3] = r0[p], r1[p], r2[p], r3[p]
+				d[4], d[5], d[6], d[7] = r4[p], r5[p], r6[p], r7[p]
 			}
-			if transB {
-				row := b[j*ldb : j*ldb+k]
-				for p, v := range row {
-					pb[base+p*gemmNR+col] = v
+		} else if transB {
+			var rows [gemmMaxNR][]float64
+			for col := 0; col < clim; col++ {
+				rows[col] = b[(t*nr+col)*ldb:]
+			}
+			for p := 0; p < k; p++ {
+				d := pb[base+p*nr : base+p*nr+nr]
+				for col := 0; col < clim; col++ {
+					d[col] = rows[col][p]
 				}
-			} else {
-				for p := 0; p < k; p++ {
-					pb[base+p*gemmNR+col] = b[p*ldb+j]
+				for col := clim; col < nr; col++ {
+					d[col] = 0
+				}
+			}
+		} else if clim == 8 && nr == 8 {
+			// Unrolled like the full transA strip above.
+			for p := 0; p < k; p++ {
+				src := b[p*ldb+t*8 : p*ldb+t*8+8]
+				dst := pb[base+p*8 : base+p*8+8]
+				dst[0], dst[1], dst[2], dst[3] = src[0], src[1], src[2], src[3]
+				dst[4], dst[5], dst[6], dst[7] = src[4], src[5], src[6], src[7]
+			}
+		} else {
+			for p := 0; p < k; p++ {
+				src := b[p*ldb+t*nr : p*ldb+t*nr+clim]
+				dst := pb[base+p*nr : base+p*nr+nr]
+				copy(dst, src)
+				for col := clim; col < nr; col++ {
+					dst[col] = 0
 				}
 			}
 		}
@@ -248,31 +372,35 @@ func (ws *gemmScratch) pack(transA, transB bool, m, n, k int, a []float64, lda i
 	return ms, ns
 }
 
-// gemmKernel runs the macro-kernel over A strips [s0,s1) against every B
+// gemmMacro runs the macro-kernel over A strips [s0,s1) against every B
 // strip: cache-tiled over gemmMC strips of rows so a B strip stays hot
 // while the A strips of one tile stream past it.
-func gemmKernel(packA, packB []float64, s0, s1, ns, m, n, k int, alpha, beta float64, c []float64, ldc int) {
+func gemmMacro(kv *gemmKernelF64, packA, packB []float64, s0, s1, ns, m, n, k int, alpha, beta float64, c []float64, ldc int) {
+	mr, nr := kv.mr, kv.nr
+	acc := gemmAccPool.Get().(*[gemmMaxMR * gemmMaxNR]float64)
 	for sb := s0; sb < s1; sb += gemmMC {
 		sEnd := sb + gemmMC
 		if sEnd > s1 {
 			sEnd = s1
 		}
 		for t := 0; t < ns; t++ {
-			pb := packB[t*gemmNR*k : (t+1)*gemmNR*k]
+			pb := packB[t*nr*k : (t+1)*nr*k]
 			for s := sb; s < sEnd; s++ {
-				pa := packA[s*gemmMR*k : (s+1)*gemmMR*k]
-				var acc [gemmMR * gemmNR]float64
-				gemmMicro(k, pa, pb, &acc)
-				gemmStore(&acc, s*gemmMR, t*gemmNR, m, n, alpha, beta, c, ldc)
+				pa := packA[s*mr*k : (s+1)*mr*k]
+				kv.micro(k, pa, pb, acc)
+				gemmStore(acc, nr, s*mr, t*nr, mr, m, n, alpha, beta, c, ldc)
 			}
 		}
 	}
+	gemmAccPool.Put(acc)
 }
 
-// gemmMicro is the register-blocked 4×4 micro-kernel: 16 accumulators held
-// across the whole (unsplit) k loop, reading one packed column of A and one
-// packed row of B per step — every loaded element feeds four FMAs.
-func gemmMicro(k int, pa, pb []float64, acc *[gemmMR * gemmNR]float64) {
+// gemmMicro4x4 is the portable register-blocked 4×4 micro-kernel: 16
+// accumulators held across the whole (unsplit) k loop, reading one packed
+// column of A and one packed row of B per step. Each step is a separate
+// multiply then add (two roundings), the exact sequence the naive reference
+// and the SIMD variants reproduce.
+func gemmMicro4x4(k int, pa, pb []float64, acc *[gemmMaxMR * gemmMaxNR]float64) {
 	var c00, c01, c02, c03 float64
 	var c10, c11, c12, c13 float64
 	var c20, c21, c22, c23 float64
@@ -306,19 +434,55 @@ func gemmMicro(k int, pa, pb []float64, acc *[gemmMR * gemmNR]float64) {
 }
 
 // gemmStore writes one micro-tile back with the alpha/beta combination,
-// masking the zero-padded edge rows/columns.
-func gemmStore(acc *[gemmMR * gemmNR]float64, i0, j0, m, n int, alpha, beta float64, c []float64, ldc int) {
+// masking the zero-padded edge rows/columns. nr is the tile's row stride in
+// acc; mr bounds the row count.
+func gemmStore(acc *[gemmMaxMR * gemmMaxNR]float64, nr, i0, j0, mr, m, n int, alpha, beta float64, c []float64, ldc int) {
 	rows := m - i0
-	if rows > gemmMR {
-		rows = gemmMR
+	if rows > mr {
+		rows = mr
 	}
 	cols := n - j0
-	if cols > gemmNR {
-		cols = gemmNR
+	if cols > nr {
+		cols = nr
+	}
+	// alpha==1 specializations skip arithmetic that rounds identically
+	// anyway (1·v and 1·x are exact), turning the hot forward store
+	// (beta==0) into a memmove and the gradient-accumulate store (beta==1)
+	// into a plain add. The generic path below computes the same values.
+	if alpha == 1 {
+		for r := 0; r < rows; r++ {
+			crow := c[(i0+r)*ldc+j0 : (i0+r)*ldc+j0+cols]
+			arow := acc[r*nr : r*nr+cols]
+			switch {
+			case beta == 0 && cols == 8:
+				crow[0], crow[1], crow[2], crow[3] = arow[0], arow[1], arow[2], arow[3]
+				crow[4], crow[5], crow[6], crow[7] = arow[4], arow[5], arow[6], arow[7]
+			case beta == 0:
+				copy(crow, arow)
+			case beta == 1 && cols == 8:
+				crow[0] += arow[0]
+				crow[1] += arow[1]
+				crow[2] += arow[2]
+				crow[3] += arow[3]
+				crow[4] += arow[4]
+				crow[5] += arow[5]
+				crow[6] += arow[6]
+				crow[7] += arow[7]
+			case beta == 1:
+				for j, v := range arow {
+					crow[j] += v
+				}
+			default:
+				for j, v := range arow {
+					crow[j] = v + beta*crow[j]
+				}
+			}
+		}
+		return
 	}
 	for r := 0; r < rows; r++ {
 		crow := c[(i0+r)*ldc+j0 : (i0+r)*ldc+j0+cols]
-		arow := acc[r*gemmNR : r*gemmNR+cols]
+		arow := acc[r*nr : r*nr+cols]
 		if beta == 0 {
 			for j, v := range arow {
 				crow[j] = alpha * v

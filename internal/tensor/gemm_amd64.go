@@ -1,0 +1,88 @@
+//go:build amd64 && !noasm
+
+package tensor
+
+// AVX2 kernel selection. Detection is hand-rolled CPUID/XGETBV (the repo is
+// dependency-free, so no golang.org/x/sys/cpu): AVX2 requires the CPU to
+// advertise it (leaf 7 EBX bit 5), the AVX foundation (leaf 1 ECX bit 28),
+// and the OS to have enabled XMM+YMM state saving (OSXSAVE + XCR0 bits 1-2).
+//
+// FMA (leaf 1 ECX bit 12) is detected for reporting only. The kernels never
+// fuse: a fused multiply-add performs one rounding where the pure-Go
+// reference performs two, so using it would break the bit-identity contract
+// between the asm and fallback kernels (DESIGN.md §Kernels).
+
+const asmKernels = true
+
+func init() {
+	cpuHasAVX2, cpuHasFMA = detectAVX2()
+	if cpuHasAVX2 {
+		gemmActiveF64 = &gemmAVX2F64
+		gemmShortF64 = &gemmAVX2F64x4
+		gemmActiveF32 = &gemmAVX2F32
+	}
+}
+
+// gemmAVX2F64 widens the register block to 8×8: the asm kernel computes two
+// 4×8 halves, each holding 8 ymm accumulators across the whole k loop.
+var gemmAVX2F64 = gemmKernelF64{name: "avx2-8x8", mr: 8, nr: 8, micro: microAVX2F64}
+
+// gemmAVX2F64x4 is the short-m variant: problems with m ≤ 4 rows pack one
+// 4-row strip instead of padding half an 8-row tile with zeros.
+var gemmAVX2F64x4 = gemmKernelF64{name: "avx2-4x8", mr: 4, nr: 8, micro: microAVX2F64x4}
+
+// gemmAVX2F32 holds a full 8×8 float32 tile in 8 ymm accumulators.
+var gemmAVX2F32 = gemmKernelF32{name: "avx2-8x8", mr: 8, nr: 8, micro: microAVX2F32}
+
+func microAVX2F64(k int, pa, pb []float64, acc *[gemmMaxMR * gemmMaxNR]float64) {
+	gemmMicroAVX2F64(k, &pa[0], &pb[0], acc)
+}
+
+func microAVX2F64x4(k int, pa, pb []float64, acc *[gemmMaxMR * gemmMaxNR]float64) {
+	gemmMicroAVX2F64x4(k, &pa[0], &pb[0], acc)
+}
+
+func microAVX2F32(k int, pa, pb []float32, acc *[gemmMaxMR * gemmMaxNR]float32) {
+	gemmMicroAVX2F32(k, &pa[0], &pb[0], acc)
+}
+
+// detectAVX2 reports (avx2, fma) usable in this process.
+func detectAVX2() (avx2, fma bool) {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return false, false
+	}
+	_, _, ecx1, _ := cpuidex(1, 0)
+	const (
+		fmaBit     = 1 << 12
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	if ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false, false
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX) must both be set by the OS before ymm
+	// registers are safe to touch.
+	xcr0, _ := xgetbv0()
+	if xcr0&0x6 != 0x6 {
+		return false, false
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	const avx2Bit = 1 << 5
+	return ebx7&avx2Bit != 0, ecx1&fmaBit != 0
+}
+
+// Implemented in gemm_amd64.s.
+
+//go:noescape
+func gemmMicroAVX2F64(k int, pa, pb *float64, acc *[gemmMaxMR * gemmMaxNR]float64)
+
+//go:noescape
+func gemmMicroAVX2F64x4(k int, pa, pb *float64, acc *[gemmMaxMR * gemmMaxNR]float64)
+
+//go:noescape
+func gemmMicroAVX2F32(k int, pa, pb *float32, acc *[gemmMaxMR * gemmMaxNR]float32)
+
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbv0() (eax, edx uint32)

@@ -1,0 +1,297 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// AVX2 micro-kernels. Both keep the package's determinism contract: every
+// output element is one accumulator walking k in ascending order, and every
+// step is a separate multiply then add (VMULP*/VADDP*, never VFMADD — a
+// fused multiply-add rounds once where the pure-Go reference rounds twice).
+// Vectorization is only across independent output columns, which does not
+// reorder any element's operation sequence, so the results are bit-identical
+// to the go-4x4 fallback kernel at every shape.
+
+// func gemmMicroAVX2F64(k int, pa, pb *float64, acc *[64]float64)
+//
+// 8×8 float64 register tile computed as two 4×8 halves. Packed layout:
+// pa[p*8+r] (column of A per k step), pb[p*8+c] (row of B per k step).
+// Each half holds 8 ymm accumulators: rows r=0..3 (or 4..7), with
+// Y(2r) = cols 0..3 and Y(2r+1) = cols 4..7.
+TEXT ·gemmMicroAVX2F64(SB), NOSPLIT, $0-32
+	MOVQ k+0(FP), CX
+	MOVQ pa+8(FP), AX
+	MOVQ pb+16(FP), BX
+	MOVQ acc+24(FP), DI
+
+	// ---- rows 0..3 ----
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+	MOVQ AX, R8
+	MOVQ BX, R9
+	MOVQ CX, DX
+
+f64lo:
+	VMOVUPD (R9), Y8        // b[0:4]
+	VMOVUPD 32(R9), Y9      // b[4:8]
+
+	VBROADCASTSD (R8), Y10  // a[row0]
+	VMULPD       Y8, Y10, Y11
+	VADDPD       Y11, Y0, Y0
+	VMULPD       Y9, Y10, Y11
+	VADDPD       Y11, Y1, Y1
+
+	VBROADCASTSD 8(R8), Y10 // a[row1]
+	VMULPD       Y8, Y10, Y11
+	VADDPD       Y11, Y2, Y2
+	VMULPD       Y9, Y10, Y11
+	VADDPD       Y11, Y3, Y3
+
+	VBROADCASTSD 16(R8), Y10 // a[row2]
+	VMULPD       Y8, Y10, Y11
+	VADDPD       Y11, Y4, Y4
+	VMULPD       Y9, Y10, Y11
+	VADDPD       Y11, Y5, Y5
+
+	VBROADCASTSD 24(R8), Y10 // a[row3]
+	VMULPD       Y8, Y10, Y11
+	VADDPD       Y11, Y6, Y6
+	VMULPD       Y9, Y10, Y11
+	VADDPD       Y11, Y7, Y7
+
+	ADDQ $64, R8
+	ADDQ $64, R9
+	DECQ DX
+	JNZ  f64lo
+
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	VMOVUPD Y2, 64(DI)
+	VMOVUPD Y3, 96(DI)
+	VMOVUPD Y4, 128(DI)
+	VMOVUPD Y5, 160(DI)
+	VMOVUPD Y6, 192(DI)
+	VMOVUPD Y7, 224(DI)
+
+	// ---- rows 4..7 (pa offset +32 bytes within each packed column) ----
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+	LEAQ 32(AX), R8
+	MOVQ BX, R9
+	MOVQ CX, DX
+
+f64hi:
+	VMOVUPD (R9), Y8
+	VMOVUPD 32(R9), Y9
+
+	VBROADCASTSD (R8), Y10  // a[row4]
+	VMULPD       Y8, Y10, Y11
+	VADDPD       Y11, Y0, Y0
+	VMULPD       Y9, Y10, Y11
+	VADDPD       Y11, Y1, Y1
+
+	VBROADCASTSD 8(R8), Y10 // a[row5]
+	VMULPD       Y8, Y10, Y11
+	VADDPD       Y11, Y2, Y2
+	VMULPD       Y9, Y10, Y11
+	VADDPD       Y11, Y3, Y3
+
+	VBROADCASTSD 16(R8), Y10 // a[row6]
+	VMULPD       Y8, Y10, Y11
+	VADDPD       Y11, Y4, Y4
+	VMULPD       Y9, Y10, Y11
+	VADDPD       Y11, Y5, Y5
+
+	VBROADCASTSD 24(R8), Y10 // a[row7]
+	VMULPD       Y8, Y10, Y11
+	VADDPD       Y11, Y6, Y6
+	VMULPD       Y9, Y10, Y11
+	VADDPD       Y11, Y7, Y7
+
+	ADDQ $64, R8
+	ADDQ $64, R9
+	DECQ DX
+	JNZ  f64hi
+
+	VMOVUPD Y0, 256(DI)
+	VMOVUPD Y1, 288(DI)
+	VMOVUPD Y2, 320(DI)
+	VMOVUPD Y3, 352(DI)
+	VMOVUPD Y4, 384(DI)
+	VMOVUPD Y5, 416(DI)
+	VMOVUPD Y6, 448(DI)
+	VMOVUPD Y7, 480(DI)
+
+	VZEROUPPER
+	RET
+
+// func gemmMicroAVX2F64x4(k int, pa, pb *float64, acc *[64]float64)
+//
+// 4×8 float64 register tile — the short-m variant (one strip of a stem or
+// linear layer is often 4 rows or fewer, where an 8-row tile would waste
+// half its work on padding). Packed layout: pa[p*4+r], pb[p*8+c]; the same
+// acc layout as the 8×8 kernel's first half.
+TEXT ·gemmMicroAVX2F64x4(SB), NOSPLIT, $0-32
+	MOVQ k+0(FP), CX
+	MOVQ pa+8(FP), AX
+	MOVQ pb+16(FP), BX
+	MOVQ acc+24(FP), DI
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+f64x4:
+	VMOVUPD (BX), Y8        // b[0:4]
+	VMOVUPD 32(BX), Y9      // b[4:8]
+
+	VBROADCASTSD (AX), Y10  // a[row0]
+	VMULPD       Y8, Y10, Y11
+	VADDPD       Y11, Y0, Y0
+	VMULPD       Y9, Y10, Y11
+	VADDPD       Y11, Y1, Y1
+
+	VBROADCASTSD 8(AX), Y10 // a[row1]
+	VMULPD       Y8, Y10, Y11
+	VADDPD       Y11, Y2, Y2
+	VMULPD       Y9, Y10, Y11
+	VADDPD       Y11, Y3, Y3
+
+	VBROADCASTSD 16(AX), Y10 // a[row2]
+	VMULPD       Y8, Y10, Y11
+	VADDPD       Y11, Y4, Y4
+	VMULPD       Y9, Y10, Y11
+	VADDPD       Y11, Y5, Y5
+
+	VBROADCASTSD 24(AX), Y10 // a[row3]
+	VMULPD       Y8, Y10, Y11
+	VADDPD       Y11, Y6, Y6
+	VMULPD       Y9, Y10, Y11
+	VADDPD       Y11, Y7, Y7
+
+	ADDQ $32, AX
+	ADDQ $64, BX
+	DECQ CX
+	JNZ  f64x4
+
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	VMOVUPD Y2, 64(DI)
+	VMOVUPD Y3, 96(DI)
+	VMOVUPD Y4, 128(DI)
+	VMOVUPD Y5, 160(DI)
+	VMOVUPD Y6, 192(DI)
+	VMOVUPD Y7, 224(DI)
+
+	VZEROUPPER
+	RET
+
+// func gemmMicroAVX2F32(k int, pa, pb *float32, acc *[64]float32)
+//
+// 8×8 float32 register tile in one pass: row r is one ymm of 8 floats.
+// Packed layout: pa[p*8+r], pb[p*8+c].
+TEXT ·gemmMicroAVX2F32(SB), NOSPLIT, $0-32
+	MOVQ k+0(FP), CX
+	MOVQ pa+8(FP), AX
+	MOVQ pb+16(FP), BX
+	MOVQ acc+24(FP), DI
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+
+f32loop:
+	VMOVUPS (BX), Y8        // b[0:8]
+
+	VBROADCASTSS (AX), Y9
+	VMULPS       Y8, Y9, Y10
+	VADDPS       Y10, Y0, Y0
+
+	VBROADCASTSS 4(AX), Y9
+	VMULPS       Y8, Y9, Y10
+	VADDPS       Y10, Y1, Y1
+
+	VBROADCASTSS 8(AX), Y9
+	VMULPS       Y8, Y9, Y10
+	VADDPS       Y10, Y2, Y2
+
+	VBROADCASTSS 12(AX), Y9
+	VMULPS       Y8, Y9, Y10
+	VADDPS       Y10, Y3, Y3
+
+	VBROADCASTSS 16(AX), Y9
+	VMULPS       Y8, Y9, Y10
+	VADDPS       Y10, Y4, Y4
+
+	VBROADCASTSS 20(AX), Y9
+	VMULPS       Y8, Y9, Y10
+	VADDPS       Y10, Y5, Y5
+
+	VBROADCASTSS 24(AX), Y9
+	VMULPS       Y8, Y9, Y10
+	VADDPS       Y10, Y6, Y6
+
+	VBROADCASTSS 28(AX), Y9
+	VMULPS       Y8, Y9, Y10
+	VADDPS       Y10, Y7, Y7
+
+	ADDQ $32, AX
+	ADDQ $32, BX
+	DECQ CX
+	JNZ  f32loop
+
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	VMOVUPS Y2, 64(DI)
+	VMOVUPS Y3, 96(DI)
+	VMOVUPS Y4, 128(DI)
+	VMOVUPS Y5, 160(DI)
+	VMOVUPS Y6, 192(DI)
+	VMOVUPS Y7, 224(DI)
+
+	VZEROUPPER
+	RET
+
+// func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+//
+// Reads XCR0. Only called after CPUID has confirmed OSXSAVE, so the
+// instruction cannot fault.
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,227 @@
+package tensor
+
+import (
+	"sync"
+	"time"
+	"unsafe"
+)
+
+// float32 GEMM: the same packed, never-split-k design as the float64 kernel
+// (see gemm.go), instantiated for float32. It backs the fp32 compute mode in
+// internal/nn — half the memory traffic per operand and twice the SIMD
+// lanes. The fp32 pipeline is gated on convergence parity, not bit-identity
+// against fp64, but the same determinism invariant holds within the
+// precision: every kernel variant, block size, and worker count produces
+// bit-identical float32 output, because each output element is one
+// ascending-k accumulator with a separate multiply and add per step.
+
+type gemmKernelF32 struct {
+	name   string
+	mr, nr int
+	micro  func(k int, pa, pb []float32, acc *[gemmMaxMR * gemmMaxNR]float32)
+}
+
+var gemmGo4x4F32 = gemmKernelF32{name: "go-4x4", mr: 4, nr: 4, micro: gemmMicro4x4F32}
+
+// gemmActiveF32 is written once at init (gemm_amd64.go) and read-only after.
+var gemmActiveF32 = &gemmGo4x4F32
+
+type gemmScratchF32 struct {
+	packA []float32
+	packB []float32
+}
+
+var gemmPoolF32 = sync.Pool{New: func() any { return new(gemmScratchF32) }}
+
+var gemmAccPoolF32 = sync.Pool{New: func() any { return new([gemmMaxMR * gemmMaxNR]float32) }}
+
+// GemmRawF32 is the float32 twin of GemmRaw: C = alpha·op(A)·op(B) + beta·C.
+func GemmRawF32(transA, transB bool, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
+	gemmRawF32With(gemmActiveF32, transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+}
+
+func gemmRawF32With(kv *gemmKernelF32, transA, transB bool, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
+	if gemmTrivialF32(m, n, k, beta, c, ldc) {
+		return
+	}
+	start := time.Now()
+	ws := gemmPoolF32.Get().(*gemmScratchF32)
+	ms, ns := ws.pack(kv.mr, kv.nr, transA, transB, m, n, k, a, lda, b, ldb)
+	mr, nr := kv.mr, kv.nr
+	acc := gemmAccPoolF32.Get().(*[gemmMaxMR * gemmMaxNR]float32)
+	for sb := 0; sb < ms; sb += gemmMC {
+		sEnd := sb + gemmMC
+		if sEnd > ms {
+			sEnd = ms
+		}
+		for t := 0; t < ns; t++ {
+			pb := ws.packB[t*nr*k : (t+1)*nr*k]
+			for s := sb; s < sEnd; s++ {
+				pa := ws.packA[s*mr*k : (s+1)*mr*k]
+				kv.micro(k, pa, pb, acc)
+				gemmStoreF32(acc, nr, s*mr, t*nr, mr, m, n, alpha, beta, c, ldc)
+			}
+		}
+	}
+	gemmAccPoolF32.Put(acc)
+	hint := uintptr(unsafe.Pointer(ws))
+	gemmPoolF32.Put(ws)
+	gemmAddStats(2*int64(m)*int64(n)*int64(k), time.Since(start).Nanoseconds(), hint)
+}
+
+func gemmTrivialF32(m, n, k int, beta float32, c []float32, ldc int) bool {
+	if m <= 0 || n <= 0 {
+		return true
+	}
+	if k > 0 {
+		return false
+	}
+	for i := 0; i < m; i++ {
+		row := c[i*ldc : i*ldc+n]
+		if beta == 0 {
+			for j := range row {
+				row[j] = 0
+			}
+		} else {
+			for j := range row {
+				row[j] *= beta
+			}
+		}
+	}
+	return true
+}
+
+func (ws *gemmScratchF32) pack(mr, nr int, transA, transB bool, m, n, k int, a []float32, lda int, b []float32, ldb int) (ms, ns int) {
+	ms = (m + mr - 1) / mr
+	ns = (n + nr - 1) / nr
+	ws.packA = growFloats32(ws.packA, ms*mr*k)
+	ws.packB = growFloats32(ws.packB, ns*nr*k)
+
+	pa := ws.packA
+	for s := 0; s < ms; s++ {
+		base := s * mr * k
+		rlim := m - s*mr
+		if rlim > mr {
+			rlim = mr
+		}
+		if transA {
+			for p := 0; p < k; p++ {
+				src := a[p*lda+s*mr : p*lda+s*mr+rlim]
+				dst := pa[base+p*mr : base+p*mr+mr]
+				copy(dst, src)
+				for r := rlim; r < mr; r++ {
+					dst[r] = 0
+				}
+			}
+		} else {
+			for r := 0; r < rlim; r++ {
+				row := a[(s*mr+r)*lda : (s*mr+r)*lda+k]
+				for p, v := range row {
+					pa[base+p*mr+r] = v
+				}
+			}
+			for r := rlim; r < mr; r++ {
+				for p := 0; p < k; p++ {
+					pa[base+p*mr+r] = 0
+				}
+			}
+		}
+	}
+
+	pb := ws.packB
+	for t := 0; t < ns; t++ {
+		base := t * nr * k
+		clim := n - t*nr
+		if clim > nr {
+			clim = nr
+		}
+		if transB {
+			for col := 0; col < clim; col++ {
+				row := b[(t*nr+col)*ldb : (t*nr+col)*ldb+k]
+				for p, v := range row {
+					pb[base+p*nr+col] = v
+				}
+			}
+			for col := clim; col < nr; col++ {
+				for p := 0; p < k; p++ {
+					pb[base+p*nr+col] = 0
+				}
+			}
+		} else {
+			for p := 0; p < k; p++ {
+				src := b[p*ldb+t*nr : p*ldb+t*nr+clim]
+				dst := pb[base+p*nr : base+p*nr+nr]
+				copy(dst, src)
+				for col := clim; col < nr; col++ {
+					dst[col] = 0
+				}
+			}
+		}
+	}
+	return ms, ns
+}
+
+func gemmMicro4x4F32(k int, pa, pb []float32, acc *[gemmMaxMR * gemmMaxNR]float32) {
+	var c00, c01, c02, c03 float32
+	var c10, c11, c12, c13 float32
+	var c20, c21, c22, c23 float32
+	var c30, c31, c32, c33 float32
+	idx := 0
+	for p := 0; p < k; p++ {
+		a0, a1, a2, a3 := pa[idx], pa[idx+1], pa[idx+2], pa[idx+3]
+		b0, b1, b2, b3 := pb[idx], pb[idx+1], pb[idx+2], pb[idx+3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+		idx += 4
+	}
+	acc[0], acc[1], acc[2], acc[3] = c00, c01, c02, c03
+	acc[4], acc[5], acc[6], acc[7] = c10, c11, c12, c13
+	acc[8], acc[9], acc[10], acc[11] = c20, c21, c22, c23
+	acc[12], acc[13], acc[14], acc[15] = c30, c31, c32, c33
+}
+
+func gemmStoreF32(acc *[gemmMaxMR * gemmMaxNR]float32, nr, i0, j0, mr, m, n int, alpha, beta float32, c []float32, ldc int) {
+	rows := m - i0
+	if rows > mr {
+		rows = mr
+	}
+	cols := n - j0
+	if cols > nr {
+		cols = nr
+	}
+	for r := 0; r < rows; r++ {
+		crow := c[(i0+r)*ldc+j0 : (i0+r)*ldc+j0+cols]
+		arow := acc[r*nr : r*nr+cols]
+		if beta == 0 {
+			for j, v := range arow {
+				crow[j] = alpha * v
+			}
+		} else {
+			for j, v := range arow {
+				crow[j] = alpha*v + beta*crow[j]
+			}
+		}
+	}
+}
+
+// growFloats32 is growFloats for float32 scratch.
+func growFloats32(buf []float32, n int) []float32 {
+	if cap(buf) < n {
+		return make([]float32, n)
+	}
+	return buf[:n]
+}

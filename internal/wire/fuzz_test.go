@@ -21,11 +21,22 @@ func FuzzDecodeGroup(f *testing.F) {
 		for _, m := range []Mode{FP64, FP32, Sparse} {
 			f.Add(AppendGroup(nil, m, g))
 		}
+		// Top-k frames (tag 4), one tensor per frame with a ~25% selection.
+		for _, t := range g {
+			k := TopKCount(len(t), 0.25)
+			f.Add(AppendTensorTopK(AppendGroupHeader(nil, 1), t, TopKIndices(t, k, nil)))
+		}
 	}
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
 	f.Add([]byte{1, 0, 0, 0, tagSparseF64, 8, 0, 0, 0, 2, 0, 0, 0})
+	f.Add([]byte{1, 0, 0, 0, tagTopK, 8, 0, 0, 0, 2, 0, 0, 0})
 
 	f.Fuzz(func(t *testing.T, frame []byte) {
+		// The delta decoder must also never panic, whatever the bytes; its
+		// base shapes are picked to sometimes match the seeds.
+		base := [][]float64{make([]float64, 2), make([]float64, 4)}
+		_, _ = DecodeGroupDelta(frame, base)
+
 		g, n, err := DecodeGroup(frame)
 		if err != nil {
 			return

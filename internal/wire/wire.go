@@ -11,6 +11,11 @@
 //	         skipping tests `v != 0`), and never larger than FP64. Sampled
 //	         sub-model gradients compress well here: unsampled ops
 //	         contribute all-zero tensors and ReLU gating zeroes long runs.
+//	TopK   — top-k magnitude gradient sparsification with error feedback
+//	         (lossy by design; the residual rides accumulators on both ends
+//	         of the RPC transport, see internal/rpcfed). Only the explicit
+//	         AppendTensorTopK/DecodeGroupDelta APIs produce and consume the
+//	         lossy frames; AppendGroup under TopK stays lossless.
 //
 // The package is a leaf (stdlib only): internal/rpcfed builds its net/rpc
 // codecs on top of it, internal/transmission call sites use its sizing
@@ -27,13 +32,16 @@
 //
 //	u32 tensorCount
 //	per tensor:
-//	  u8  tag         (0 dense f64 | 1 dense f32 | 2 all-zero | 3 sparse f64)
+//	  u8  tag         (0 dense f64 | 1 dense f32 | 2 all-zero | 3 sparse f64
+//	                   | 4 top-k delta)
 //	  u32 elemCount
 //	  tag 0: elemCount × u64   (math.Float64bits)
 //	  tag 1: elemCount × u32   (math.Float32bits)
 //	  tag 2: nothing
 //	  tag 3: u32 nnz, then nnz × (u32 index, u64 bits); indices strictly
 //	         ascending and < elemCount
+//	  tag 4: same body as tag 3; DecodeGroupDelta adds the entries into a
+//	         base tensor (error-feedback gradient deltas, see topk.go)
 //
 // Tags are per tensor, so a decoder never needs to know the sender's mode;
 // the mode only chooses which tags the encoder emits.
@@ -56,6 +64,13 @@ const (
 	FP64
 	FP32
 	Sparse
+	// TopK is the gradient-sparsification transport mode (top-k magnitude
+	// selection with server/participant error feedback, see
+	// internal/rpcfed). The lossy encoding is only produced by the explicit
+	// AppendTensorTopK API; AppendGroup under TopK falls back to the
+	// lossless Sparse tag selection, so paths that must stay exact (FedAvg
+	// control bodies) stay exact even when the transport mode is TopK.
+	TopK
 )
 
 // String implements fmt.Stringer.
@@ -69,6 +84,8 @@ func (m Mode) String() string {
 		return "fp32"
 	case Sparse:
 		return "sparse"
+	case TopK:
+		return "topk"
 	default:
 		return fmt.Sprintf("mode(%d)", int(m))
 	}
@@ -85,16 +102,20 @@ func ParseMode(s string) (Mode, error) {
 		return FP32, nil
 	case "sparse":
 		return Sparse, nil
+	case "topk":
+		return TopK, nil
 	}
-	return 0, fmt.Errorf("wire: unknown mode %q (gob|fp64|fp32|sparse)", s)
+	return 0, fmt.Errorf("wire: unknown mode %q (gob|fp64|fp32|sparse|topk)", s)
 }
 
 // Valid reports whether m is one of the defined modes.
-func (m Mode) Valid() bool { return m <= Sparse }
+func (m Mode) Valid() bool { return m <= TopK }
 
 // Lossless reports whether a round trip through m reproduces every float64
-// bit-exactly.
-func (m Mode) Lossless() bool { return m != FP32 }
+// bit-exactly. TopK is lossy at the transport level (dropped coordinates
+// ride the error-feedback accumulators instead of the wire), even though
+// AppendGroup itself never drops values under it.
+func (m Mode) Lossless() bool { return m != FP32 && m != TopK }
 
 // Per-tensor encoding tags.
 const (
@@ -102,6 +123,12 @@ const (
 	tagDenseF32  = 1
 	tagAllZero   = 2
 	tagSparseF64 = 3
+	// tagTopK shares tagSparseF64's body layout (u32 k, then k ×
+	// (u32 index, u64 bits), indices strictly ascending and < elemCount)
+	// but carries delta semantics: DecodeGroupDelta adds its entries into
+	// the base tensor where a sparse tag would replace. The plain decoders
+	// treat it exactly like sparse (zeros elsewhere).
+	tagTopK = 4
 )
 
 const (
@@ -142,7 +169,7 @@ func DenseGroupBytes(m Mode, elemCounts []int) int64 {
 // GroupBytes returns the exact encoded size of group under m, scanning
 // values when the mode is data-dependent (Sparse).
 func GroupBytes(m Mode, group [][]float64) int64 {
-	if m != Sparse {
+	if m != Sparse && m != TopK {
 		total := int64(groupHeaderBytes)
 		for _, t := range group {
 			total += DenseTensorBytes(m, len(t))
@@ -193,21 +220,33 @@ func sparseSmaller(nnz, n int) bool {
 func AppendGroup(dst []byte, m Mode, group [][]float64) []byte {
 	dst = appendU32(dst, uint32(len(group)))
 	for _, t := range group {
-		switch m {
-		case FP32:
-			dst = append(dst, tagDenseF32)
-			dst = appendU32(dst, uint32(len(t)))
-			for _, v := range t {
-				dst = appendU32(dst, math.Float32bits(float32(v)))
-			}
-		case Sparse:
-			dst = appendSparse(dst, t)
-		default: // FP64 (and Gob callers that reach here by mistake stay lossless)
-			dst = append(dst, tagDenseF64)
-			dst = appendU32(dst, uint32(len(t)))
-			for _, v := range t {
-				dst = appendU64(dst, math.Float64bits(v))
-			}
+		dst = AppendTensor(dst, m, t)
+	}
+	return dst
+}
+
+// AppendTensor appends one tensor frame under m — the per-tensor body of
+// AppendGroup, exposed so callers assembling mixed groups (the top-k
+// transport interleaves dense resync tensors with tag-4 deltas) can emit
+// tensors one at a time after AppendGroupHeader.
+func AppendTensor(dst []byte, m Mode, t []float64) []byte {
+	switch m {
+	case FP32:
+		dst = append(dst, tagDenseF32)
+		dst = appendU32(dst, uint32(len(t)))
+		for _, v := range t {
+			dst = appendU32(dst, math.Float32bits(float32(v)))
+		}
+	case Sparse, TopK:
+		// TopK's lossy encoding only exists behind AppendTensorTopK
+		// (callers own the error-feedback state); this encoder stays
+		// lossless.
+		dst = appendSparse(dst, t)
+	default: // FP64 (and Gob callers that reach here by mistake stay lossless)
+		dst = append(dst, tagDenseF64)
+		dst = appendU32(dst, uint32(len(t)))
+		for _, v := range t {
+			dst = appendU64(dst, math.Float64bits(v))
 		}
 	}
 	return dst
@@ -389,7 +428,7 @@ func decodeTensorInto(r *Reader, buf []float64) ([]float64, error) {
 		for i := range buf {
 			buf[i] = 0
 		}
-	case tagSparseF64:
+	case tagSparseF64, tagTopK:
 		nnz32, err := r.U32()
 		if err != nil {
 			return nil, err
