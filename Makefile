@@ -10,8 +10,12 @@
 # and writes BENCH_chaos.json; `make benchscale` sweeps the enrolled
 # population (10 → 10,000 at a fixed sampled cohort), gates on flat
 # per-round cost and sharded-merge bit-identity, and writes
-# BENCH_scale.json.
-.PHONY: check build test race fmt bench bench-smoke benchrpc benchchaos benchscale fedtrace
+# BENCH_scale.json. `make benchserve` drives closed-loop inference clients
+# against the resident serving path while a background search job trains
+# in-process, sweeps the micro-batching policy (max-batch 1/8/32), gates on
+# logits-checksum identity and the batch-32 QPS multiple, and writes
+# BENCH_serve.json.
+.PHONY: check build test race fmt bench bench-smoke benchrpc benchchaos benchscale benchserve fedtrace
 
 check:
 	./check.sh
@@ -25,7 +29,8 @@ test:
 race:
 	go test -race ./internal/tensor/... ./internal/parallel/... ./internal/nn/... \
 		./internal/fed/... ./internal/search/... ./internal/baselines/... \
-		./internal/rpcfed/... ./internal/telemetry/... ./internal/cohort/...
+		./internal/rpcfed/... ./internal/telemetry/... ./internal/cohort/... \
+		./internal/serve/...
 
 bench-smoke:
 	go test -run '^$$' -bench . -benchtime 1x ./internal/tensor/... ./internal/nn/...
@@ -45,6 +50,9 @@ benchchaos:
 
 benchscale:
 	go run ./cmd/benchscale -out BENCH_scale.json
+
+benchserve:
+	go run ./cmd/benchserve -out BENCH_serve.json
 
 # Trace a short K=4 run into ./traces/ and print its critical-path profile.
 fedtrace:

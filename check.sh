@@ -29,10 +29,11 @@ go test -tags noasm ./internal/tensor/... ./internal/nn/...
 echo "== cross-compile arm64 (no amd64 assembly may leak outside its build tags)"
 GOARCH=arm64 go build ./...
 
-echo "== go test -race (tensor, parallel, nn, fed, search, baselines, rpcfed, telemetry, cohort)"
+echo "== go test -race (tensor, parallel, nn, fed, search, baselines, rpcfed, telemetry, cohort, serve)"
 go test -race ./internal/tensor/... ./internal/parallel/... ./internal/nn/... \
 	./internal/fed/... ./internal/search/... ./internal/baselines/... \
-	./internal/rpcfed/... ./internal/telemetry/... ./internal/cohort/...
+	./internal/rpcfed/... ./internal/telemetry/... ./internal/cohort/... \
+	./internal/serve/...
 
 echo "== bench smoke (tensor, nn kernels; 1 iteration, catches crashes/regressed shapes)"
 go test -run '^$' -bench . -benchtime 1x ./internal/tensor/... ./internal/nn/...
@@ -48,6 +49,10 @@ echo "== benchscale smoke (K=1000 enrolled, cohort 8, 2 rounds; gates on memory 
 go vet ./cmd/benchscale
 go run ./cmd/benchscale -out "" -enrolled 1000 -cohort 8 -warmup 1 -rounds 2 \
 	-shards 1,4 -max-round-ratio 10 -max-bytes-ratio 10 >/dev/null
+
+echo "== benchserve smoke (1 background job, batched inference, drain; speedup gate off)"
+go vet ./cmd/benchserve ./cmd/fedserve
+go run ./cmd/benchserve -out "" -clients 4 -requests 2 -batches 1,4 -min-speedup 0 >/dev/null
 
 echo "== fedtrace smoke (traced K=4 run; every span must stitch, zero orphans)"
 go vet ./cmd/fedtrace

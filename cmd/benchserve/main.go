@@ -1,0 +1,359 @@
+// Command benchserve measures the resident serving path: it boots an
+// in-process serve.Server per batching policy, keeps a background search
+// job training the whole time, serves one fixed genotype with seeded
+// weights, and drives it with closed-loop concurrent clients that each
+// submit single-example requests. The admission queue coalesces those
+// requests into padded batches for one ForwardBatch through the GEMM
+// kernels, so sweeping -batches isolates the micro-batching win. The
+// numbers land in BENCH_serve.json (produced by `make benchserve`).
+//
+// Usage:
+//
+//	benchserve [-out BENCH_serve.json] [-batches 1,8,32] [-clients 32] [-requests 24]
+//
+// Gates (exit non-zero on violation):
+//   - the logits checksum is identical across every batching policy
+//     (ForwardBatch is bit-identical to per-request forwards, so batching
+//     must never change an answer)
+//   - QPS at the largest batch is at least -min-speedup x the batch-1 QPS
+//   - the background job completes at least -min-job-rounds search rounds
+//     during every measured window (serving must not starve training)
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"fedrlnas/internal/data"
+	"fedrlnas/internal/nas"
+	"fedrlnas/internal/search"
+	"fedrlnas/internal/serve"
+	"fedrlnas/internal/tensor"
+)
+
+type runResult struct {
+	MaxBatch int `json:"max_batch"`
+	Requests int `json:"requests"`
+	Clients  int `json:"clients"`
+	// QPS is completed inference requests per wall-clock second while the
+	// background job trains on the same cores.
+	QPS    float64 `json:"qps"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MeanMs float64 `json:"mean_ms"`
+	// Batches is the number of ForwardBatch dispatches that served the
+	// requests; MeanFill is requests/batches (1.0 at max-batch 1).
+	Batches  int64   `json:"batches"`
+	MeanFill float64 `json:"mean_batch_fill"`
+	// Checksum is an order-independent XOR of per-request FNV hashes over
+	// the logits bit patterns — equal across rows iff every request got
+	// bit-identical answers regardless of batching.
+	Checksum string `json:"logits_checksum"`
+	// JobRounds counts background search rounds completed during the
+	// measured window.
+	JobRounds       int     `json:"job_rounds_during"`
+	SpeedupVsBatch1 float64 `json:"speedup_vs_batch1"`
+	Pass            bool    `json:"pass"`
+}
+
+type gates struct {
+	MinSpeedup   float64 `json:"min_speedup"`
+	MinJobRounds int     `json:"min_job_rounds"`
+}
+
+type report struct {
+	Workload   string                `json:"workload"`
+	Clients    int                   `json:"clients"`
+	PerClient  int                   `json:"requests_per_client"`
+	CPUs       int                   `json:"cpus"`
+	GOMAXPROCS int                   `json:"gomaxprocs"`
+	Kernel     tensor.KernelFeatures `json:"kernel"`
+	Gates      gates                 `json:"gates"`
+	Results    []runResult           `json:"results"`
+	ChecksumOK bool                  `json:"checksums_identical"`
+	Pass       bool                  `json:"pass"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchserve", flag.ContinueOnError)
+	var (
+		out          = fs.String("out", "BENCH_serve.json", "write the JSON report here (empty: stdout only)")
+		batchesArg   = fs.String("batches", "1,8,32", "max-batch policies to sweep")
+		clients      = fs.Int("clients", 32, "closed-loop clients issuing single-example requests")
+		perClient    = fs.Int("requests", 24, "requests per client per policy")
+		maxWait      = fs.Duration("max-wait", 2*time.Millisecond, "batch fill deadline")
+		minSpeedup   = fs.Float64("min-speedup", 3.0, "largest batch must reach this QPS multiple of batch-1 (0 disables)")
+		minJobRounds = fs.Int("min-job-rounds", 1, "background job must step this many rounds per window")
+		width        = fs.Int("c", 8, "served model channel width")
+		size         = fs.Int("size", 8, "served model input height/width")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	batches, err := parseBatches(*batchesArg)
+	if err != nil {
+		return err
+	}
+
+	netCfg := nas.Config{
+		InChannels: 3, NumClasses: 10, C: *width, Layers: 3, Nodes: 2,
+		Candidates: nas.AllOps,
+	}
+	// A fixed genotype with seeded weights: every policy serves the exact
+	// same network, so logits checksums are comparable across rows.
+	geno := nas.Genotype{
+		Normal: []nas.OpKind{nas.OpSepConv3, nas.OpIdentity, nas.OpSepConv5, nas.OpDilConv3, nas.OpMaxPool3},
+		Reduce: []nas.OpKind{nas.OpMaxPool3, nas.OpSepConv3, nas.OpIdentity, nas.OpAvgPool3, nas.OpSepConv5},
+		Nodes:  2,
+	}
+
+	rep := report{
+		Workload:   fmt.Sprintf("serve C=%d %dx%d, %d clients x %d reqs", *width, *size, *size, *clients, *perClient),
+		Clients:    *clients,
+		PerClient:  *perClient,
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Kernel:     tensor.KernelInfo(),
+		Gates:      gates{MinSpeedup: *minSpeedup, MinJobRounds: *minJobRounds},
+	}
+
+	for _, mb := range batches {
+		res, err := benchPolicy(netCfg, geno, mb, *maxWait, *clients, *perClient, *size)
+		if err != nil {
+			return fmt.Errorf("max-batch %d: %w", mb, err)
+		}
+		rep.Results = append(rep.Results, res)
+	}
+
+	rep.ChecksumOK = true
+	for i := range rep.Results {
+		r := &rep.Results[i]
+		r.SpeedupVsBatch1 = r.QPS / rep.Results[0].QPS
+		r.Pass = r.JobRounds >= *minJobRounds
+		if r.Checksum != rep.Results[0].Checksum {
+			rep.ChecksumOK = false
+			r.Pass = false
+		}
+	}
+	last := &rep.Results[len(rep.Results)-1]
+	if *minSpeedup > 0 && last.SpeedupVsBatch1 < *minSpeedup {
+		last.Pass = false
+	}
+	rep.Pass = rep.ChecksumOK
+	for _, r := range rep.Results {
+		rep.Pass = rep.Pass && r.Pass
+	}
+
+	printReport(rep)
+	if *out != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", *out)
+	}
+	if !rep.Pass {
+		return fmt.Errorf("gates failed (checksums identical: %v, speedup %.2fx, want >= %.2fx)",
+			rep.ChecksumOK, last.SpeedupVsBatch1, *minSpeedup)
+	}
+	return nil
+}
+
+// benchPolicy boots a fresh server, starts the background trainer, serves
+// the fixed model under one batching policy, and hammers it.
+func benchPolicy(netCfg nas.Config, geno nas.Genotype, maxBatch int, maxWait time.Duration, clients, perClient, size int) (runResult, error) {
+	srv := serve.NewServer(serve.Options{
+		DefaultBatch: serve.BatchConfig{MaxBatch: maxBatch, MaxWait: maxWait},
+	})
+	job, err := srv.CreateJob(trainerConfig(), "")
+	if err != nil {
+		return runResult{}, err
+	}
+	// Let the trainer finish its one-time setup (dataset build, first
+	// round) before the measured window opens.
+	deadline := time.Now().Add(30 * time.Second)
+	for job.Status().Round < 1 {
+		if job.State().Terminal() || time.Now().After(deadline) {
+			return runResult{}, fmt.Errorf("background job stuck: %+v", job.Status())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	_, inf, err := srv.ServeModel(netCfg, geno, 7, serve.BatchConfig{MaxBatch: maxBatch, MaxWait: maxWait})
+	if err != nil {
+		return runResult{}, err
+	}
+
+	total := clients * perClient
+	latencies := make([]float64, total)
+	hashes := make([]uint64, total)
+	errs := make([]error, clients)
+	roundsBefore := job.Status().Round
+	batchesBefore := srv.Metrics().Batches.Value()
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			<-start
+			for r := 0; r < perClient; r++ {
+				idx := c*perClient + r
+				x := requestInput(idx, netCfg.InChannels, size)
+				t0 := time.Now()
+				logits, err := inf.Infer(x)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				latencies[idx] = float64(time.Since(t0).Microseconds()) / 1000
+				hashes[idx] = hashLogits(idx, logits)
+			}
+		}(c)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	wall := time.Since(t0)
+
+	roundsAfter := job.Status().Round
+	batchesAfter := srv.Metrics().Batches.Value()
+	if err := srv.Drain(); err != nil {
+		return runResult{}, fmt.Errorf("drain: %w", err)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return runResult{}, err
+		}
+	}
+
+	var checksum uint64
+	for _, h := range hashes {
+		checksum ^= h
+	}
+	sorted := append([]float64(nil), latencies...)
+	sort.Float64s(sorted)
+	mean := 0.0
+	for _, l := range sorted {
+		mean += l
+	}
+	nBatches := batchesAfter - batchesBefore
+	res := runResult{
+		MaxBatch:  maxBatch,
+		Requests:  total,
+		Clients:   clients,
+		QPS:       float64(total) / wall.Seconds(),
+		P50Ms:     percentile(sorted, 0.50),
+		P99Ms:     percentile(sorted, 0.99),
+		MeanMs:    mean / float64(total),
+		Batches:   nBatches,
+		Checksum:  fmt.Sprintf("%016x", checksum),
+		JobRounds: roundsAfter - roundsBefore,
+	}
+	if nBatches > 0 {
+		res.MeanFill = float64(total) / float64(nBatches)
+	}
+	return res, nil
+}
+
+// trainerConfig is the background search job: tiny enough to step rounds
+// continuously without drowning the box, real enough to fight the
+// dispatcher for cores.
+func trainerConfig() search.Config {
+	cfg := search.DefaultConfig()
+	cfg.Dataset = data.Spec{
+		Name: "bench", NumClasses: 5, Channels: 2, Height: 6, Width: 6,
+		TrainPerClass: 40, TestPerClass: 10, Noise: 1.0, Confusion: 0.3, Seed: 91,
+	}
+	cfg.Net = nas.Config{
+		InChannels: 2, NumClasses: 5, C: 4, Layers: 2, Nodes: 1,
+		Candidates: nas.AllOps,
+	}
+	cfg.K = 4
+	cfg.BatchSize = 8
+	cfg.WarmupSteps = 1
+	cfg.SearchSteps = 1 << 30 // effectively unbounded; Drain suspends it
+	return cfg
+}
+
+// requestInput builds a deterministic, per-index-distinct example so the
+// checksum is comparable across policies and XOR terms never cancel.
+func requestInput(idx, channels, size int) *tensor.Tensor {
+	x := tensor.New(1, channels, size, size)
+	d := x.Data()
+	for i := range d {
+		d[i] = float64((idx*131+i*17)%1024)/1024 - 0.5
+	}
+	return x
+}
+
+func hashLogits(idx int, logits []float64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(idx))
+	h.Write(buf[:])
+	for _, v := range logits {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func parseBatches(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -batches entry %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-batches is empty")
+	}
+	return out, nil
+}
+
+func printReport(rep report) {
+	fmt.Printf("%s (GOMAXPROCS %d)\n", rep.Workload, rep.GOMAXPROCS)
+	fmt.Printf("%-10s %10s %9s %9s %9s %7s %10s %8s\n",
+		"max-batch", "qps", "p50 ms", "p99 ms", "fill", "rounds", "speedup", "pass")
+	for _, r := range rep.Results {
+		fmt.Printf("%-10d %10.1f %9.2f %9.2f %9.1f %7d %9.2fx %8v\n",
+			r.MaxBatch, r.QPS, r.P50Ms, r.P99Ms, r.MeanFill, r.JobRounds, r.SpeedupVsBatch1, r.Pass)
+	}
+	fmt.Printf("logits checksums identical across policies: %v\n", rep.ChecksumOK)
+}

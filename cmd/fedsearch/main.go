@@ -53,7 +53,9 @@ func run(args []string) error {
 		workers   = fs.Int("workers", 0, "concurrent participants per round (0 = NumCPU); results are identical at any value")
 		alphaOnly = fs.Bool("alpha-only", false, "freeze theta during search (Fig. 5 ablation)")
 		genoOut   = fs.String("genotype-out", "", "write the searched genotype to this JSON file")
-		ckptOut   = fs.String("checkpoint-out", "", "write a search checkpoint (theta+alpha) to this file")
+		ckptOut   = fs.String("checkpoint-out", "", "stream crash-safe search checkpoints (theta, alpha, optimizer and RNG state) to this file")
+		ckptEvery = fs.Int("checkpoint-every", 0, "with -checkpoint-out, also checkpoint every N rounds (0 = end of search only)")
+		resume    = fs.String("resume", "", "resume P1/P2 from this checkpoint (config must match the saved run)")
 		traceOut  = fs.String("trace", "", "write a JSONL span trace of every search round to this file")
 		debugAddr = fs.String("debug-addr", "", "serve /metrics, /healthz, expvar and pprof on this address (e.g. 127.0.0.1:6060)")
 		precArg   = fs.String("precision", "fp64", "compute precision: fp64 (bit-identical runs) or fp32 (faster SIMD path, convergence parity only)")
@@ -190,26 +192,18 @@ func run(args []string) error {
 	}
 	fmt.Printf("P1 warm-up (%d rounds) + P2 search (%d rounds), K=%d%s, %s/%s…\n",
 		cfg.WarmupSteps, cfg.SearchSteps, cfg.K, cohortNote, cfg.Dataset.Name, *partition)
-	if *ckptOut != "" {
-		// Run the phases explicitly so the live state can be checkpointed.
-		s, err := search.New(cfg)
-		if err != nil {
-			return err
-		}
-		if err := s.Warmup(); err != nil {
-			return err
-		}
-		if err := s.Run(); err != nil {
-			return err
-		}
-		if err := s.SaveCheckpoint(*ckptOut); err != nil {
-			return err
-		}
-		fmt.Printf("checkpoint written to %s (round %d)\n", *ckptOut, s.Round())
+	opts.Resume = *resume
+	opts.CheckpointPath = *ckptOut
+	opts.CheckpointEvery = *ckptEvery
+	if *resume != "" {
+		fmt.Printf("resuming from %s\n", *resume)
 	}
 	res, err := search.RunPipeline(cfg, opts)
 	if err != nil {
 		return err
+	}
+	if *ckptOut != "" {
+		fmt.Printf("checkpoint written to %s\n", *ckptOut)
 	}
 	if *genoOut != "" {
 		if err := nas.SaveGenotype(*genoOut, res.Genotype); err != nil {

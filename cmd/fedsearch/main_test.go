@@ -119,3 +119,33 @@ func TestFirstVal(t *testing.T) {
 		t.Error("firstVal should return the first element")
 	}
 }
+
+// TestCheckpointResumeRoundTrip runs a tiny search with -checkpoint-out,
+// then resumes a longer schedule from the checkpoint with -resume: the
+// resumed run must skip the already-completed rounds and finish.
+func TestCheckpointResumeRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	ckpt := dir + "/search.ckpt"
+	base := []string{"-k", "3", "-warmup", "2", "-search", "3", "-retrain", "2", "-batch", "8"}
+	if err := run(append(base, "-checkpoint-out", ckpt, "-checkpoint-every", "2")); err != nil {
+		t.Fatalf("checkpointed run failed: %v", err)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+	// Same config, longer schedule: resume continues from round 5.
+	longer := []string{"-k", "3", "-warmup", "2", "-search", "6", "-retrain", "2", "-batch", "8",
+		"-resume", ckpt}
+	if err := run(longer); err != nil {
+		t.Fatalf("resumed run failed: %v", err)
+	}
+	// A mismatched config must be rejected, not silently mis-resumed.
+	mismatched := []string{"-k", "4", "-warmup", "2", "-search", "6", "-retrain", "2", "-batch", "8",
+		"-resume", ckpt}
+	if err := run(mismatched); err == nil {
+		t.Fatal("resume with mismatched config should fail")
+	}
+}

@@ -43,6 +43,39 @@ func (b *Batcher) Next(size int) []int {
 // PoolSize returns the number of indices the batcher cycles through.
 func (b *Batcher) PoolSize() int { return len(b.pool) }
 
+// State returns the batcher's resumable state: a copy of the current
+// (shuffled) pool order and the position within the epoch. Together with
+// the RNG stream position this is everything a checkpoint needs to
+// continue the batch sequence exactly where it stopped.
+func (b *Batcher) State() (pool []int, pos int) {
+	return append([]int(nil), b.pool...), b.pos
+}
+
+// RestoreState installs a pool order and cursor captured by State. The
+// incoming pool must be a permutation of the batcher's own — the shard
+// membership is construction state, only its order is resumable.
+func (b *Batcher) RestoreState(pool []int, pos int) error {
+	if len(pool) != len(b.pool) {
+		return fmt.Errorf("data: restore pool size %d != %d", len(pool), len(b.pool))
+	}
+	if pos < 0 || pos > len(pool) {
+		return fmt.Errorf("data: restore position %d outside pool of %d", pos, len(pool))
+	}
+	counts := make(map[int]int, len(b.pool))
+	for _, v := range b.pool {
+		counts[v]++
+	}
+	for _, v := range pool {
+		counts[v]--
+		if counts[v] < 0 {
+			return fmt.Errorf("data: restore pool is not a permutation (unexpected index %d)", v)
+		}
+	}
+	copy(b.pool, pool)
+	b.pos = pos
+	return nil
+}
+
 func (b *Batcher) shuffle() {
 	b.rng.Shuffle(len(b.pool), func(i, j int) {
 		b.pool[i], b.pool[j] = b.pool[j], b.pool[i]

@@ -1,0 +1,79 @@
+// Package detrand provides a checkpointable math/rand stream. A Source
+// wraps the stdlib source seeded with a fixed seed and counts how many
+// values have been drawn, so a stream's exact position can be persisted as
+// a single integer and restored by re-deriving the stream from its seed
+// and discarding that many draws.
+//
+// The wrapper is value-transparent: it implements rand.Source64 by
+// forwarding to the stdlib source, so a rand.Rand built over it produces
+// bit-for-bit the same sequence as rand.New(rand.NewSource(seed)) — every
+// pinned determinism hash in this repository survives the swap. Counting
+// at the source level (rather than the rand.Rand level) is what makes
+// Restore exact: every top-level draw — Float64, Intn, Shuffle, rejection
+// loops included — bottoms out in some number of single-advance Int63 or
+// Uint64 source calls, and the stdlib source advances its state exactly
+// once per call for both.
+package detrand
+
+import "math/rand"
+
+// Source is a counting, restorable rand.Source64.
+type Source struct {
+	seed int64
+	n    uint64
+	src  rand.Source64
+}
+
+// NewSource builds a counting source over rand.NewSource(seed).
+func NewSource(seed int64) *Source {
+	return &Source{seed: seed, src: newStdSource(seed)}
+}
+
+// New builds a rand.Rand over a fresh counting source and returns both.
+// The Rand's value stream is identical to rand.New(rand.NewSource(seed)).
+func New(seed int64) (*rand.Rand, *Source) {
+	s := NewSource(seed)
+	return rand.New(s), s
+}
+
+// newStdSource asserts the stdlib source to Source64 (it has implemented
+// it since Go 1.8).
+func newStdSource(seed int64) rand.Source64 {
+	return rand.NewSource(seed).(rand.Source64)
+}
+
+// Int63 implements rand.Source.
+func (s *Source) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (s *Source) Uint64() uint64 {
+	s.n++
+	return s.src.Uint64()
+}
+
+// Seed implements rand.Source, restarting the stream (and the counter)
+// from a new seed.
+func (s *Source) Seed(seed int64) {
+	s.seed, s.n = seed, 0
+	s.src.Seed(seed)
+}
+
+// Pos returns the number of values drawn since the stream began — the
+// checkpointable stream position.
+func (s *Source) Pos() uint64 { return s.n }
+
+// Restore rewinds or fast-forwards the stream to an absolute position:
+// the source is re-derived from its original seed and pos draws are
+// discarded. Both Int63 and Uint64 advance the underlying state exactly
+// once, so a position recorded under any mix of draw kinds replays
+// correctly with Uint64 alone.
+func (s *Source) Restore(pos uint64) {
+	s.src = newStdSource(s.seed)
+	for i := uint64(0); i < pos; i++ {
+		s.src.Uint64()
+	}
+	s.n = pos
+}

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 
 	"fedrlnas/internal/data"
+	"fedrlnas/internal/detrand"
 	"fedrlnas/internal/nettrace"
 	"fedrlnas/internal/nn"
 	"fedrlnas/internal/tensor"
@@ -57,6 +58,10 @@ type Participant struct {
 	ID      int
 	Batcher *data.Batcher
 	RNG     *rand.Rand
+	// Src is the counting source behind RNG; checkpoints persist its
+	// position so a resumed run replays the participant's private stream
+	// from exactly where it stopped.
+	Src *detrand.Source
 	// SpeedFactor scales virtual compute time (1.0 = reference device;
 	// larger = slower, e.g. a Jetson TX2 vs a 1080 Ti).
 	SpeedFactor float64
@@ -70,9 +75,10 @@ type Participant struct {
 // newParticipantRNG derives participant k's private deterministic RNG.
 // The derivation depends only on (seed, k), never on materialization
 // order, which is what lets Population build participants lazily without
-// perturbing any stream.
-func newParticipantRNG(seed int64, k int) *rand.Rand {
-	return rand.New(rand.NewSource(seed + int64(k)*7919))
+// perturbing any stream. The counting source is value-transparent, so the
+// stream is identical to the pre-detrand rand.NewSource derivation.
+func newParticipantRNG(seed int64, k int) (*rand.Rand, *detrand.Source) {
+	return detrand.New(seed + int64(k)*7919)
 }
 
 // BuildParticipants constructs K participants over a partition of ds. Every

@@ -113,7 +113,7 @@ func (p *Population) SetTraceFn(fn func(k int) nettrace.Trace) {
 
 // buildParticipant constructs participant k's state from its shard.
 func buildParticipant(indices []int, k int, seed int64) (*Participant, error) {
-	rng := newParticipantRNG(seed, k)
+	rng, src := newParticipantRNG(seed, k)
 	b, err := data.NewBatcher(indices, rng)
 	if err != nil {
 		return nil, fmt.Errorf("participant %d: %w", k, err)
@@ -122,7 +122,52 @@ func buildParticipant(indices []int, k int, seed int64) (*Participant, error) {
 		ID:          k,
 		Batcher:     b,
 		RNG:         rng,
+		Src:         src,
 		SpeedFactor: 1,
 		NumSamples:  len(indices),
 	}, nil
+}
+
+// ParticipantState is the resumable stream state of one materialized
+// participant — everything beyond (seed, id) a checkpoint must carry: the
+// private RNG position, and the batcher's current shuffle order and epoch
+// cursor (the shuffle VALUES matter, not just the RNG position, because
+// the pool order is the residue of draws already consumed).
+type ParticipantState struct {
+	ID     int
+	RNGPos uint64
+	Pool   []int
+	Pos    int
+}
+
+// States captures the state of every materialized participant in ID order.
+// Never-sampled enrollees need nothing: they materialize deterministically
+// from (seed, id) whenever first drawn.
+func (p *Population) States() []ParticipantState {
+	var out []ParticipantState
+	for k, part := range p.parts {
+		if part == nil {
+			continue
+		}
+		pool, pos := part.Batcher.State()
+		out = append(out, ParticipantState{ID: k, RNGPos: part.Src.Pos(), Pool: pool, Pos: pos})
+	}
+	return out
+}
+
+// RestoreStates materializes each listed participant and rewinds its RNG
+// stream and batcher to the captured position, making the population
+// stream-for-stream identical to the one that produced the states.
+func (p *Population) RestoreStates(states []ParticipantState) error {
+	for _, st := range states {
+		part, err := p.Get(st.ID)
+		if err != nil {
+			return err
+		}
+		part.Src.Restore(st.RNGPos)
+		if err := part.Batcher.RestoreState(st.Pool, st.Pos); err != nil {
+			return fmt.Errorf("participant %d: %w", st.ID, err)
+		}
+	}
+	return nil
 }

@@ -17,6 +17,12 @@ type FixedModel struct {
 	Net      *Supernet
 	G        Gates
 	Genotype Genotype
+
+	// ForwardBatch scratch: the packed input batch and the per-slot logits
+	// rows, reused across dispatches so steady-state serving allocates
+	// nothing per batch (see forwardbatch.go).
+	batchIn  *tensor.Tensor
+	batchOut []*tensor.Tensor
 }
 
 // NewFixedModel materializes a fresh (re-initialized) discrete model for a

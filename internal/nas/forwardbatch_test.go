@@ -1,0 +1,120 @@
+package nas
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedrlnas/internal/tensor"
+)
+
+func batchTestModel(t *testing.T) *FixedModel {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	geno := Genotype{
+		Normal: []OpKind{OpSepConv3, OpIdentity, OpMaxPool3, OpDilConv3, OpAvgPool3},
+		Reduce: []OpKind{OpMaxPool3, OpSepConv5, OpIdentity, OpZero, OpSepConv3},
+		Nodes:  2,
+	}
+	m, err := NewFixedModel(rng, testConfig(), geno)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetTraining(false)
+	return m
+}
+
+// TestForwardBatchBitIdentity is the batched-serving correctness gate: for
+// every batch size and padding remainder, ForwardBatch row i must equal a
+// standalone Forward of example i bit for bit. Any divergence means the
+// admission queue would change inference results depending on how requests
+// happened to coalesce.
+func TestForwardBatchBitIdentity(t *testing.T) {
+	m := batchTestModel(t)
+	rng := rand.New(rand.NewSource(11))
+	cases := []struct{ n, padTo int }{
+		{1, 1}, {1, 8}, {2, 8}, {3, 4}, {5, 8}, {8, 8}, {7, 32}, {32, 32},
+	}
+	for _, tc := range cases {
+		xs := make([]*tensor.Tensor, tc.n)
+		for i := range xs {
+			xs[i] = tensor.Randn(rng, 1, 1, 3, 8, 8)
+		}
+		// Compute singles first: ForwardBatch's outputs are model-owned
+		// scratch, so copy them before the next model call.
+		singles := make([][]float64, tc.n)
+		for i, x := range xs {
+			singles[i] = append([]float64(nil), m.Forward(x).Data()...)
+		}
+		got, err := m.ForwardBatch(xs, tc.padTo)
+		if err != nil {
+			t.Fatalf("n=%d padTo=%d: %v", tc.n, tc.padTo, err)
+		}
+		if len(got) != tc.n {
+			t.Fatalf("n=%d padTo=%d: %d outputs", tc.n, tc.padTo, len(got))
+		}
+		for i := range got {
+			gd := got[i].Data()
+			if len(gd) != len(singles[i]) {
+				t.Fatalf("n=%d padTo=%d row %d: %d logits, want %d",
+					tc.n, tc.padTo, i, len(gd), len(singles[i]))
+			}
+			for j := range gd {
+				if gd[j] != singles[i][j] {
+					t.Fatalf("n=%d padTo=%d row %d logit %d: batched %v != single %v",
+						tc.n, tc.padTo, i, j, gd[j], singles[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestForwardBatchAcceptsFlatExamples allows [C,H,W] examples (no leading
+// batch dim), the shape raw inference payloads decode to.
+func TestForwardBatchAcceptsFlatExamples(t *testing.T) {
+	m := batchTestModel(t)
+	rng := rand.New(rand.NewSource(13))
+	flat := tensor.Randn(rng, 1, 3, 8, 8)
+	lifted := tensor.New(1, 3, 8, 8)
+	copy(lifted.Data(), flat.Data())
+	want := append([]float64(nil), m.Forward(lifted).Data()...)
+	got, err := m.ForwardBatch([]*tensor.Tensor{flat}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range got[0].Data() {
+		if v != want[j] {
+			t.Fatalf("logit %d: %v != %v", j, v, want[j])
+		}
+	}
+}
+
+// TestForwardBatchRejectsTrainingMode: batching a training-mode model would
+// couple rows through batch statistics, silently changing results.
+func TestForwardBatchRejectsTrainingMode(t *testing.T) {
+	m := batchTestModel(t)
+	m.SetTraining(true)
+	rng := rand.New(rand.NewSource(17))
+	_, err := m.ForwardBatch([]*tensor.Tensor{tensor.Randn(rng, 1, 1, 3, 8, 8)}, 4)
+	if err == nil {
+		t.Fatal("expected error for training-mode ForwardBatch")
+	}
+}
+
+// TestForwardBatchRejectsBadInput covers the error paths.
+func TestForwardBatchRejectsBadInput(t *testing.T) {
+	m := batchTestModel(t)
+	if _, err := m.ForwardBatch(nil, 4); err == nil {
+		t.Error("expected error for empty batch")
+	}
+	rng := rand.New(rand.NewSource(19))
+	mixed := []*tensor.Tensor{
+		tensor.Randn(rng, 1, 1, 3, 8, 8),
+		tensor.Randn(rng, 1, 1, 3, 4, 4),
+	}
+	if _, err := m.ForwardBatch(mixed, 4); err == nil {
+		t.Error("expected error for mismatched example shapes")
+	}
+	if _, err := m.ForwardBatch([]*tensor.Tensor{tensor.Randn(rng, 1, 8)}, 4); err == nil {
+		t.Error("expected error for non-image example")
+	}
+}

@@ -1,6 +1,8 @@
 package nn
 
 import (
+	"fmt"
+
 	"fedrlnas/internal/tensor"
 )
 
@@ -81,6 +83,28 @@ func (s *SGD) Step(ps []*Param) {
 
 // LastGradNorm returns the pre-clip global gradient norm of the last Step.
 func (s *SGD) LastGradNorm() float64 { return s.lastGradNorm }
+
+// Velocity returns p's momentum buffer, or nil before the first Step
+// touched p. The buffer is live optimizer state; callers must not mutate
+// it. Checkpoints persist these buffers because resuming momentum SGD
+// from θ alone silently restarts the velocity at zero and diverges from
+// the uninterrupted run.
+func (s *SGD) Velocity(p *Param) *tensor.Tensor { return s.velocity[p] }
+
+// SetVelocity installs a momentum buffer for p (checkpoint restore). The
+// tensor is copied into optimizer-owned storage.
+func (s *SGD) SetVelocity(p *Param, v *tensor.Tensor) error {
+	if !v.SameShape(p.Value) {
+		return fmt.Errorf("nn: velocity shape %v != param shape %v", v.Shape(), p.Value.Shape())
+	}
+	buf, ok := s.velocity[p]
+	if !ok {
+		buf = tensor.New(p.Value.Shape()...)
+		s.velocity[p] = buf
+	}
+	buf.CopyFrom(v)
+	return nil
+}
 
 // Reset clears momentum state (used when re-initializing a model at P3).
 func (s *SGD) Reset() { s.velocity = make(map[*Param]*tensor.Tensor) }

@@ -2,36 +2,65 @@ package search
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"fedrlnas/internal/controller"
+	"fedrlnas/internal/fed"
+	"fedrlnas/internal/nn"
 	"fedrlnas/internal/tensor"
 )
 
-// Checkpoint format: a small binary header, the α matrices, then every
-// supernet parameter tensor in canonical order (tensor wire format).
-// Checkpoints let long search phases resume across process restarts — the
-// paper's search runs for hours even on GPUs.
-
+// Checkpoint format: a small binary header, the α matrices, every supernet
+// parameter tensor in canonical order (tensor wire format), and — since
+// version 2 — the optimizer and stream state a bit-exact resume needs: the
+// θ momentum buffers, the search RNG position, and each materialized
+// participant's RNG position and batcher order. Checkpoints let long
+// search phases resume across process restarts — the paper's search runs
+// for hours even on GPUs — and back the resident server's job lifecycle
+// (pause/resume/drain in internal/serve).
+//
+// Resume contract: under hard synchronization (the default) a restored
+// run reproduces the uninterrupted run's θ and α bit for bit — pinned by
+// TestResumeReproducesUninterruptedRun. Under soft synchronization the
+// staleness pools' history (snapshots of rounds before the restart) is
+// not persisted, so in-flight stale replies that straddle the restart are
+// skipped rather than applied; the run re-converges but is not bit-exact
+// for the first StalenessThreshold rounds.
 const (
 	checkpointMagic   = uint32(0xfed51a5e)
-	checkpointVersion = uint32(1)
+	checkpointVersion = uint32(2)
+	// checkpointVersionV1 files (θ+α only) are still readable; they
+	// restore state but not streams, matching the old behavior.
+	checkpointVersionV1 = uint32(1)
 )
 
-// SaveCheckpoint writes the current search state (θ, α, round counter and
-// the controller baseline) to path atomically (write + rename).
+// SaveCheckpoint writes the current search state to path crash-safely: the
+// bytes go to a uniquely named temp file in the same directory, are fsynced,
+// and the temp file is atomically renamed over path (with a directory sync
+// so the rename itself survives a crash). A crash at any instant leaves
+// either the previous complete checkpoint or the new one — never a torn
+// file — which is what lets a kill -9 mid-write resume cleanly.
 func (s *Search) SaveCheckpoint(path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
+	tmp := f.Name()
 	w := bufio.NewWriter(f)
 	err = s.writeCheckpoint(w)
 	if err2 := w.Flush(); err == nil {
+		err = err2
+	}
+	// Sync before rename: without it the rename can land on disk before
+	// the data, and a crash in between yields a complete-looking file of
+	// garbage at the final path.
+	if err2 := f.Sync(); err == nil {
 		err = err2
 	}
 	if err2 := f.Close(); err == nil {
@@ -45,12 +74,15 @@ func (s *Search) SaveCheckpoint(path string) error {
 		_ = os.Remove(tmp)
 		return fmt.Errorf("checkpoint: %w", err)
 	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
 	return nil
 }
 
-// LoadCheckpoint restores θ, α, the round counter and the baseline from a
-// checkpoint written by SaveCheckpoint. The search must have been built
-// with an identical Config.
+// LoadCheckpoint restores the search state from a checkpoint written by
+// SaveCheckpoint. The search must have been built with an identical Config.
 func (s *Search) LoadCheckpoint(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -88,6 +120,47 @@ func (s *Search) writeCheckpoint(w io.Writer) error {
 			return err
 		}
 	}
+	// v2: θ momentum, one presence-tagged tensor per canonical parameter.
+	for _, p := range params {
+		v := s.thetaOpt.Velocity(p)
+		if v == nil {
+			if _, err := w.Write([]byte{0}); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := w.Write([]byte{1}); err != nil {
+			return err
+		}
+		if _, err := v.WriteTo(w); err != nil {
+			return err
+		}
+	}
+	// v2: stream positions — the search RNG, then every materialized
+	// participant's RNG and batcher order.
+	if err := binary.Write(w, binary.LittleEndian, s.rngSrc.Pos()); err != nil {
+		return err
+	}
+	states := s.pop.States()
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(states))); err != nil {
+		return err
+	}
+	for _, st := range states {
+		header := []uint32{uint32(st.ID), uint32(len(st.Pool)), uint32(st.Pos)}
+		for _, v := range header {
+			if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		if err := binary.Write(w, binary.LittleEndian, st.RNGPos); err != nil {
+			return err
+		}
+		for _, idx := range st.Pool {
+			if err := binary.Write(w, binary.LittleEndian, uint32(idx)); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 
@@ -101,7 +174,7 @@ func (s *Search) readCheckpoint(r io.Reader) error {
 	if magic != checkpointMagic {
 		return fmt.Errorf("bad magic %#x", magic)
 	}
-	if version != checkpointVersion {
+	if version != checkpointVersion && version != checkpointVersionV1 {
 		return fmt.Errorf("unsupported version %d", version)
 	}
 	var baseline float64
@@ -139,8 +212,73 @@ func (s *Search) readCheckpoint(r io.Reader) error {
 		}
 		p.Value.CopyFrom(t)
 	}
+	if version >= checkpointVersion {
+		if err := s.readResumeState(r, params); err != nil {
+			return err
+		}
+	}
 	s.round = int(round)
 	return nil
+}
+
+// readResumeState restores the v2 sections: momentum, search RNG position,
+// participant streams.
+func (s *Search) readResumeState(r io.Reader, params []*nn.Param) error {
+	var tag [1]byte
+	for _, p := range params {
+		if _, err := io.ReadFull(r, tag[:]); err != nil {
+			return err
+		}
+		if tag[0] == 0 {
+			continue
+		}
+		v, err := tensor.ReadFrom(r)
+		if err != nil {
+			return err
+		}
+		if err := s.thetaOpt.SetVelocity(p, v); err != nil {
+			return fmt.Errorf("param %q: %w", p.Name, err)
+		}
+	}
+	var rngPos uint64
+	if err := binary.Read(r, binary.LittleEndian, &rngPos); err != nil {
+		return err
+	}
+	s.rngSrc.Restore(rngPos)
+	var nStates uint32
+	if err := binary.Read(r, binary.LittleEndian, &nStates); err != nil {
+		return err
+	}
+	if int(nStates) > s.pop.Len() {
+		return fmt.Errorf("checkpoint has %d participant states for population of %d",
+			nStates, s.pop.Len())
+	}
+	states := make([]fed.ParticipantState, nStates)
+	for i := range states {
+		var id, poolLen, pos uint32
+		for _, dst := range []*uint32{&id, &poolLen, &pos} {
+			if err := binary.Read(r, binary.LittleEndian, dst); err != nil {
+				return err
+			}
+		}
+		if poolLen > 1<<24 {
+			return fmt.Errorf("participant %d pool length %d too large", id, poolLen)
+		}
+		var rngPos uint64
+		if err := binary.Read(r, binary.LittleEndian, &rngPos); err != nil {
+			return err
+		}
+		pool := make([]int, poolLen)
+		for j := range pool {
+			var v uint32
+			if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
+				return err
+			}
+			pool[j] = int(v)
+		}
+		states[i] = fed.ParticipantState{ID: int(id), RNGPos: rngPos, Pool: pool, Pos: int(pos)}
+	}
+	return s.pop.RestoreStates(states)
 }
 
 func writeRows(w io.Writer, rows [][]float64) error {
@@ -189,6 +327,91 @@ func readRows(r io.Reader) ([][]float64, error) {
 
 // Round returns the number of completed communication rounds.
 func (s *Search) Round() int { return s.round }
+
+// TotalRounds returns the configured schedule length (P1 warm-up plus P2
+// search rounds).
+func (s *Search) TotalRounds() int { return s.cfg.WarmupSteps + s.cfg.SearchSteps }
+
+// Phase names reported by StepRound.
+const (
+	PhaseWarmup = "warmup"
+	PhaseSearch = "search"
+)
+
+// StepInfo summarizes one StepRound call.
+type StepInfo struct {
+	// Round is the 0-based index of the round that just ran.
+	Round int
+	// Phase is PhaseWarmup or PhaseSearch.
+	Phase string
+	// Accuracy is the round's mean participant training accuracy.
+	Accuracy float64
+	// Done reports that the schedule (warm-up + search) is complete.
+	Done bool
+}
+
+// StepRound runs exactly one round of the warm-up → search schedule from
+// the current round counter: a warm-up round while Round() < WarmupSteps,
+// a search round after. It is the unit of the resident server's job loop —
+// pause, cancel and checkpoint decisions happen between StepRound calls —
+// and of checkpoint resume: a search restored at round r continues with
+// round r's phase. Calling it on a completed schedule is a no-op that
+// reports Done.
+func (s *Search) StepRound() (StepInfo, error) {
+	total := s.TotalRounds()
+	if s.round >= total {
+		return StepInfo{Round: s.round, Done: true}, nil
+	}
+	if s.round < s.cfg.WarmupSteps {
+		acc, err := s.runRound(false, true)
+		if err != nil {
+			return StepInfo{}, fmt.Errorf("warmup round %d: %w", s.round, err)
+		}
+		s.WarmupCurve.Add(s.round-1, acc)
+		return StepInfo{Round: s.round - 1, Phase: PhaseWarmup, Accuracy: acc, Done: s.round >= total}, nil
+	}
+	acc, err := s.runRound(true, !s.cfg.AlphaOnly)
+	if err != nil {
+		return StepInfo{}, fmt.Errorf("search round %d: %w", s.round, err)
+	}
+	s.SearchCurve.Add(s.round-1, acc)
+	s.EntropyCurve.Add(s.round-1, s.ctrl.Entropy())
+	s.BaselineCurve.Add(s.round-1, s.ctrl.Baseline())
+	return StepInfo{Round: s.round - 1, Phase: PhaseSearch, Accuracy: acc, Done: s.round >= total}, nil
+}
+
+// RunContext steps the remaining schedule to completion, checkpointing to
+// path every `every` completed rounds and once at the end (path "" disables
+// checkpointing; every <= 0 checkpoints only at the end). On cancellation
+// it writes a final checkpoint and returns ctx.Err(), so a drained process
+// can be restarted with LoadCheckpoint and lose nothing.
+func (s *Search) RunContext(ctx context.Context, path string, every int) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			if path != "" {
+				if cerr := s.SaveCheckpoint(path); cerr != nil {
+					return cerr
+				}
+			}
+			return err
+		}
+		info, err := s.StepRound()
+		if err != nil {
+			return err
+		}
+		if info.Done {
+			if path != "" {
+				return s.SaveCheckpoint(path)
+			}
+			return nil
+		}
+		if path != "" && every > 0 && (info.Round+1)%every == 0 {
+			if err := s.SaveCheckpoint(path); err != nil {
+				return err
+			}
+		}
+	}
+}
 
 // RunWithCheckpoints executes the search phase like Run, writing a
 // checkpoint to path every `every` rounds (and once at the end) so long

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 
 	"fedrlnas/internal/fed"
@@ -41,6 +42,16 @@ type PipelineOptions struct {
 	// Registry backs the live search counters and gauges, e.g. for a
 	// debug HTTP /metrics endpoint (nil keeps a private registry).
 	Registry *telemetry.Registry
+	// Resume loads this checkpoint into the freshly built search before
+	// any round runs, so P1/P2 continue from the saved round with the
+	// saved optimizer and RNG streams (bit-exact under hard sync).
+	Resume string
+	// CheckpointPath streams crash-safe checkpoints to this file during
+	// P1/P2 and writes a final one when the schedule completes (""
+	// disables). CheckpointEvery is the cadence in completed rounds
+	// (<= 0: final checkpoint only).
+	CheckpointPath  string
+	CheckpointEvery int
 }
 
 // RunPipeline executes warm-up, search, derivation and the requested P3/P4
@@ -51,10 +62,15 @@ func RunPipeline(cfg Config, opts PipelineOptions) (PipelineResult, error) {
 		return PipelineResult{}, err
 	}
 	s.SetTelemetry(opts.Tracer, opts.Registry)
-	if err := s.Warmup(); err != nil {
-		return PipelineResult{}, err
+	if opts.Resume != "" {
+		if err := s.LoadCheckpoint(opts.Resume); err != nil {
+			return PipelineResult{}, err
+		}
 	}
-	if err := s.Run(); err != nil {
+	// RunContext steps the whole remaining P1+P2 schedule; on a fresh
+	// search it is bit-identical to the legacy Warmup()+Run() sequence
+	// (pinned by TestStepRoundMatchesWarmupRun).
+	if err := s.RunContext(context.Background(), opts.CheckpointPath, opts.CheckpointEvery); err != nil {
 		return PipelineResult{}, err
 	}
 	res := PipelineResult{

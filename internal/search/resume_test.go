@@ -1,0 +1,269 @@
+package search
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// stepRounds advances s by n rounds through StepRound, failing the test on
+// any error or premature completion.
+func stepRounds(t *testing.T, s *Search, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		info, err := s.StepRound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Done && s.Round() < s.TotalRounds() {
+			t.Fatalf("schedule reported done at round %d of %d", s.Round(), s.TotalRounds())
+		}
+	}
+}
+
+// requireBitIdentical asserts two searches agree exactly on θ, α, the
+// controller baseline, the round counter, and the derived genotype.
+func requireBitIdentical(t *testing.T, a, b *Search) {
+	t.Helper()
+	if a.Round() != b.Round() {
+		t.Fatalf("rounds differ: %d vs %d", a.Round(), b.Round())
+	}
+	ta, tb := a.SnapshotTheta(), b.SnapshotTheta()
+	for i := range ta {
+		if !ta[i].AllClose(tb[i], 0) {
+			t.Fatalf("theta tensor %d differs (resume is not bit-exact)", i)
+		}
+	}
+	if a.Controller().Snapshot().Diff(b.Controller().Snapshot()).L2Norm() != 0 {
+		t.Fatal("alpha differs")
+	}
+	if a.Controller().Baseline() != b.Controller().Baseline() {
+		t.Fatalf("baseline differs: %v vs %v", a.Controller().Baseline(), b.Controller().Baseline())
+	}
+	if a.Derive().String() != b.Derive().String() {
+		t.Fatal("derived genotypes differ")
+	}
+}
+
+// TestResumeReproducesUninterruptedRun is the checkpoint system's core
+// guarantee: N rounds + save + fresh process + load + N more rounds must be
+// bit-identical to 2N uninterrupted rounds. That only holds because v2
+// checkpoints carry the θ momentum buffers, the search RNG position, and
+// every materialized participant's RNG position and batcher order — drop
+// any one and the runs diverge within a round or two.
+func TestResumeReproducesUninterruptedRun(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"full population", func(cfg *Config) {}},
+		{"cohort sampling with churn", func(cfg *Config) {
+			cfg.K = 8
+			cfg.CohortSize = 3
+			cfg.ChurnProb = 0.3
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tinyConfig()
+			cfg.WarmupSteps = 3
+			cfg.SearchSteps = 7
+			tc.mut(&cfg)
+
+			uninterrupted, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stepRounds(t, uninterrupted, 10)
+
+			// The interrupted run: half the schedule, checkpoint, then a
+			// brand-new Search (a "fresh process") finishes from the file.
+			// The split lands mid-warmup→search transition on purpose.
+			first, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stepRounds(t, first, 5)
+			path := filepath.Join(t.TempDir(), "mid.ckpt")
+			if err := first.SaveCheckpoint(path); err != nil {
+				t.Fatal(err)
+			}
+			resumed, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := resumed.LoadCheckpoint(path); err != nil {
+				t.Fatal(err)
+			}
+			stepRounds(t, resumed, 5)
+
+			requireBitIdentical(t, uninterrupted, resumed)
+		})
+	}
+}
+
+// TestRunContextCheckpointsOnCancel pins the drain path: a cancelled
+// RunContext writes a checkpoint before returning, and a run resumed from
+// that checkpoint matches the uninterrupted run exactly.
+func TestRunContextCheckpointsOnCancel(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.WarmupSteps = 2
+	cfg.SearchSteps = 6
+
+	uninterrupted, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepRounds(t, uninterrupted, 8)
+
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepRounds(t, s, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: RunContext must checkpoint and bail
+	path := filepath.Join(t.TempDir(), "drain.ckpt")
+	if err := s.RunContext(ctx, path, 0); err != context.Canceled {
+		t.Fatalf("RunContext = %v, want context.Canceled", err)
+	}
+
+	resumed, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.LoadCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Round() != 3 {
+		t.Fatalf("drain checkpoint at round %d, want 3", resumed.Round())
+	}
+	if err := resumed.RunContext(context.Background(), "", 0); err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, uninterrupted, resumed)
+}
+
+// TestStepRoundMatchesWarmupRun pins StepRound against the legacy phase
+// methods: stepping the whole schedule must equal Warmup()+Run() bit for
+// bit and record the same curves.
+func TestStepRoundMatchesWarmupRun(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.WarmupSteps = 2
+	cfg.SearchSteps = 4
+
+	legacy, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := legacy.Warmup(); err != nil {
+		t.Fatal(err)
+	}
+	if err := legacy.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	stepped, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		info, err := stepped.StepRound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Done {
+			break
+		}
+	}
+	requireBitIdentical(t, legacy, stepped)
+	if stepped.WarmupCurve.Len() != legacy.WarmupCurve.Len() ||
+		stepped.SearchCurve.Len() != legacy.SearchCurve.Len() {
+		t.Fatalf("curves: warmup %d/%d search %d/%d",
+			stepped.WarmupCurve.Len(), legacy.WarmupCurve.Len(),
+			stepped.SearchCurve.Len(), legacy.SearchCurve.Len())
+	}
+	// A completed schedule steps as a Done no-op.
+	info, err := stepped.StepRound()
+	if err != nil || !info.Done {
+		t.Fatalf("StepRound after completion = (%+v, %v), want Done", info, err)
+	}
+}
+
+// TestCheckpointSurvivesKill9 kills a checkpoint-writing child process with
+// SIGKILL mid-stream and verifies the surviving file is always a complete,
+// loadable checkpoint — the atomic temp-file + rename + fsync protocol's
+// whole point. The child is this test binary re-executed with
+// FEDRLNAS_CKPT_CHILD set (see TestCheckpointKillChild).
+func TestCheckpointSurvivesKill9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "victim.ckpt")
+	cmd := exec.Command(os.Args[0], "-test.run=TestCheckpointKillChild", "-test.v")
+	cmd.Env = append(os.Environ(), "FEDRLNAS_CKPT_CHILD="+path)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+	defer cmd.Wait()
+
+	// Wait until the child has produced at least one complete checkpoint.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := os.Stat(path); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("child never produced a checkpoint")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Let it overwrite the file a few more times, then kill it mid-write.
+	time.Sleep(50 * time.Millisecond)
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_ = cmd.Wait()
+
+	s, err := New(killChildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadCheckpoint(path); err != nil {
+		t.Fatalf("checkpoint torn by SIGKILL: %v", err)
+	}
+}
+
+// killChildConfig is the config shared by TestCheckpointSurvivesKill9 and
+// its re-exec child; the two processes must build identical searches.
+func killChildConfig() Config {
+	cfg := tinyConfig()
+	cfg.WarmupSteps = 0
+	cfg.SearchSteps = 0
+	return cfg
+}
+
+// TestCheckpointKillChild is the re-exec helper for
+// TestCheckpointSurvivesKill9: it saves checkpoints in a tight loop until
+// killed. It is a no-op unless FEDRLNAS_CKPT_CHILD is set.
+func TestCheckpointKillChild(t *testing.T) {
+	path := os.Getenv("FEDRLNAS_CKPT_CHILD")
+	if path == "" {
+		t.Skip("not in child mode")
+	}
+	s, err := New(killChildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if err := s.SaveCheckpoint(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fedrlnas/internal/cohort"
 	"fedrlnas/internal/controller"
 	"fedrlnas/internal/data"
+	"fedrlnas/internal/detrand"
 	"fedrlnas/internal/fed"
 	"fedrlnas/internal/metrics"
 	"fedrlnas/internal/nas"
@@ -36,6 +37,10 @@ type Search struct {
 
 	thetaOpt *nn.SGD
 	rng      *rand.Rand
+	// rngSrc is the counting source behind rng; checkpoints persist its
+	// position so a resumed run continues the gate/transmission stream
+	// exactly where the saved run stopped.
+	rngSrc *detrand.Source
 
 	paramIndex map[*nn.Param]int
 
@@ -106,7 +111,7 @@ func New(cfg Config) (*Search, error) {
 	if err != nil {
 		return nil, fmt.Errorf("search: %w", err)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng, rngSrc := detrand.New(cfg.Seed)
 	var part data.Partition
 	switch cfg.Partition {
 	case IID:
@@ -147,6 +152,7 @@ func New(cfg Config) (*Search, error) {
 		ctrl:     ctrl,
 		thetaOpt: nn.NewSGD(cfg.ThetaLR, cfg.ThetaMomentum, cfg.ThetaWD, cfg.ThetaClip),
 		rng:      rng,
+		rngSrc:   rngSrc,
 	}
 	if sampler.Full() {
 		// Full-population mode materializes everyone up front (the legacy

@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"fedrlnas/internal/nas"
+	"fedrlnas/internal/tensor"
+)
+
+// ErrClosed is returned by Infer once the model has been closed (drain or
+// explicit shutdown).
+var ErrClosed = errors.New("serve: model closed")
+
+// BatchConfig is the micro-batching policy for one served model.
+type BatchConfig struct {
+	// MaxBatch is the dispatch size: a batch launches as soon as it holds
+	// MaxBatch requests. 1 disables coalescing (every request is its own
+	// forward). Batches always pad to MaxBatch so kernel shapes — and the
+	// GEMM packing scratch behind them — stay identical across dispatches.
+	MaxBatch int
+	// MaxWait bounds how long the first request of a batch waits for
+	// company before the batch launches part-full. Dispatch triggers on
+	// whichever of MaxBatch / MaxWait is hit first. 0 means launch with
+	// whatever is already queued, never wait.
+	MaxWait time.Duration
+	// QueueCap is the admission queue capacity; submitters beyond it block
+	// (closed-loop backpressure) rather than being dropped. <= 0 defaults
+	// to 4×MaxBatch.
+	QueueCap int
+}
+
+func (c *BatchConfig) normalize() error {
+	if c.MaxBatch < 1 {
+		return fmt.Errorf("serve: MaxBatch %d, want >= 1", c.MaxBatch)
+	}
+	if c.MaxWait < 0 {
+		return fmt.Errorf("serve: negative MaxWait %v", c.MaxWait)
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 4 * c.MaxBatch
+	}
+	return nil
+}
+
+// Inference owns one served model and its admission queue. All forwards run
+// on the single dispatcher goroutine, so the model needs no locking and its
+// ForwardBatch scratch is reused safely across dispatches.
+type Inference struct {
+	model *nas.FixedModel
+	cfg   BatchConfig
+	met   *Metrics
+
+	reqs chan *inferReq
+	// mu guards admission: Infer sends while holding the read side, Close
+	// flips closed and closes reqs under the write side, so a send can
+	// never race the close. Sends may block inside the read lock when the
+	// queue is full; the dispatcher keeps draining, so they finish and
+	// Close's write lock eventually acquires.
+	mu     sync.RWMutex
+	closed bool
+	done   chan struct{}
+
+	xs []*tensor.Tensor // dispatcher-owned batch assembly scratch
+}
+
+type inferReq struct {
+	x      *tensor.Tensor
+	logits []float64
+	err    error
+	done   chan struct{}
+}
+
+// NewInference starts serving model under the given policy. The model is
+// switched to eval mode here — batched inference requires it (training-mode
+// batch norm would couple rows) — and must not be used elsewhere while
+// served.
+func NewInference(model *nas.FixedModel, cfg BatchConfig, met *Metrics) (*Inference, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	model.SetTraining(false)
+	inf := &Inference{
+		model: model,
+		cfg:   cfg,
+		met:   met,
+		reqs:  make(chan *inferReq, cfg.QueueCap),
+		done:  make(chan struct{}),
+		xs:    make([]*tensor.Tensor, 0, cfg.MaxBatch),
+	}
+	go inf.dispatch()
+	return inf, nil
+}
+
+// Config returns the model's micro-batching policy.
+func (inf *Inference) Config() BatchConfig { return inf.cfg }
+
+// NumClasses returns the served model's output width.
+func (inf *Inference) NumClasses() int { return inf.model.Net.Cfg.NumClasses }
+
+// InputShape returns the expected per-example input shape [C, H, W]...
+// which the model itself does not pin (H and W are architectural
+// free variables); callers validate channel count only.
+func (inf *Inference) InChannels() int { return inf.model.Net.Cfg.InChannels }
+
+// Infer submits one example ([C,H,W] or [1,C,H,W]) and blocks until its
+// batch completes, returning a caller-owned logits slice.
+func (inf *Inference) Infer(x *tensor.Tensor) ([]float64, error) {
+	req := &inferReq{x: x, done: make(chan struct{})}
+	start := time.Now()
+	inf.mu.RLock()
+	if inf.closed {
+		inf.mu.RUnlock()
+		inf.met.Rejected.Inc()
+		return nil, ErrClosed
+	}
+	inf.reqs <- req
+	inf.mu.RUnlock()
+	<-req.done
+	inf.met.Requests.Inc()
+	inf.met.InferSeconds.Observe(time.Since(start).Seconds())
+	return req.logits, req.err
+}
+
+// Close stops admission, lets the dispatcher flush every already-admitted
+// request (the in-flight batch and the queued backlog), and returns once
+// the dispatcher has exited. Idempotent.
+func (inf *Inference) Close() {
+	inf.mu.Lock()
+	if !inf.closed {
+		inf.closed = true
+		close(inf.reqs)
+	}
+	inf.mu.Unlock()
+	<-inf.done
+}
+
+// dispatch is the batching loop: block for the batch's first request, then
+// greedily absorb whatever is already queued, then wait out the remainder
+// of MaxWait for the batch to fill. Channel-close semantics do the drain
+// for free — after Close, receives keep yielding the queued backlog until
+// it is empty, and only then report closed.
+func (inf *Inference) dispatch() {
+	defer close(inf.done)
+	batch := make([]*inferReq, 0, inf.cfg.MaxBatch)
+	for {
+		req, ok := <-inf.reqs
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], req)
+		// Greedy phase: take everything already waiting, no timer.
+	greedy:
+		for len(batch) < inf.cfg.MaxBatch {
+			select {
+			case r, ok := <-inf.reqs:
+				if !ok {
+					inf.runBatch(batch)
+					return
+				}
+				batch = append(batch, r)
+			default:
+				break greedy
+			}
+		}
+		// Deadline phase: wait up to MaxWait for the batch to fill.
+		if len(batch) < inf.cfg.MaxBatch && inf.cfg.MaxWait > 0 {
+			timer := time.NewTimer(inf.cfg.MaxWait)
+		fill:
+			for len(batch) < inf.cfg.MaxBatch {
+				select {
+				case r, ok := <-inf.reqs:
+					if !ok {
+						break fill
+					}
+					batch = append(batch, r)
+				case <-timer.C:
+					break fill
+				}
+			}
+			timer.Stop()
+		}
+		inf.met.QueueDepth.Set(float64(len(inf.reqs)))
+		inf.runBatch(batch)
+		// Co-scheduling: hand the processor to resident search jobs after
+		// every dispatch. Without this, a closed-loop inference ping-pong
+		// keeps the dispatcher and its clients in the scheduler's handoff
+		// fast path and training starves outright. The yield donates one
+		// scheduling quantum per *batch*, so coalescing amortizes the cost
+		// of training progress across the whole batch — this, not GEMM
+		// shape, is the dominant batching win on small hosts.
+		runtime.Gosched()
+	}
+}
+
+// runBatch executes one padded ForwardBatch and demultiplexes the logits
+// into request-owned slices (ForwardBatch's outputs are model scratch,
+// invalid after the next dispatch, so the copy here is what hands each
+// caller a stable result).
+func (inf *Inference) runBatch(batch []*inferReq) {
+	xs := inf.xs[:0]
+	for _, r := range batch {
+		xs = append(xs, r.x)
+	}
+	inf.xs = xs
+	start := time.Now()
+	outs, err := inf.model.ForwardBatch(xs, inf.cfg.MaxBatch)
+	inf.met.Batches.Inc()
+	inf.met.BatchSize.Observe(float64(len(batch)))
+	inf.met.BatchSeconds.Observe(time.Since(start).Seconds())
+	for i, r := range batch {
+		if err != nil {
+			r.err = err
+		} else {
+			r.logits = append([]float64(nil), outs[i].Data()...)
+		}
+		close(r.done)
+	}
+}

@@ -1,0 +1,354 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"fedrlnas/internal/nas"
+	"fedrlnas/internal/search"
+)
+
+// JobState is one node of the job lifecycle state machine:
+//
+//	Pending ─→ Running ⇄ Paused
+//	   │          │ │ \
+//	   ↓          ↓ ↓  ─→ Suspended (drain: checkpointed, process exiting)
+//	Failed   Completed Cancelled
+//
+// Pending covers construction (dataset generation, supernet init, optional
+// checkpoint load) on the job goroutine, so job creation returns
+// immediately even for large configs. Paused, Suspended, Cancelled and
+// Completed all imply "a checkpoint exists" when the job has a checkpoint
+// path; Failed implies the error is recorded.
+type JobState int32
+
+const (
+	JobPending JobState = iota
+	JobRunning
+	JobPaused
+	JobCompleted
+	JobCancelled
+	JobFailed
+	JobSuspended
+)
+
+// String implements fmt.Stringer.
+func (s JobState) String() string {
+	switch s {
+	case JobPending:
+		return "pending"
+	case JobRunning:
+		return "running"
+	case JobPaused:
+		return "paused"
+	case JobCompleted:
+		return "completed"
+	case JobCancelled:
+		return "cancelled"
+	case JobFailed:
+		return "failed"
+	case JobSuspended:
+		return "suspended"
+	}
+	return "unknown"
+}
+
+// Terminal reports whether the state machine can never leave s.
+func (s JobState) Terminal() bool {
+	switch s {
+	case JobCompleted, JobCancelled, JobFailed, JobSuspended:
+		return true
+	}
+	return false
+}
+
+type cmdKind int
+
+const (
+	cmdPause cmdKind = iota
+	cmdResume
+	cmdCancel
+	cmdSuspend
+	cmdCheckpoint
+	cmdDerive
+)
+
+type jobCmd struct {
+	kind  cmdKind
+	reply chan jobReply
+}
+
+type jobReply struct {
+	geno nas.Genotype
+	err  error
+}
+
+// Job is one resident search: a Search owned by a dedicated goroutine that
+// steps rounds and handles lifecycle commands between them. All external
+// access goes through commands while the goroutine lives and through the
+// post-done mutex after it exits, so the Search itself is never shared.
+type Job struct {
+	ID string
+
+	cfg       search.Config
+	ckptPath  string
+	ckptEvery int
+	resume    string
+	met       *Metrics
+
+	cmds chan jobCmd
+	done chan struct{}
+
+	state   atomic.Int32
+	round   atomic.Int64
+	total   atomic.Int64
+	accBits atomic.Uint64
+
+	// mu guards s and err once done is closed (the loop goroutine is gone
+	// and multiple API goroutines may inspect the corpse concurrently).
+	mu  sync.Mutex
+	s   *search.Search
+	err error
+}
+
+// JobStatus is the API-facing snapshot of a job.
+type JobStatus struct {
+	ID         string  `json:"id"`
+	State      string  `json:"state"`
+	Round      int     `json:"round"`
+	Total      int     `json:"total"`
+	Accuracy   float64 `json:"accuracy"`
+	Checkpoint string  `json:"checkpoint,omitempty"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// newJob constructs and starts a job; the heavy build happens on the job
+// goroutine.
+func newJob(id string, cfg search.Config, ckptPath string, ckptEvery int, resume string, met *Metrics) *Job {
+	j := &Job{
+		ID:        id,
+		cfg:       cfg,
+		ckptPath:  ckptPath,
+		ckptEvery: ckptEvery,
+		resume:    resume,
+		met:       met,
+	}
+	j.cmds = make(chan jobCmd)
+	j.done = make(chan struct{})
+	j.state.Store(int32(JobPending))
+	met.JobsTotal.Inc()
+	met.JobsRunning.Set(met.JobsRunning.Value() + 1)
+	go j.loop()
+	return j
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState { return JobState(j.state.Load()) }
+
+// Status snapshots the job for the API.
+func (j *Job) Status() JobStatus {
+	st := JobStatus{
+		ID:         j.ID,
+		State:      j.State().String(),
+		Round:      int(j.round.Load()),
+		Total:      int(j.total.Load()),
+		Accuracy:   math.Float64frombits(j.accBits.Load()),
+		Checkpoint: j.ckptPath,
+	}
+	select {
+	case <-j.done:
+		j.mu.Lock()
+		if j.err != nil {
+			st.Error = j.err.Error()
+		}
+		j.mu.Unlock()
+	default:
+	}
+	return st
+}
+
+// Pause checkpoints the job (when it has a checkpoint path) and halts
+// stepping until Resume.
+func (j *Job) Pause() error { return j.command(cmdPause) }
+
+// Resume continues a paused job.
+func (j *Job) Resume() error { return j.command(cmdResume) }
+
+// Cancel checkpoints (best effort) and terminates the job.
+func (j *Job) Cancel() error { return j.command(cmdCancel) }
+
+// Checkpoint writes a checkpoint now, between rounds.
+func (j *Job) Checkpoint() error { return j.command(cmdCheckpoint) }
+
+// Suspend is the drain path: checkpoint, stop the loop, mark Suspended. The
+// job can be revived in a new process by creating a job with Resume set to
+// its checkpoint path.
+func (j *Job) Suspend() error { return j.command(cmdSuspend) }
+
+// Derive returns the job's current argmax genotype. Safe at any state past
+// Pending: while the loop runs it executes between rounds; after it exits,
+// on the caller's goroutine.
+func (j *Job) Derive() (nas.Genotype, error) {
+	rep, err := j.send(jobCmd{kind: cmdDerive, reply: make(chan jobReply, 1)})
+	if err != nil {
+		return nas.Genotype{}, err
+	}
+	return rep.geno, rep.err
+}
+
+// Config returns the job's search configuration (the serving path needs
+// cfg.Net to materialize derived models).
+func (j *Job) Config() search.Config { return j.cfg }
+
+// Done exposes loop termination (tests and Drain wait on it).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+func (j *Job) command(kind cmdKind) error {
+	rep, err := j.send(jobCmd{kind: kind, reply: make(chan jobReply, 1)})
+	if err != nil {
+		return err
+	}
+	return rep.err
+}
+
+// send delivers a command to the loop, or — once the loop has exited —
+// executes it directly under the post-done mutex. The select on done closes
+// the race where the loop exits while a sender waits: the sender then falls
+// through to the direct path instead of blocking forever.
+func (j *Job) send(cmd jobCmd) (jobReply, error) {
+	select {
+	case j.cmds <- cmd:
+		return <-cmd.reply, nil
+	case <-j.done:
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if j.s == nil {
+			return jobReply{}, fmt.Errorf("serve: job %s never initialized", j.ID)
+		}
+		return j.handle(cmd.kind, false), nil
+	}
+}
+
+// loop owns the Search: build it, then alternate command handling with
+// StepRound until a terminal state.
+func (j *Job) loop() {
+	defer func() {
+		j.met.JobsRunning.Set(j.met.JobsRunning.Value() - 1)
+		close(j.done)
+	}()
+	s, err := search.New(j.cfg)
+	if err == nil && j.resume != "" {
+		err = s.LoadCheckpoint(j.resume)
+	}
+	j.mu.Lock()
+	j.s = s
+	j.mu.Unlock()
+	if err != nil {
+		j.fail(err)
+		return
+	}
+	j.total.Store(int64(s.TotalRounds()))
+	j.round.Store(int64(s.Round()))
+	j.state.Store(int32(JobRunning))
+	for {
+		st := j.State()
+		if st.Terminal() {
+			return
+		}
+		if st == JobPaused {
+			cmd := <-j.cmds
+			cmd.reply <- j.handle(cmd.kind, true)
+			continue
+		}
+		select {
+		case cmd := <-j.cmds:
+			cmd.reply <- j.handle(cmd.kind, true)
+			continue
+		default:
+		}
+		info, err := j.s.StepRound()
+		if err != nil {
+			j.fail(err)
+			return
+		}
+		j.met.JobRounds.Inc()
+		j.round.Store(int64(j.s.Round()))
+		j.accBits.Store(math.Float64bits(info.Accuracy))
+		if info.Done {
+			if err := j.checkpointNow(); err != nil {
+				j.fail(err)
+				return
+			}
+			j.state.Store(int32(JobCompleted))
+			return
+		}
+		if j.ckptPath != "" && j.ckptEvery > 0 && j.s.Round()%j.ckptEvery == 0 {
+			if err := j.checkpointNow(); err != nil {
+				j.fail(err)
+				return
+			}
+		}
+	}
+}
+
+// handle executes one command. It runs on the loop goroutine while the loop
+// lives and on the caller's (under j.mu) afterwards; `live` distinguishes
+// the two, because lifecycle transitions are only legal on a live loop.
+func (j *Job) handle(kind cmdKind, live bool) jobReply {
+	st := j.State()
+	switch kind {
+	case cmdDerive:
+		return jobReply{geno: j.s.Derive()}
+	case cmdCheckpoint:
+		return jobReply{err: j.checkpointNow()}
+	case cmdPause:
+		if !live || st != JobRunning {
+			return jobReply{err: fmt.Errorf("serve: cannot pause %s job", st)}
+		}
+		if err := j.checkpointNow(); err != nil {
+			return jobReply{err: err}
+		}
+		j.state.Store(int32(JobPaused))
+		return jobReply{}
+	case cmdResume:
+		if !live || st != JobPaused {
+			return jobReply{err: fmt.Errorf("serve: cannot resume %s job", st)}
+		}
+		j.state.Store(int32(JobRunning))
+		return jobReply{}
+	case cmdCancel:
+		if !live {
+			return jobReply{err: fmt.Errorf("serve: cannot cancel %s job", st)}
+		}
+		// Best-effort checkpoint: cancellation still leaves a resumable file.
+		_ = j.checkpointNow()
+		j.state.Store(int32(JobCancelled))
+		return jobReply{}
+	case cmdSuspend:
+		if !live {
+			return jobReply{err: fmt.Errorf("serve: cannot suspend %s job", st)}
+		}
+		if err := j.checkpointNow(); err != nil {
+			return jobReply{err: err}
+		}
+		j.state.Store(int32(JobSuspended))
+		return jobReply{}
+	}
+	return jobReply{err: fmt.Errorf("serve: unknown command %d", kind)}
+}
+
+func (j *Job) checkpointNow() error {
+	if j.ckptPath == "" {
+		return nil
+	}
+	return j.s.SaveCheckpoint(j.ckptPath)
+}
+
+func (j *Job) fail(err error) {
+	j.mu.Lock()
+	j.err = err
+	j.mu.Unlock()
+	j.state.Store(int32(JobFailed))
+}
