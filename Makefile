@@ -15,7 +15,11 @@
 # in-process, sweeps the micro-batching policy (max-batch 1/8/32), gates on
 # logits-checksum identity and the batch-32 QPS multiple, and writes
 # BENCH_serve.json.
-.PHONY: check build test race fmt bench bench-smoke benchrpc benchchaos benchscale benchserve fedtrace
+# `make benchprofiles` runs the scenario engine across the device-profile
+# catalog plus a mixed population, gates on the empty-scenario θ pin and on
+# personalized heads beating the global head under Dirichlet skew, and
+# writes BENCH_profiles.json.
+.PHONY: check build test race fmt bench bench-smoke benchrpc benchchaos benchscale benchserve benchprofiles fedtrace
 
 check:
 	./check.sh
@@ -30,7 +34,7 @@ race:
 	go test -race ./internal/tensor/... ./internal/parallel/... ./internal/nn/... \
 		./internal/fed/... ./internal/search/... ./internal/baselines/... \
 		./internal/rpcfed/... ./internal/telemetry/... ./internal/cohort/... \
-		./internal/serve/...
+		./internal/serve/... ./internal/scenario/...
 
 bench-smoke:
 	go test -run '^$$' -bench . -benchtime 1x ./internal/tensor/... ./internal/nn/...
@@ -53,6 +57,9 @@ benchscale:
 
 benchserve:
 	go run ./cmd/benchserve -out BENCH_serve.json
+
+benchprofiles:
+	go run ./cmd/benchprofiles -out BENCH_profiles.json
 
 # Trace a short K=4 run into ./traces/ and print its critical-path profile.
 fedtrace:

@@ -29,11 +29,11 @@ go test -tags noasm ./internal/tensor/... ./internal/nn/...
 echo "== cross-compile arm64 (no amd64 assembly may leak outside its build tags)"
 GOARCH=arm64 go build ./...
 
-echo "== go test -race (tensor, parallel, nn, fed, search, baselines, rpcfed, telemetry, cohort, serve)"
+echo "== go test -race (tensor, parallel, nn, fed, search, baselines, rpcfed, telemetry, cohort, serve, scenario)"
 go test -race ./internal/tensor/... ./internal/parallel/... ./internal/nn/... \
 	./internal/fed/... ./internal/search/... ./internal/baselines/... \
 	./internal/rpcfed/... ./internal/telemetry/... ./internal/cohort/... \
-	./internal/serve/...
+	./internal/serve/... ./internal/scenario/...
 
 echo "== bench smoke (tensor, nn kernels; 1 iteration, catches crashes/regressed shapes)"
 go test -run '^$' -bench . -benchtime 1x ./internal/tensor/... ./internal/nn/...
@@ -53,6 +53,10 @@ go run ./cmd/benchscale -out "" -enrolled 1000 -cohort 8 -warmup 1 -rounds 2 \
 echo "== benchserve smoke (1 background job, batched inference, drain; speedup gate off)"
 go vet ./cmd/benchserve ./cmd/fedserve
 go run ./cmd/benchserve -out "" -clients 4 -requests 2 -batches 1,4 -min-speedup 0 >/dev/null
+
+echo "== benchprofiles smoke (1 round per catalog profile + mixed population; pin gate on, A/B gate off)"
+go vet ./cmd/benchprofiles
+go run ./cmd/benchprofiles -out "" -k 4 -warmup 1 -search 1 -gate=false >/dev/null
 
 echo "== fedtrace smoke (traced K=4 run; every span must stitch, zero orphans)"
 go vet ./cmd/fedtrace

@@ -33,6 +33,7 @@ import (
 	"fedrlnas/internal/data"
 	"fedrlnas/internal/nn"
 	"fedrlnas/internal/rpcfed"
+	"fedrlnas/internal/scenario"
 	"fedrlnas/internal/search"
 	"fedrlnas/internal/telemetry"
 	"fedrlnas/internal/wire"
@@ -73,8 +74,12 @@ func run(args []string) error {
 }
 
 // shardFor deterministically regenerates the dataset and this worker's
-// shard from the shared seed.
-func shardFor(datasetName string, k, index int, seed int64) (*data.Dataset, []int, error) {
+// shard from the shared seed. Every process — server and all workers —
+// must pass the same scenario (or none): with a scenario population the
+// split honors each profile group's skew; with only a skew it overrides
+// the legacy Dirichlet(0.5); both stay pure functions of (dataset, k,
+// seed, scenario), so no data ever crosses the wire.
+func shardFor(datasetName string, k, index int, seed int64, scen *scenario.Spec) (*data.Dataset, []int, error) {
 	var spec data.Spec
 	switch datasetName {
 	case "cifar10s":
@@ -90,7 +95,23 @@ func shardFor(datasetName string, k, index int, seed int64) (*data.Dataset, []in
 	if err != nil {
 		return nil, nil, err
 	}
-	part, err := data.DirichletPartition(ds.TrainLabels, k, 0.5, rand.New(rand.NewSource(seed)))
+	rng := rand.New(rand.NewSource(seed))
+	profiles, fracs, err := scen.Resolve()
+	if err != nil {
+		return nil, nil, err
+	}
+	var part data.Partition
+	switch {
+	case len(profiles) > 0:
+		assignment := scenario.Assign(fracs, k, seed)
+		part, err = scenario.PartitionFor(ds.TrainLabels, k, assignment, profiles, scen.Skew, rng)
+	case scen != nil && scen.Skew != nil && scen.Skew.Kind == scenario.SkewIID:
+		part, err = data.IIDPartition(ds.NumTrain(), k, rng)
+	case scen != nil && scen.Skew != nil:
+		part, err = data.DirichletPartition(ds.TrainLabels, k, scen.Skew.Alpha, rng)
+	default:
+		part, err = data.DirichletPartition(ds.TrainLabels, k, 0.5, rng)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
@@ -115,7 +136,8 @@ func runWorker(args []string) error {
 		listen    = fs.String("listen", "127.0.0.1:0", "TCP listen address")
 		dataset   = fs.String("dataset", "cifar10s", "dataset name")
 		seed      = fs.Int64("seed", 1, "shared deployment seed")
-		chaosSpec = fs.String("chaos", "", "fault-injection spec, e.g. latency=5ms,jitter=2ms,bw=20,kill=0.001,seed=7 (empty = faults off)")
+		scenArg   = fs.String("scenario", "", "device-population scenario ("+scenario.Grammar+"); set the same value on every process")
+		chaosSpec = fs.String("chaos", "", "deprecated (use -scenario): fault-injection spec, e.g. latency=5ms,jitter=2ms,bw=20,kill=0.001,seed=7 (empty = faults off)")
 		traceOut  = fs.String("trace", "", "write a JSONL span trace of handled calls to this file (spans parent under the server's rounds)")
 		debugAddr = fs.String("debug-addr", "", "serve /metrics, /healthz, expvar and pprof on this address")
 		precArg   = fs.String("precision", "fp64", "compute precision: fp64 (bit-identical) or fp32 (faster SIMD path); set the same value on every process")
@@ -134,7 +156,23 @@ func runWorker(args []string) error {
 		return err
 	}
 	defer dbg.Close()
-	ds, shard, err := shardFor(*dataset, *k, *index, *seed)
+	scen, err := scenario.Parse(*scenArg)
+	if err != nil {
+		return err
+	}
+	// The deprecated -chaos flag lowers into a single-profile scenario that
+	// drives the transport only — the flag never influenced the data
+	// partition, and the alias must not either.
+	transport := scen
+	if *chaosSpec != "" {
+		transport = &scenario.Spec{Population: []scenario.Share{
+			{Custom: &scenario.Profile{Name: "chaos-flag", Chaos: *chaosSpec}},
+		}}
+		if err := transport.Validate(); err != nil {
+			return err
+		}
+	}
+	ds, shard, err := shardFor(*dataset, *k, *index, *seed, scen)
 	if err != nil {
 		return err
 	}
@@ -161,21 +199,26 @@ func runWorker(args []string) error {
 	if err != nil {
 		return err
 	}
-	if *chaosSpec != "" {
-		ccfg, err := chaos.ParseSpec(*chaosSpec)
+	if profiles, fracs, rerr := transport.Resolve(); rerr != nil {
+		return rerr
+	} else if len(profiles) > 0 {
+		prof := profiles[scenario.Assign(fracs, *k, *seed)[*index]]
+		ccfg, err := prof.ChaosConfig(*seed + int64(*index)*13)
 		if err != nil {
 			return err
 		}
-		inj, err := chaos.New(ccfg)
-		if err != nil {
-			return err
+		if prof.Chaos != "" || len(ccfg.Trace.Mbps) > 0 {
+			inj, err := chaos.New(ccfg)
+			if err != nil {
+				return err
+			}
+			inj.Observe(registry)
+			// Injected faults land in the worker's trace under the round they
+			// disrupted, so fedtrace can correlate kills with slow rounds.
+			inj.TraceWith(tracer, svc.CurrentSpan)
+			ln = inj.Listener(ln)
+			fmt.Printf("worker %d: profile %q faults enabled\n", *index, prof.Name)
 		}
-		inj.Observe(registry)
-		// Injected faults land in the worker's trace under the round they
-		// disrupted, so fedtrace can correlate kills with slow rounds.
-		inj.TraceWith(tracer, svc.CurrentSpan)
-		ln = inj.Listener(ln)
-		fmt.Printf("worker %d: chaos enabled (%s)\n", *index, *chaosSpec)
 	}
 	done, err := svc.ServeListener(ln)
 	if err != nil {
@@ -193,6 +236,7 @@ func runServer(args []string) error {
 	var (
 		addrList  = fs.String("addrs", "", "comma-separated worker addresses")
 		dataset   = fs.String("dataset", "cifar10s", "dataset name")
+		scenArg   = fs.String("scenario", "", "device-population scenario ("+scenario.Grammar+"); set the same value on every process")
 		rounds    = fs.Int("rounds", 40, "search rounds")
 		batch     = fs.Int("batch", 16, "participant batch size")
 		quorum    = fs.Float64("quorum", 0.8, "fraction of live participants whose replies close a round")
@@ -221,7 +265,11 @@ func runServer(args []string) error {
 	if *addrList == "" || len(addrs) == 0 {
 		return fmt.Errorf("need -addrs")
 	}
-	ds, _, err := shardFor(*dataset, len(addrs), 0, *seed)
+	scen, err := scenario.Parse(*scenArg)
+	if err != nil {
+		return err
+	}
+	ds, _, err := shardFor(*dataset, len(addrs), 0, *seed, scen)
 	if err != nil {
 		return err
 	}

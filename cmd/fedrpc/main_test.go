@@ -20,13 +20,13 @@ func TestRunModeValidation(t *testing.T) {
 }
 
 func TestShardForValidation(t *testing.T) {
-	if _, _, err := shardFor("imagenet", 4, 0, 1); err == nil {
+	if _, _, err := shardFor("imagenet", 4, 0, 1, nil); err == nil {
 		t.Error("unknown dataset not rejected")
 	}
-	if _, _, err := shardFor("cifar10s", 4, 9, 1); err == nil {
+	if _, _, err := shardFor("cifar10s", 4, 9, 1, nil); err == nil {
 		t.Error("out-of-range index not rejected")
 	}
-	ds, shard, err := shardFor("cifar10s", 4, 1, 1)
+	ds, shard, err := shardFor("cifar10s", 4, 1, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +34,7 @@ func TestShardForValidation(t *testing.T) {
 		t.Error("valid shard empty")
 	}
 	// Determinism across "processes": same seed, same shard.
-	_, shard2, err := shardFor("cifar10s", 4, 1, 1)
+	_, shard2, err := shardFor("cifar10s", 4, 1, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

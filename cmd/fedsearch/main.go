@@ -17,6 +17,7 @@ import (
 	"fedrlnas/internal/fed"
 	"fedrlnas/internal/nas"
 	"fedrlnas/internal/nn"
+	"fedrlnas/internal/scenario"
 	"fedrlnas/internal/search"
 	"fedrlnas/internal/staleness"
 	"fedrlnas/internal/telemetry"
@@ -38,8 +39,11 @@ func run(args []string) error {
 		enrolled  = fs.Int("enrolled", 0, "enrolled population size (0 = -k); only sampled participants materialize model state")
 		cohortSz  = fs.Int("cohort", 0, "participants sampled per round (0 = everyone); also sets the federated-retrain client fraction")
 		shards    = fs.Int("shards", 0, "aggregation-tree shards for the theta merge (0 or 1 = single root; results are bit-identical at any value)")
-		partition = fs.String("partition", "iid", "data split: iid or dirichlet")
-		dirAlpha  = fs.Float64("dirichlet-alpha", 0.5, "Dirichlet concentration for non-iid splits")
+		scenArg   = fs.String("scenario", "", "device-population scenario: "+scenario.Grammar+" (profiles: "+scenario.CatalogNames()+")")
+		personal  = fs.Bool("personalize", false, "personalized search: shared supernet body, per-client classifier heads")
+		headLR    = fs.Float64("head-lr", 0, "personal head SGD learning rate (0 = theta lr)")
+		partition = fs.String("partition", "iid", "deprecated (use -scenario): data split, iid or dirichlet")
+		dirAlpha  = fs.Float64("dirichlet-alpha", 0.5, "deprecated (use -scenario): Dirichlet concentration for non-iid splits")
 		warmup    = fs.Int("warmup", 30, "warm-up rounds (P1)")
 		searchN   = fs.Int("search", 60, "search rounds (P2)")
 		retrain   = fs.Int("retrain", 120, "centralized retrain steps (P3)")
@@ -94,15 +98,34 @@ func run(args []string) error {
 	if need := (cfg.K + cfg.Dataset.NumClasses - 1) / cfg.Dataset.NumClasses; need > cfg.Dataset.TrainPerClass {
 		cfg.Dataset.TrainPerClass = need
 	}
+	// The deprecated -partition/-dirichlet-alpha flags lower into a
+	// scenario Skew; a population-less Skew routes through the exact same
+	// partitioner calls, so the alias is bit-identical to the old path.
 	switch *partition {
 	case "iid":
 		cfg.Partition = search.IID
+		cfg.Scenario = &scenario.Spec{Skew: &scenario.Skew{Kind: scenario.SkewIID}}
 	case "dirichlet":
 		cfg.Partition = search.Dirichlet
+		cfg.Scenario = &scenario.Spec{Skew: &scenario.Skew{Kind: scenario.SkewDirichlet, Alpha: *dirAlpha}}
 	default:
 		return fmt.Errorf("unknown partition %q", *partition)
 	}
 	cfg.DirichletAlpha = *dirAlpha
+	if *scenArg != "" {
+		spec, err := scenario.Parse(*scenArg)
+		if err != nil {
+			return err
+		}
+		cfg.Scenario = spec
+	}
+	if *personal || *headLR > 0 {
+		if cfg.Scenario == nil {
+			cfg.Scenario = &scenario.Spec{}
+		}
+		cfg.Scenario.Personalize = true
+		cfg.Scenario.HeadLR = *headLR
+	}
 	cfg.WarmupSteps = *warmup
 	cfg.SearchSteps = *searchN
 	cfg.BatchSize = *batch

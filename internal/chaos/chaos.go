@@ -80,6 +80,9 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// specKeys lists every key ParseSpec accepts, for error messages.
+const specKeys = "latency, jitter, bw, chunk, kill, seed, regime"
+
 // ParseSpec parses a compact comma-separated fault spec, e.g.
 //
 //	latency=5ms,jitter=2ms,bw=20,chunk=4096,kill=0.001,seed=7,regime=train
@@ -87,7 +90,9 @@ func (c Config) Validate() error {
 // Keys: latency/jitter (durations), bw (Mbps), chunk (bytes), kill
 // (probability), seed (int), regime (nettrace regime name; samples a
 // 1h bandwidth trace at 1s steps from the spec's seed). An empty spec
-// yields the zero Config.
+// yields the zero Config. Parse errors quote the offending token and list
+// the valid keys, so a typo'd -chaos flag is diagnosable from the message
+// alone.
 func ParseSpec(spec string) (Config, error) {
 	var cfg Config
 	regime := ""
@@ -97,7 +102,7 @@ func ParseSpec(spec string) (Config, error) {
 	for _, kv := range strings.Split(spec, ",") {
 		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
 		if !ok {
-			return cfg, fmt.Errorf("chaos: bad spec entry %q (want key=value)", kv)
+			return cfg, fmt.Errorf("chaos: spec entry %q is not key=value (valid keys: %s)", kv, specKeys)
 		}
 		var err error
 		switch k {
@@ -116,16 +121,16 @@ func ParseSpec(spec string) (Config, error) {
 		case "regime":
 			regime = v
 		default:
-			return cfg, fmt.Errorf("chaos: unknown spec key %q", k)
+			return cfg, fmt.Errorf("chaos: unknown spec key %q in %q (valid keys: %s)", k, kv, specKeys)
 		}
 		if err != nil {
-			return cfg, fmt.Errorf("chaos: spec %s=%q: %w", k, v, err)
+			return cfg, fmt.Errorf("chaos: spec value %s=%q: %w", k, v, err)
 		}
 	}
 	if regime != "" {
-		r, err := parseRegime(regime)
+		r, err := nettrace.ParseRegime(regime)
 		if err != nil {
-			return cfg, err
+			return cfg, fmt.Errorf("chaos: spec value regime=%q: %w", regime, err)
 		}
 		tr, err := nettrace.Generate(r, 3600, rand.New(rand.NewSource(cfg.Seed+77)))
 		if err != nil {
@@ -135,15 +140,6 @@ func ParseSpec(spec string) (Config, error) {
 		cfg.TraceStep = time.Second
 	}
 	return cfg, cfg.Validate()
-}
-
-func parseRegime(name string) (nettrace.Regime, error) {
-	for _, r := range nettrace.AllRegimes {
-		if r.String() == name {
-			return r, nil
-		}
-	}
-	return 0, fmt.Errorf("chaos: unknown nettrace regime %q", name)
 }
 
 // Injector owns one participant's fault schedule: it wraps that

@@ -258,3 +258,29 @@ func TestTraceWithTagsInjectedFaults(t *testing.T) {
 		}
 	}
 }
+
+// TestParseSpecErrorText: a typo'd spec must be diagnosable from the error
+// alone — it quotes the offending token and lists every valid key.
+func TestParseSpecErrorText(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []string
+	}{
+		{"nope=1", []string{`"nope"`, "latency, jitter, bw, chunk, kill, seed, regime"}},
+		{"latency", []string{`"latency"`, "not key=value", "latency, jitter, bw, chunk, kill, seed, regime"}},
+		{"latency=xyz", []string{`latency="xyz"`}},
+		{"regime=warp", []string{`"warp"`, "foot"}},
+	}
+	for _, tc := range cases {
+		_, err := ParseSpec(tc.spec)
+		if err == nil {
+			t.Errorf("spec %q accepted", tc.spec)
+			continue
+		}
+		for _, want := range tc.want {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("ParseSpec(%q) error missing %q:\n%s", tc.spec, want, err)
+			}
+		}
+	}
+}

@@ -68,6 +68,10 @@ type Participant struct {
 	// Trace is the participant's bandwidth series (may be zero-valued when
 	// latency is not being measured).
 	Trace nettrace.Trace
+	// ChurnProb is the per-round probability this device is offline (its
+	// scenario profile's availability schedule). 0 defers to the run-wide
+	// churn setting, preserving pre-scenario streams bit-exactly.
+	ChurnProb float64
 	// NumSamples is the shard size (FedAvg weighting).
 	NumSamples int
 }

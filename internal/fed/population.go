@@ -29,6 +29,7 @@ type Population struct {
 
 	speedFn func(k int) float64
 	traceFn func(k int) nettrace.Trace
+	churnFn func(k int) float64
 }
 
 // NewPopulation enrolls one participant per partition shard without
@@ -65,6 +66,9 @@ func (p *Population) Get(k int) (*Participant, error) {
 	}
 	if p.traceFn != nil {
 		part.Trace = p.traceFn(k)
+	}
+	if p.churnFn != nil {
+		part.ChurnProb = p.churnFn(k)
 	}
 	p.parts[k] = part
 	p.built++
@@ -107,6 +111,20 @@ func (p *Population) SetTraceFn(fn func(k int) nettrace.Trace) {
 	for k, part := range p.parts {
 		if part != nil {
 			part.Trace = fn(k)
+		}
+	}
+}
+
+// SetChurnFn installs a per-participant availability schedule (the
+// scenario profile's churn probability), applied like SetSpeedFn.
+func (p *Population) SetChurnFn(fn func(k int) float64) {
+	p.churnFn = fn
+	if fn == nil {
+		return
+	}
+	for k, part := range p.parts {
+		if part != nil {
+			part.ChurnProb = fn(k)
 		}
 	}
 }

@@ -153,6 +153,12 @@ func (s *Supernet) Params() []*nn.Param {
 	return s.params
 }
 
+// HeadParams returns the classifier head's parameters — the trailing
+// entries of Params()'s canonical order. Personalized search swaps these
+// per client (federated body, local head) and needs both the count and
+// the guarantee that they sit at the tail.
+func (s *Supernet) HeadParams() []*nn.Param { return s.head.Params() }
+
 // SharedParams returns the parameters every sub-model carries regardless of
 // gates: stem, cell preprocessing, classifier head. The returned slice is
 // cached and must not be mutated.

@@ -32,6 +32,26 @@ const (
 // AllRegimes lists every regime in canonical order.
 var AllRegimes = []Regime{Foot, Bicycle, Bus, Car, Train, Tram}
 
+// ParseRegime resolves a regime by its canonical name ("foot", "bus", …).
+func ParseRegime(name string) (Regime, error) {
+	for _, r := range AllRegimes {
+		if r.String() == name {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("nettrace: unknown regime %q (valid: %s)", name, RegimeNames())
+}
+
+// RegimeNames returns every regime name, comma-separated, for error text
+// and usage strings.
+func RegimeNames() string {
+	names := make([]string, len(AllRegimes))
+	for i, r := range AllRegimes {
+		names[i] = r.String()
+	}
+	return strings.Join(names, ", ")
+}
+
 // String implements fmt.Stringer.
 func (r Regime) String() string {
 	switch r {
@@ -99,6 +119,73 @@ func Generate(r Regime, rounds int, rng *rand.Rand) (Trace, error) {
 		series[t] = bw
 	}
 	return Trace{Regime: r, Mbps: series}, nil
+}
+
+// PhaseSpec is one segment of a time-varying trace: Rounds samples of the
+// given regime. Rounds <= 0 means "the rest of the run" (only meaningful
+// for the final phase).
+type PhaseSpec struct {
+	Regime Regime
+	Rounds int
+}
+
+// GeneratePhases samples a trace whose regime shifts mid-run — the
+// feddrl-style urban/suburban/rural environment change. Each phase runs its
+// own AR(1) stream (a regime shift is a discontinuity, as when a device
+// moves from a street to a train), drawn in order from the one rng so the
+// whole composite is a deterministic function of (phases, rounds, seed).
+// The trace's Regime field records the first phase's regime.
+func GeneratePhases(phases []PhaseSpec, rounds int, rng *rand.Rand) (Trace, error) {
+	if len(phases) == 0 {
+		return Trace{}, fmt.Errorf("nettrace: no phases")
+	}
+	if rounds <= 0 {
+		return Trace{}, fmt.Errorf("nettrace: rounds %d must be positive", rounds)
+	}
+	out := Trace{Regime: phases[0].Regime, Mbps: make([]float64, 0, rounds)}
+	remaining := rounds
+	for i, ph := range phases {
+		n := ph.Rounds
+		if n <= 0 || i == len(phases)-1 || n > remaining {
+			n = remaining
+		}
+		if n == 0 {
+			break
+		}
+		seg, err := Generate(ph.Regime, n, rng)
+		if err != nil {
+			return Trace{}, err
+		}
+		out.Mbps = append(out.Mbps, seg.Mbps...)
+		remaining -= n
+		if remaining == 0 {
+			break
+		}
+	}
+	// Phases shorter than the run: the final regime persists (At clamps,
+	// but an explicit fill keeps Mean and CSV honest).
+	for remaining > 0 {
+		seg, err := Generate(phases[len(phases)-1].Regime, remaining, rng)
+		if err != nil {
+			return Trace{}, err
+		}
+		out.Mbps = append(out.Mbps, seg.Mbps...)
+		remaining = 0
+	}
+	return out, nil
+}
+
+// Flat returns a constant-bandwidth trace (a wired datacenter link has no
+// mobility regime).
+func Flat(mbps float64, rounds int) Trace {
+	if rounds <= 0 {
+		rounds = 1
+	}
+	tr := Trace{Mbps: make([]float64, rounds)}
+	for i := range tr.Mbps {
+		tr.Mbps[i] = mbps
+	}
+	return tr
 }
 
 // At returns the bandwidth at round t, clamping past the end (a stalled

@@ -1,0 +1,76 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Grammar is the -scenario flag syntax, for usage strings.
+const Grammar = `NAME | PCT%NAME[+PCT%NAME...] | @FILE.json | '{...}' inline JSON`
+
+// Parse turns a -scenario argument into a Spec. Four forms:
+//
+//	phone-urban                      one catalog profile, whole population
+//	70%phone-urban+30%iot-rural      a mixed population
+//	@scenario.json                   a Spec from a JSON file
+//	{"population":[...]}             a Spec inline
+//
+// The result is validated; errors report every problem at once.
+func Parse(arg string) (*Spec, error) {
+	arg = strings.TrimSpace(arg)
+	if arg == "" {
+		return nil, nil
+	}
+	var spec Spec
+	switch {
+	case strings.HasPrefix(arg, "{"):
+		if err := json.Unmarshal([]byte(arg), &spec); err != nil {
+			return nil, fmt.Errorf("scenario: inline JSON: %w", err)
+		}
+	case strings.HasPrefix(arg, "@"):
+		raw, err := os.ReadFile(arg[1:])
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		if err := json.Unmarshal(raw, &spec); err != nil {
+			return nil, fmt.Errorf("scenario: file %s: %w", arg[1:], err)
+		}
+	default:
+		mix, err := parseMix(arg)
+		if err != nil {
+			return nil, err
+		}
+		spec = Spec{Name: arg, Population: mix}
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return &spec, nil
+}
+
+// parseMix parses the compact population grammar: "+"-separated terms,
+// each "NAME" or "PCT%NAME". Either every term carries a percentage or
+// none does (Validate enforces the rest).
+func parseMix(arg string) ([]Share, error) {
+	terms := strings.Split(arg, "+")
+	out := make([]Share, 0, len(terms))
+	for _, term := range terms {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			return nil, fmt.Errorf("scenario: empty term in %q (grammar: %s)", arg, Grammar)
+		}
+		share := Share{Profile: term}
+		if pct, name, ok := strings.Cut(term, "%"); ok {
+			f, err := strconv.ParseFloat(pct, 64)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: bad percentage %q in term %q (grammar: %s)", pct, term, Grammar)
+			}
+			share = Share{Profile: strings.TrimSpace(name), Fraction: f / 100}
+		}
+		out = append(out, share)
+	}
+	return out, nil
+}

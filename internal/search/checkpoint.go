@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"fedrlnas/internal/controller"
 	"fedrlnas/internal/fed"
@@ -37,6 +38,10 @@ const (
 	// checkpointVersionV1 files (θ+α only) are still readable; they
 	// restore state but not streams, matching the old behavior.
 	checkpointVersionV1 = uint32(1)
+	// checkpointVersionV3 appends the personalized per-client heads after
+	// the v2 sections. Only personalized runs write it, so every
+	// non-personalized checkpoint stays byte-identical to v2 readers.
+	checkpointVersionV3 = uint32(3)
 )
 
 // SaveCheckpoint writes the current search state to path crash-safely: the
@@ -96,7 +101,11 @@ func (s *Search) LoadCheckpoint(path string) error {
 }
 
 func (s *Search) writeCheckpoint(w io.Writer) error {
-	for _, v := range []uint32{checkpointMagic, checkpointVersion, uint32(s.round)} {
+	version := checkpointVersion
+	if s.personalize {
+		version = checkpointVersionV3
+	}
+	for _, v := range []uint32{checkpointMagic, version, uint32(s.round)} {
 		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
 			return err
 		}
@@ -161,6 +170,29 @@ func (s *Search) writeCheckpoint(w io.Writer) error {
 			}
 		}
 	}
+	// v3: personalized heads, in ascending participant-id order so the
+	// bytes are independent of map iteration (and of sampling history
+	// beyond which clients were ever drawn).
+	if s.personalize {
+		ids := make([]int, 0, len(s.heads))
+		for id := range s.heads {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(ids))); err != nil {
+			return err
+		}
+		for _, id := range ids {
+			if err := binary.Write(w, binary.LittleEndian, uint32(id)); err != nil {
+				return err
+			}
+			for _, t := range s.heads[id] {
+				if _, err := t.WriteTo(w); err != nil {
+					return err
+				}
+			}
+		}
+	}
 	return nil
 }
 
@@ -174,7 +206,7 @@ func (s *Search) readCheckpoint(r io.Reader) error {
 	if magic != checkpointMagic {
 		return fmt.Errorf("bad magic %#x", magic)
 	}
-	if version != checkpointVersion && version != checkpointVersionV1 {
+	if version != checkpointVersion && version != checkpointVersionV1 && version != checkpointVersionV3 {
 		return fmt.Errorf("unsupported version %d", version)
 	}
 	var baseline float64
@@ -192,7 +224,14 @@ func (s *Search) readCheckpoint(r io.Reader) error {
 	if err := s.ctrl.Restore(controller.AlphaSnapshot{Normal: normal, Reduce: reduce}); err != nil {
 		return err
 	}
-	s.ctrl.UpdateBaseline(baseline) // re-seed the moving average
+	// Re-seed the moving average — but only when the saved run had set it
+	// (one search round completed). A checkpoint from the warmup phase has
+	// baseline 0 with the bootstrap still pending; seeding 0 here would make
+	// the first resumed search round subtract a baseline the uninterrupted
+	// run never had.
+	if int(round) > s.cfg.WarmupSteps {
+		s.ctrl.UpdateBaseline(baseline)
+	}
 	var n uint32
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
 		return err
@@ -217,7 +256,51 @@ func (s *Search) readCheckpoint(r io.Reader) error {
 			return err
 		}
 	}
+	if version >= checkpointVersionV3 {
+		if err := s.readHeads(r); err != nil {
+			return err
+		}
+	}
 	s.round = int(round)
+	return nil
+}
+
+// readHeads restores the v3 personalized-head section, materializing each
+// listed client's head and overwriting it with the saved values.
+func (s *Search) readHeads(r io.Reader) error {
+	var nHeads uint32
+	if err := binary.Read(r, binary.LittleEndian, &nHeads); err != nil {
+		return err
+	}
+	if nHeads == 0 {
+		return nil
+	}
+	if !s.personalize {
+		return fmt.Errorf("checkpoint has %d personalized heads but the config does not set Scenario.Personalize", nHeads)
+	}
+	if int(nHeads) > s.pop.Len() {
+		return fmt.Errorf("checkpoint has %d heads for population of %d", nHeads, s.pop.Len())
+	}
+	for i := 0; i < int(nHeads); i++ {
+		var id uint32
+		if err := binary.Read(r, binary.LittleEndian, &id); err != nil {
+			return err
+		}
+		if int(id) >= s.pop.Len() {
+			return fmt.Errorf("head for participant %d outside population of %d", id, s.pop.Len())
+		}
+		s.ensureHead(int(id))
+		for j, dst := range s.heads[int(id)] {
+			t, err := tensor.ReadFrom(r)
+			if err != nil {
+				return err
+			}
+			if !t.SameShape(dst) {
+				return fmt.Errorf("participant %d head tensor %d shape %v != %v", id, j, t.Shape(), dst.Shape())
+			}
+			dst.CopyFrom(t)
+		}
+	}
 	return nil
 }
 

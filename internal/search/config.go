@@ -19,6 +19,7 @@ import (
 	"fedrlnas/internal/data"
 	"fedrlnas/internal/nas"
 	"fedrlnas/internal/nn"
+	"fedrlnas/internal/scenario"
 	"fedrlnas/internal/staleness"
 	"fedrlnas/internal/transmission"
 	"fedrlnas/internal/wire"
@@ -116,6 +117,16 @@ type Config struct {
 	// Sec. V); its sub-model is skipped for that round. 0 disables churn.
 	ChurnProb float64
 
+	// Scenario, when set, describes the device population: profile mix
+	// (speed, network regime, churn, per-profile skew), an optional
+	// population-wide skew override, and the personalization mode. A
+	// non-nil Scenario's population supersedes Partition/DirichletAlpha
+	// and the churn/speed/trace defaults; a nil (or zero) Scenario leaves
+	// every stream bit-identical to pre-scenario builds. Scenario is
+	// deliberately excluded from checkpoint state: like the rest of
+	// Config, the resuming process must supply it.
+	Scenario *scenario.Spec `json:"Scenario,omitempty"`
+
 	// Augment is the participant-side augmentation.
 	Augment data.AugmentConfig
 
@@ -181,6 +192,9 @@ func (c Config) Validate() error {
 	}
 	if err := c.SyncConfig.Validate(); err != nil {
 		return fmt.Errorf("search: %w", err)
+	}
+	if err := c.Scenario.Validate(); err != nil {
+		return fmt.Errorf("search: scenario: %w", err)
 	}
 	switch {
 	case c.K <= 0:

@@ -187,7 +187,14 @@ func (s *Search) runParticipant(rep *workerReplica, pos, pid int, in *roundCtx, 
 	if err != nil {
 		return err
 	}
-	if s.cfg.ChurnProb > 0 && part.RNG.Float64() < s.cfg.ChurnProb {
+	// The scenario profile's availability schedule overrides the run-wide
+	// churn; a participant with neither makes no draw, so pre-scenario
+	// streams are untouched.
+	churn := s.cfg.ChurnProb
+	if part.ChurnProb > 0 {
+		churn = part.ChurnProb
+	}
+	if churn > 0 && part.RNG.Float64() < churn {
 		res.status = partOffline
 		s.met.Offline.Inc()
 		s.tracer.ReplyOffline(in.t, pid)
@@ -258,6 +265,16 @@ func (s *Search) runParticipant(rep *workerReplica, pos, pid int, in *roundCtx, 
 	if err := nn.RestoreParamValues(rep.params, thetaAt); err != nil {
 		return err
 	}
+	if s.personalize {
+		// Federated body, local head: overwrite the replica's (snapshot)
+		// head with this client's private one. heads[pid] exists — it was
+		// materialized before the parallel phase — and is only ever touched
+		// by pid's own task, so the read and the write-back below are
+		// race-free.
+		for i, t := range s.heads[pid] {
+			rep.params[s.headStart+i].Value.CopyFrom(t)
+		}
+	}
 	batch := part.Batcher.Next(s.cfg.BatchSize)
 	x, y := s.ds.GatherInto(sc.xBuf, sc.labels, batch)
 	sc.xBuf, sc.labels = x, y
@@ -280,6 +297,11 @@ func (s *Search) runParticipant(rep *workerReplica, pos, pid int, in *roundCtx, 
 	res.grads = sc.grads[:0]
 	for _, p := range subParams {
 		idx := rep.index[p]
+		if s.personalize && idx >= s.headStart {
+			// Head gradients stay on the device: the local step below
+			// consumes them, the federated merge never sees them.
+			continue
+		}
 		buf := sc.gradBufs[idx]
 		if buf == nil {
 			buf = tensor.New(p.Grad.Shape()...)
@@ -291,6 +313,15 @@ func (s *Search) runParticipant(rep *workerReplica, pos, pid int, in *roundCtx, 
 	}
 	sc.subIdx, sc.grads = res.subIdx, res.grads
 	grads := res.grads
+
+	// Local personalization step: plain SGD on the private head (no
+	// momentum or weight decay — the head is a small linear probe and its
+	// state must stay exactly "values", keeping checkpoints simple).
+	if s.personalize {
+		for i, t := range s.heads[pid] {
+			t.AXPY(-s.headLR, rep.params[s.headStart+i].Grad)
+		}
+	}
 
 	// θ-gradient delay compensation (lines 18–27).
 	if delay > 0 && s.cfg.Strategy == staleness.DC {

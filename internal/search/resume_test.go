@@ -267,3 +267,42 @@ func TestCheckpointKillChild(t *testing.T) {
 		}
 	}
 }
+
+// TestResumeFromWarmupBoundary pins the warmup-phase checkpoint path: a
+// checkpoint saved before any search round has run carries a zero baseline
+// with the bootstrap still pending, and restoring it must NOT mark the
+// moving average as seeded — otherwise the first resumed search round
+// subtracts a baseline the uninterrupted run never had and the runs diverge
+// immediately.
+func TestResumeFromWarmupBoundary(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.WarmupSteps = 5
+	cfg.SearchSteps = 8
+	cfg.Seed = 23
+
+	uninterrupted, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepRounds(t, uninterrupted, 13)
+
+	first, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepRounds(t, first, 5) // exactly the warmup/search boundary
+	path := filepath.Join(t.TempDir(), "boundary.ckpt")
+	if err := first.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.LoadCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	stepRounds(t, resumed, 8)
+
+	requireBitIdentical(t, uninterrupted, resumed)
+}

@@ -1,0 +1,223 @@
+package search
+
+import (
+	"path/filepath"
+	"testing"
+
+	"fedrlnas/internal/scenario"
+)
+
+// scenarioTinyConfig is tinyConfig under a mixed device population with
+// personalization on — the full scenario surface in one config.
+func scenarioTinyConfig() Config {
+	cfg := tinyConfig()
+	cfg.WarmupSteps = 5
+	cfg.SearchSteps = 8
+	cfg.Seed = 23
+	cfg.Scenario = &scenario.Spec{
+		Population: []scenario.Share{
+			{Profile: "phone-urban", Fraction: 0.7},
+			{Profile: "iot-rural", Fraction: 0.3},
+		},
+		Personalize: true,
+	}
+	return cfg
+}
+
+// TestScenarioDeterministicAcrossWorkerCounts extends the headline
+// determinism contract to the scenario layer: a mixed-profile population
+// with per-profile churn, traces and Dirichlet skew plus personalized heads
+// must stay bit-identical at any worker count.
+func TestScenarioDeterministicAcrossWorkerCounts(t *testing.T) {
+	base := scenarioTinyConfig()
+
+	cfg1 := base
+	cfg1.Workers = 1
+	cfgN := base
+	cfgN.Workers = 4
+
+	fp1 := fingerprint(t, cfg1)
+	fpN := fingerprint(t, cfgN)
+
+	if fp1.genotype != fpN.genotype {
+		t.Fatalf("derived genotype diverges: %s vs %s", fp1.genotype, fpN.genotype)
+	}
+	assertIdentical(t, "warmup curve", fp1.warmup, fpN.warmup)
+	assertIdentical(t, "search curve", fp1.search, fpN.search)
+	assertIdentical(t, "round seconds", fp1.seconds, fpN.seconds)
+	if fp1.thetaSum != fpN.thetaSum {
+		t.Fatalf("final θ checksum diverges: %v vs %v", fp1.thetaSum, fpN.thetaSum)
+	}
+	if fp1.stats != fpN.stats {
+		t.Fatalf("round stats diverge: %+v vs %+v", fp1.stats, fpN.stats)
+	}
+}
+
+// TestEmptyScenarioIsNoOp: a zero Spec must lower to nothing — runs with
+// Scenario == nil and Scenario == &Spec{} are bit-identical. This is the
+// invariant behind the fault-free pin: pre-scenario checkpoints and hashes
+// stay valid.
+func TestEmptyScenarioIsNoOp(t *testing.T) {
+	base := tinyConfig()
+	base.WarmupSteps = 4
+	base.SearchSteps = 6
+	base.Seed = 31
+
+	withNil := base
+	withNil.Scenario = nil
+	withEmpty := base
+	withEmpty.Scenario = &scenario.Spec{}
+
+	fpNil := fingerprint(t, withNil)
+	fpEmpty := fingerprint(t, withEmpty)
+
+	if fpNil.genotype != fpEmpty.genotype {
+		t.Fatalf("empty scenario changed the genotype: %s vs %s", fpNil.genotype, fpEmpty.genotype)
+	}
+	assertIdentical(t, "search curve", fpNil.search, fpEmpty.search)
+	if fpNil.thetaSum != fpEmpty.thetaSum {
+		t.Fatalf("empty scenario changed θ: %v vs %v", fpNil.thetaSum, fpEmpty.thetaSum)
+	}
+}
+
+// TestLegacyPartitionFlagsLowerBitIdentically: the deprecated
+// -partition/-dirichlet-alpha path and its scenario-Skew lowering must
+// produce the same run, so flag aliasing cannot silently change results.
+func TestLegacyPartitionFlagsLowerBitIdentically(t *testing.T) {
+	base := tinyConfig()
+	base.WarmupSteps = 4
+	base.SearchSteps = 6
+	base.Seed = 17
+
+	legacy := base
+	legacy.Partition = Dirichlet
+	legacy.DirichletAlpha = 0.5
+	legacy.Scenario = nil
+
+	lowered := base
+	lowered.Partition = Dirichlet
+	lowered.DirichletAlpha = 0.5
+	lowered.Scenario = &scenario.Spec{Skew: &scenario.Skew{Kind: scenario.SkewDirichlet, Alpha: 0.5}}
+
+	fpLegacy := fingerprint(t, legacy)
+	fpLowered := fingerprint(t, lowered)
+
+	if fpLegacy.genotype != fpLowered.genotype {
+		t.Fatalf("lowered flags changed the genotype: %s vs %s", fpLegacy.genotype, fpLowered.genotype)
+	}
+	assertIdentical(t, "search curve", fpLegacy.search, fpLowered.search)
+	if fpLegacy.thetaSum != fpLowered.thetaSum {
+		t.Fatalf("lowered flags changed θ: %v vs %v", fpLegacy.thetaSum, fpLowered.thetaSum)
+	}
+}
+
+// TestPersonalizedCheckpointResume: pausing a personalized run and resuming
+// from the checkpoint must land on the exact bits of the uninterrupted run —
+// the v3 checkpoint section carries every client head.
+func TestPersonalizedCheckpointResume(t *testing.T) {
+	cfg := scenarioTinyConfig()
+	cfg.Workers = 2
+
+	// Reference: straight through.
+	ref := fingerprint(t, cfg)
+
+	// Interrupted: warm up, checkpoint, reload into a fresh Search, finish.
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Personalized() {
+		t.Fatal("scenario with personalize=true did not enable personalization")
+	}
+	if err := s.Warmup(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "personal.ckpt")
+	if err := s.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.LoadCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := s2.Derive().String(); got != ref.genotype {
+		t.Fatalf("resumed genotype %s, want %s", got, ref.genotype)
+	}
+	assertIdentical(t, "resumed search curve", s2.SearchCurve.Values(), ref.search)
+	sum := 0.0
+	for _, snap := range s2.SnapshotTheta() {
+		for i, v := range snap.Data() {
+			sum += v * float64(i%7+1)
+		}
+	}
+	if sum != ref.thetaSum {
+		t.Fatalf("resumed θ checksum %v, want %v", sum, ref.thetaSum)
+	}
+
+	// The heads themselves must survive the round trip: checksum them on
+	// both sides of a save/load pair.
+	headSum := func(s *Search) float64 {
+		total := 0.0
+		for pid, ts := range s.heads {
+			for _, tens := range ts {
+				for i, v := range tens.Data() {
+					total += v * float64((pid+1)*(i%5+1))
+				}
+			}
+		}
+		return total
+	}
+	before := headSum(s2)
+	if before == 0 {
+		t.Fatal("personalized run trained no heads")
+	}
+	path2 := filepath.Join(t.TempDir(), "final.ckpt")
+	if err := s2.SaveCheckpoint(path2); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s3.LoadCheckpoint(path2); err != nil {
+		t.Fatal(err)
+	}
+	if after := headSum(s3); after != before {
+		t.Fatalf("head checksum %v after reload, want %v", after, before)
+	}
+}
+
+// TestScenarioProfileAssignmentStable: the profile carve-up the engine
+// actually used matches the pure scenario.Assign function — nothing in
+// materialization order perturbs it.
+func TestScenarioProfileAssignmentStable(t *testing.T) {
+	cfg := scenarioTinyConfig()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles, assignment := s.Profiles()
+	if len(profiles) != 2 {
+		t.Fatalf("resolved %d profiles, want 2", len(profiles))
+	}
+	_, fracs, err := cfg.Scenario.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := scenario.Assign(fracs, cfg.K, cfg.Seed)
+	if len(assignment) != len(want) {
+		t.Fatalf("assignment length %d, want %d", len(assignment), len(want))
+	}
+	for i := range want {
+		if assignment[i] != want[i] {
+			t.Fatalf("assignment[%d] = %d, want %d", i, assignment[i], want[i])
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fedrlnas/internal/nettrace"
 	"fedrlnas/internal/nn"
 	"fedrlnas/internal/parallel"
+	"fedrlnas/internal/scenario"
 	"fedrlnas/internal/staleness"
 	"fedrlnas/internal/telemetry"
 	"fedrlnas/internal/tensor"
@@ -34,6 +35,29 @@ type Search struct {
 	sampler *cohort.Sampler
 	net     *nas.Supernet
 	ctrl    *controller.Controller
+
+	// Scenario lowering: profiles are the population's resolved device
+	// profiles and profileOf[k] is participant k's profile index (both nil
+	// without a scenario population). partition is retained so scenario
+	// consumers (benchprofiles' per-client evaluation) can inspect shards.
+	profiles  []scenario.Profile
+	profileOf []int
+	partition data.Partition
+
+	// Personalization (federated body / local head): headStart is the
+	// canonical index of the first classifier-head parameter (head params
+	// are the tail of Params()'s canonical order), bodyParams the shared
+	// prefix the federated optimizer steps, headInit the supernet's initial
+	// head values every client starts from, and heads each sampled client's
+	// private head. heads is only written single-threaded — materialization
+	// before the parallel phase, per-client tensor updates inside it touch
+	// pre-existing entries for distinct pids.
+	personalize bool
+	headLR      float64
+	headStart   int
+	bodyParams  []*nn.Param
+	headInit    []*tensor.Tensor
+	heads       map[int][]*tensor.Tensor
 
 	thetaOpt *nn.SGD
 	rng      *rand.Rand
@@ -112,11 +136,29 @@ func New(cfg Config) (*Search, error) {
 		return nil, fmt.Errorf("search: %w", err)
 	}
 	rng, rngSrc := detrand.New(cfg.Seed)
+	// Scenario lowering, stage 1: the data partition. A scenario population
+	// assigns profiles first (a pure function of the enrollment seed) and
+	// partitions per profile group; a population-less Skew routes through
+	// the SAME legacy partitioner calls on the SAME rng the flag-driven
+	// path uses, so lowering old flags into a Spec is bit-identical.
+	spec := cfg.Scenario
+	profiles, fracs, err := spec.Resolve()
+	if err != nil {
+		return nil, fmt.Errorf("search: scenario: %w", err)
+	}
+	var profileOf []int
 	var part data.Partition
-	switch cfg.Partition {
-	case IID:
+	switch {
+	case len(profiles) > 0:
+		profileOf = scenario.Assign(fracs, cfg.K, cfg.Seed)
+		part, err = scenario.PartitionFor(ds.TrainLabels, cfg.K, profileOf, profiles, spec.Skew, rng)
+	case spec != nil && spec.Skew != nil && spec.Skew.Kind == scenario.SkewDirichlet:
+		part, err = data.DirichletPartition(ds.TrainLabels, cfg.K, spec.Skew.Alpha, rng)
+	case spec != nil && spec.Skew != nil:
 		part, err = data.IIDPartition(ds.NumTrain(), cfg.K, rng)
-	case Dirichlet:
+	case cfg.Partition == IID:
+		part, err = data.IIDPartition(ds.NumTrain(), cfg.K, rng)
+	default:
 		part, err = data.DirichletPartition(ds.TrainLabels, cfg.K, cfg.DirichletAlpha, rng)
 	}
 	if err != nil {
@@ -130,6 +172,23 @@ func New(cfg Config) (*Search, error) {
 		}
 	}
 	pop := fed.NewPopulation(part, cfg.Seed+101)
+	// Scenario lowering, stage 2: per-participant speed, bandwidth and
+	// availability, installed as lazy functions of the stable participant
+	// id so materialization order never matters. Trace sampling cannot fail
+	// here: every regime name was parsed during Validate.
+	if len(profiles) > 0 {
+		rounds := cfg.WarmupSteps + cfg.SearchSteps
+		if rounds <= 0 {
+			rounds = 1
+		}
+		seed := cfg.Seed
+		pop.SetSpeedFn(func(k int) float64 { return profiles[profileOf[k]].SpeedFactor() })
+		pop.SetChurnFn(func(k int) float64 { return profiles[profileOf[k]].Churn })
+		pop.SetTraceFn(func(k int) nettrace.Trace {
+			tr, _ := profiles[profileOf[k]].ParticipantTrace(rounds, seed+404, k)
+			return tr
+		})
+	}
 	sampler, err := cohort.New(cfg.Seed+303, cfg.K, cfg.CohortSize)
 	if err != nil {
 		return nil, fmt.Errorf("search: %w", err)
@@ -144,15 +203,18 @@ func New(cfg Config) (*Search, error) {
 		return nil, fmt.Errorf("search: %w", err)
 	}
 	s := &Search{
-		cfg:      cfg,
-		ds:       ds,
-		pop:      pop,
-		sampler:  sampler,
-		net:      net,
-		ctrl:     ctrl,
-		thetaOpt: nn.NewSGD(cfg.ThetaLR, cfg.ThetaMomentum, cfg.ThetaWD, cfg.ThetaClip),
-		rng:      rng,
-		rngSrc:   rngSrc,
+		cfg:       cfg,
+		ds:        ds,
+		pop:       pop,
+		sampler:   sampler,
+		net:       net,
+		ctrl:      ctrl,
+		profiles:  profiles,
+		profileOf: profileOf,
+		partition: part,
+		thetaOpt:  nn.NewSGD(cfg.ThetaLR, cfg.ThetaMomentum, cfg.ThetaWD, cfg.ThetaClip),
+		rng:       rng,
+		rngSrc:    rngSrc,
 	}
 	if sampler.Full() {
 		// Full-population mode materializes everyone up front (the legacy
@@ -178,6 +240,20 @@ func New(cfg Config) (*Search, error) {
 	netParams := net.Params()
 	for i, p := range netParams {
 		s.paramIndex[p] = i
+	}
+	// Personalization mode: the classifier head's parameters (the tail of
+	// the canonical order) leave the federated update entirely — each
+	// client trains a private copy seeded from the supernet's initial head.
+	if spec != nil && spec.Personalize {
+		s.personalize = true
+		s.headLR = spec.HeadLR
+		if s.headLR <= 0 {
+			s.headLR = cfg.ThetaLR
+		}
+		s.headStart = len(netParams) - len(net.HeadParams())
+		s.bodyParams = netParams[:s.headStart]
+		s.headInit = nn.CloneParamValues(netParams[s.headStart:])
+		s.heads = make(map[int][]*tensor.Tensor)
 	}
 	// All round-scoped state is sized by the cohort, not the population:
 	// scratch/merge buffers are keyed by cohort position and handed to
@@ -459,6 +535,11 @@ func (s *Search) runRound(updateAlpha, updateTheta bool) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
+		if s.personalize {
+			// Personal heads materialize here, single-threaded, so the
+			// parallel phase only ever touches pre-existing map entries.
+			s.ensureHead(pid)
+		}
 		bw[j] = bandwidthAt(p, t)
 	}
 	assign, err := transmission.Assign(s.cfg.Transmission, sizes, bw, s.rng)
@@ -577,13 +658,20 @@ func (s *Search) runRound(updateAlpha, updateTheta bool) (float64, error) {
 		meanAcc = sumAcc / float64(contributors)
 		inv := 1.0 / float64(contributors)
 		if updateTheta {
-			for i, p := range params {
+			// In personalized mode only the shared body steps: head
+			// gradients never enter the merge, and stepping the full list
+			// would still weight-decay the global head toward zero.
+			stepParams := params
+			if s.personalize {
+				stepParams = s.bodyParams
+			}
+			for i, p := range stepParams {
 				p.Grad.Zero()
 				if aggTheta[i] != nil {
 					p.Grad.AXPY(inv, aggTheta[i])
 				}
 			}
-			s.thetaOpt.Step(params)
+			s.thetaOpt.Step(stepParams)
 		}
 		if updateAlpha {
 			aggAlpha.Scale(inv)
@@ -638,4 +726,94 @@ func bandwidthAt(p *fed.Participant, round int) float64 {
 func (s *Search) DeriveExcludingZero() nas.Genotype {
 	pn, pr := s.ctrl.Probs()
 	return nas.DeriveGenotypeExcluding(pn, pr, s.cfg.Net.Candidates, s.cfg.Net.Nodes, nas.OpZero)
+}
+
+// Partition exposes the training-data partition (benchprofiles derives
+// per-client test distributions from it).
+func (s *Search) Partition() data.Partition { return s.partition }
+
+// Profiles returns the scenario's resolved device profiles and the
+// per-participant profile assignment (nil, nil without a scenario
+// population).
+func (s *Search) Profiles() ([]scenario.Profile, []int) { return s.profiles, s.profileOf }
+
+// Personalized reports whether the search runs in federated-body /
+// local-head mode.
+func (s *Search) Personalized() bool { return s.personalize }
+
+// ensureHead materializes participant pid's personal classifier head on
+// first sample: a copy of the supernet's INITIAL head, so the result is
+// independent of when (or in what order) clients are first drawn.
+func (s *Search) ensureHead(pid int) {
+	if s.heads[pid] != nil {
+		return
+	}
+	head := make([]*tensor.Tensor, len(s.headInit))
+	for i, t := range s.headInit {
+		c := tensor.New(t.Shape()...)
+		c.CopyFrom(t)
+		head[i] = c
+	}
+	s.heads[pid] = head
+}
+
+// ArgmaxGates returns the per-edge argmax candidate under the current
+// policy — the deterministic derived sub-model as a gate vector, suitable
+// for ForwardSampled evaluation.
+func (s *Search) ArgmaxGates() nas.Gates {
+	pn, pr := s.ctrl.Probs()
+	g := nas.Gates{Normal: make([]int, len(pn)), Reduce: make([]int, len(pr))}
+	for e, row := range pn {
+		g.Normal[e] = argmaxOf(row)
+	}
+	for e, row := range pr {
+		g.Reduce[e] = argmaxOf(row)
+	}
+	return g
+}
+
+func argmaxOf(row []float64) int {
+	best := 0
+	for i, v := range row {
+		if v > row[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// EvalGates measures top-1 accuracy of the gated sub-model on the given
+// test indices. pid >= 0 swaps that client's personal head in for the
+// measurement (personalized runs only; an unsampled client falls back to
+// the shared head); pid < 0 evaluates the shared global head.
+func (s *Search) EvalGates(g nas.Gates, testIdx []int, batchSize int, pid int) float64 {
+	if len(testIdx) == 0 || batchSize <= 0 {
+		return 0
+	}
+	s.net.SetTraining(false)
+	defer s.net.SetTraining(true)
+	params := s.net.Params()
+	if pid >= 0 && s.personalize {
+		if head := s.heads[pid]; head != nil {
+			saved := nn.CloneParamValues(params[s.headStart:])
+			for i, t := range head {
+				params[s.headStart+i].Value.CopyFrom(t)
+			}
+			defer func() {
+				for i, t := range saved {
+					params[s.headStart+i].Value.CopyFrom(t)
+				}
+			}()
+		}
+	}
+	correct := 0.0
+	for start := 0; start < len(testIdx); start += batchSize {
+		end := start + batchSize
+		if end > len(testIdx) {
+			end = len(testIdx)
+		}
+		x, y := s.ds.GatherTest(testIdx[start:end])
+		correct += nn.Accuracy(s.net.ForwardSampled(x, g), y) * float64(end-start)
+	}
+	return correct / float64(len(testIdx))
 }

@@ -7,17 +7,21 @@ import (
 	"time"
 
 	"fedrlnas/internal/nas"
+	"fedrlnas/internal/scenario"
 	"fedrlnas/internal/search"
 	"fedrlnas/internal/telemetry"
 	"fedrlnas/internal/tensor"
 )
 
-// JobSpec is the POST /jobs request body. Config fields overlay
+// JobSpec is the POST /v1/jobs request body. Config fields overlay
 // search.DefaultConfig, so a spec only states what differs from the paper
-// defaults; Resume points at a checkpoint to continue from.
+// defaults; Resume points at a checkpoint to continue from; Scenario runs
+// the job under a full device-population scenario (profile mix, skew,
+// personalization) and takes precedence over a Scenario inside Config.
 type JobSpec struct {
-	Config json.RawMessage `json:"config,omitempty"`
-	Resume string          `json:"resume,omitempty"`
+	Config   json.RawMessage `json:"config,omitempty"`
+	Resume   string          `json:"resume,omitempty"`
+	Scenario *scenario.Spec  `json:"scenario,omitempty"`
 }
 
 // ModelSpec is the POST /jobs/{id}/serve and POST /models request body.
@@ -62,23 +66,35 @@ type ModelInfo struct {
 	MaxBatch int    `json:"max_batch"`
 }
 
-// APIHandler returns the job/model HTTP API:
+// APIHandler returns the job/model HTTP API, versioned under /v1 (every
+// route below is also served at its unversioned path as a deprecated
+// alias, so existing clients keep working):
 //
-//	GET  /jobs                  all job statuses
-//	POST /jobs                  create a job (JobSpec)
-//	GET  /jobs/{id}             one job's status
-//	POST /jobs/{id}/pause       checkpoint + halt stepping
-//	POST /jobs/{id}/resume      continue a paused job
-//	POST /jobs/{id}/cancel      checkpoint + terminate
-//	POST /jobs/{id}/checkpoint  checkpoint between rounds
-//	GET  /jobs/{id}/genotype    current argmax genotype
-//	POST /jobs/{id}/serve       derive + serve the job's genotype (ModelSpec)
-//	POST /models                serve an explicit genotype (ModelSpec)
-//	POST /models/{id}/infer     batched single-example inference
+//	GET  /v1/jobs                  all job statuses
+//	POST /v1/jobs                  create a job (JobSpec, incl. scenario)
+//	GET  /v1/jobs/{id}             one job's status
+//	POST /v1/jobs/{id}/pause       checkpoint + halt stepping
+//	POST /v1/jobs/{id}/resume      continue a paused job
+//	POST /v1/jobs/{id}/cancel      checkpoint + terminate
+//	POST /v1/jobs/{id}/checkpoint  checkpoint between rounds
+//	GET  /v1/jobs/{id}/genotype    current argmax genotype
+//	POST /v1/jobs/{id}/serve       derive + serve the job's genotype (ModelSpec)
+//	POST /v1/models                serve an explicit genotype (ModelSpec)
+//	POST /v1/models/{id}/infer     batched single-example inference
 //
 // Mounted on the telemetry debug mux via Endpoints, so one listener carries
 // /metrics, pprof and the serving API.
 func (s *Server) APIHandler() http.Handler {
+	api := s.apiRoutes()
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", http.StripPrefix("/v1", api))
+	mux.Handle("/", api)
+	return mux
+}
+
+// apiRoutes builds the unprefixed route table shared by /v1 and the
+// deprecated unversioned aliases.
+func (s *Server) apiRoutes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Jobs())
@@ -105,10 +121,12 @@ func (s *Server) APIHandler() http.Handler {
 	return mux
 }
 
-// Endpoints mounts the API on a telemetry debug mux.
+// Endpoints mounts the API on a telemetry debug mux: the versioned /v1/
+// surface plus the unversioned aliases.
 func (s *Server) Endpoints() []telemetry.Endpoint {
 	api := s.APIHandler()
 	return []telemetry.Endpoint{
+		{Path: "/v1/", Handler: api},
 		{Path: "/jobs", Handler: api},
 		{Path: "/jobs/", Handler: api},
 		{Path: "/models", Handler: api},
@@ -128,6 +146,9 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
+	}
+	if spec.Scenario != nil {
+		cfg.Scenario = spec.Scenario
 	}
 	if err := cfg.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, err)

@@ -142,6 +142,7 @@ func TestDrainSuspendsAndCheckpoints(t *testing.T) {
 		t.Fatalf("after drain job is %s, want suspended", j.State())
 	}
 	ckpt := j.Status().Checkpoint
+	ckptRound := j.Status().Round
 	if _, err := os.Stat(ckpt); err != nil {
 		t.Fatalf("drain did not checkpoint: %v", err)
 	}
@@ -162,8 +163,15 @@ func TestDrainSuspendsAndCheckpoints(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitState(t, j2, JobCompleted)
-	if got := j2.Status().Round; got != 10 {
-		t.Fatalf("revived job completed at round %d, want 10", got)
+	// The job keeps stepping between waitRound and Drain, so on a loaded
+	// machine the checkpoint may already be past the shortened schedule;
+	// the revived job then completes at the checkpoint round.
+	want := 10
+	if ckptRound > want {
+		want = ckptRound
+	}
+	if got := j2.Status().Round; got != want {
+		t.Fatalf("revived job completed at round %d, want %d", got, want)
 	}
 }
 

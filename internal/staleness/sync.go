@@ -1,6 +1,9 @@
 package staleness
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // SyncConfig is the soft-synchronization knob set shared by every Alg. 1
 // round loop — the in-process engine (search.Config) and the RPC server
@@ -40,24 +43,29 @@ type SyncConfig struct {
 	Shards int
 }
 
-// Validate checks the shared soft-sync knobs.
+// Validate checks the shared soft-sync knobs, reporting every problem
+// found — a hand-edited config fixes all its mistakes in one pass.
 func (c SyncConfig) Validate() error {
-	switch {
-	case c.Quorum <= 0 || c.Quorum > 1:
-		return fmt.Errorf("staleness: Quorum %v outside (0,1]", c.Quorum)
-	case c.StalenessThreshold < 0:
-		return fmt.Errorf("staleness: StalenessThreshold %d must be >= 0", c.StalenessThreshold)
-	case c.Lambda < 0:
-		return fmt.Errorf("staleness: Lambda %v must be >= 0", c.Lambda)
-	case c.CohortSize < 0:
-		return fmt.Errorf("staleness: CohortSize %d must be >= 0", c.CohortSize)
-	case c.Shards < 0:
-		return fmt.Errorf("staleness: Shards %d must be >= 0", c.Shards)
+	var errs []error
+	if c.Quorum <= 0 || c.Quorum > 1 {
+		errs = append(errs, fmt.Errorf("staleness: Quorum %v outside (0,1]", c.Quorum))
+	}
+	if c.StalenessThreshold < 0 {
+		errs = append(errs, fmt.Errorf("staleness: StalenessThreshold %d must be >= 0", c.StalenessThreshold))
+	}
+	if c.Lambda < 0 {
+		errs = append(errs, fmt.Errorf("staleness: Lambda %v must be >= 0", c.Lambda))
+	}
+	if c.CohortSize < 0 {
+		errs = append(errs, fmt.Errorf("staleness: CohortSize %d must be >= 0", c.CohortSize))
+	}
+	if c.Shards < 0 {
+		errs = append(errs, fmt.Errorf("staleness: Shards %d must be >= 0", c.Shards))
 	}
 	switch c.Strategy {
 	case Hard, Use, Throw, DC:
 	default:
-		return fmt.Errorf("staleness: unknown strategy %d", int(c.Strategy))
+		errs = append(errs, fmt.Errorf("staleness: unknown strategy %d", int(c.Strategy)))
 	}
-	return nil
+	return errors.Join(errs...)
 }
