@@ -203,7 +203,16 @@ func runWorker(args []string) error {
 		return rerr
 	} else if len(profiles) > 0 {
 		prof := profiles[scenario.Assign(fracs, *k, *seed)[*index]]
-		ccfg, err := prof.ChaosConfig(*seed + int64(*index)*13)
+		var ccfg chaos.Config
+		if *chaosSpec != "" {
+			// The deprecated flag keeps its historical seeding: the spec's
+			// own seed (0 when unset, identical on every worker), never the
+			// per-worker derivation profiles use — existing -chaos runs keep
+			// their fault schedules bit-for-bit.
+			ccfg, err = chaos.ParseSpec(*chaosSpec)
+		} else {
+			ccfg, err = prof.ChaosConfig(*seed + int64(*index)*13)
+		}
 		if err != nil {
 			return err
 		}

@@ -124,7 +124,11 @@ func run(args []string) error {
 			cfg.Scenario = &scenario.Spec{}
 		}
 		cfg.Scenario.Personalize = true
-		cfg.Scenario.HeadLR = *headLR
+		// A scenario file's head_lr survives a bare -personalize; the flag
+		// only overrides when explicitly set.
+		if *headLR > 0 {
+			cfg.Scenario.HeadLR = *headLR
+		}
 	}
 	cfg.WarmupSteps = *warmup
 	cfg.SearchSteps = *searchN

@@ -146,6 +146,12 @@ func GeneratePhases(phases []PhaseSpec, rounds int, rng *rand.Rand) (Trace, erro
 	remaining := rounds
 	for i, ph := range phases {
 		n := ph.Rounds
+		if n <= 0 && i != len(phases)-1 {
+			// "Rest of the run" is only meaningful on the final phase; a
+			// non-final open-ended phase would silently swallow every later
+			// one, so fail loudly instead.
+			return Trace{}, fmt.Errorf("nettrace: phase %d has rounds %d but is not the final phase", i, ph.Rounds)
+		}
 		if n <= 0 || i == len(phases)-1 || n > remaining {
 			n = remaining
 		}

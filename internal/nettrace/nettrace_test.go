@@ -25,6 +25,25 @@ func TestGenerateLengthAndPositivity(t *testing.T) {
 	}
 }
 
+func TestGeneratePhasesRejectsNonFinalOpenEnded(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Rounds 0 means "rest of run" and is only meaningful on the final
+	// phase; anywhere else it would silently swallow the later phases.
+	phases := []PhaseSpec{{Regime: Foot}, {Regime: Car, Rounds: 5}}
+	if _, err := GeneratePhases(phases, 20, rng); err == nil {
+		t.Error("expected error for open-ended non-final phase")
+	}
+	// Final-phase 0 stays valid and fills the remainder.
+	ok := []PhaseSpec{{Regime: Car, Rounds: 5}, {Regime: Foot}}
+	tr, err := GeneratePhases(ok, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Mbps) != 20 {
+		t.Fatalf("trace length %d, want 20", len(tr.Mbps))
+	}
+}
+
 func TestRegimeMeansRoughlyCalibrated(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	means := make(map[Regime]float64)

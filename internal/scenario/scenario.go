@@ -120,6 +120,8 @@ func (p Profile) validate() error {
 		}
 		if ph.Rounds < 0 {
 			fail("network phase %d: rounds %d must be >= 0", i, ph.Rounds)
+		} else if ph.Rounds == 0 && i != len(p.Network)-1 {
+			fail("network phase %d: rounds 0 (rest of run) is only valid on the final phase", i)
 		}
 	}
 	if p.Chaos != "" {

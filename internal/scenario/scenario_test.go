@@ -101,7 +101,7 @@ func TestValidateReportsAllProblems(t *testing.T) {
 	spec := &Spec{
 		Population: []Share{
 			{Profile: "no-such-profile", Fraction: 0.5},
-			{Custom: &Profile{Name: "bad", Speed: -1, Churn: 2, Network: []Phase{{Regime: "submarine"}}}},
+			{Custom: &Profile{Name: "bad", Speed: -1, Churn: 2, Network: []Phase{{Regime: "submarine"}, {Regime: "foot"}}}},
 		},
 		Skew:   &Skew{Kind: "zipf"},
 		HeadLR: -0.5,
@@ -113,6 +113,7 @@ func TestValidateReportsAllProblems(t *testing.T) {
 	msg := err.Error()
 	for _, want := range []string{
 		"no-such-profile", "speed -1", "churn 2", "submarine", "zipf", "head_lr -0.5",
+		"only valid on the final phase",
 	} {
 		if !strings.Contains(msg, want) {
 			t.Errorf("joined error missing %q:\n%s", want, msg)

@@ -325,8 +325,8 @@ func (s *Search) runParticipant(rep *workerReplica, pos, pid int, in *roundCtx, 
 
 	// θ-gradient delay compensation (lines 18–27).
 	if delay > 0 && s.cfg.Strategy == staleness.DC {
-		freshVals := make([]*tensor.Tensor, len(subParams))
-		staleVals := make([]*tensor.Tensor, len(subParams))
+		freshVals := make([]*tensor.Tensor, len(res.subIdx))
+		staleVals := make([]*tensor.Tensor, len(res.subIdx))
 		for i, idx := range res.subIdx {
 			freshVals[i] = in.thetaNow[idx]
 			staleVals[i] = thetaAt[idx]
